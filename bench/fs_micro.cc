@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Filesystem ablation (§3.6): lazy vs eager overlay initialization.
+ *
+ * "BROWSIX modifies BrowserFS's overlay backend to lazily load files
+ * from its read-only underlay; the original version eagerly read all
+ * files ... upon initialization. BROWSIX's approach drastically improves
+ * the startup time of the kernel [and] minimizes the amount of data
+ * transferred over the network."
+ *
+ * Sweeps the size of the staged remote tree and reports kernel-startup
+ * time and bytes transferred for both strategies, plus the first-access
+ * latency lazy loading pays instead.
+ */
+#include <cstdio>
+
+#include "apps/tex/tex.h"
+#include "bench/harness.h"
+
+using namespace browsix;
+using namespace browsix::bench;
+
+namespace {
+
+struct Result
+{
+    double initMs;
+    uint64_t bytes;
+    uint64_t fetches;
+};
+
+Result
+runInit(size_t n_files, bool lazy)
+{
+    auto store = std::make_shared<bfs::HttpStore>();
+    for (size_t i = 0; i < n_files; i++) {
+        store->put("/tree/pkg" + std::to_string(i) + ".sty",
+                   std::string(2048 + (i % 5) * 1024, '%'));
+    }
+    auto cache = std::make_shared<bfs::BrowserHttpCache>();
+    jsvm::EventLoop loop;
+    auto http = std::make_shared<bfs::HttpBackend>(
+        store, cache, &loop, bfs::NetworkParams{/*rttUs=*/2000,
+                                                /*bytesPerUs=*/6.25});
+    auto upper = std::make_shared<bfs::InMemBackend>();
+    bfs::OverlayBackend overlay(upper, http,
+                                bfs::OverlayBackend::Options(lazy));
+    bool done = false;
+    double ms = timeMs([&]() {
+        overlay.initialize([&](int) { done = true; });
+        while (!done)
+            loop.pumpOne(true);
+    });
+    return Result{ms, http->bytesFetched(), http->fetchCount()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Overlay initialization: lazy (Browsix) vs eager "
+                "(original BrowserFS)\nnetwork: 2 ms RTT per request, "
+                "~50 Mbit/s\n\n");
+    std::printf("%8s | %14s | %14s | %14s | %14s\n", "files",
+                "lazy init ms", "lazy bytes", "eager init ms",
+                "eager bytes");
+    std::printf("---------+----------------+----------------+-----------"
+                "-----+---------------\n");
+    for (size_t n : {50u, 200u, 800u}) {
+        Result lazy = runInit(n, true);
+        Result eager = runInit(n, false);
+        std::printf("%8zu | %14.2f | %14llu | %14.1f | %14llu\n", n,
+                    lazy.initMs,
+                    static_cast<unsigned long long>(lazy.bytes),
+                    eager.initMs,
+                    static_cast<unsigned long long>(eager.bytes));
+    }
+
+    // What laziness costs instead: the first access pays the fetch.
+    auto store = std::make_shared<bfs::HttpStore>();
+    store->put("/tree/one.sty", std::string(4096, '%'));
+    auto cache = std::make_shared<bfs::BrowserHttpCache>();
+    jsvm::EventLoop loop;
+    auto http = std::make_shared<bfs::HttpBackend>(
+        store, cache, &loop, bfs::NetworkParams{2000, 6.25});
+    auto upper = std::make_shared<bfs::InMemBackend>();
+    bfs::OverlayBackend overlay(upper, http,
+                                bfs::OverlayBackend::Options(true));
+    auto openOnce = [&]() {
+        bool done = false;
+        double ms = timeMs([&]() {
+            overlay.open("/tree/one.sty", bfs::flags::RDONLY, 0,
+                         [&](int, bfs::OpenFilePtr) { done = true; });
+            while (!done)
+                loop.pumpOne(true);
+        });
+        return ms;
+    };
+    double first = openOnce();
+    double second = openOnce();
+    std::printf("\nlazy first-access latency: %.2f ms (network); repeat "
+                "access: %.3f ms (browser cache)\n",
+                first, second);
+    std::printf("\nConclusion (matches §3.6): eager startup scales with "
+                "the whole distribution;\nlazy startup is constant and "
+                "shifts a one-time per-file cost to first access.\n");
+    return 0;
+}

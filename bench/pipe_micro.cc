@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the pure substrate pieces:
+ * pipe throughput vs buffer size (the §3.4/§6 backpressure machinery),
+ * structured-clone cost, Int64 emulation vs native (the §5.2 meme
+ * bottleneck), JS-semantics SHA-1 vs native (Figure 9's JS tax), and the
+ * Emterpreter VM's interpretation rate (the §5.2 async-build tax).
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/coreutils/sha1.h"
+#include "apps/tex/tex.h"
+#include "jsvm/value.h"
+#include "kernel/pipe.h"
+#include "runtime/emvm/vm.h"
+#include "runtime/gopher/int64emu.h"
+
+using namespace browsix;
+
+// ---------- pipes ----------
+
+static void
+BM_PipeTransfer(benchmark::State &state)
+{
+    size_t capacity = static_cast<size_t>(state.range(0));
+    size_t total = 1 << 20;
+    for (auto _ : state) {
+        kernel::Pipe pipe(capacity);
+        bfs::Buffer chunk(4096, 'x');
+        size_t written = 0, read = 0;
+        // Interleave writes and drains: with a small buffer this goes
+        // through the backpressure wait queues constantly.
+        while (read < total) {
+            if (written < total) {
+                pipe.write(chunk, [&](int, size_t n) { written += n; });
+            }
+            pipe.read(8192, [&](int, bfs::BufferPtr d) {
+                read += d->size();
+            });
+        }
+        benchmark::DoNotOptimize(read);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            total);
+}
+BENCHMARK(BM_PipeTransfer)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// ---------- structured clone ----------
+
+static void
+BM_StructuredClone(benchmark::State &state)
+{
+    size_t bytes = static_cast<size_t>(state.range(0));
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("data", jsvm::Value::bytes(std::vector<uint8_t>(bytes, 7)));
+    msg.set("name", jsvm::Value("write"));
+    for (auto _ : state) {
+        jsvm::Value copy = msg.clone();
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            bytes);
+}
+BENCHMARK(BM_StructuredClone)->Arg(64)->Arg(4096)->Arg(65536);
+
+// ---------- int64 emulation ----------
+
+static void
+BM_Int64Native(benchmark::State &state)
+{
+    int64_t x = 0x12345678, y = 0x9abcdef0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; i++) {
+            x = x * y + 12345;
+            y = y ^ (x >> 13);
+        }
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Int64Native);
+
+static void
+BM_Int64Emulated(benchmark::State &state)
+{
+    rt::Int64 x(0x12345678), y(0x9abcdef0);
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; i++) {
+            x = x * y + rt::Int64(12345);
+            y = y ^ (x >> 13);
+        }
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Int64Emulated);
+
+static void
+BM_Int64EmulatedDiv(benchmark::State &state)
+{
+    rt::Int64 x(987654321012345ll), y(12345);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(x / y);
+    }
+}
+BENCHMARK(BM_Int64EmulatedDiv);
+
+// ---------- SHA-1 ----------
+
+static void
+BM_Sha1Native(benchmark::State &state)
+{
+    std::vector<uint8_t> data(65536, 0xAB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(apps::sha1Native(data));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            data.size());
+}
+BENCHMARK(BM_Sha1Native);
+
+static void
+BM_Sha1JsSemantics(benchmark::State &state)
+{
+    std::vector<uint8_t> data(65536, 0xAB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(apps::sha1Js(data));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            data.size());
+}
+BENCHMARK(BM_Sha1JsSemantics);
+
+// ---------- Emterpreter VM ----------
+
+static void
+BM_TypesetNative(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(apps::typesetNative(7, 100000));
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TypesetNative);
+
+static void
+BM_TypesetEmterpreted(benchmark::State &state)
+{
+    const emvm::Image &img = apps::typesetImage();
+    for (auto _ : state) {
+        emvm::Vm vm(img);
+        vm.start("typeset", {7, 100000});
+        vm.run();
+        benchmark::DoNotOptimize(vm.exitCode());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TypesetEmterpreted);
+
+BENCHMARK_MAIN();

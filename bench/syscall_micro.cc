@@ -1,0 +1,137 @@
+/**
+ * @file
+ * System-call microbenchmarks (§3.2 and §6).
+ *
+ * The paper's claims:
+ *  - "Message passing is three orders of magnitude slower than
+ *    traditional system calls" (§6) — motivating both conventions.
+ *  - "Synchronous system calls are faster in practice" (§3.2): one
+ *    message instead of two, integer args instead of copied buffers, a
+ *    blocking primitive instead of stack unwinding.
+ *
+ * Measured here: a direct in-process call (the "traditional syscall"
+ * stand-in), a bare postMessage round-trip, and per-call cost of the
+ * async vs sync Browsix conventions measured from inside a C program
+ * that issues a configurable number of getpid() calls.
+ */
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace browsix;
+using namespace browsix::bench;
+
+namespace {
+
+/** getpid() in a loop; call count from argv[1]. */
+int
+sysbenchMain(rt::EmEnv &env)
+{
+    int n = env.argv().size() > 1 ? std::atoi(env.argv()[1].c_str()) : 0;
+    for (int i = 0; i < n; i++) {
+        if (env.getpid() <= 0)
+            return 1;
+    }
+    return 0;
+}
+
+void
+registerSysbench()
+{
+    apps::registerAllPrograms();
+    auto &reg = apps::ProgramRegistry::instance();
+    reg.add(apps::ProgramSpec{"sysbench-sync", apps::RuntimeKind::EmSync,
+                              64, sysbenchMain, nullptr});
+    reg.add(apps::ProgramSpec{"sysbench-async", apps::RuntimeKind::EmAsync,
+                              64, sysbenchMain, nullptr});
+}
+
+/** Per-call microseconds: run with N calls and 0 calls, difference/N. */
+double
+perCallUs(Browsix &bx, const std::string &exe, int n)
+{
+    double with = 1e9, without = 1e9;
+    for (int rep = 0; rep < 3; rep++) {
+        with = std::min(with, timeMs([&]() {
+                            bx.runArgv({exe, std::to_string(n)}, 120000);
+                        }));
+        without = std::min(without, timeMs([&]() {
+                               bx.runArgv({exe, "0"}, 120000);
+                           }));
+    }
+    return (with - without) * 1000.0 / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    registerSysbench();
+    const int kCalls = 300;
+
+    BootConfig cfg;
+    cfg.profile = jsvm::BrowserProfile::chrome2016();
+    Browsix bx(cfg);
+    auto &reg = apps::ProgramRegistry::instance();
+    bx.rootFs().writeFile("/usr/bin/sysbench-sync",
+                          reg.bundleFor("sysbench-sync"));
+    bx.rootFs().writeFile("/usr/bin/sysbench-async",
+                          reg.bundleFor("sysbench-async"));
+
+    // Direct call baseline: what a real getpid costs in-process.
+    bfs::Stat st;
+    volatile int sink = 0;
+    double direct_ms = timeMs([&]() {
+        for (int i = 0; i < 1000000; i++) {
+            bx.fs().statSync("/usr/bin", st);
+            sink += static_cast<int>(st.size);
+        }
+    });
+    double direct_us = direct_ms; // 1e6 iters: ms total == us each /1000
+    direct_us = direct_ms * 1000.0 / 1000000.0;
+
+    // Bare postMessage round-trip (charged with the Chrome profile).
+    jsvm::Browser browser(jsvm::BrowserProfile::chrome2016());
+    std::string url = browser.blobs().createObjectUrl({'x'});
+    auto w = browser.createWorker(
+        url, [](jsvm::WorkerScope &scope, auto) {
+            scope.setOnMessage([&scope](jsvm::Value v) {
+                scope.postMessage(v);
+            });
+        });
+    int received = 0;
+    w->setOnMessage([&](jsvm::Value) { received++; });
+    const int kPings = 100;
+    double pm_ms = timeMs([&]() {
+        for (int i = 0; i < kPings; i++) {
+            int target = received + 1;
+            w->postMessage(jsvm::Value(i));
+            browser.runUntil([&]() { return received >= target; }, 10000);
+        }
+    });
+    w->terminate();
+    double pm_us = pm_ms * 1000.0 / kPings;
+
+    double async_us = perCallUs(bx, "/usr/bin/sysbench-async", kCalls);
+    double sync_us = perCallUs(bx, "/usr/bin/sysbench-sync", kCalls);
+
+    std::printf("syscall-path microbenchmarks (Chrome 2016 profile):\n\n");
+    std::printf("%-36s | %12s\n", "operation", "per-op us");
+    std::printf("-------------------------------------+--------------\n");
+    std::printf("%-36s | %12.3f\n", "direct call (traditional syscall)",
+                direct_us);
+    std::printf("%-36s | %12.1f\n", "postMessage round-trip", pm_us);
+    std::printf("%-36s | %12.1f\n", "Browsix async syscall (getpid)",
+                async_us);
+    std::printf("%-36s | %12.1f\n", "Browsix sync syscall (getpid)",
+                sync_us);
+    std::printf("\nmessage passing vs direct call: %.0fx (paper: \"three "
+                "orders of magnitude\")\n",
+                pm_us / direct_us);
+    std::printf("sync vs async per syscall: %.2fx faster (paper: sync "
+                "\"faster in practice\";\none message instead of two)\n",
+                async_us / sync_us);
+    (void)sink;
+    return 0;
+}

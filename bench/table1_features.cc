@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Table 1 reproduction: feature comparison of JavaScript execution
+ * environments. The Browsix rows are *probed live* against a booted
+ * kernel (each check actually exercises the feature, multi-process where
+ * the table claims multi-process); the non-Browsix rows reproduce the
+ * paper's published matrix (those systems are external).
+ */
+#include <cstdio>
+
+#include "apps/meme/server.h"
+#include "bench/harness.h"
+
+using namespace browsix;
+
+namespace {
+
+struct Probe
+{
+    const char *name;
+    bool (*fn)(Browsix &);
+};
+
+bool
+probeFilesystem(Browsix &bx)
+{
+    // Two processes share state through the FS.
+    auto r = bx.run("echo shared > /tmp/t1");
+    if (r.exitCode() != 0)
+        return false;
+    r = bx.run("cat /tmp/t1");
+    return r.out == "shared\n";
+}
+
+bool
+probeSocketServerAndClient(Browsix &bx)
+{
+    apps::stageMemeAssets(bx.rootFs());
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8099"}}, "/", [](int) {},
+                          nullptr, nullptr, [](int) {});
+    if (!bx.waitForPort(8099, 10000))
+        return false;
+    auto r = bx.run("curl http://localhost:8099/api/images");
+    bool ok = r.exitCode() == 0 &&
+              r.out.find("doge") != std::string::npos;
+    for (int pid : bx.kernel().pids())
+        bx.kernel().kill(pid, sys::SIGKILL);
+    return ok;
+}
+
+bool
+probeProcesses(Browsix &bx)
+{
+    // spawn + wait4 + fork (the Emterpreter binary forks for real).
+    auto r = bx.run("forktest");
+    return r.exitCode() == 0 &&
+           r.out == "hello from child\nhello from parent\n";
+}
+
+bool
+probePipes(Browsix &bx)
+{
+    auto r = bx.run("seq 5 | sort -r | head -n 1");
+    return r.out == "5\n";
+}
+
+bool
+probeSignals(Browsix &bx)
+{
+    apps::stageMemeAssets(bx.rootFs());
+    int pid = 0;
+    bool exited = false;
+    int status = 0;
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8098"}}, "/",
+                          [&](int st) {
+                              status = st;
+                              exited = true;
+                          },
+                          nullptr, nullptr, [&](int p) { pid = p; });
+    if (!bx.waitForPort(8098, 10000))
+        return false;
+    bx.kernel().kill(pid, sys::SIGTERM);
+    bx.runUntil([&]() { return exited; }, 10000);
+    return exited && sys::wtermsig(status) == sys::SIGTERM;
+}
+
+const char *
+cell(int v)
+{
+    return v == 2 ? "  yes  " : v == 1 ? "single " : "   -   ";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 1: feature comparison (Browsix rows probed live; "
+                "others per the paper)\n\n");
+
+    // Probe Browsix for real.
+    Browsix bx;
+    Probe probes[] = {
+        {"Filesystem", probeFilesystem},
+        {"Socket servers+clients", probeSocketServerAndClient},
+        {"Processes", probeProcesses},
+        {"Pipes", probePipes},
+        {"Signals", probeSignals},
+    };
+    bool all = true;
+    std::printf("live probes against this build:\n");
+    for (const auto &p : probes) {
+        bool ok = p.fn(bx);
+        all = all && ok;
+        std::printf("  %-24s %s\n", p.name, ok ? "PASS" : "FAIL");
+    }
+    std::printf("\n");
+
+    // The matrix (2 = multi-process, 1 = single process only, 0 = none).
+    struct MatrixRow
+    {
+        const char *system;
+        int fs, sock_client, sock_server, procs, pipes, signals;
+        bool probed;
+    };
+    MatrixRow rows[] = {
+        {"BROWSIX (this repo)", 2, 2, 2, 2, 2, 2, true},
+        {"Doppio", 1, 1, 0, 0, 0, 0, false},
+        {"WebAssembly", 0, 0, 0, 0, 0, 0, false},
+        {"Emscripten (alone)", 1, 1, 0, 0, 1, 0, false},
+        {"GopherJS (alone)", 0, 0, 0, 0, 0, 0, false},
+        {"BROWSIX + Emscripten", 2, 2, 2, 2, 2, 2, true},
+        {"BROWSIX + GopherJS", 2, 2, 2, 2, 2, 2, true},
+    };
+    std::printf("%-22s | %7s | %7s | %7s | %7s | %7s | %7s\n", "",
+                "filesys", "sockcli", "socksrv", "procs", "pipes",
+                "signals");
+    std::printf("-----------------------+---------+---------+---------+--"
+                "-------+---------+--------\n");
+    for (const auto &r : rows) {
+        std::printf("%-22s | %s | %s | %s | %s | %s | %s%s\n", r.system,
+                    cell(r.fs), cell(r.sock_client), cell(r.sock_server),
+                    cell(r.procs), cell(r.pipes), cell(r.signals),
+                    r.probed ? "  (probed)" : "");
+    }
+    std::printf("\n'single' = available to one process only (the paper's "
+                "dagger); Browsix rows\nrequire the live probes above to "
+                "pass: %s\n",
+                all ? "ALL PASS" : "FAILURES PRESENT");
+    return all ? 0 : 1;
+}

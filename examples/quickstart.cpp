@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quickstart: boot Browsix, run shell pipelines (the kernel.system flow
+ * of Figure 4), inspect the shared filesystem, and run programs from
+ * three different language runtimes in one session.
+ */
+#include <cstdio>
+
+#include "core/browsix.h"
+
+int
+main()
+{
+    // Boot a kernel over an in-memory filesystem with the standard
+    // executables staged (/bin/sh, /usr/bin/{cat,ls,grep,...,node,make}).
+    browsix::Browsix bx;
+
+    std::printf("== hello, pipes ==\n");
+    auto r = bx.run("echo hello from browsix | wc");
+    std::printf("$ echo hello from browsix | wc\n%s", r.out.c_str());
+
+    std::printf("\n== shared filesystem ==\n");
+    r = bx.run("mkdir /tmp/demo && echo 'b\\na\\nc' > /tmp/demo/f && "
+               "sort /tmp/demo/f");
+    std::printf("$ sort /tmp/demo/f\n%s", r.out.c_str());
+
+    std::printf("\n== processes in three runtimes ==\n");
+    // Node.js utility:
+    r = bx.run("sha1sum /bin/dash | head -n 1");
+    std::printf("$ sha1sum /bin/dash (browser-node)\n%s", r.out.c_str());
+    // Emterpreter bytecode with real fork():
+    r = bx.run("forktest");
+    std::printf("$ forktest (Emterpreter, fork via memory+PC snapshot)\n%s",
+                r.out.c_str());
+    // A compute kernel interpreted by the Emterpreter VM:
+    r = bx.run("primes");
+    std::printf("$ primes (interpreted bytecode): %s", r.out.c_str());
+
+    std::printf("\n== exit codes & signals ==\n");
+    r = bx.run("false || echo 'false failed as expected'");
+    std::printf("%s", r.out.c_str());
+
+    std::printf("\nquickstart done.\n");
+    return 0;
+}

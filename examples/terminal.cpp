@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Browsix terminal case study (§5.1.2): a POSIX shell (our dash
+ * equivalent) driving the Unix utility set, with pipes, redirection,
+ * environment variables, background jobs, and programs from all the
+ * supported language runtimes.
+ *
+ * Run with arguments to execute your own command, e.g.:
+ *   ./terminal "ls /usr/bin | head -n 5"
+ */
+#include <cstdio>
+
+#include "core/browsix.h"
+
+int
+main(int argc, char **argv)
+{
+    browsix::Browsix bx;
+    bx.rootFs().writeFile("/home/file.txt",
+                          std::string("apple pie\nbanana\napple sauce\n"));
+
+    auto shell = [&](const std::string &cmd) {
+        std::printf("browsix$ %s\n", cmd.c_str());
+        auto r = bx.run(cmd, 60000);
+        std::fputs(r.out.c_str(), stdout);
+        std::fputs(r.err.c_str(), stderr);
+        if (r.exitCode() != 0)
+            std::printf("[exit %d]\n", r.exitCode());
+    };
+
+    if (argc > 1) {
+        for (int i = 1; i < argc; i++)
+            shell(argv[i]);
+        return 0;
+    }
+
+    // A scripted session exercising the terminal's feature set.
+    shell("ls /usr/bin | head -n 8");
+    shell("cd /home && cat file.txt | grep apple > apples.txt && "
+          "wc apples.txt");
+    shell("echo $HOME and pid $$");
+    shell("export NAME=browsix; env | grep NAME");
+    shell("seq 5 | sort -r | xargs echo countdown:");
+    shell("sha1sum /home/file.txt");
+    shell("forktest");
+    shell("primes | tee /tmp/primes.out");
+    shell("[ -f /tmp/primes.out ] && echo 'tee wrote the file'");
+    shell("false || echo 'short-circuit works'");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Unix utilities for the Browsix terminal, "written for Node.js" (§5.1.2):
+ * cat, cp, curl, echo, env, false, grep, head, ls, mkdir, pwd, rm, rmdir,
+ * seq, sha1sum, sort, stat, tail, tee, touch, true, wc, xargs.
+ *
+ * Each runs equivalently under browser-node in Browsix and under the
+ * direct (Linux-Node stand-in) bindings — exactly the property Figure 9
+ * measures. registerCoreutils() installs them in the node-util registry.
+ *
+ * nativeSha1sum/nativeLs are plain-C equivalents (GNU coreutils' role in
+ * Figure 9's "Native" column), implemented directly against the VFS.
+ */
+#pragma once
+
+#include <string>
+
+#include "bfs/vfs.h"
+
+namespace browsix {
+namespace apps {
+
+/** Register all utilities with the node runtime (idempotent). */
+void registerCoreutils();
+
+/** Figure 9 native baselines: direct VFS access, native SHA-1. */
+std::string nativeSha1sum(bfs::Vfs &vfs, const std::string &path);
+std::string nativeLs(bfs::Vfs &vfs, const std::string &path, bool longfmt);
+std::string nativeCat(bfs::Vfs &vfs, const std::string &path);
+std::string nativeWc(bfs::Vfs &vfs, const std::string &path);
+
+} // namespace apps
+} // namespace browsix

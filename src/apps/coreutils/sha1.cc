@@ -1,0 +1,223 @@
+#include "apps/coreutils/sha1.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace browsix {
+namespace apps {
+
+namespace {
+
+inline uint32_t
+rotl(uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+/** Pad the message per FIPS 180 and return the padded buffer. */
+std::vector<uint8_t>
+padMessage(const uint8_t *data, size_t len)
+{
+    std::vector<uint8_t> m(data, data + len);
+    uint64_t bits = static_cast<uint64_t>(len) * 8;
+    m.push_back(0x80);
+    while (m.size() % 64 != 56)
+        m.push_back(0);
+    for (int i = 7; i >= 0; i--)
+        m.push_back(static_cast<uint8_t>(bits >> (i * 8)));
+    return m;
+}
+
+Sha1Digest
+digestFromWords(const uint32_t h[5])
+{
+    Sha1Digest d;
+    for (int i = 0; i < 5; i++) {
+        d[i * 4 + 0] = static_cast<uint8_t>(h[i] >> 24);
+        d[i * 4 + 1] = static_cast<uint8_t>(h[i] >> 16);
+        d[i * 4 + 2] = static_cast<uint8_t>(h[i] >> 8);
+        d[i * 4 + 3] = static_cast<uint8_t>(h[i]);
+    }
+    return d;
+}
+
+} // namespace
+
+Sha1Digest
+sha1Native(const uint8_t *data, size_t len)
+{
+    uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                     0xC3D2E1F0};
+    std::vector<uint8_t> m = padMessage(data, len);
+
+    uint32_t w[80];
+    for (size_t off = 0; off < m.size(); off += 64) {
+        for (int i = 0; i < 16; i++) {
+            w[i] = (static_cast<uint32_t>(m[off + i * 4]) << 24) |
+                   (static_cast<uint32_t>(m[off + i * 4 + 1]) << 16) |
+                   (static_cast<uint32_t>(m[off + i * 4 + 2]) << 8) |
+                   static_cast<uint32_t>(m[off + i * 4 + 3]);
+        }
+        for (int i = 16; i < 80; i++)
+            w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+        uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (int i = 0; i < 80; i++) {
+            uint32_t f, k;
+            if (i < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5A827999;
+            } else if (i < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ED9EBA1;
+            } else if (i < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8F1BBCDC;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xCA62C1D6;
+            }
+            uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = tmp;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+    return digestFromWords(h);
+}
+
+namespace {
+
+// --- "JavaScript number" 32-bit ops: doubles + masking, like an engine
+// --- running untyped code (or asm.js-ignorant code) would.
+
+constexpr double kTwo32 = 4294967296.0;
+
+inline double
+jsMask32(double x)
+{
+    // x >>> 0
+    x = std::floor(x);
+    x = x - std::floor(x / kTwo32) * kTwo32;
+    return x;
+}
+
+inline double
+jsAdd(double a, double b)
+{
+    return jsMask32(a + b);
+}
+
+inline double
+jsRotl(double x, int n)
+{
+    double hi = jsMask32(x * std::pow(2.0, n));
+    double lo = std::floor(x / std::pow(2.0, 32 - n));
+    return jsMask32(hi + lo);
+}
+
+inline double
+jsBit(double a, double b, char op)
+{
+    // JS bitwise ops coerce through ToInt32; model the coercion cost by
+    // converting each time.
+    uint32_t x = static_cast<uint32_t>(jsMask32(a));
+    uint32_t y = static_cast<uint32_t>(jsMask32(b));
+    uint32_t z;
+    switch (op) {
+      case '&': z = x & y; break;
+      case '|': z = x | y; break;
+      case '^': z = x ^ y; break;
+      default: z = 0;
+    }
+    return static_cast<double>(z);
+}
+
+inline double
+jsNot(double a)
+{
+    return static_cast<double>(~static_cast<uint32_t>(jsMask32(a)));
+}
+
+} // namespace
+
+Sha1Digest
+sha1Js(const uint8_t *data, size_t len)
+{
+    double h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+           h3 = 0x10325476, h4 = 0xC3D2E1F0;
+    std::vector<uint8_t> m = padMessage(data, len);
+
+    double w[80];
+    for (size_t off = 0; off < m.size(); off += 64) {
+        for (int i = 0; i < 16; i++) {
+            w[i] = m[off + i * 4] * 16777216.0 +
+                   m[off + i * 4 + 1] * 65536.0 +
+                   m[off + i * 4 + 2] * 256.0 + m[off + i * 4 + 3];
+        }
+        for (int i = 16; i < 80; i++) {
+            double x = jsBit(jsBit(w[i - 3], w[i - 8], '^'),
+                             jsBit(w[i - 14], w[i - 16], '^'), '^');
+            w[i] = jsRotl(x, 1);
+        }
+
+        double a = h0, b = h1, c = h2, d = h3, e = h4;
+        for (int i = 0; i < 80; i++) {
+            double f, k;
+            if (i < 20) {
+                f = jsBit(jsBit(b, c, '&'), jsBit(jsNot(b), d, '&'), '|');
+                k = 0x5A827999;
+            } else if (i < 40) {
+                f = jsBit(jsBit(b, c, '^'), d, '^');
+                k = 0x6ED9EBA1;
+            } else if (i < 60) {
+                f = jsBit(jsBit(jsBit(b, c, '&'), jsBit(b, d, '&'), '|'),
+                          jsBit(c, d, '&'), '|');
+                k = 0x8F1BBCDC;
+            } else {
+                f = jsBit(jsBit(b, c, '^'), d, '^');
+                k = 0xCA62C1D6;
+            }
+            double tmp =
+                jsAdd(jsAdd(jsAdd(jsAdd(jsRotl(a, 5), f), e), k), w[i]);
+            e = d;
+            d = c;
+            c = jsRotl(b, 30);
+            b = a;
+            a = tmp;
+        }
+        h0 = jsAdd(h0, a);
+        h1 = jsAdd(h1, b);
+        h2 = jsAdd(h2, c);
+        h3 = jsAdd(h3, d);
+        h4 = jsAdd(h4, e);
+    }
+    uint32_t h[5] = {
+        static_cast<uint32_t>(h0), static_cast<uint32_t>(h1),
+        static_cast<uint32_t>(h2), static_cast<uint32_t>(h3),
+        static_cast<uint32_t>(h4)};
+    return digestFromWords(h);
+}
+
+std::string
+sha1Hex(const Sha1Digest &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(40);
+    for (uint8_t b : d) {
+        out.push_back(hex[b >> 4]);
+        out.push_back(hex[b & 0xf]);
+    }
+    return out;
+}
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SHA-1, twice: a native C implementation (GNU coreutils' sha1sum stands
+ * on this side of Figure 9) and a "JavaScript semantics" implementation —
+ * every 32-bit operation performed on doubles with explicit masking and
+ * floor, the way a JS engine that hasn't proven int32-ness executes it.
+ * The gap between the two is the honest source of the "most of the
+ * overhead can be attributed to JavaScript" row of Figure 9.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace browsix {
+namespace apps {
+
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/** Native (uint32) SHA-1. */
+Sha1Digest sha1Native(const uint8_t *data, size_t len);
+
+/** JS-semantics SHA-1: arithmetic through doubles with |0-style masking. */
+Sha1Digest sha1Js(const uint8_t *data, size_t len);
+
+std::string sha1Hex(const Sha1Digest &d);
+
+inline Sha1Digest
+sha1Native(const std::vector<uint8_t> &v)
+{
+    return sha1Native(v.data(), v.size());
+}
+inline Sha1Digest
+sha1Js(const std::vector<uint8_t> &v)
+{
+    return sha1Js(v.data(), v.size());
+}
+
+} // namespace apps
+} // namespace browsix

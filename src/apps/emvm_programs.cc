@@ -1,0 +1,209 @@
+#include "apps/emvm_programs.h"
+
+#include "jsvm/util.h"
+#include "runtime/emvm/assembler.h"
+
+namespace browsix {
+namespace apps {
+
+namespace {
+
+bfs::Buffer
+assembleOrDie(const char *src)
+{
+    emvm::Image img;
+    std::string err;
+    if (!emvm::assemble(src, img, err))
+        jsvm::panic("emvm program assembly failed: " + err);
+    return img.serialize();
+}
+
+} // namespace
+
+bfs::Buffer
+forktestImageBytes()
+{
+    // Traps: fork=2, write=4, wait4=114.
+    static const char *src = R"(
+.memory 4096
+.data 0 "hello from child\n"
+.data 64 "hello from parent\n"
+.func main 0 2
+    push 2
+    syscall 0          ; fork()
+    storel 0
+    loadl 0
+    jz child
+    ; parent: wait4(child, 0, 0) then announce
+    push 114
+    loadl 0
+    push 0
+    push 0
+    syscall 3
+    pop
+    push 4
+    push 1
+    push 64
+    push 18
+    syscall 3          ; write(1, "hello from parent\n", 18)
+    pop
+    push 0
+    halt
+child:
+    push 4
+    push 1
+    push 0
+    push 17
+    syscall 3          ; write(1, "hello from child\n", 17)
+    pop
+    push 0
+    halt
+.end
+)";
+    static const bfs::Buffer bytes = assembleOrDie(src);
+    return bytes;
+}
+
+bfs::Buffer
+primesImageBytes()
+{
+    // Counts primes below the bound at memory[0] (default 2000), prints
+    // the count as decimal, exits 0. Trial division: honest interpreted
+    // compute.
+    static const char *src = R"(
+.memory 4096
+.data 0 208 7 0 0        ; bound = 2000 (little-endian u32)
+.func is_prime 1 3
+    ; locals: 0=n 1=i
+    loadl 0
+    push 2
+    lt
+    jz ge2
+    push 0
+    ret
+ge2:
+    push 2
+    storel 1
+loop:
+    loadl 1
+    loadl 1
+    mul
+    loadl 0
+    gt
+    jnz prime
+    loadl 0
+    loadl 1
+    mods
+    jz notprime
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp loop
+notprime:
+    push 0
+    ret
+prime:
+    push 1
+    ret
+.end
+.func main 0 4
+    ; locals: 0=bound 1=n 2=count
+    push 0
+    load32
+    storel 0
+    push 2
+    storel 1
+    push 0
+    storel 2
+scan:
+    loadl 1
+    loadl 0
+    ge
+    jnz done
+    loadl 1
+    call is_prime
+    jz next
+    loadl 2
+    push 1
+    add
+    storel 2
+next:
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp scan
+done:
+    ; print count as decimal at mem[128..], then write()
+    loadl 2
+    call print_u32
+    push 0
+    halt
+.end
+.func print_u32 1 4
+    ; locals: 0=value 1=pos
+    push 160
+    storel 1
+digits:
+    loadl 1
+    push 1
+    sub
+    storel 1
+    loadl 1
+    loadl 0
+    push 10
+    mods
+    push 48
+    add
+    store8
+    loadl 0
+    push 10
+    divs
+    storel 0
+    loadl 0
+    jnz digits
+    ; newline at 160
+    push 160
+    push 10
+    store8
+    ; write(1, pos, 161 - pos)
+    push 4
+    push 1
+    loadl 1
+    push 161
+    loadl 1
+    sub
+    syscall 3
+    pop
+    push 0
+    ret
+.end
+)";
+    static const bfs::Buffer bytes = assembleOrDie(src);
+    return bytes;
+}
+
+bfs::Buffer
+helloImageBytes()
+{
+    static const char *src = R"(
+.memory 256
+.data 0 "hello from the emterpreter\n"
+.func main 0 1
+    push 4
+    push 1
+    push 0
+    push 27
+    syscall 3
+    pop
+    push 0
+    halt
+.end
+)";
+    static const bfs::Buffer bytes = assembleOrDie(src);
+    return bytes;
+}
+
+} // namespace apps
+} // namespace browsix

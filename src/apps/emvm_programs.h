@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Bytecode demo programs for the Emterpreter VM: assembly sources for
+ * executables the tests and terminal run directly (fork with a real
+ * memory+PC snapshot, compute loops, hello-world).
+ */
+#pragma once
+
+#include "bfs/types.h"
+
+namespace browsix {
+namespace apps {
+
+/** forktest: forks; the child and parent print different lines, the
+ * parent wait4()s the child first. Exercises §4.3's fork path with a
+ * byte-exact machine snapshot. */
+bfs::Buffer forktestImageBytes();
+
+/** primes N: counts primes below its memory-configured bound and prints
+ * the count — a pure compute benchmark for interpretation overhead. */
+bfs::Buffer primesImageBytes();
+
+/** hello: writes a line to stdout and exits 0. */
+bfs::Buffer helloImageBytes();
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,315 @@
+#include "apps/make/make.h"
+
+#include <set>
+#include <sstream>
+
+#include "bfs/path.h"
+
+namespace browsix {
+namespace apps {
+
+const MakeRule *
+Makefile::find(const std::string &target) const
+{
+    for (const auto &r : rules)
+        if (r.target == target)
+            return &r;
+    return nullptr;
+}
+
+namespace {
+
+std::string
+expandVars(const std::string &text, const Makefile &mf,
+           const MakeRule *rule)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < text.size()) {
+        if (text[i] == '$' && i + 1 < text.size()) {
+            char n = text[i + 1];
+            if (n == '(') {
+                auto close = text.find(')', i + 2);
+                if (close != std::string::npos) {
+                    std::string name = text.substr(i + 2, close - i - 2);
+                    auto it = mf.vars.find(name);
+                    out += it == mf.vars.end() ? "" : it->second;
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if (n == '@' && rule) {
+                out += rule->target;
+                i += 2;
+                continue;
+            }
+            if (n == '<' && rule) {
+                out += rule->deps.empty() ? "" : rule->deps[0];
+                i += 2;
+                continue;
+            }
+            if (n == '^' && rule) {
+                for (size_t d = 0; d < rule->deps.size(); d++) {
+                    if (d)
+                        out += " ";
+                    out += rule->deps[d];
+                }
+                i += 2;
+                continue;
+            }
+            if (n == '$') {
+                out += '$';
+                i += 2;
+                continue;
+            }
+        }
+        out += text[i++];
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWords(const std::string &s)
+{
+    std::vector<std::string> words;
+    std::istringstream is(s);
+    std::string w;
+    while (is >> w)
+        words.push_back(w);
+    return words;
+}
+
+std::string
+trimRight(std::string s)
+{
+    while (!s.empty() &&
+           (s.back() == '\r' || s.back() == ' ' || s.back() == '\t'))
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+bool
+parseMakefile(const std::string &src, Makefile &out, std::string &err)
+{
+    out = Makefile{};
+    std::istringstream is(src);
+    std::string line;
+    MakeRule *cur = nullptr;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        lineno++;
+        line = trimRight(line);
+        if (line.empty())
+            continue;
+        if (line[0] == '#')
+            continue;
+        if (line[0] == '\t') {
+            if (!cur) {
+                err = "line " + std::to_string(lineno) +
+                      ": command outside a rule";
+                return false;
+            }
+            cur->commands.push_back(line.substr(1));
+            continue;
+        }
+        auto eq = line.find('=');
+        auto colon = line.find(':');
+        if (eq != std::string::npos &&
+            (colon == std::string::npos || eq < colon)) {
+            std::string name = trimRight(line.substr(0, eq));
+            std::string value = line.substr(eq + 1);
+            while (!value.empty() && (value[0] == ' ' || value[0] == '\t'))
+                value.erase(value.begin());
+            // remove trailing spaces already handled
+            while (!name.empty() && name.back() == ' ')
+                name.pop_back();
+            out.vars[name] = value;
+            cur = nullptr;
+            continue;
+        }
+        if (colon != std::string::npos) {
+            MakeRule rule;
+            rule.target = trimRight(line.substr(0, colon));
+            for (const auto &d :
+                 splitWords(expandVars(line.substr(colon + 1), out,
+                                       nullptr)))
+                rule.deps.push_back(d);
+            rule.target = expandVars(rule.target, out, nullptr);
+            if (rule.target.find(' ') != std::string::npos) {
+                err = "line " + std::to_string(lineno) +
+                      ": multiple targets unsupported";
+                return false;
+            }
+            out.rules.push_back(std::move(rule));
+            cur = &out.rules.back();
+            if (out.defaultTarget.empty() &&
+                out.rules.back().target[0] != '.')
+                out.defaultTarget = out.rules.back().target;
+            continue;
+        }
+        err = "line " + std::to_string(lineno) + ": cannot parse: " + line;
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+class MakeRun
+{
+  public:
+    MakeRun(rt::EmEnv &env, const Makefile &mf) : env_(env), mf_(mf) {}
+
+    int
+    build(const std::string &target)
+    {
+        if (building_.count(target)) {
+            env_.write(2, "make: circular dependency on " + target + "\n");
+            return 2;
+        }
+        const MakeRule *rule = mf_.find(target);
+        sys::StatX st;
+        bool exists = env_.stat(target, st) == 0;
+        if (!rule) {
+            if (exists)
+                return 0;
+            env_.write(2, "make: *** No rule to make target '" + target +
+                               "'.  Stop.\n");
+            return 2;
+        }
+        building_.insert(target);
+        int64_t newest_dep = 0;
+        for (const auto &dep : rule->deps) {
+            int rc = build(dep);
+            if (rc != 0) {
+                building_.erase(target);
+                return rc;
+            }
+            sys::StatX dst;
+            if (env_.stat(dep, dst) == 0)
+                newest_dep = std::max(newest_dep, dst.mtimeUs);
+        }
+        building_.erase(target);
+
+        if (exists && newest_dep <= st.mtimeUs) {
+            if (!ranAnything_ && target == mf_.defaultTarget)
+                upToDate_ = true;
+            return 0;
+        }
+
+        for (const auto &raw_cmd : rule->commands) {
+            std::string cmd = expandVars(raw_cmd, mf_, rule);
+            bool silent = !cmd.empty() && cmd[0] == '@';
+            if (silent)
+                cmd.erase(cmd.begin());
+            if (!silent)
+                env_.write(1, cmd + "\n");
+            int rc = runCommand(cmd);
+            ranAnything_ = true;
+            if (rc != 0) {
+                env_.write(2, "make: *** [" + rule->target + "] Error " +
+                                  std::to_string(rc) + "\n");
+                return 2;
+            }
+        }
+        return 0;
+    }
+
+    bool upToDate() const { return upToDate_; }
+
+  private:
+    int
+    runCommand(const std::string &cmd)
+    {
+        // The paper's make is the program that needs fork (§2.2): fork a
+        // child (resume-state shipped via the kernel), exec sh -c in it,
+        // and wait4 the result.
+        int pid = env_.fork("exec-sh:" + cmd);
+        if (pid == -ENOSYS) {
+            env_.write(2, "make: fork failed: compiled without the "
+                          "Emterpreter?\n");
+            return 127;
+        }
+        if (pid < 0)
+            return 127;
+        int status = 0;
+        int rc = env_.waitpid(pid, &status, 0);
+        if (rc < 0)
+            return 127;
+        return sys::wifExited(status) ? sys::wexitstatus(status)
+                                      : 128 + sys::wtermsig(status);
+    }
+
+    rt::EmEnv &env_;
+    const Makefile &mf_;
+    std::set<std::string> building_;
+    bool ranAnything_ = false;
+    bool upToDate_ = false;
+};
+
+} // namespace
+
+int
+makeMain(rt::EmEnv &env)
+{
+    // fork children resume here: the resume state names the command.
+    const std::string &resume = env.resumeState();
+    if (resume.rfind("exec-sh:", 0) == 0) {
+        std::string cmd = resume.substr(8);
+        env.execv({"/bin/sh", "-c", cmd});
+        return 127; // exec failed
+    }
+
+    std::string makefile = "Makefile";
+    std::vector<std::string> goals;
+    const auto &argv = env.argv();
+    for (size_t i = 1; i < argv.size(); i++) {
+        if (argv[i] == "-f" && i + 1 < argv.size())
+            makefile = argv[++i];
+        else
+            goals.push_back(argv[i]);
+    }
+
+    int fd = env.open(makefile, 0);
+    if (fd < 0) {
+        env.write(2, "make: " + makefile + ": No such file or directory\n");
+        return 2;
+    }
+    std::string src;
+    for (;;) {
+        bfs::Buffer chunk;
+        int64_t n = env.read(fd, chunk, 64 * 1024);
+        if (n <= 0)
+            break;
+        src.append(chunk.begin(), chunk.end());
+    }
+    env.close(fd);
+
+    Makefile mf;
+    std::string err;
+    if (!parseMakefile(src, mf, err)) {
+        env.write(2, "make: " + err + "\n");
+        return 2;
+    }
+    if (goals.empty()) {
+        if (mf.defaultTarget.empty()) {
+            env.write(2, "make: *** No targets.  Stop.\n");
+            return 2;
+        }
+        goals.push_back(mf.defaultTarget);
+    }
+    for (const auto &goal : goals) {
+        MakeRun run(env, mf);
+        int rc = run.build(goal);
+        if (rc != 0)
+            return rc;
+        if (run.upToDate())
+            env.write(1, "make: '" + goal + "' is up to date.\n");
+    }
+    return 0;
+}
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GNU-Make-equivalent builder (§2): reads a Makefile from the Browsix
+ * filesystem, stats dependencies, and rebuilds stale targets by running
+ * their commands through /bin/sh.
+ *
+ * make is the one program in the paper's LaTeX pipeline that uses fork
+ * (§2.2), so it is "compiled" in Emterpreter mode: each command runs via
+ * fork (resume-state snapshot through the kernel) + exec of sh -c, then
+ * wait4 — the full §3.3 process-management surface.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/emscripten/em_runtime.h"
+
+namespace browsix {
+namespace apps {
+
+struct MakeRule
+{
+    std::string target;
+    std::vector<std::string> deps;
+    std::vector<std::string> commands;
+};
+
+struct Makefile
+{
+    std::map<std::string, std::string> vars;
+    std::vector<MakeRule> rules;
+    std::string defaultTarget;
+
+    const MakeRule *find(const std::string &target) const;
+};
+
+/** Parse Makefile text (vars, rules, $(VAR)/$@/$< expansion). Pure. */
+bool parseMakefile(const std::string &src, Makefile &out, std::string &err);
+
+/** Program entry registered as "make". */
+int makeMain(rt::EmEnv &env);
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * RGBA raster + 5x7 bitmap font + meme text rendering.
+ *
+ * Drawing is templated over the 64-bit integer type so the identical
+ * numerical code runs natively (int64_t — the server on a real machine)
+ * and through GopherJS int64 emulation (rt::Int64 — the server compiled
+ * to JavaScript). The per-pixel fixed-point (26.6) transform arithmetic
+ * is where the paper's in-browser meme-generation slowdown lives (§5.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/gopher/int64emu.h"
+
+namespace browsix {
+namespace apps {
+
+/** Extract the numeric value from either 64-bit representation. */
+inline int64_t
+i64Value(int64_t v)
+{
+    return v;
+}
+inline int64_t
+i64Value(const rt::Int64 &v)
+{
+    return v.toInt();
+}
+
+struct Rgba
+{
+    uint8_t r = 0, g = 0, b = 0, a = 255;
+};
+
+struct Image
+{
+    int w = 0;
+    int h = 0;
+    std::vector<uint8_t> rgba; // w*h*4
+
+    Image() = default;
+    Image(int width, int height, Rgba fill = Rgba{0, 0, 0, 255})
+        : w(width), h(height), rgba(static_cast<size_t>(width) * height * 4)
+    {
+        for (int i = 0; i < w * h; i++) {
+            rgba[i * 4 + 0] = fill.r;
+            rgba[i * 4 + 1] = fill.g;
+            rgba[i * 4 + 2] = fill.b;
+            rgba[i * 4 + 3] = fill.a;
+        }
+    }
+
+    bool
+    inBounds(int x, int y) const
+    {
+        return x >= 0 && y >= 0 && x < w && y < h;
+    }
+
+    void
+    set(int x, int y, Rgba c)
+    {
+        if (!inBounds(x, y))
+            return;
+        size_t i = (static_cast<size_t>(y) * w + x) * 4;
+        rgba[i] = c.r;
+        rgba[i + 1] = c.g;
+        rgba[i + 2] = c.b;
+        rgba[i + 3] = c.a;
+    }
+
+    Rgba
+    get(int x, int y) const
+    {
+        Rgba c;
+        if (!inBounds(x, y))
+            return c;
+        size_t i = (static_cast<size_t>(y) * w + x) * 4;
+        c.r = rgba[i];
+        c.g = rgba[i + 1];
+        c.b = rgba[i + 2];
+        c.a = rgba[i + 3];
+        return c;
+    }
+};
+
+/** 7 row-bitmask bytes (5 bits used) for a character; '?' for unknown. */
+const uint8_t *glyph5x7(char c);
+
+constexpr int kGlyphW = 5;
+constexpr int kGlyphH = 7;
+
+/**
+ * Render meme caption text centered at (cx, cy) with integer scale,
+ * white fill and black outline, using I64 fixed-point (26.6) transforms
+ * per pixel — the int64-heavy inner loop.
+ */
+template <typename I64>
+void
+drawMemeText(Image &img, const std::string &text, int cx, int cy,
+             int scale)
+{
+    if (text.empty())
+        return;
+    const I64 kOne(64); // 26.6 fixed point unit
+    I64 sxf = I64(scale) * kOne;
+
+    int text_w = static_cast<int>(text.size()) * (kGlyphW + 1) * scale;
+    int x0 = cx - text_w / 2;
+    int y0 = cy - (kGlyphH * scale) / 2;
+
+    // Outline pass then fill pass.
+    for (int pass = 0; pass < 2; pass++) {
+        Rgba color = pass == 0 ? Rgba{0, 0, 0, 255}
+                               : Rgba{255, 255, 255, 255};
+        int expand = pass == 0 ? 1 : 0;
+        int pen_x = x0;
+        for (char raw : text) {
+            char c = raw;
+            if (c >= 'a' && c <= 'z')
+                c = static_cast<char>(c - 'a' + 'A');
+            const uint8_t *g = glyph5x7(c);
+            // Per-destination-pixel inverse transform in I64 fixed point:
+            // (dx, dy) -> glyph cell, with the multiply/divide chains a
+            // Go font rasterizer performs.
+            int cell_w = kGlyphW * scale;
+            int cell_h = kGlyphH * scale;
+            for (int dy = -expand; dy < cell_h + expand; dy++) {
+                for (int dx = -expand; dx < cell_w + expand; dx++) {
+                    I64 fx = I64(dx) * kOne;
+                    I64 fy = I64(dy) * kOne;
+                    I64 gx = fx / sxf;
+                    I64 gy = fy / sxf;
+                    I64 frac_x = fx - gx * sxf;
+                    I64 frac_y = fy - gy * sxf;
+                    (void)frac_x;
+                    (void)frac_y;
+                    int64_t gxi = i64Value(gx);
+                    int64_t gyi = i64Value(gy);
+                    int sample_x =
+                        static_cast<int>(gxi < 0 ? 0
+                                         : gxi >= kGlyphW ? kGlyphW - 1
+                                                          : gxi);
+                    int sample_y =
+                        static_cast<int>(gyi < 0 ? 0
+                                         : gyi >= kGlyphH ? kGlyphH - 1
+                                                          : gyi);
+                    bool on = (g[sample_y] >> (kGlyphW - 1 - sample_x)) & 1;
+                    if (on)
+                        img.set(pen_x + dx, y0 + dy, color);
+                }
+            }
+            pen_x += (kGlyphW + 1) * scale;
+        }
+    }
+}
+
+/** Darken the whole frame slightly (per-pixel I64 blend — bulk work). */
+template <typename I64>
+void
+applyVignette(Image &img)
+{
+    const I64 k255(255);
+    for (int y = 0; y < img.h; y++) {
+        // Distance-based attenuation in fixed point.
+        I64 dy2 = I64(y - img.h / 2) * I64(y - img.h / 2);
+        for (int x = 0; x < img.w; x++) {
+            I64 dx2 = I64(x - img.w / 2) * I64(x - img.w / 2);
+            I64 d2 = dx2 + dy2;
+            I64 denom =
+                I64(img.w / 2) * I64(img.w / 2) +
+                I64(img.h / 2) * I64(img.h / 2);
+            // attenuation = 255 - 40 * d2 / denom
+            I64 att = k255 - (I64(40) * d2) / denom;
+            int64_t a = i64Value(att);
+            if (a < 0)
+                a = 0;
+            if (a > 255)
+                a = 255;
+            size_t i = (static_cast<size_t>(y) * img.w + x) * 4;
+            img.rgba[i] =
+                static_cast<uint8_t>((img.rgba[i] * a) / 255);
+            img.rgba[i + 1] =
+                static_cast<uint8_t>((img.rgba[i + 1] * a) / 255);
+            img.rgba[i + 2] =
+                static_cast<uint8_t>((img.rgba[i + 2] * a) / 255);
+        }
+    }
+}
+
+/** Trivial raw container ("BIMG"): w, h, then RGBA bytes. The staged
+ * meme templates use it so the server's file reads are real but no PNG
+ * decoder is needed. */
+std::vector<uint8_t> encodeBimg(const Image &img);
+bool decodeBimg(const std::vector<uint8_t> &data, Image &out);
+
+/** Deterministic template art (gradient + pattern), by name seed. */
+Image makeTemplateImage(int w, int h, uint32_t seed);
+
+} // namespace apps
+} // namespace browsix

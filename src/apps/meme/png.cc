@@ -1,0 +1,153 @@
+#include "apps/meme/png.h"
+
+#include <cstring>
+
+namespace browsix {
+namespace apps {
+
+namespace {
+
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool init = false;
+    if (!init) {
+        for (uint32_t n = 0; n < 256; n++) {
+            uint32_t c = n;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[n] = c;
+        }
+        init = true;
+    }
+    return table;
+}
+
+void
+putU32be(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v >> 24));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t
+readU32be(const uint8_t *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 24) |
+           (static_cast<uint32_t>(p[1]) << 16) |
+           (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+void
+writeChunk(std::vector<uint8_t> &out, const char type[4],
+           const std::vector<uint8_t> &payload)
+{
+    putU32be(out, static_cast<uint32_t>(payload.size()));
+    size_t crc_start = out.size();
+    out.insert(out.end(), type, type + 4);
+    out.insert(out.end(), payload.begin(), payload.end());
+    uint32_t crc =
+        crc32(out.data() + crc_start, out.size() - crc_start);
+    putU32be(out, crc);
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t len, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; i++)
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+adler32(const uint8_t *data, size_t len)
+{
+    uint32_t a = 1, b = 0;
+    for (size_t i = 0; i < len; i++) {
+        a = (a + data[i]) % 65521;
+        b = (b + a) % 65521;
+    }
+    return (b << 16) | a;
+}
+
+std::vector<uint8_t>
+encodePng(const Image &img)
+{
+    std::vector<uint8_t> out = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1A,
+                                '\n'};
+
+    std::vector<uint8_t> ihdr;
+    putU32be(ihdr, static_cast<uint32_t>(img.w));
+    putU32be(ihdr, static_cast<uint32_t>(img.h));
+    ihdr.push_back(8);  // bit depth
+    ihdr.push_back(6);  // color type RGBA
+    ihdr.push_back(0);  // compression
+    ihdr.push_back(0);  // filter
+    ihdr.push_back(0);  // interlace
+    writeChunk(out, "IHDR", ihdr);
+
+    // Raw scanlines, each prefixed with filter byte 0.
+    std::vector<uint8_t> raw;
+    raw.reserve(static_cast<size_t>(img.h) * (img.w * 4 + 1));
+    for (int y = 0; y < img.h; y++) {
+        raw.push_back(0);
+        const uint8_t *row = img.rgba.data() +
+                             static_cast<size_t>(y) * img.w * 4;
+        raw.insert(raw.end(), row, row + static_cast<size_t>(img.w) * 4);
+    }
+
+    // zlib stream: header, stored-deflate blocks, adler32.
+    std::vector<uint8_t> z;
+    z.push_back(0x78);
+    z.push_back(0x01);
+    size_t off = 0;
+    while (off < raw.size()) {
+        size_t n = std::min<size_t>(65535, raw.size() - off);
+        bool last = off + n == raw.size();
+        z.push_back(last ? 1 : 0);
+        z.push_back(static_cast<uint8_t>(n & 0xFF));
+        z.push_back(static_cast<uint8_t>(n >> 8));
+        z.push_back(static_cast<uint8_t>(~n & 0xFF));
+        z.push_back(static_cast<uint8_t>((~n >> 8) & 0xFF));
+        z.insert(z.end(), raw.begin() + off, raw.begin() + off + n);
+        off += n;
+    }
+    putU32be(z, adler32(raw.data(), raw.size()));
+    writeChunk(out, "IDAT", z);
+    writeChunk(out, "IEND", {});
+    return out;
+}
+
+bool
+validatePng(const std::vector<uint8_t> &data)
+{
+    static const uint8_t sig[8] = {0x89, 'P', 'N', 'G',
+                                   '\r', '\n', 0x1A, '\n'};
+    if (data.size() < 8 || std::memcmp(data.data(), sig, 8) != 0)
+        return false;
+    size_t off = 8;
+    bool saw_iend = false;
+    while (off + 12 <= data.size()) {
+        uint32_t len = readU32be(data.data() + off);
+        if (off + 12 + len > data.size())
+            return false;
+        uint32_t stored = readU32be(data.data() + off + 8 + len);
+        uint32_t computed = crc32(data.data() + off + 4, len + 4);
+        if (stored != computed)
+            return false;
+        if (std::memcmp(data.data() + off + 4, "IEND", 4) == 0)
+            saw_iend = true;
+        off += 12 + len;
+    }
+    return saw_iend && off == data.size();
+}
+
+} // namespace apps
+} // namespace browsix

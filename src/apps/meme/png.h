@@ -1,0 +1,27 @@
+/**
+ * @file
+ * PNG encoder: real CRC32 / Adler-32 / zlib framing, with stored
+ * (uncompressed) deflate blocks. The output is a valid PNG any viewer
+ * accepts; compression would add nothing to the experiments.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/meme/image.h"
+
+namespace browsix {
+namespace apps {
+
+uint32_t crc32(const uint8_t *data, size_t len, uint32_t seed = 0);
+uint32_t adler32(const uint8_t *data, size_t len);
+
+/** Encode 8-bit RGBA PNG. */
+std::vector<uint8_t> encodePng(const Image &img);
+
+/** Quick structural validation (signature + chunk CRCs). */
+bool validatePng(const std::vector<uint8_t> &data);
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,174 @@
+#include "apps/meme/server.h"
+
+#include "apps/meme/png.h"
+
+namespace browsix {
+namespace apps {
+
+const std::vector<std::string> &
+memeTemplateNames()
+{
+    static const std::vector<std::string> names = {"wonka", "doge",
+                                                   "philosoraptor"};
+    return names;
+}
+
+void
+stageMemeAssets(bfs::InMemBackend &root, int width, int height)
+{
+    uint32_t seed = 11;
+    for (const auto &name : memeTemplateNames()) {
+        Image img = makeTemplateImage(width, height, seed);
+        seed = seed * 31 + 7;
+        root.writeFile("/memes/" + name + ".bimg", encodeBimg(img));
+    }
+}
+
+template <typename I64>
+net::HttpResponse
+handleMemeRequest(const MemeTemplates &templates,
+                  const net::HttpRequest &req)
+{
+    net::HttpResponse resp;
+    auto [path, query] = net::splitTarget(req.target);
+
+    if (path == "/api/images") {
+        std::string json = "[";
+        bool first = true;
+        for (const auto &[name, img] : templates.images) {
+            if (!first)
+                json += ",";
+            first = false;
+            json += "\"" + name + "\"";
+        }
+        json += "]";
+        resp.status = 200;
+        resp.headers["content-type"] = "application/json";
+        resp.body.assign(json.begin(), json.end());
+        return resp;
+    }
+
+    if (path == "/api/meme") {
+        std::string tname =
+            query.count("template") ? query.at("template") : "";
+        auto it = templates.images.find(tname);
+        if (it == templates.images.end()) {
+            resp.status = 404;
+            resp.reason = "Not Found";
+            std::string msg = "unknown template";
+            resp.body.assign(msg.begin(), msg.end());
+            return resp;
+        }
+        std::string top = query.count("top") ? query.at("top") : "";
+        std::string bottom =
+            query.count("bottom") ? query.at("bottom") : "";
+
+        Image img = it->second; // stateless: render onto a copy
+        applyVignette<I64>(img);
+        int scale = std::max(1, img.w / 160);
+        if (!top.empty())
+            drawMemeText<I64>(img, top, img.w / 2,
+                              kGlyphH * scale / 2 + 4 * scale, scale);
+        if (!bottom.empty())
+            drawMemeText<I64>(img, bottom, img.w / 2,
+                              img.h - kGlyphH * scale / 2 - 4 * scale,
+                              scale);
+
+        auto png = encodePng(img);
+        resp.status = 200;
+        resp.headers["content-type"] = "image/png";
+        resp.body = std::move(png);
+        return resp;
+    }
+
+    resp.status = 404;
+    resp.reason = "Not Found";
+    std::string msg = "no route for " + path;
+    resp.body.assign(msg.begin(), msg.end());
+    return resp;
+}
+
+template net::HttpResponse
+handleMemeRequest<int64_t>(const MemeTemplates &, const net::HttpRequest &);
+template net::HttpResponse
+handleMemeRequest<rt::Int64>(const MemeTemplates &,
+                             const net::HttpRequest &);
+
+void
+memeServerMain(rt::GoEnv &env)
+{
+    // Load every template from the shared filesystem (the paper's server
+    // "reads base images and font files from the filesystem").
+    auto templates = std::make_shared<MemeTemplates>();
+    int err = 0;
+    auto names = env.readDir("/memes", err);
+    if (err != 0) {
+        env.logf("meme-server: cannot read /memes");
+        env.exit(1);
+    }
+    for (const auto &fname : names) {
+        if (fname.size() < 5 ||
+            fname.substr(fname.size() - 5) != ".bimg")
+            continue;
+        bfs::Buffer data;
+        if (env.readFile("/memes/" + fname, data) != 0)
+            continue;
+        Image img;
+        if (!decodeBimg(data, img))
+            continue;
+        templates->images[fname.substr(0, fname.size() - 5)] =
+            std::move(img);
+    }
+
+    int port = 8080;
+    auto it = env.environ().find("MEME_PORT");
+    if (it != env.environ().end())
+        port = std::atoi(it->second.c_str());
+
+    int listener = env.listenTcp(port, 16);
+    if (listener < 0) {
+        env.logf("meme-server: listen failed");
+        env.exit(1);
+    }
+    env.logf("meme-server: listening on " + std::to_string(port));
+
+    bool trace = env.environ().count("MEME_TRACE") > 0;
+    for (;;) {
+        int conn = env.accept(listener);
+        if (trace)
+            env.logf("[srv] accepted fd=" + std::to_string(conn));
+        if (conn < 0)
+            break;
+        // One goroutine per connection, Go-style.
+        env.go([&env, conn, templates, trace]() {
+            net::HttpParser parser(net::HttpParser::Mode::Request);
+            for (;;) {
+                bfs::Buffer chunk;
+                int64_t n = env.read(conn, chunk, 64 * 1024);
+                if (trace)
+                    env.logf("[srv] fd=" + std::to_string(conn) +
+                             " read n=" + std::to_string(n));
+                if (n <= 0)
+                    break;
+                if (!parser.feed(chunk))
+                    break;
+                if (parser.done()) {
+                    // GopherJS build: int64 arithmetic is emulated.
+                    net::HttpResponse resp = handleMemeRequest<rt::Int64>(
+                        *templates, parser.request());
+                    resp.headers["connection"] = "close";
+                    auto bytes = net::serializeResponse(resp);
+                    int64_t wn = env.write(conn, bytes.data(), bytes.size());
+                    if (trace)
+                        env.logf("[srv] fd=" + std::to_string(conn) +
+                                 " wrote n=" + std::to_string(wn));
+                    break;
+                }
+            }
+            env.close(conn);
+        });
+    }
+}
+
+} // namespace apps
+} // namespace browsix

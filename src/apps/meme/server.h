@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The meme-generator server (§5.1.1): a stateless Go web server that
+ * reads base images from the filesystem, overlays caption text, and
+ * serves PNGs over HTTP.
+ *
+ * Endpoints:
+ *   GET /api/images                 -> JSON list of template names
+ *   GET /api/meme?template=N&top=T&bottom=B  -> image/png
+ *
+ * The request handler is shared between three deployments, exactly as
+ * in the paper: (1) the unmodified Go source compiled with GopherJS and
+ * run as a Browsix process over Browsix sockets; (2) the same server
+ * running natively ("localhost"); (3) the native server behind a
+ * simulated WAN link ("EC2"). Only the int64 type differs: rt::Int64 in
+ * the GopherJS build, int64_t natively.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "apps/meme/image.h"
+#include "bfs/inmem.h"
+#include "net/http.h"
+#include "runtime/gopher/go_runtime.h"
+
+namespace browsix {
+namespace apps {
+
+/** In-memory template set, loaded from BIMG files. */
+struct MemeTemplates
+{
+    std::map<std::string, Image> images;
+};
+
+/** Deterministic template art staged at /memes/<name>.bimg. */
+void stageMemeAssets(bfs::InMemBackend &root, int width = 320,
+                     int height = 240);
+const std::vector<std::string> &memeTemplateNames();
+
+/** The request handler, templated on the 64-bit integer type. */
+template <typename I64>
+net::HttpResponse handleMemeRequest(const MemeTemplates &templates,
+                                    const net::HttpRequest &req);
+
+extern template net::HttpResponse
+handleMemeRequest<int64_t>(const MemeTemplates &, const net::HttpRequest &);
+extern template net::HttpResponse
+handleMemeRequest<rt::Int64>(const MemeTemplates &,
+                             const net::HttpRequest &);
+
+/** The Go program: loads templates from the Browsix FS, serves the port
+ * named by env MEME_PORT (default 8080). Registered as "meme-server". */
+void memeServerMain(rt::GoEnv &env);
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,667 @@
+#include "apps/shell/shell.h"
+
+#include <algorithm>
+
+#include "bfs/path.h"
+
+namespace browsix {
+namespace apps {
+
+using sh::Command;
+using sh::List;
+using sh::Pipeline;
+using sh::Redirect;
+using sh::Segment;
+using sh::SeqOp;
+using sh::Word;
+
+Shell::Shell(rt::EmEnv &env) : env_(env)
+{
+    exports_ = env.environ();
+}
+
+int
+Shell::main()
+{
+    const auto &argv = env_.argv();
+    // argv[0] is the dash bundle path.
+    if (argv.size() >= 3 && argv[1] == "-c") {
+        scriptArgs_ = {"sh"};
+        for (size_t i = 3; i < argv.size(); i++)
+            scriptArgs_.push_back(argv[i]);
+        return runScript(argv[2]);
+    }
+    if (argv.size() >= 2 && argv[1] != "-") {
+        // script file
+        int fd = env_.open(argv[1], 0);
+        if (fd < 0) {
+            env_.write(2, "sh: cannot open " + argv[1] + "\n");
+            return 127;
+        }
+        std::string src;
+        for (;;) {
+            bfs::Buffer chunk;
+            int64_t n = env_.read(fd, chunk, 64 * 1024);
+            if (n <= 0)
+                break;
+            src.append(chunk.begin(), chunk.end());
+        }
+        env_.close(fd);
+        scriptArgs_.assign(argv.begin() + 1, argv.end());
+        return runScript(src);
+    }
+    // read the whole script from stdin
+    std::string src;
+    for (;;) {
+        bfs::Buffer chunk;
+        int64_t n = env_.read(0, chunk, 64 * 1024);
+        if (n <= 0)
+            break;
+        src.append(chunk.begin(), chunk.end());
+    }
+    scriptArgs_ = {"sh"};
+    return runScript(src);
+}
+
+int
+Shell::runScript(const std::string &src)
+{
+    List list;
+    std::string err;
+    if (!sh::parseScript(src, list, err)) {
+        env_.write(2, "sh: syntax error: " + err + "\n");
+        return 2;
+    }
+    return runList(list);
+}
+
+// ---------------- expansion ----------------
+
+std::string
+Shell::lookupVar(const std::string &name)
+{
+    if (name == "?")
+        return std::to_string(lastStatus_);
+    if (name == "$")
+        return std::to_string(env_.getpid());
+    if (name == "#")
+        return std::to_string(
+            scriptArgs_.empty() ? 0 : scriptArgs_.size() - 1);
+    if (name == "@" || name == "*") {
+        std::string out;
+        for (size_t i = 1; i < scriptArgs_.size(); i++) {
+            if (i > 1)
+                out += " ";
+            out += scriptArgs_[i];
+        }
+        return out;
+    }
+    if (name.size() == 1 && isdigit(name[0])) {
+        size_t i = name[0] - '0';
+        return i < scriptArgs_.size() ? scriptArgs_[i] : "";
+    }
+    auto it = vars_.find(name);
+    if (it != vars_.end())
+        return it->second;
+    it = exports_.find(name);
+    if (it != exports_.end())
+        return it->second;
+    return "";
+}
+
+std::string
+Shell::commandSubst(const std::string &body)
+{
+    int fds[2];
+    if (env_.pipe2(fds) != 0)
+        return "";
+    int pid = env_.spawn({resolveProgram("sh"), "-c", body}, exports_, "",
+                         {0, fds[1], 2});
+    env_.close(fds[1]);
+    std::string out;
+    if (pid > 0) {
+        for (;;) {
+            bfs::Buffer chunk;
+            int64_t n = env_.read(fds[0], chunk, 64 * 1024);
+            if (n <= 0)
+                break;
+            out.append(chunk.begin(), chunk.end());
+        }
+        int status = 0;
+        env_.waitpid(pid, &status, 0);
+    }
+    env_.close(fds[0]);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out;
+}
+
+std::string
+Shell::expandDollars(const std::string &text)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (c != '$') {
+            out.push_back(c);
+            i++;
+            continue;
+        }
+        if (i + 1 >= text.size()) {
+            out.push_back('$');
+            break;
+        }
+        char n = text[i + 1];
+        if (n == '(') {
+            // find balanced close
+            size_t depth = 1, j = i + 2;
+            while (j < text.size() && depth > 0) {
+                if (text[j] == '(')
+                    depth++;
+                else if (text[j] == ')')
+                    depth--;
+                j++;
+            }
+            out += commandSubst(text.substr(i + 2, j - i - 3));
+            i = j;
+            continue;
+        }
+        if (n == '{') {
+            auto close = text.find('}', i + 2);
+            if (close == std::string::npos) {
+                out.push_back('$');
+                i++;
+                continue;
+            }
+            out += lookupVar(text.substr(i + 2, close - i - 2));
+            i = close + 1;
+            continue;
+        }
+        if (isalnum(n) || n == '_' || n == '?' || n == '$' || n == '#' ||
+            n == '@' || n == '*') {
+            size_t j = i + 1;
+            if (isalpha(n) || n == '_') {
+                while (j < text.size() &&
+                       (isalnum(text[j]) || text[j] == '_'))
+                    j++;
+            } else {
+                j = i + 2;
+            }
+            out += lookupVar(text.substr(i + 1, j - i - 1));
+            i = j;
+            continue;
+        }
+        out.push_back('$');
+        i++;
+    }
+    return out;
+}
+
+std::string
+Shell::expandSegment(const Segment &seg, bool &splittable)
+{
+    switch (seg.quote) {
+      case Segment::Single:
+        splittable = false;
+        return seg.text;
+      case Segment::Double:
+        splittable = false;
+        return expandDollars(seg.text);
+      case Segment::None:
+        splittable = true;
+        return expandDollars(seg.text);
+    }
+    return seg.text;
+}
+
+std::vector<std::string>
+Shell::globExpand(const std::string &pattern)
+{
+    std::string dir = bfs::dirname(pattern);
+    std::string leaf = sh::globMatch("*", "") ? bfs::basename(pattern)
+                                              : bfs::basename(pattern);
+    if (pattern.find('/') == std::string::npos)
+        dir = env_.getcwd();
+    int fd = env_.open(dir, 0);
+    if (fd < 0)
+        return {pattern};
+    std::vector<sys::Dirent> entries;
+    if (env_.getdents(fd, entries) != 0) {
+        env_.close(fd);
+        return {pattern};
+    }
+    env_.close(fd);
+    std::vector<std::string> matches;
+    for (const auto &e : entries) {
+        if (e.name == "." || e.name == "..")
+            continue;
+        if (e.name.size() && e.name[0] == '.' && leaf[0] != '.')
+            continue;
+        if (sh::globMatch(leaf, e.name)) {
+            if (pattern.find('/') == std::string::npos)
+                matches.push_back(e.name);
+            else
+                matches.push_back(bfs::joinPath(dir, e.name));
+        }
+    }
+    std::sort(matches.begin(), matches.end());
+    if (matches.empty())
+        return {pattern}; // POSIX: unmatched globs stay literal
+    return matches;
+}
+
+std::vector<std::string>
+Shell::expandWord(const Word &w)
+{
+    // Expand segments, then field-split unquoted stretches, then glob.
+    std::vector<std::pair<std::string, bool>> pieces; // text, splittable
+    for (const auto &seg : w.segments) {
+        bool splittable = false;
+        pieces.emplace_back(expandSegment(seg, splittable), splittable);
+    }
+    std::vector<std::string> fields;
+    std::string cur;
+    bool any = false;
+    for (const auto &[text, splittable] : pieces) {
+        any = true;
+        if (!splittable) {
+            cur += text;
+            continue;
+        }
+        for (char c : text) {
+            if (c == ' ' || c == '\t' || c == '\n') {
+                if (!cur.empty()) {
+                    fields.push_back(cur);
+                    cur.clear();
+                }
+            } else {
+                cur.push_back(c);
+            }
+        }
+    }
+    bool had_quotes = false;
+    for (const auto &seg : w.segments)
+        if (seg.quote != Segment::None)
+            had_quotes = true;
+    if (!cur.empty() || (fields.empty() && had_quotes && any))
+        fields.push_back(cur);
+
+    if (!sh::hasGlobChars(w))
+        return fields;
+    std::vector<std::string> out;
+    for (const auto &f : fields) {
+        if (f.find('*') != std::string::npos ||
+            f.find('?') != std::string::npos) {
+            auto g = globExpand(f);
+            out.insert(out.end(), g.begin(), g.end());
+        } else {
+            out.push_back(f);
+        }
+    }
+    return out;
+}
+
+// ---------------- execution ----------------
+
+int
+Shell::runList(const List &list)
+{
+    int status = 0;
+    for (size_t i = 0; i < list.items.size(); i++) {
+        const auto &[pipeline, op] = list.items[i];
+        // && / || short-circuiting: the operator follows the pipeline
+        // it guards.
+        if (i > 0) {
+            SeqOp prev = list.items[i - 1].second;
+            if (prev == SeqOp::And && lastStatus_ != 0)
+                continue;
+            if (prev == SeqOp::Or && lastStatus_ == 0)
+                continue;
+        }
+        status = runPipeline(pipeline, op == SeqOp::Background);
+        lastStatus_ = status;
+    }
+    return status;
+}
+
+std::string
+Shell::resolveProgram(const std::string &name)
+{
+    if (name.find('/') != std::string::npos)
+        return name;
+    std::string path = exports_.count("PATH") ? exports_.at("PATH")
+                                              : "/usr/bin:/bin";
+    size_t start = 0;
+    while (start <= path.size()) {
+        auto colon = path.find(':', start);
+        if (colon == std::string::npos)
+            colon = path.size();
+        std::string dir = path.substr(start, colon - start);
+        start = colon + 1;
+        if (dir.empty())
+            continue;
+        std::string full = dir + "/" + name;
+        if (env_.access(full, 0) == 0)
+            return full;
+    }
+    return name; // spawn will fail with a useful error
+}
+
+bool
+Shell::isBuiltin(const std::string &name) const
+{
+    static const char *builtins[] = {"cd", "pwd", "exit", "export",
+                                     "unset", "true", "false", ":",
+                                     "test", "[", "echo", "wait",
+                                     "shift"};
+    for (const char *b : builtins)
+        if (name == b)
+            return true;
+    return false;
+}
+
+int
+Shell::runBuiltin(const std::string &name,
+                  const std::vector<std::string> &args, int fd_out)
+{
+    if (name == "true" || name == ":")
+        return 0;
+    if (name == "false")
+        return 1;
+    if (name == "cd") {
+        std::string target = args.empty()
+                                 ? (exports_.count("HOME")
+                                        ? exports_.at("HOME")
+                                        : "/")
+                                 : args[0];
+        int rc = env_.chdir(target);
+        if (rc != 0) {
+            env_.write(2, "sh: cd: " + target + ": No such directory\n");
+            return 1;
+        }
+        return 0;
+    }
+    if (name == "pwd") {
+        env_.write(fd_out, env_.getcwd() + "\n");
+        return 0;
+    }
+    if (name == "echo") {
+        std::string out;
+        size_t start = 0;
+        bool nl = true;
+        if (!args.empty() && args[0] == "-n") {
+            nl = false;
+            start = 1;
+        }
+        for (size_t i = start; i < args.size(); i++) {
+            if (i > start)
+                out += " ";
+            out += args[i];
+        }
+        if (nl)
+            out += "\n";
+        env_.write(fd_out, out);
+        return 0;
+    }
+    if (name == "exit") {
+        int code = args.empty() ? lastStatus_ : std::atoi(args[0].c_str());
+        env_.exit(code);
+    }
+    if (name == "export") {
+        for (const auto &a : args) {
+            auto eq = a.find('=');
+            if (eq == std::string::npos)
+                exports_[a] = lookupVar(a);
+            else
+                exports_[a.substr(0, eq)] = a.substr(eq + 1);
+        }
+        return 0;
+    }
+    if (name == "unset") {
+        for (const auto &a : args) {
+            vars_.erase(a);
+            exports_.erase(a);
+        }
+        return 0;
+    }
+    if (name == "wait") {
+        for (int pid : jobs_) {
+            int status = 0;
+            env_.waitpid(pid, &status, 0);
+            lastStatus_ = sys::wexitstatus(status);
+        }
+        jobs_.clear();
+        return lastStatus_;
+    }
+    if (name == "shift") {
+        if (scriptArgs_.size() > 1)
+            scriptArgs_.erase(scriptArgs_.begin() + 1);
+        return 0;
+    }
+    if (name == "test" || name == "[") {
+        std::vector<std::string> a = args;
+        if (name == "[" && !a.empty() && a.back() == "]")
+            a.pop_back();
+        auto statTest = [&](const std::string &path, char kind) {
+            sys::StatX st;
+            if (env_.stat(path, st) != 0)
+                return false;
+            if (kind == 'f')
+                return st.isFile();
+            if (kind == 'd')
+                return st.isDir();
+            return true; // -e
+        };
+        bool result = false;
+        if (a.empty())
+            result = false;
+        else if (a.size() == 1)
+            result = !a[0].empty();
+        else if (a.size() == 2 && a[0] == "-n")
+            result = !a[1].empty();
+        else if (a.size() == 2 && a[0] == "-z")
+            result = a[1].empty();
+        else if (a.size() == 2 && a[0] == "-f")
+            result = statTest(a[1], 'f');
+        else if (a.size() == 2 && a[0] == "-d")
+            result = statTest(a[1], 'd');
+        else if (a.size() == 2 && a[0] == "-e")
+            result = statTest(a[1], 'e');
+        else if (a.size() == 3 && a[1] == "=")
+            result = a[0] == a[2];
+        else if (a.size() == 3 && a[1] == "!=")
+            result = a[0] != a[2];
+        else if (a.size() == 3 && a[1] == "-eq")
+            result = std::atol(a[0].c_str()) == std::atol(a[2].c_str());
+        else if (a.size() == 3 && a[1] == "-ne")
+            result = std::atol(a[0].c_str()) != std::atol(a[2].c_str());
+        else if (a.size() == 3 && a[1] == "-lt")
+            result = std::atol(a[0].c_str()) < std::atol(a[2].c_str());
+        else if (a.size() == 3 && a[1] == "-gt")
+            result = std::atol(a[0].c_str()) > std::atol(a[2].c_str());
+        return result ? 0 : 1;
+    }
+    return 127;
+}
+
+bool
+Shell::applyRedirects(const Command &c, int fds[3],
+                      std::vector<int> &to_close)
+{
+    for (const auto &r : c.redirs) {
+        if (r.kind == Redirect::DupOut) {
+            if (r.dupFd >= 0 && r.dupFd <= 2 && r.fd >= 0 && r.fd <= 2) {
+                fds[r.fd] = fds[r.dupFd];
+            }
+            continue;
+        }
+        auto targets = expandWord(r.target);
+        if (targets.size() != 1) {
+            env_.write(2, "sh: ambiguous redirect\n");
+            return false;
+        }
+        const std::string &path = targets[0];
+        int fd;
+        if (r.kind == Redirect::In) {
+            fd = env_.open(path, bfs::flags::RDONLY);
+        } else if (r.kind == Redirect::Append) {
+            fd = env_.open(path, bfs::flags::CREAT | bfs::flags::APPEND |
+                                     bfs::flags::WRONLY);
+        } else {
+            fd = env_.open(path, bfs::flags::CREAT | bfs::flags::TRUNC |
+                                     bfs::flags::WRONLY);
+        }
+        if (fd < 0) {
+            env_.write(2, "sh: cannot open " + path + "\n");
+            return false;
+        }
+        to_close.push_back(fd);
+        if (r.fd >= 0 && r.fd <= 2)
+            fds[r.fd] = fd;
+    }
+    return true;
+}
+
+int
+Shell::runSimple(const Command &c, int fd_in, int fd_out, bool wait_for,
+                 int *pid_out)
+{
+    if (pid_out)
+        *pid_out = -1;
+
+    // Assignments.
+    std::map<std::string, std::string> cmd_env = exports_;
+    bool has_words = !c.words.empty() || c.subshell;
+    for (const auto &[name, val] : c.assigns) {
+        auto vals = expandWord(val);
+        std::string v = vals.empty() ? "" : vals[0];
+        if (has_words)
+            cmd_env[name] = v;
+        else
+            vars_[name] = v;
+    }
+    if (!has_words)
+        return 0;
+
+    int fds[3] = {fd_in, fd_out, 2};
+    std::vector<int> to_close;
+    if (!applyRedirects(c, fds, to_close)) {
+        for (int fd : to_close)
+            env_.close(fd);
+        return 1;
+    }
+
+    if (c.subshell) {
+        // Run "( list )" in a child shell process for isolation.
+        std::string body; // re-render is complex; spawn sh -c on source?
+        // We keep the subshell's AST and run it in-process but with
+        // saved/restored state — cheaper and sufficient for cwd/vars.
+        auto saved_vars = vars_;
+        auto saved_exports = exports_;
+        std::string saved_cwd = env_.getcwd();
+        int rc = runList(*c.subshell);
+        vars_ = std::move(saved_vars);
+        exports_ = std::move(saved_exports);
+        env_.chdir(saved_cwd);
+        for (int fd : to_close)
+            env_.close(fd);
+        (void)body;
+        return rc;
+    }
+
+    std::vector<std::string> argv;
+    for (const auto &w : c.words) {
+        auto fields = expandWord(w);
+        argv.insert(argv.end(), fields.begin(), fields.end());
+    }
+    if (argv.empty()) {
+        for (int fd : to_close)
+            env_.close(fd);
+        return 0;
+    }
+
+    if (isBuiltin(argv[0]) && fd_in == 0 && wait_for) {
+        std::vector<std::string> args(argv.begin() + 1, argv.end());
+        int rc = runBuiltin(argv[0], args, fds[1]);
+        for (int fd : to_close)
+            env_.close(fd);
+        return rc;
+    }
+
+    argv[0] = resolveProgram(argv[0]);
+    int pid = env_.spawn(argv, cmd_env, "", {fds[0], fds[1], fds[2]});
+    for (int fd : to_close)
+        env_.close(fd);
+    if (pid < 0) {
+        env_.write(2, "sh: " + argv[0] + ": command not found\n");
+        return 127;
+    }
+    if (pid_out)
+        *pid_out = pid;
+    if (!wait_for)
+        return 0;
+    int status = 0;
+    int rc = env_.waitpid(pid, &status, 0);
+    if (rc < 0)
+        return 1;
+    return sys::wifExited(status) ? sys::wexitstatus(status)
+                                  : 128 + sys::wtermsig(status);
+}
+
+int
+Shell::runPipeline(const Pipeline &p, bool background)
+{
+    if (p.commands.size() == 1 && !background) {
+        return runSimple(p.commands[0], 0, 1, true, nullptr);
+    }
+
+    size_t n = p.commands.size();
+    std::vector<int> pids;
+    int prev_read = 0;
+    int status = 0;
+    for (size_t i = 0; i < n; i++) {
+        int fd_in = prev_read;
+        int fd_out = 1;
+        int pipefds[2] = {-1, -1};
+        if (i + 1 < n) {
+            if (env_.pipe2(pipefds) != 0) {
+                env_.write(2, "sh: pipe failed\n");
+                return 1;
+            }
+            fd_out = pipefds[1];
+        }
+        int pid = -1;
+        status = runSimple(p.commands[i], fd_in, fd_out, false, &pid);
+        if (pid > 0)
+            pids.push_back(pid);
+        if (fd_in != 0)
+            env_.close(fd_in);
+        if (fd_out != 1)
+            env_.close(fd_out);
+        prev_read = pipefds[0];
+    }
+
+    if (background) {
+        jobs_.insert(jobs_.end(), pids.begin(), pids.end());
+        return 0;
+    }
+    int last = status;
+    for (size_t i = 0; i < pids.size(); i++) {
+        int st = 0;
+        env_.waitpid(pids[i], &st, 0);
+        last = sys::wifExited(st) ? sys::wexitstatus(st)
+                                  : 128 + sys::wtermsig(st);
+    }
+    return last;
+}
+
+int
+dashMain(rt::EmEnv &env)
+{
+    Shell shell(env);
+    return shell.main();
+}
+
+} // namespace apps
+} // namespace browsix

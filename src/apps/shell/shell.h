@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The shell executor: dash's role in the Browsix terminal (§5.1.2) and
+ * behind kernel.system(). Runs as an Emscripten (async/Emterpreter)
+ * process; pipelines become pipe2+spawn+wait4 against the kernel,
+ * redirections become open+fd-inheritance lists, `&` backgrounds a job.
+ *
+ * Supported: pipelines, ;, &&, ||, &, redirections (<, >, >>, 2>, 2>&1),
+ * variables (assignment, $VAR/${VAR}, $?, $$, $#, $0..$9, $@), export,
+ * command substitution $(...), globbing (*, ?), subshells ( ... ), and
+ * the builtins cd, pwd, exit, export, unset, true, false, test/[, echo,
+ * wait, shift, and ':'.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/shell/shell_parse.h"
+#include "runtime/emscripten/em_runtime.h"
+
+namespace browsix {
+namespace apps {
+
+class Shell
+{
+  public:
+    explicit Shell(rt::EmEnv &env);
+
+    /** Entry point for the dash program: parses argv and runs. */
+    int main();
+
+    /** Run a script string (used directly by tests). */
+    int runScript(const std::string &src);
+
+  private:
+    // --- expansion ---
+    std::vector<std::string> expandWord(const sh::Word &w);
+    std::string expandSegment(const sh::Segment &seg, bool &splittable);
+    std::string expandDollars(const std::string &text);
+    std::string lookupVar(const std::string &name);
+    std::string commandSubst(const std::string &body);
+    std::vector<std::string> globExpand(const std::string &pattern);
+
+    // --- execution ---
+    int runList(const sh::List &list);
+    int runPipeline(const sh::Pipeline &p, bool background);
+    int runSimple(const sh::Command &c, int fd_in, int fd_out,
+                  bool wait_for, int *pid_out);
+    int runBuiltin(const std::string &name,
+                   const std::vector<std::string> &args, int fd_out);
+    bool isBuiltin(const std::string &name) const;
+    std::string resolveProgram(const std::string &name);
+
+    /** Apply redirects: returns fds {0,1,2} plus fds to close after. */
+    bool applyRedirects(const sh::Command &c, int fds[3],
+                        std::vector<int> &to_close);
+
+    rt::EmEnv &env_;
+    std::map<std::string, std::string> vars_;     // shell variables
+    std::map<std::string, std::string> exports_;  // exported environment
+    std::vector<std::string> scriptArgs_;         // $0, $1, ...
+    std::vector<int> jobs_;                       // background pids
+    int lastStatus_ = 0;
+};
+
+/** Program entry registered as "dash" / "/bin/sh". */
+int dashMain(rt::EmEnv &env);
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,507 @@
+#include "apps/shell/shell_parse.h"
+
+namespace browsix {
+namespace apps {
+namespace sh {
+
+std::string
+Word::raw() const
+{
+    std::string out;
+    for (const auto &seg : segments)
+        out += seg.text;
+    return out;
+}
+
+namespace {
+
+struct Token
+{
+    enum Type { WordTok, Op, End } type = End;
+    Word word;
+    std::string op;
+};
+
+/** Lexer: quoting-aware tokenizer. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    bool
+    lex(std::vector<Token> &out, std::string &err)
+    {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == ' ' || c == '\t' || c == '\r') {
+                flushWord(out);
+                pos_++;
+                continue;
+            }
+            if (c == '#' && !inWord_) {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    pos_++;
+                continue;
+            }
+            if (c == '\n') {
+                flushWord(out);
+                pushOp(out, ";"); // newline separates like ';'
+                pos_++;
+                continue;
+            }
+            if (c == '\'') {
+                if (!lexSingle(err))
+                    return false;
+                continue;
+            }
+            if (c == '"') {
+                if (!lexDouble(err))
+                    return false;
+                continue;
+            }
+            if (c == '\\') {
+                pos_++;
+                if (pos_ < src_.size()) {
+                    if (src_[pos_] == '\n') { // line continuation
+                        pos_++;
+                        continue;
+                    }
+                    appendChar(src_[pos_++], Segment::Single);
+                }
+                continue;
+            }
+            if (c == '$' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == '(') {
+                // Command substitution: capture balanced $( ... ).
+                size_t depth = 1;
+                size_t j = pos_ + 2;
+                while (j < src_.size() && depth > 0) {
+                    if (src_[j] == '(')
+                        depth++;
+                    else if (src_[j] == ')')
+                        depth--;
+                    j++;
+                }
+                if (depth != 0) {
+                    err = "unterminated $(";
+                    return false;
+                }
+                appendStr(src_.substr(pos_, j - pos_), Segment::None);
+                pos_ = j;
+                continue;
+            }
+            if (isOpChar(c)) {
+                flushWord(out);
+                if (!lexOp(out, err))
+                    return false;
+                continue;
+            }
+            appendChar(c, Segment::None);
+            pos_++;
+        }
+        flushWord(out);
+        out.push_back(Token{});
+        return true;
+    }
+
+  private:
+    bool
+    isOpChar(char c) const
+    {
+        return c == '|' || c == ';' || c == '&' || c == '<' || c == '>' ||
+               c == '(' || c == ')';
+    }
+
+    bool
+    lexOp(std::vector<Token> &out, std::string &err)
+    {
+        char c = src_[pos_];
+        char next = pos_ + 1 < src_.size() ? src_[pos_ + 1] : 0;
+        if (c == '&' && next == '&') {
+            pushOp(out, "&&");
+            pos_ += 2;
+        } else if (c == '|' && next == '|') {
+            pushOp(out, "||");
+            pos_ += 2;
+        } else if (c == '>' && next == '>') {
+            pushOp(out, ">>");
+            pos_ += 2;
+        } else if (c == '>' && next == '&') {
+            pushOp(out, ">&");
+            pos_ += 2;
+        } else {
+            pushOp(out, std::string(1, c));
+            pos_++;
+        }
+        (void)err;
+        return true;
+    }
+
+    bool
+    lexSingle(std::string &err)
+    {
+        pos_++; // opening quote
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '\'')
+            text.push_back(src_[pos_++]);
+        if (pos_ >= src_.size()) {
+            err = "unterminated single quote";
+            return false;
+        }
+        pos_++; // closing
+        appendStr(text, Segment::Single);
+        return true;
+    }
+
+    bool
+    lexDouble(std::string &err)
+    {
+        pos_++;
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+                (src_[pos_ + 1] == '"' || src_[pos_ + 1] == '\\' ||
+                 src_[pos_ + 1] == '$')) {
+                pos_++;
+            }
+            text.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size()) {
+            err = "unterminated double quote";
+            return false;
+        }
+        pos_++;
+        appendStr(text, Segment::Double);
+        return true;
+    }
+
+    void
+    appendChar(char c, Segment::Quote q)
+    {
+        appendStr(std::string(1, c), q);
+    }
+
+    void
+    appendStr(const std::string &s, Segment::Quote q)
+    {
+        inWord_ = true;
+        if (!cur_.segments.empty() && cur_.segments.back().quote == q)
+            cur_.segments.back().text += s;
+        else
+            cur_.segments.push_back(Segment{s, q});
+        // Quoted empty string still forms a word ("" -> empty arg).
+    }
+
+    void
+    flushWord(std::vector<Token> &out)
+    {
+        if (!inWord_)
+            return;
+        Token t;
+        t.type = Token::WordTok;
+        t.word = std::move(cur_);
+        out.push_back(std::move(t));
+        cur_ = Word{};
+        inWord_ = false;
+    }
+
+    void
+    pushOp(std::vector<Token> &out, const std::string &op)
+    {
+        Token t;
+        t.type = Token::Op;
+        t.op = op;
+        out.push_back(std::move(t));
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    Word cur_;
+    bool inWord_ = false;
+};
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    bool
+    parse(List &out, std::string &err)
+    {
+        if (!parseList(out, err, false))
+            return false;
+        if (!atEnd()) {
+            err = "unexpected token '" + cur().op + "'";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    const Token &cur() const { return toks_[pos_]; }
+    bool atEnd() const { return cur().type == Token::End; }
+    bool
+    isOp(const std::string &op) const
+    {
+        return cur().type == Token::Op && cur().op == op;
+    }
+
+    bool
+    parseList(List &out, std::string &err, bool in_subshell)
+    {
+        for (;;) {
+            // Skip empty separators.
+            while (isOp(";"))
+                pos_++;
+            if (atEnd() || (in_subshell && isOp(")")))
+                return true;
+
+            Pipeline p;
+            if (!parsePipeline(p, err))
+                return false;
+
+            SeqOp op = SeqOp::Seq;
+            if (isOp("&&")) {
+                op = SeqOp::And;
+                pos_++;
+            } else if (isOp("||")) {
+                op = SeqOp::Or;
+                pos_++;
+            } else if (isOp("&")) {
+                op = SeqOp::Background;
+                pos_++;
+            } else if (isOp(";")) {
+                pos_++;
+            } else if (!atEnd() && !(in_subshell && isOp(")"))) {
+                err = "unexpected token after pipeline";
+                return false;
+            }
+            out.items.emplace_back(std::move(p), op);
+        }
+    }
+
+    bool
+    parsePipeline(Pipeline &out, std::string &err)
+    {
+        for (;;) {
+            Command c;
+            if (!parseCommand(c, err))
+                return false;
+            out.commands.push_back(std::move(c));
+            if (isOp("|")) {
+                pos_++;
+                continue;
+            }
+            return true;
+        }
+    }
+
+    bool
+    parseRedirect(Command &c, std::string &err)
+    {
+        // Handles: < file, > file, >> file, 2> file, 2>&1, >& n
+        int fd = -1;
+        if (cur().type == Token::WordTok) {
+            // "2>" arrives as word "2" + op ">" only when adjacent; we
+            // approximate: a 1-char numeric word directly before a
+            // redirect op acts as its fd.
+        }
+        if (isOp("<")) {
+            pos_++;
+            if (cur().type != Token::WordTok) {
+                err = "redirect needs a target";
+                return false;
+            }
+            c.redirs.push_back(Redirect{fd < 0 ? 0 : fd, Redirect::In,
+                                        cur().word, 0});
+            pos_++;
+            return true;
+        }
+        bool append = isOp(">>");
+        if (isOp(">") || append) {
+            pos_++;
+            if (cur().type != Token::WordTok) {
+                err = "redirect needs a target";
+                return false;
+            }
+            c.redirs.push_back(Redirect{fd < 0 ? 1 : fd,
+                                        append ? Redirect::Append
+                                               : Redirect::Out,
+                                        cur().word, 0});
+            pos_++;
+            return true;
+        }
+        if (isOp(">&")) {
+            pos_++;
+            if (cur().type != Token::WordTok) {
+                err = ">& needs a target fd";
+                return false;
+            }
+            Redirect r;
+            r.fd = fd < 0 ? 1 : fd;
+            r.kind = Redirect::DupOut;
+            r.dupFd = std::atoi(cur().word.raw().c_str());
+            c.redirs.push_back(r);
+            pos_++;
+            return true;
+        }
+        err = "not a redirect";
+        return false;
+    }
+
+    bool
+    parseCommand(Command &out, std::string &err)
+    {
+        if (isOp("(")) {
+            pos_++;
+            auto sub = std::make_shared<List>();
+            if (!parseList(*sub, err, true))
+                return false;
+            if (!isOp(")")) {
+                err = "missing ')'";
+                return false;
+            }
+            pos_++;
+            out.subshell = sub;
+            // trailing redirects on the subshell
+            while (isOp("<") || isOp(">") || isOp(">>") || isOp(">&")) {
+                if (!parseRedirect(out, err))
+                    return false;
+            }
+            return true;
+        }
+
+        bool saw_any = false;
+        bool words_started = false;
+        for (;;) {
+            if (cur().type == Token::WordTok) {
+                Word w = cur().word;
+                // fd-prefixed redirect: word "2" followed by > or >&.
+                std::string raw = w.raw();
+                if (!raw.empty() && raw.size() == 1 && isdigit(raw[0]) &&
+                    pos_ + 1 < toks_.size() &&
+                    toks_[pos_ + 1].type == Token::Op &&
+                    (toks_[pos_ + 1].op == ">" ||
+                     toks_[pos_ + 1].op == ">>" ||
+                     toks_[pos_ + 1].op == ">&" ||
+                     toks_[pos_ + 1].op == "<")) {
+                    int fd = raw[0] - '0';
+                    pos_++; // consume the fd word
+                    Command tmp;
+                    if (!parseRedirect(tmp, err))
+                        return false;
+                    tmp.redirs.back().fd = fd;
+                    out.redirs.push_back(tmp.redirs.back());
+                    saw_any = true;
+                    continue;
+                }
+                // Assignment? NAME=value before any word.
+                auto eq = raw.find('=');
+                bool assignable = !words_started && eq != std::string::npos &&
+                                  eq > 0;
+                if (assignable) {
+                    for (size_t i = 0; i < eq; i++) {
+                        char ch = raw[i];
+                        if (!isalnum(ch) && ch != '_')
+                            assignable = false;
+                    }
+                    // "NAME=" must sit inside an unquoted first segment.
+                    if (w.segments.empty() ||
+                        w.segments[0].quote != Segment::None ||
+                        w.segments[0].text.size() < eq + 1)
+                        assignable = false;
+                }
+                if (assignable) {
+                    std::string name = raw.substr(0, eq);
+                    Word val;
+                    std::string rest0 = w.segments[0].text.substr(eq + 1);
+                    if (!rest0.empty())
+                        val.segments.push_back(
+                            Segment{rest0, Segment::None});
+                    for (size_t i = 1; i < w.segments.size(); i++)
+                        val.segments.push_back(w.segments[i]);
+                    out.assigns.emplace_back(name, std::move(val));
+                    pos_++;
+                    saw_any = true;
+                    continue;
+                }
+                out.words.push_back(std::move(w));
+                words_started = true;
+                saw_any = true;
+                pos_++;
+                continue;
+            }
+            if (isOp("<") || isOp(">") || isOp(">>") || isOp(">&")) {
+                if (!parseRedirect(out, err))
+                    return false;
+                saw_any = true;
+                continue;
+            }
+            break;
+        }
+        if (!saw_any) {
+            err = "expected a command";
+            return false;
+        }
+        return true;
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseScript(const std::string &src, List &out, std::string &err)
+{
+    Lexer lexer(src);
+    std::vector<Token> toks;
+    if (!lexer.lex(toks, err))
+        return false;
+    Parser parser(std::move(toks));
+    return parser.parse(out, err);
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &name)
+{
+    size_t p = 0, n = 0;
+    size_t star_p = std::string::npos, star_n = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == name[n] || pattern[p] == '?')) {
+            p++;
+            n++;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star_p = p++;
+            star_n = n;
+        } else if (star_p != std::string::npos) {
+            p = star_p + 1;
+            n = ++star_n;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        p++;
+    return p == pattern.size();
+}
+
+bool
+hasGlobChars(const Word &w)
+{
+    for (const auto &seg : w.segments) {
+        if (seg.quote != Segment::None)
+            continue;
+        if (seg.text.find('*') != std::string::npos ||
+            seg.text.find('?') != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace sh
+} // namespace apps
+} // namespace browsix

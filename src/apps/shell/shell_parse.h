@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shell lexer and parser (the dash-equivalent's front end, §5.1.2).
+ *
+ * Grammar (POSIX subset):
+ *   list     := pipeline ((';' | '&' | '&&' | '||' | '\n') pipeline)*
+ *   pipeline := command ('|' command)*
+ *   command  := assignment* word* redirect*  |  '(' list ')' redirect*
+ *
+ * Words carry their quoting so the executor can apply parameter
+ * expansion, field splitting, and globbing with the right rules. The
+ * parser is pure (no kernel dependencies) and heavily unit-tested.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace browsix {
+namespace apps {
+namespace sh {
+
+/** A quoted or unquoted run of characters within a word. */
+struct Segment
+{
+    std::string text;
+    enum Quote { None, Single, Double } quote = None;
+};
+
+struct Word
+{
+    std::vector<Segment> segments;
+
+    /** The raw (unexpanded) text, for diagnostics. */
+    std::string raw() const;
+};
+
+struct Redirect
+{
+    int fd = -1; ///< -1 = default for the kind (0 for <, 1 for >)
+    enum Kind { In, Out, Append, DupOut } kind = Out;
+    Word target;   ///< file target (In/Out/Append)
+    int dupFd = 1; ///< for DupOut (e.g. 2>&1)
+};
+
+struct List;
+
+struct Command
+{
+    std::vector<std::pair<std::string, Word>> assigns;
+    std::vector<Word> words;
+    std::vector<Redirect> redirs;
+    std::shared_ptr<List> subshell; ///< set for '(' list ')'
+};
+
+struct Pipeline
+{
+    std::vector<Command> commands;
+};
+
+enum class SeqOp { Seq, Background, And, Or };
+
+struct List
+{
+    /** Each pipeline paired with the operator *following* it. */
+    std::vector<std::pair<Pipeline, SeqOp>> items;
+};
+
+/** Parse a script; returns false with a message on syntax errors. */
+bool parseScript(const std::string &src, List &out, std::string &err);
+
+/** Glob matching: '*' and '?' (no character classes). */
+bool globMatch(const std::string &pattern, const std::string &name);
+
+/** True if the word could glob (contains unquoted * or ?). */
+bool hasGlobChars(const Word &w);
+
+} // namespace sh
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The filesystem backend interface (BrowserFS's FileSystem analogue).
+ *
+ * A backend serves one mounted subtree; paths passed to it are normalized,
+ * absolute within the mount ("/" is the mount root). Implementations may
+ * complete callbacks inline (in-memory) or later via an event loop (HTTP).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bfs/types.h"
+
+namespace browsix {
+namespace bfs {
+
+/**
+ * An open file supporting positional I/O; the kernel's file-descriptor
+ * objects wrap one of these plus a cursor.
+ */
+class OpenFile
+{
+  public:
+    virtual ~OpenFile() = default;
+
+    /** Read up to len bytes at offset; short data at EOF, empty at/after. */
+    virtual void pread(uint64_t off, size_t len, DataCb cb) = 0;
+
+    /** Write len bytes at offset, extending the file as needed. */
+    virtual void pwrite(uint64_t off, const uint8_t *data, size_t len,
+                        SizeCb cb) = 0;
+
+    virtual void fstat(StatCb cb) = 0;
+
+    virtual void ftruncate(uint64_t size, ErrCb cb) = 0;
+
+    /** Release backend resources; further I/O is a bug. */
+    virtual void close() {}
+};
+
+using OpenFilePtr = std::shared_ptr<OpenFile>;
+using OpenCb = std::function<void(int err, OpenFilePtr)>;
+
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual std::string name() const = 0;
+    virtual bool readOnly() const { return false; }
+
+    /// Follows no symlinks itself; the VFS layer resolves them.
+    virtual void stat(const std::string &path, StatCb cb) = 0;
+
+    virtual void open(const std::string &path, int oflags, uint32_t mode,
+                      OpenCb cb) = 0;
+
+    virtual void readdir(const std::string &path, DirCb cb) = 0;
+
+    virtual void mkdir(const std::string &path, uint32_t mode, ErrCb cb) = 0;
+    virtual void rmdir(const std::string &path, ErrCb cb) = 0;
+    virtual void unlink(const std::string &path, ErrCb cb) = 0;
+    virtual void rename(const std::string &from, const std::string &to,
+                        ErrCb cb) = 0;
+
+    virtual void readlink(const std::string &path, StrCb cb)
+    {
+        (void)path;
+        cb(EINVAL, "");
+    }
+    virtual void symlink(const std::string &target, const std::string &path,
+                         ErrCb cb)
+    {
+        (void)target;
+        (void)path;
+        cb(EPERM);
+    }
+
+    virtual void utimes(const std::string &path, int64_t atime_us,
+                        int64_t mtime_us, ErrCb cb)
+    {
+        (void)path;
+        (void)atime_us;
+        (void)mtime_us;
+        cb(0);
+    }
+};
+
+using BackendPtr = std::shared_ptr<Backend>;
+
+} // namespace bfs
+} // namespace browsix

@@ -1,0 +1,264 @@
+#include "bfs/http_backend.h"
+
+#include <algorithm>
+
+#include "bfs/path.h"
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace bfs {
+
+void
+HttpStore::put(const std::string &path, Buffer data)
+{
+    files_[normalizePath(path)] = std::make_shared<Buffer>(std::move(data));
+}
+
+void
+HttpStore::put(const std::string &path, const std::string &data)
+{
+    put(path, Buffer(data.begin(), data.end()));
+}
+
+BufferPtr
+HttpStore::get(const std::string &path) const
+{
+    auto it = files_.find(normalizePath(path));
+    return it == files_.end() ? nullptr : it->second;
+}
+
+bool
+HttpStore::has(const std::string &path) const
+{
+    return files_.count(normalizePath(path)) > 0;
+}
+
+size_t
+HttpStore::indexBytes() const
+{
+    size_t n = 0;
+    for (const auto &[path, data] : files_)
+        n += path.size() + 16; // path + size/type metadata per entry
+    return n;
+}
+
+size_t
+HttpStore::totalBytes() const
+{
+    size_t n = 0;
+    for (const auto &[path, data] : files_)
+        n += data->size();
+    return n;
+}
+
+BufferPtr
+BrowserHttpCache::get(const std::string &url)
+{
+    auto it = entries_.find(url);
+    if (it == entries_.end()) {
+        misses++;
+        return nullptr;
+    }
+    hits++;
+    return it->second;
+}
+
+void
+BrowserHttpCache::put(const std::string &url, BufferPtr data)
+{
+    entries_[url] = std::move(data);
+}
+
+void
+BrowserHttpCache::clear()
+{
+    entries_.clear();
+}
+
+HttpBackend::HttpBackend(HttpStorePtr store, BrowserHttpCachePtr cache,
+                         jsvm::EventLoop *loop, NetworkParams net)
+    : store_(std::move(store)), cache_(std::move(cache)), loop_(loop),
+      net_(net)
+{
+}
+
+void
+HttpBackend::defer(int64_t delay_us, std::function<void()> fn)
+{
+    if (loop_ == nullptr) {
+        fn();
+        return;
+    }
+    if (delay_us <= 0)
+        loop_->post(std::move(fn));
+    else
+        loop_->setTimeout(std::move(fn), delay_us);
+}
+
+void
+HttpBackend::ensureIndex(std::function<void()> done)
+{
+    if (indexLoaded_) {
+        done();
+        return;
+    }
+    size_t bytes = store_->indexBytes();
+    fetches_++;
+    bytesFetched_ += bytes;
+    defer(net_.transferUs(bytes), [this, done = std::move(done)]() {
+        if (!indexLoaded_) {
+            for (const auto &[path, data] : store_->files()) {
+                fileSizes_[path] = data->size();
+                for (std::string d = dirname(path); ; d = dirname(d)) {
+                    dirs_.insert(d);
+                    if (d == "/")
+                        break;
+                }
+            }
+            dirs_.insert("/");
+            indexLoaded_ = true;
+        }
+        done();
+    });
+}
+
+void
+HttpBackend::fetch(const std::string &path, DataCb cb)
+{
+    if (BufferPtr cached = cache_->get("httpfs:" + path)) {
+        cb(0, cached);
+        return;
+    }
+    BufferPtr data = store_->get(path);
+    if (!data) {
+        cb(ENOENT, nullptr);
+        return;
+    }
+    fetches_++;
+    bytesFetched_ += data->size();
+    defer(net_.transferUs(data->size()),
+          [this, path, data, cb = std::move(cb)]() {
+              cache_->put("httpfs:" + path, data);
+              cb(0, data);
+          });
+}
+
+void
+HttpBackend::stat(const std::string &path, StatCb cb)
+{
+    ensureIndex([this, path = normalizePath(path), cb = std::move(cb)]() {
+        auto fit = fileSizes_.find(path);
+        if (fit != fileSizes_.end()) {
+            Stat st;
+            st.type = FileType::Regular;
+            st.size = fit->second;
+            st.mode = 0444;
+            st.ino = std::hash<std::string>{}(path) | 1;
+            cb(0, st);
+            return;
+        }
+        if (dirs_.count(path)) {
+            Stat st;
+            st.type = FileType::Directory;
+            st.mode = 0555;
+            st.ino = std::hash<std::string>{}(path) | 1;
+            cb(0, st);
+            return;
+        }
+        cb(ENOENT, Stat{});
+    });
+}
+
+namespace {
+
+/** Read-only view over fetched bytes. */
+class HttpOpenFile : public OpenFile
+{
+  public:
+    explicit HttpOpenFile(BufferPtr data) : data_(std::move(data)) {}
+
+    void
+    pread(uint64_t off, size_t len, DataCb cb) override
+    {
+        auto out = std::make_shared<Buffer>();
+        if (off < data_->size()) {
+            size_t n = std::min<uint64_t>(len, data_->size() - off);
+            out->assign(data_->begin() + off, data_->begin() + off + n);
+        }
+        cb(0, std::move(out));
+    }
+
+    void
+    pwrite(uint64_t, const uint8_t *, size_t, SizeCb cb) override
+    {
+        cb(EROFS, 0);
+    }
+
+    void
+    fstat(StatCb cb) override
+    {
+        Stat st;
+        st.type = FileType::Regular;
+        st.size = data_->size();
+        st.mode = 0444;
+        cb(0, st);
+    }
+
+    void ftruncate(uint64_t, ErrCb cb) override { cb(EROFS); }
+
+  private:
+    BufferPtr data_;
+};
+
+} // namespace
+
+void
+HttpBackend::open(const std::string &path, int oflags, uint32_t, OpenCb cb)
+{
+    if (flags::wantsWrite(oflags) || (oflags & flags::CREAT)) {
+        cb(EROFS, nullptr);
+        return;
+    }
+    ensureIndex([this, path = normalizePath(path), cb = std::move(cb)]() {
+        if (dirs_.count(path) && !fileSizes_.count(path)) {
+            cb(EISDIR, nullptr);
+            return;
+        }
+        fetch(path, [cb](int err, BufferPtr data) {
+            if (err) {
+                cb(err, nullptr);
+                return;
+            }
+            cb(0, std::make_shared<HttpOpenFile>(std::move(data)));
+        });
+    });
+}
+
+void
+HttpBackend::readdir(const std::string &path, DirCb cb)
+{
+    ensureIndex([this, path = normalizePath(path), cb = std::move(cb)]() {
+        if (!dirs_.count(path)) {
+            cb(fileSizes_.count(path) ? ENOTDIR : ENOENT, {});
+            return;
+        }
+        std::vector<DirEntry> out;
+        std::set<std::string> seen;
+        auto addChild = [&](const std::string &p, FileType type) {
+            if (dirname(p) != path)
+                return;
+            std::string leaf = basename(p);
+            if (seen.insert(leaf).second)
+                out.push_back(DirEntry{leaf, type, 0});
+        };
+        for (const auto &[p, sz] : fileSizes_)
+            addChild(p, FileType::Regular);
+        for (const auto &d : dirs_)
+            if (d != "/")
+                addChild(d, FileType::Directory);
+        cb(0, std::move(out));
+    });
+}
+
+} // namespace bfs
+} // namespace browsix

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Read-only HTTP-backed filesystem (BrowserFS XmlHttpRequest analogue).
+ *
+ * The paper stages a full TeX Live tree on an HTTP server and lets the
+ * filesystem pull files lazily on first access; the browser then caches
+ * them, making subsequent accesses instantaneous (§2.2, §3.6).
+ *
+ * Here HttpStore plays the remote server, BrowserHttpCache the browser's
+ * HTTP cache, and fetch latency (RTT + size/bandwidth) is scheduled on the
+ * main event loop. A directory index (the listing file BrowserFS downloads
+ * at mount time) is fetched lazily on first use.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bfs/backend.h"
+#include "jsvm/event_loop.h"
+
+namespace browsix {
+namespace bfs {
+
+/** The remote HTTP server's document tree. */
+class HttpStore
+{
+  public:
+    void put(const std::string &path, Buffer data);
+    void put(const std::string &path, const std::string &data);
+
+    BufferPtr get(const std::string &path) const;
+    bool has(const std::string &path) const;
+    const std::map<std::string, BufferPtr> &files() const { return files_; }
+
+    /** Serialized listing size (what the index fetch transfers). */
+    size_t indexBytes() const;
+    size_t totalBytes() const;
+
+  private:
+    std::map<std::string, BufferPtr> files_; // normalized path -> data
+};
+
+using HttpStorePtr = std::shared_ptr<HttpStore>;
+
+/** The browser's HTTP cache, shared across backends / kernel boots. */
+class BrowserHttpCache
+{
+  public:
+    BufferPtr get(const std::string &url);
+    void put(const std::string &url, BufferPtr data);
+    void clear();
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+  private:
+    std::map<std::string, BufferPtr> entries_;
+};
+
+using BrowserHttpCachePtr = std::shared_ptr<BrowserHttpCache>;
+
+struct NetworkParams
+{
+    int64_t rttUs = 0;               ///< per-request round-trip latency
+    double bytesPerUs = 0;           ///< link bandwidth; 0 = infinite
+    int64_t transferUs(size_t bytes) const
+    {
+        return rttUs + (bytesPerUs > 0
+                            ? static_cast<int64_t>(bytes / bytesPerUs)
+                            : 0);
+    }
+};
+
+class HttpBackend : public Backend
+{
+  public:
+    /**
+     * @param loop completion scheduling; nullptr completes inline with no
+     *             latency (useful for native-baseline runs and tests).
+     */
+    HttpBackend(HttpStorePtr store, BrowserHttpCachePtr cache,
+                jsvm::EventLoop *loop, NetworkParams net);
+
+    std::string name() const override { return "http"; }
+    bool readOnly() const override { return true; }
+
+    void stat(const std::string &path, StatCb cb) override;
+    void open(const std::string &path, int oflags, uint32_t mode,
+              OpenCb cb) override;
+    void readdir(const std::string &path, DirCb cb) override;
+    void mkdir(const std::string &, uint32_t, ErrCb cb) override { cb(EROFS); }
+    void rmdir(const std::string &, ErrCb cb) override { cb(EROFS); }
+    void unlink(const std::string &, ErrCb cb) override { cb(EROFS); }
+    void rename(const std::string &, const std::string &, ErrCb cb) override
+    {
+        cb(EROFS);
+    }
+
+    /// Experiment counters.
+    uint64_t fetchCount() const { return fetches_; }
+    uint64_t bytesFetched() const { return bytesFetched_; }
+
+  private:
+    void ensureIndex(std::function<void()> done);
+    void fetch(const std::string &path, DataCb cb);
+    void defer(int64_t delay_us, std::function<void()> fn);
+
+    HttpStorePtr store_;
+    BrowserHttpCachePtr cache_;
+    jsvm::EventLoop *loop_;
+    NetworkParams net_;
+
+    bool indexLoaded_ = false;
+    std::set<std::string> dirs_;                 // known directories
+    std::map<std::string, size_t> fileSizes_;    // from the index
+    uint64_t fetches_ = 0;
+    uint64_t bytesFetched_ = 0;
+};
+
+} // namespace bfs
+} // namespace browsix

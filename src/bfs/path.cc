@@ -1,0 +1,94 @@
+#include "bfs/path.h"
+
+#include <sstream>
+
+namespace browsix {
+namespace bfs {
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/') {
+            if (!cur.empty()) {
+                parts.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    return parts;
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> stack;
+    for (const auto &part : splitPath(path)) {
+        if (part == ".")
+            continue;
+        if (part == "..") {
+            if (!stack.empty())
+                stack.pop_back();
+            continue; // ".." at the root stays at the root
+        }
+        stack.push_back(part);
+    }
+    if (stack.empty())
+        return "/";
+    std::string out;
+    for (const auto &part : stack) {
+        out += '/';
+        out += part;
+    }
+    return out;
+}
+
+std::string
+joinPath(const std::string &base, const std::string &rhs)
+{
+    if (!rhs.empty() && rhs[0] == '/')
+        return normalizePath(rhs);
+    return normalizePath(base + "/" + rhs);
+}
+
+std::string
+dirname(const std::string &path)
+{
+    std::string p = normalizePath(path);
+    auto pos = p.find_last_of('/');
+    if (pos == std::string::npos || pos == 0)
+        return "/";
+    return p.substr(0, pos);
+}
+
+std::string
+basename(const std::string &path)
+{
+    std::string p = normalizePath(path);
+    if (p == "/")
+        return "";
+    auto pos = p.find_last_of('/');
+    return p.substr(pos + 1);
+}
+
+bool
+pathHasPrefix(const std::string &path, const std::string &prefix)
+{
+    std::string p = normalizePath(path);
+    std::string pre = normalizePath(prefix);
+    if (pre == "/")
+        return true;
+    if (p == pre)
+        return true;
+    return p.size() > pre.size() && p.compare(0, pre.size(), pre) == 0 &&
+           p[pre.size()] == '/';
+}
+
+} // namespace bfs
+} // namespace browsix

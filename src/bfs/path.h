@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Path manipulation helpers (normalize, join, split, dirname/basename).
+ *
+ * All VFS-visible paths are absolute, '/'-separated, normalized (no ".",
+ * "..", doubled or trailing slashes except the root itself).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace browsix {
+namespace bfs {
+
+/** Split a path into its non-empty components. */
+std::vector<std::string> splitPath(const std::string &path);
+
+/** Normalize to an absolute path; ".." never escapes the root. */
+std::string normalizePath(const std::string &path);
+
+/** Join and normalize. If rhs is absolute it wins (like POSIX resolution). */
+std::string joinPath(const std::string &base, const std::string &rhs);
+
+/** Everything before the final component ("/" for top-level paths). */
+std::string dirname(const std::string &path);
+
+/** The final component ("" for the root). */
+std::string basename(const std::string &path);
+
+/** True if `path` equals `prefix` or is inside it. */
+bool pathHasPrefix(const std::string &path, const std::string &prefix);
+
+} // namespace bfs
+} // namespace browsix

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared filesystem types for the BrowserFS-equivalent layer.
+ *
+ * All backend operations are callback-based (BrowserFS's own convention,
+ * which also matches Node.js fs). Errors are positive errno values; 0 is
+ * success. The kernel's syscall layer converts these to -errno returns.
+ */
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace browsix {
+namespace bfs {
+
+enum class FileType { Regular, Directory, Symlink };
+
+struct Stat
+{
+    FileType type = FileType::Regular;
+    uint64_t size = 0;
+    uint64_t ino = 0;
+    uint32_t mode = 0644; ///< permission bits only; type is in `type`
+    uint32_t nlink = 1;
+    int64_t atimeUs = 0;
+    int64_t mtimeUs = 0;
+    int64_t ctimeUs = 0;
+
+    bool isDir() const { return type == FileType::Directory; }
+    bool isFile() const { return type == FileType::Regular; }
+    bool isSymlink() const { return type == FileType::Symlink; }
+};
+
+struct DirEntry
+{
+    std::string name;
+    FileType type = FileType::Regular;
+    uint64_t ino = 0;
+};
+
+using Buffer = std::vector<uint8_t>;
+using BufferPtr = std::shared_ptr<Buffer>;
+
+using ErrCb = std::function<void(int err)>;
+using StatCb = std::function<void(int err, const Stat &)>;
+using DataCb = std::function<void(int err, BufferPtr data)>;
+using SizeCb = std::function<void(int err, size_t n)>;
+using DirCb = std::function<void(int err, std::vector<DirEntry>)>;
+using StrCb = std::function<void(int err, const std::string &)>;
+
+/// Open flags (Linux numeric values, for syscall-layer fidelity).
+namespace flags {
+constexpr int RDONLY = 0;
+constexpr int WRONLY = 01;
+constexpr int RDWR = 02;
+constexpr int CREAT = 0100;
+constexpr int EXCL = 0200;
+constexpr int TRUNC = 01000;
+constexpr int APPEND = 02000;
+
+inline bool wantsWrite(int f) { return (f & 03) != RDONLY; }
+inline bool wantsRead(int f) { return (f & 03) != WRONLY; }
+} // namespace flags
+
+/** Allocate a process-unique inode number. */
+uint64_t nextIno();
+
+} // namespace bfs
+} // namespace browsix

@@ -1,0 +1,333 @@
+#include "bfs/vfs.h"
+
+#include <algorithm>
+
+#include "bfs/path.h"
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace bfs {
+
+void
+Vfs::mount(const std::string &prefix, BackendPtr backend)
+{
+    Mount m{normalizePath(prefix), std::move(backend)};
+    mounts_.push_back(std::move(m));
+    std::sort(mounts_.begin(), mounts_.end(),
+              [](const Mount &a, const Mount &b) {
+                  return a.prefix.size() > b.prefix.size();
+              });
+}
+
+Vfs::Resolved
+Vfs::resolve(const std::string &path) const
+{
+    std::string norm = normalizePath(path);
+    for (const auto &m : mounts_) {
+        if (!pathHasPrefix(norm, m.prefix))
+            continue;
+        Resolved r;
+        r.backend = m.backend.get();
+        r.full = norm;
+        if (m.prefix == "/")
+            r.sub = norm;
+        else if (norm == m.prefix)
+            r.sub = "/";
+        else
+            r.sub = norm.substr(m.prefix.size());
+        return r;
+    }
+    return Resolved{};
+}
+
+void
+Vfs::followLinks(const std::string &path, int depth,
+                 std::function<void(int err, Resolved)> done)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        done(ENOENT, std::move(r));
+        return;
+    }
+    if (depth > 10) {
+        done(ELOOP, std::move(r));
+        return;
+    }
+    r.backend->stat(r.sub, [this, r, depth, done](int err, const Stat &st) {
+        if (err != 0 || !st.isSymlink()) {
+            // Missing paths resolve to themselves: open(CREAT) needs that.
+            done(0, r);
+            return;
+        }
+        r.backend->readlink(r.sub, [this, r, depth,
+                                    done](int lerr, const std::string &t) {
+            if (lerr) {
+                done(lerr, r);
+                return;
+            }
+            std::string next = joinPath(dirname(r.full), t);
+            followLinks(next, depth + 1, done);
+        });
+    });
+}
+
+void
+Vfs::stat(const std::string &path, StatCb cb)
+{
+    followLinks(path, 0, [cb](int err, Resolved r) {
+        if (err) {
+            cb(err, Stat{});
+            return;
+        }
+        r.backend->stat(r.sub, cb);
+    });
+}
+
+void
+Vfs::lstat(const std::string &path, StatCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT, Stat{});
+        return;
+    }
+    r.backend->stat(r.sub, cb);
+}
+
+void
+Vfs::open(const std::string &path, int oflags, uint32_t mode, OpenCb cb)
+{
+    followLinks(path, 0, [oflags, mode, cb](int err, Resolved r) {
+        if (err) {
+            cb(err, nullptr);
+            return;
+        }
+        r.backend->open(r.sub, oflags, mode, cb);
+    });
+}
+
+void
+Vfs::readdir(const std::string &path, DirCb cb)
+{
+    followLinks(path, 0, [this, cb](int err, Resolved r) {
+        if (err) {
+            cb(err, {});
+            return;
+        }
+        r.backend->readdir(r.sub, [this, r, cb](int derr,
+                                                std::vector<DirEntry> out) {
+            if (derr) {
+                cb(derr, {});
+                return;
+            }
+            // Submounts appear as directories in their parent.
+            for (const auto &m : mounts_) {
+                if (m.prefix != "/" && dirname(m.prefix) == r.full) {
+                    std::string leaf = basename(m.prefix);
+                    bool dup = false;
+                    for (auto &e : out)
+                        if (e.name == leaf)
+                            dup = true;
+                    if (!dup)
+                        out.push_back(
+                            DirEntry{leaf, FileType::Directory, 0});
+                }
+            }
+            cb(0, std::move(out));
+        });
+    });
+}
+
+void
+Vfs::mkdir(const std::string &path, uint32_t mode, ErrCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT);
+        return;
+    }
+    r.backend->mkdir(r.sub, mode, cb);
+}
+
+void
+Vfs::rmdir(const std::string &path, ErrCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT);
+        return;
+    }
+    r.backend->rmdir(r.sub, cb);
+}
+
+void
+Vfs::unlink(const std::string &path, ErrCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT);
+        return;
+    }
+    r.backend->unlink(r.sub, cb);
+}
+
+void
+Vfs::rename(const std::string &from, const std::string &to, ErrCb cb)
+{
+    Resolved rf = resolve(from);
+    Resolved rt = resolve(to);
+    if (!rf.backend || !rt.backend) {
+        cb(ENOENT);
+        return;
+    }
+    if (rf.backend != rt.backend) {
+        cb(EXDEV);
+        return;
+    }
+    rf.backend->rename(rf.sub, rt.sub, cb);
+}
+
+void
+Vfs::readlink(const std::string &path, StrCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT, "");
+        return;
+    }
+    r.backend->readlink(r.sub, cb);
+}
+
+void
+Vfs::symlink(const std::string &target, const std::string &path, ErrCb cb)
+{
+    Resolved r = resolve(path);
+    if (!r.backend) {
+        cb(ENOENT);
+        return;
+    }
+    r.backend->symlink(target, r.sub, cb);
+}
+
+void
+Vfs::utimes(const std::string &path, int64_t atime_us, int64_t mtime_us,
+            ErrCb cb)
+{
+    followLinks(path, 0, [atime_us, mtime_us, cb](int err, Resolved r) {
+        if (err) {
+            cb(err);
+            return;
+        }
+        r.backend->utimes(r.sub, atime_us, mtime_us, cb);
+    });
+}
+
+void
+Vfs::access(const std::string &path, int, ErrCb cb)
+{
+    // No users / permission checks (§3.1): access is an existence test.
+    stat(path, [cb](int err, const Stat &) { cb(err); });
+}
+
+void
+Vfs::readFile(const std::string &path, DataCb cb)
+{
+    open(path, flags::RDONLY, 0, [cb](int err, OpenFilePtr f) {
+        if (err) {
+            cb(err, nullptr);
+            return;
+        }
+        f->fstat([f, cb](int serr, const Stat &st) {
+            if (serr) {
+                cb(serr, nullptr);
+                return;
+            }
+            f->pread(0, st.size, [f, cb](int rerr, BufferPtr data) {
+                cb(rerr, std::move(data));
+            });
+        });
+    });
+}
+
+void
+Vfs::writeFile(const std::string &path, Buffer data, ErrCb cb)
+{
+    open(path, flags::CREAT | flags::TRUNC | flags::WRONLY, 0644,
+         [data = std::move(data), cb](int err, OpenFilePtr f) {
+             if (err) {
+                 cb(err);
+                 return;
+             }
+             f->pwrite(0, data.data(), data.size(),
+                       [f, cb](int werr, size_t) { cb(werr); });
+         });
+}
+
+namespace {
+
+/** Helper for the *Sync wrappers: panics when a backend defers. */
+template <typename T>
+T
+mustComplete(bool completed, T result, const char *what)
+{
+    if (!completed)
+        jsvm::panic(std::string("Vfs: ") + what +
+                    " would block (async backend); use the callback API");
+    return result;
+}
+
+} // namespace
+
+int
+Vfs::statSync(const std::string &path, Stat &out)
+{
+    bool done = false;
+    int result = 0;
+    stat(path, [&](int err, const Stat &st) {
+        done = true;
+        result = err;
+        out = st;
+    });
+    return mustComplete(done, result, "statSync");
+}
+
+int
+Vfs::readFileSync(const std::string &path, Buffer &out)
+{
+    bool done = false;
+    int result = 0;
+    readFile(path, [&](int err, BufferPtr data) {
+        done = true;
+        result = err;
+        if (data)
+            out = *data;
+    });
+    return mustComplete(done, result, "readFileSync");
+}
+
+int
+Vfs::writeFileSync(const std::string &path, const std::string &data)
+{
+    bool done = false;
+    int result = 0;
+    writeFile(path, Buffer(data.begin(), data.end()), [&](int err) {
+        done = true;
+        result = err;
+    });
+    return mustComplete(done, result, "writeFileSync");
+}
+
+int
+Vfs::mkdirSync(const std::string &path)
+{
+    bool done = false;
+    int result = 0;
+    mkdir(path, 0755, [&](int err) {
+        done = true;
+        result = err;
+    });
+    return mustComplete(done, result, "mkdirSync");
+}
+
+} // namespace bfs
+} // namespace browsix

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The mountable virtual filesystem: BrowserFS's "MountableFileSystem".
+ *
+ * Multiple backends are mounted into one hierarchical namespace; the VFS
+ * resolves paths to (backend, subpath), follows symlinks for path-based
+ * operations (lstat excepted), and offers whole-file conveniences used by
+ * the kernel's exec path and by embedding applications.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bfs/backend.h"
+
+namespace browsix {
+namespace bfs {
+
+class Vfs
+{
+  public:
+    struct Mount
+    {
+        std::string prefix; // normalized; "/" for the root mount
+        BackendPtr backend;
+    };
+
+    /** Mount a backend; longer prefixes shadow shorter ones. */
+    void mount(const std::string &prefix, BackendPtr backend);
+
+    const std::vector<Mount> &mounts() const { return mounts_; }
+
+    // Path-based operations (symlinks followed unless noted).
+    void stat(const std::string &path, StatCb cb);
+    void lstat(const std::string &path, StatCb cb);
+    void open(const std::string &path, int oflags, uint32_t mode, OpenCb cb);
+    void readdir(const std::string &path, DirCb cb);
+    void mkdir(const std::string &path, uint32_t mode, ErrCb cb);
+    void rmdir(const std::string &path, ErrCb cb);
+    void unlink(const std::string &path, ErrCb cb);
+    void rename(const std::string &from, const std::string &to, ErrCb cb);
+    void readlink(const std::string &path, StrCb cb);
+    void symlink(const std::string &target, const std::string &path,
+                 ErrCb cb);
+    void utimes(const std::string &path, int64_t atime_us, int64_t mtime_us,
+                ErrCb cb);
+    void access(const std::string &path, int amode, ErrCb cb);
+
+    /** Read an entire file. */
+    void readFile(const std::string &path, DataCb cb);
+    /** Create/replace an entire file (parents must exist). */
+    void writeFile(const std::string &path, Buffer data, ErrCb cb);
+
+    // Synchronous conveniences: panic if the backend would block (they are
+    // intended for inline backends — staging, tests, embedder setup).
+    int statSync(const std::string &path, Stat &out);
+    int readFileSync(const std::string &path, Buffer &out);
+    int writeFileSync(const std::string &path, const std::string &data);
+    int mkdirSync(const std::string &path);
+
+  private:
+    struct Resolved
+    {
+        Backend *backend = nullptr;
+        std::string sub;    // path within the backend
+        std::string full;   // normalized full path
+    };
+
+    Resolved resolve(const std::string &path) const;
+
+    /**
+     * Follow leaf symlinks: calls done(finalResolved) after at most 10
+     * hops, or errCb on failure.
+     */
+    void followLinks(const std::string &path, int depth,
+                     std::function<void(int err, Resolved)> done);
+
+    std::vector<Mount> mounts_; // sorted by descending prefix length
+};
+
+using VfsPtr = std::shared_ptr<Vfs>;
+
+} // namespace bfs
+} // namespace browsix

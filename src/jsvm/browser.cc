@@ -1,0 +1,72 @@
+#include "jsvm/browser.h"
+
+#include <chrono>
+#include <thread>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace jsvm {
+
+Browser::Browser(BrowserProfile profile) : costs_(std::move(profile)) {}
+
+Browser::~Browser()
+{
+    terminateAll();
+}
+
+std::shared_ptr<Worker>
+Browser::createWorker(const std::string &url, Worker::Main main)
+{
+    auto script = blobs_.resolve(url);
+    if (!script)
+        panic("createWorker: unknown blob URL " + url);
+    costs_.chargeSpawn();
+    costs_.chargeParse(script->size());
+
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        id = nextWorkerId_++;
+    }
+    // Not make_shared: the constructor is private.
+    std::shared_ptr<Worker> w(new Worker(*this, id, script, std::move(main)));
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        workers_.push_back(w);
+    }
+    w->start();
+    return w;
+}
+
+bool
+Browser::runUntil(const std::function<bool()> &pred, int64_t timeout_ms)
+{
+    int64_t deadline = nowUs() + timeout_ms * 1000;
+    for (;;) {
+        mainLoop_.pump();
+        if (pred())
+            return true;
+        if (nowUs() >= deadline)
+            return false;
+        if (!mainLoop_.pumpOne(false))
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+void
+Browser::terminateAll()
+{
+    std::vector<std::weak_ptr<Worker>> workers;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        workers.swap(workers_);
+    }
+    for (auto &wp : workers) {
+        if (auto w = wp.lock())
+            w->terminate();
+    }
+}
+
+} // namespace jsvm
+} // namespace browsix

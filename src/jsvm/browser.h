@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The browser: the main JavaScript context plus the worker machinery.
+ *
+ * The Browsix kernel runs "in the main browser context" — i.e. on this
+ * object's main event loop, which the embedding application pumps (just as
+ * a web page yields to the browser's event loop).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "jsvm/blob.h"
+#include "jsvm/cost_model.h"
+#include "jsvm/event_loop.h"
+#include "jsvm/worker.h"
+
+namespace browsix {
+namespace jsvm {
+
+class Browser
+{
+  public:
+    explicit Browser(BrowserProfile profile = BrowserProfile::fast());
+    ~Browser();
+
+    EventLoop &mainLoop() { return mainLoop_; }
+    const CostModel &costs() const { return costs_; }
+    BlobRegistry &blobs() { return blobs_; }
+
+    /**
+     * Construct a Worker from a blob: URL (charging spawn + parse costs).
+     *
+     * @param url blob URL of the worker script (the executable's bytes).
+     * @param main the bootstrap run on the worker thread with the bytes.
+     */
+    std::shared_ptr<Worker> createWorker(const std::string &url,
+                                         Worker::Main main);
+
+    /**
+     * Pump the main loop on the calling thread until pred() holds.
+     *
+     * @return true if pred became true before timeout_ms elapsed.
+     */
+    bool runUntil(const std::function<bool()> &pred, int64_t timeout_ms = 30000);
+
+    /** Terminate all live workers (page unload). */
+    void terminateAll();
+
+  private:
+    CostModel costs_;
+    EventLoop mainLoop_;
+    BlobRegistry blobs_;
+
+    std::mutex mutex_;
+    uint64_t nextWorkerId_ = 1;
+    std::vector<std::weak_ptr<Worker>> workers_;
+};
+
+} // namespace jsvm
+} // namespace browsix

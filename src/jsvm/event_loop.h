@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A per-context event loop, the execution model of a JavaScript context.
+ *
+ * The main browser context and every Web Worker run one of these. Tasks
+ * posted from other threads model postMessage delivery; timers model
+ * setTimeout. A context never blocks except inside Atomics.wait.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace browsix {
+namespace jsvm {
+
+class EventLoop
+{
+  public:
+    using Task = std::function<void()>;
+
+    EventLoop() = default;
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Enqueue a task; thread-safe. */
+    void post(Task t);
+
+    /** Schedule a task after delay_us microseconds; returns a timer id. */
+    uint64_t setTimeout(Task t, int64_t delay_us);
+
+    /** Cancel a pending timer; no-op if already fired. */
+    void clearTimeout(uint64_t id);
+
+    /** Run tasks until stop() is called. */
+    void run();
+
+    /** Request run() to return; thread-safe. */
+    void stop();
+
+    /**
+     * Run a single task.
+     *
+     * @param wait block until a task is ready (or stop) when none pending.
+     * @return true if a task ran.
+     */
+    bool pumpOne(bool wait);
+
+    /** Drain all currently-ready tasks (and due timers); returns count. */
+    size_t pump();
+
+    /** True when no tasks are queued and no timers are pending. */
+    bool idle() const;
+
+    /** True once stop() has been called. */
+    bool stopped() const;
+
+    /** The loop currently executing on this thread, or nullptr. */
+    static EventLoop *current();
+
+  private:
+    struct Timer
+    {
+        int64_t due_us;
+        Task fn;
+    };
+
+    // Pop one ready task; with wait, blocks until ready/stopped.
+    bool takeTask(Task &out, bool wait);
+    void promoteDueTimersLocked(int64_t now);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Task> queue_;
+    std::map<uint64_t, Timer> timers_; // id -> timer; ids are monotonic
+    uint64_t nextTimerId_ = 1;
+    bool stopped_ = false;
+};
+
+} // namespace jsvm
+} // namespace browsix

@@ -1,0 +1,164 @@
+#include "jsvm/sab.h"
+
+#include <chrono>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace jsvm {
+
+void
+InterruptToken::interrupt()
+{
+    flag_.store(true, std::memory_order_release);
+    std::vector<std::pair<uint64_t, Waker>> wakers;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        wakers = wakers_;
+    }
+    for (auto &[id, w] : wakers)
+        w();
+}
+
+uint64_t
+InterruptToken::addWaker(Waker w)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    uint64_t id = nextId_++;
+    wakers_.emplace_back(id, std::move(w));
+    return id;
+}
+
+void
+InterruptToken::removeWaker(uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto it = wakers_.begin(); it != wakers_.end(); ++it) {
+        if (it->first == id) {
+            wakers_.erase(it);
+            return;
+        }
+    }
+}
+
+SharedArrayBuffer::SharedArrayBuffer(size_t bytes)
+    : bytes_(bytes), words_(new std::atomic<int32_t>[(bytes + 3) / 4])
+{
+    for (size_t i = 0; i < (bytes + 3) / 4; i++)
+        words_[i].store(0, std::memory_order_relaxed);
+}
+
+std::atomic<int32_t> &
+SharedArrayBuffer::cell(size_t byte_off)
+{
+    if (byte_off % 4 != 0 || byte_off + 4 > bytes_)
+        panic("SharedArrayBuffer: misaligned or out-of-range atomic access");
+    return words_[byte_off / 4];
+}
+
+int32_t
+Atomics::load(SharedArrayBuffer &sab, size_t byte_off)
+{
+    return sab.cell(byte_off).load(std::memory_order_seq_cst);
+}
+
+void
+Atomics::store(SharedArrayBuffer &sab, size_t byte_off, int32_t v)
+{
+    sab.cell(byte_off).store(v, std::memory_order_seq_cst);
+}
+
+int32_t
+Atomics::add(SharedArrayBuffer &sab, size_t byte_off, int32_t v)
+{
+    return sab.cell(byte_off).fetch_add(v, std::memory_order_seq_cst);
+}
+
+int32_t
+Atomics::compareExchange(SharedArrayBuffer &sab, size_t byte_off,
+                         int32_t expected, int32_t desired)
+{
+    int32_t e = expected;
+    sab.cell(byte_off).compare_exchange_strong(e, desired,
+                                               std::memory_order_seq_cst);
+    return e;
+}
+
+WaitResult
+Atomics::wait(SharedArrayBuffer &sab, size_t byte_off, int32_t expected,
+              int64_t timeout_us, InterruptToken *token)
+{
+    std::unique_lock<std::mutex> lk(sab.mutex_);
+    if (sab.cell(byte_off).load(std::memory_order_seq_cst) != expected)
+        return WaitResult::NotEqual;
+    if (token && token->interrupted())
+        return WaitResult::Interrupted;
+
+    SharedArrayBuffer::Waiter w{byte_off};
+    sab.waiters_.push_back(&w);
+
+    uint64_t waker_id = 0;
+    if (token) {
+        waker_id = token->addWaker([&sab, &w]() {
+            std::lock_guard<std::mutex> lk2(sab.mutex_);
+            w.interrupted = true;
+            sab.cv_.notify_all();
+        });
+    }
+
+    auto cleanup = [&]() {
+        sab.waiters_.remove(&w);
+        if (token) {
+            lk.unlock();
+            token->removeWaker(waker_id);
+            lk.lock();
+        }
+    };
+
+    int64_t deadline =
+        timeout_us < 0 ? -1 : nowUs() + timeout_us;
+    WaitResult result;
+    for (;;) {
+        if (w.woken) {
+            result = WaitResult::Ok;
+            break;
+        }
+        if (w.interrupted || (token && token->interrupted())) {
+            result = WaitResult::Interrupted;
+            break;
+        }
+        if (deadline >= 0) {
+            int64_t now = nowUs();
+            if (now >= deadline) {
+                result = WaitResult::TimedOut;
+                break;
+            }
+            sab.cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
+        } else {
+            sab.cv_.wait(lk);
+        }
+    }
+    cleanup();
+    return result;
+}
+
+int
+Atomics::notify(SharedArrayBuffer &sab, size_t byte_off, int count)
+{
+    std::lock_guard<std::mutex> lk(sab.mutex_);
+    int woken = 0;
+    for (auto *w : sab.waiters_) {
+        if (woken >= count)
+            break;
+        if (w->offset == byte_off && !w->woken) {
+            w->woken = true;
+            woken++;
+        }
+    }
+    if (woken > 0)
+        sab.cv_.notify_all();
+    return woken;
+}
+
+} // namespace jsvm
+} // namespace browsix

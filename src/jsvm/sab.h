@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SharedArrayBuffer and Atomics, per the ECMAScript Shared Memory and
+ * Atomics specification the paper relies on for synchronous system calls.
+ *
+ * A process performing a synchronous syscall sends a message to the kernel
+ * and then blocks in Atomics::wait on an agreed-upon word of its heap; the
+ * kernel writes return values into the heap and wakes it with
+ * Atomics::notify. InterruptToken models worker termination: terminating a
+ * worker wakes any Atomics.wait it is blocked in.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace browsix {
+namespace jsvm {
+
+/**
+ * Cooperative cancellation token owned by each Worker.
+ *
+ * Blocking primitives (Atomics::wait, runtime parking lots) register a
+ * waker; Worker::terminate() interrupts the token, which invokes all
+ * wakers so blocked threads can unwind.
+ */
+class InterruptToken
+{
+  public:
+    using Waker = std::function<void()>;
+
+    /** Mark interrupted and invoke all registered wakers. */
+    void interrupt();
+
+    bool interrupted() const { return flag_.load(std::memory_order_acquire); }
+
+    /** Register a waker; returns an id for removal. */
+    uint64_t addWaker(Waker w);
+    void removeWaker(uint64_t id);
+
+  private:
+    std::atomic<bool> flag_{false};
+    std::mutex mutex_;
+    uint64_t nextId_ = 1;
+    std::vector<std::pair<uint64_t, Waker>> wakers_;
+};
+
+/** Thrown inside a worker's threads when the worker has been terminated. */
+struct WorkerTerminated
+{
+};
+
+/**
+ * A byte buffer shared between contexts without copying.
+ *
+ * Structured clone passes these by reference; Atomics operate on aligned
+ * int32 cells within the buffer.
+ */
+class SharedArrayBuffer
+{
+  public:
+    explicit SharedArrayBuffer(size_t bytes);
+
+    uint8_t *data() { return reinterpret_cast<uint8_t *>(words_.get()); }
+    const uint8_t *data() const
+    {
+        return reinterpret_cast<const uint8_t *>(words_.get());
+    }
+    size_t size() const { return bytes_; }
+
+    /** The int32 cell at byte offset off (must be 4-aligned, in range). */
+    std::atomic<int32_t> &cell(size_t byte_off);
+
+  private:
+    friend class Atomics;
+
+    struct Waiter
+    {
+        size_t offset;
+        bool woken = false;
+        bool interrupted = false;
+    };
+
+    size_t bytes_;
+    std::unique_ptr<std::atomic<int32_t>[]> words_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::list<Waiter *> waiters_;
+};
+
+/** Result of Atomics::wait, mirroring the JS API ("ok"/"not-equal"/ ...). */
+enum class WaitResult { Ok, NotEqual, TimedOut, Interrupted };
+
+class Atomics
+{
+  public:
+    static int32_t load(SharedArrayBuffer &sab, size_t byte_off);
+    static void store(SharedArrayBuffer &sab, size_t byte_off, int32_t v);
+    static int32_t add(SharedArrayBuffer &sab, size_t byte_off, int32_t v);
+    static int32_t compareExchange(SharedArrayBuffer &sab, size_t byte_off,
+                                   int32_t expected, int32_t desired);
+
+    /**
+     * Block until notified on byte_off (or timeout / interruption).
+     *
+     * @param expected return NotEqual immediately unless cell == expected.
+     * @param timeout_us negative means wait forever.
+     * @param token optional; when interrupted, wait returns Interrupted.
+     */
+    static WaitResult wait(SharedArrayBuffer &sab, size_t byte_off,
+                           int32_t expected, int64_t timeout_us = -1,
+                           InterruptToken *token = nullptr);
+
+    /** Wake up to count waiters on byte_off; returns number woken. */
+    static int notify(SharedArrayBuffer &sab, size_t byte_off,
+                      int count = INT32_MAX);
+};
+
+} // namespace jsvm
+} // namespace browsix

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small shared helpers for the browser substrate: panic, wall-clock time.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace browsix {
+namespace jsvm {
+
+/** Abort the process with a message; used for "should never happen" bugs. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "browsix panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Monotonic clock in microseconds, used for timers and benchmarks. */
+inline int64_t
+nowUs()
+{
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+}
+
+} // namespace jsvm
+} // namespace browsix

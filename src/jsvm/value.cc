@@ -1,0 +1,263 @@
+#include "jsvm/value.h"
+
+#include <sstream>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace jsvm {
+
+namespace {
+const Value kUndefined{};
+} // namespace
+
+Value::Type
+Value::type() const
+{
+    switch (v_.index()) {
+      case 0: return Type::Undefined;
+      case 1: return Type::Null;
+      case 2: return Type::Bool;
+      case 3: return Type::Number;
+      case 4: return Type::String;
+      case 5: return Type::Bytes;
+      case 6: return Type::Shared;
+      case 7: return Type::Array;
+      case 8: return Type::Object;
+    }
+    panic("Value: corrupt variant");
+}
+
+bool
+Value::asBool() const
+{
+    if (auto *b = std::get_if<bool>(&v_))
+        return *b;
+    panic("Value: not a bool: " + toString());
+}
+
+double
+Value::asNumber() const
+{
+    if (auto *d = std::get_if<double>(&v_))
+        return *d;
+    panic("Value: not a number: " + toString());
+}
+
+const std::string &
+Value::asString() const
+{
+    if (auto *s = std::get_if<std::string>(&v_))
+        return *s;
+    panic("Value: not a string: " + toString());
+}
+
+const Value::BytesPtr &
+Value::asBytes() const
+{
+    if (auto *b = std::get_if<BytesPtr>(&v_))
+        return *b;
+    panic("Value: not bytes: " + toString());
+}
+
+const SabPtr &
+Value::asShared() const
+{
+    if (auto *s = std::get_if<SabPtr>(&v_))
+        return *s;
+    panic("Value: not a SharedArrayBuffer");
+}
+
+const Value::Array &
+Value::asArray() const
+{
+    if (auto *a = std::get_if<Array>(&v_))
+        return *a;
+    panic("Value: not an array: " + toString());
+}
+
+Value::Array &
+Value::asArray()
+{
+    if (auto *a = std::get_if<Array>(&v_))
+        return *a;
+    panic("Value: not an array");
+}
+
+const Value::Object &
+Value::asObject() const
+{
+    if (auto *o = std::get_if<Object>(&v_))
+        return *o;
+    panic("Value: not an object: " + toString());
+}
+
+Value::Object &
+Value::asObject()
+{
+    if (auto *o = std::get_if<Object>(&v_))
+        return *o;
+    panic("Value: not an object");
+}
+
+const Value &
+Value::get(const std::string &key) const
+{
+    if (auto *o = std::get_if<Object>(&v_)) {
+        auto it = o->find(key);
+        if (it != o->end())
+            return it->second;
+    }
+    return kUndefined;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (isUndefined())
+        v_ = Object{};
+    asObject()[key] = std::move(v);
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    if (auto *a = std::get_if<Array>(&v_)) {
+        if (i < a->size())
+            return (*a)[i];
+    }
+    return kUndefined;
+}
+
+void
+Value::push(Value v)
+{
+    if (isUndefined())
+        v_ = Array{};
+    asArray().push_back(std::move(v));
+}
+
+size_t
+Value::size() const
+{
+    if (auto *a = std::get_if<Array>(&v_))
+        return a->size();
+    if (auto *o = std::get_if<Object>(&v_))
+        return o->size();
+    if (auto *b = std::get_if<BytesPtr>(&v_))
+        return (*b) ? (*b)->size() : 0;
+    if (auto *s = std::get_if<std::string>(&v_))
+        return s->size();
+    return 0;
+}
+
+Value
+Value::clone() const
+{
+    switch (type()) {
+      case Type::Undefined:
+      case Type::Null:
+      case Type::Bool:
+      case Type::Number:
+      case Type::String:
+        return *this; // immutable reprs: value copy is a deep copy
+      case Type::Bytes: {
+        const auto &b = asBytes();
+        return b ? Value(std::make_shared<Bytes>(*b))
+                 : Value(BytesPtr{});
+      }
+      case Type::Shared:
+        return *this; // shared by reference, per spec
+      case Type::Array: {
+        Array out;
+        out.reserve(asArray().size());
+        for (const auto &v : asArray())
+            out.push_back(v.clone());
+        return Value(std::move(out));
+      }
+      case Type::Object: {
+        Object out;
+        for (const auto &[k, v] : asObject())
+            out.emplace(k, v.clone());
+        return Value(std::move(out));
+      }
+    }
+    panic("Value::clone: unreachable");
+}
+
+size_t
+Value::approxByteSize() const
+{
+    switch (type()) {
+      case Type::Undefined:
+      case Type::Null:
+      case Type::Bool:
+        return 1;
+      case Type::Number:
+        return 8;
+      case Type::String:
+        return asString().size() + 4;
+      case Type::Bytes:
+        return (asBytes() ? asBytes()->size() : 0) + 4;
+      case Type::Shared:
+        return 8; // a reference, not a copy
+      case Type::Array: {
+        size_t n = 4;
+        for (const auto &v : asArray())
+            n += v.approxByteSize();
+        return n;
+      }
+      case Type::Object: {
+        size_t n = 4;
+        for (const auto &[k, v] : asObject())
+            n += k.size() + v.approxByteSize();
+        return n;
+      }
+    }
+    return 0;
+}
+
+std::string
+Value::toString() const
+{
+    std::ostringstream os;
+    switch (type()) {
+      case Type::Undefined: os << "undefined"; break;
+      case Type::Null: os << "null"; break;
+      case Type::Bool: os << (asBool() ? "true" : "false"); break;
+      case Type::Number: os << asNumber(); break;
+      case Type::String: os << '"' << asString() << '"'; break;
+      case Type::Bytes:
+        os << "<bytes:" << (asBytes() ? asBytes()->size() : 0) << ">";
+        break;
+      case Type::Shared: os << "<sab>"; break;
+      case Type::Array: {
+        os << "[";
+        bool first = true;
+        for (const auto &v : asArray()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << v.toString();
+        }
+        os << "]";
+        break;
+      }
+      case Type::Object: {
+        os << "{";
+        bool first = true;
+        for (const auto &[k, v] : asObject()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << k << ":" << v.toString();
+        }
+        os << "}";
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace jsvm
+} // namespace browsix

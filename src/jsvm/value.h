@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A JavaScript-like dynamic value used for postMessage payloads.
+ *
+ * Messages between the kernel (main context) and processes (workers) are
+ * Values; Value::clone() implements the browser's structured-clone
+ * semantics: everything is deeply copied except SharedArrayBuffers, which
+ * are shared by reference (per the ES Shared Memory spec).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace browsix {
+namespace jsvm {
+
+class SharedArrayBuffer;
+using SabPtr = std::shared_ptr<SharedArrayBuffer>;
+
+class Value
+{
+  public:
+    enum class Type {
+        Undefined, Null, Bool, Number, String, Bytes, Shared, Array, Object
+    };
+
+    using Array = std::vector<Value>;
+    using Object = std::map<std::string, Value>;
+    /// ArrayBuffer analogue: copied by structured clone.
+    using Bytes = std::vector<uint8_t>;
+    using BytesPtr = std::shared_ptr<Bytes>;
+
+    Value() : v_(std::monostate{}) {}
+    Value(std::nullptr_t) : v_(NullTag{}) {}
+    Value(bool b) : v_(b) {}
+    Value(double d) : v_(d) {}
+    Value(int i) : v_(static_cast<double>(i)) {}
+    Value(unsigned i) : v_(static_cast<double>(i)) {}
+    Value(int64_t i) : v_(static_cast<double>(i)) {}
+    Value(uint64_t i) : v_(static_cast<double>(i)) {}
+    Value(const char *s) : v_(std::string(s)) {}
+    Value(std::string s) : v_(std::move(s)) {}
+    Value(BytesPtr b) : v_(std::move(b)) {}
+    Value(SabPtr s) : v_(std::move(s)) {}
+    Value(Array a) : v_(std::move(a)) {}
+    Value(Object o) : v_(std::move(o)) {}
+
+    static Value undefined() { return Value(); }
+    static Value null() { return Value(nullptr); }
+    static Value bytes(Bytes b)
+    {
+        return Value(std::make_shared<Bytes>(std::move(b)));
+    }
+    static Value bytes(const uint8_t *p, size_t n)
+    {
+        return Value(std::make_shared<Bytes>(p, p + n));
+    }
+    static Value array(Array a = {}) { return Value(std::move(a)); }
+    static Value object(Object o = {}) { return Value(std::move(o)); }
+
+    Type type() const;
+
+    bool isUndefined() const { return type() == Type::Undefined; }
+    bool isNull() const { return type() == Type::Null; }
+    bool isBool() const { return type() == Type::Bool; }
+    bool isNumber() const { return type() == Type::Number; }
+    bool isString() const { return type() == Type::String; }
+    bool isBytes() const { return type() == Type::Bytes; }
+    bool isShared() const { return type() == Type::Shared; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isObject() const { return type() == Type::Object; }
+
+    /// Accessors panic on type mismatch (a bug, not user error).
+    bool asBool() const;
+    double asNumber() const;
+    int32_t asInt() const { return static_cast<int32_t>(asNumber()); }
+    int64_t asInt64() const { return static_cast<int64_t>(asNumber()); }
+    const std::string &asString() const;
+    const BytesPtr &asBytes() const;
+    const SabPtr &asShared() const;
+    const Array &asArray() const;
+    Array &asArray();
+    const Object &asObject() const;
+    Object &asObject();
+
+    /// Object field access; returns undefined for missing keys / non-objects.
+    const Value &get(const std::string &key) const;
+    void set(const std::string &key, Value v);
+    /// Array element access; returns undefined when out of range.
+    const Value &at(size_t i) const;
+    void push(Value v);
+    size_t size() const;
+
+    /** Structured clone: deep copy, except SharedArrayBuffers (by ref). */
+    Value clone() const;
+
+    /** Approximate serialized size, used to charge structured-clone cost. */
+    size_t approxByteSize() const;
+
+    /** Debug rendering (JSON-ish). */
+    std::string toString() const;
+
+  private:
+    struct NullTag {};
+    using Repr = std::variant<std::monostate, NullTag, bool, double,
+                              std::string, BytesPtr, SabPtr, Array, Object>;
+    Repr v_;
+};
+
+} // namespace jsvm
+} // namespace browsix

@@ -1,0 +1,148 @@
+#include "jsvm/worker.h"
+
+#include "jsvm/browser.h"
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace jsvm {
+
+void
+WorkerScope::postMessage(const Value &v)
+{
+    Worker &w = worker_;
+    w.browser_.costs().chargeMessage(v.approxByteSize());
+    Value copy = v.clone();
+    auto self = w.shared_from_this();
+    w.browser_.mainLoop().post([self, copy = std::move(copy)]() {
+        std::function<void(Value)> h;
+        {
+            std::lock_guard<std::mutex> lk(self->mutex_);
+            h = self->parentHandler_;
+        }
+        if (h)
+            h(copy);
+    });
+}
+
+void
+WorkerScope::setOnMessage(std::function<void(Value)> handler)
+{
+    std::lock_guard<std::mutex> lk(worker_.mutex_);
+    worker_.workerHandler_ = std::move(handler);
+}
+
+EventLoop &
+WorkerScope::loop()
+{
+    return worker_.loop_;
+}
+
+InterruptToken &
+WorkerScope::token()
+{
+    return worker_.token_;
+}
+
+const CostModel &
+WorkerScope::costs() const
+{
+    return worker_.browser_.costs();
+}
+
+void
+WorkerScope::atExit(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lk(worker_.mutex_);
+    worker_.atExit_.push_back(std::move(fn));
+}
+
+Worker::Worker(Browser &browser, uint64_t id,
+               std::shared_ptr<const std::vector<uint8_t>> script, Main main)
+    : browser_(browser), id_(id), script_(std::move(script)),
+      main_(std::move(main))
+{
+}
+
+void
+Worker::start()
+{
+    auto self = shared_from_this();
+    thread_ = std::thread([self]() {
+        WorkerScope scope(*self);
+        // Script evaluation: parse cost was charged by the creator; the
+        // bootstrap installs onmessage and returns.
+        if (self->main_)
+            self->main_(scope, self->script_);
+        self->loop_.run();
+        // Loop stopped (terminate): unwind worker-local threads.
+        std::vector<std::function<void()>> fns;
+        {
+            std::lock_guard<std::mutex> lk(self->mutex_);
+            fns.swap(self->atExit_);
+        }
+        for (auto &fn : fns)
+            fn();
+    });
+}
+
+Worker::~Worker()
+{
+    terminate();
+}
+
+void
+Worker::postMessage(const Value &v)
+{
+    if (terminated())
+        return;
+    browser_.costs().chargeMessage(v.approxByteSize());
+    Value copy = v.clone();
+    auto self = shared_from_this();
+    loop_.post([self, copy = std::move(copy)]() {
+        std::function<void(Value)> h;
+        {
+            std::lock_guard<std::mutex> lk(self->mutex_);
+            h = self->workerHandler_;
+        }
+        if (h)
+            h(copy);
+    });
+}
+
+void
+Worker::setOnMessage(std::function<void(Value)> handler)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    parentHandler_ = std::move(handler);
+}
+
+void
+Worker::terminate()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (terminated_)
+            return;
+        terminated_ = true;
+        // Stop delivering messages in either direction.
+        parentHandler_ = nullptr;
+        workerHandler_ = nullptr;
+    }
+    token_.interrupt();
+    loop_.stop();
+    if (thread_.joinable()) {
+        if (thread_.get_id() == std::this_thread::get_id())
+            panic("Worker::terminate called from the worker's own thread");
+        thread_.join();
+    }
+}
+
+bool
+Worker::terminated() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return terminated_;
+}
+
+} // namespace jsvm
+} // namespace browsix

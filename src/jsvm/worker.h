@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Web Worker: an isolated JavaScript context running in parallel.
+ *
+ * Workers share nothing with the main context (except SharedArrayBuffers)
+ * and communicate only via postMessage, whose payloads are structured-clone
+ * copied. Browsix builds Unix processes on top of these (§3.3).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jsvm/event_loop.h"
+#include "jsvm/sab.h"
+#include "jsvm/value.h"
+
+namespace browsix {
+namespace jsvm {
+
+class Browser;
+class Worker;
+class CostModel;
+
+/**
+ * The worker-global scope: what code running inside the worker sees.
+ *
+ * Mirrors DedicatedWorkerGlobalScope: postMessage back to the parent,
+ * an onmessage handler, and (our addition) the interrupt token that
+ * Worker::terminate() trips so blocked threads can unwind.
+ */
+class WorkerScope
+{
+  public:
+    explicit WorkerScope(Worker &w) : worker_(w) {}
+
+    /** Send a message to the parent (main) context. */
+    void postMessage(const Value &v);
+
+    /** Register the worker-side message handler (runs on the worker loop). */
+    void setOnMessage(std::function<void(Value)> handler);
+
+    EventLoop &loop();
+    InterruptToken &token();
+    const CostModel &costs() const;
+
+    /** Run fn on the worker thread after the loop stops (e.g. join app
+     * threads the language runtime started). */
+    void atExit(std::function<void()> fn);
+
+  private:
+    Worker &worker_;
+};
+
+/**
+ * Handle to a worker, held by the creating (main) context.
+ */
+class Worker : public std::enable_shared_from_this<Worker>
+{
+  public:
+    /// The "script": invoked once on the worker thread before the loop runs.
+    using Main = std::function<void(WorkerScope &,
+                                    std::shared_ptr<const std::vector<uint8_t>>)>;
+
+    ~Worker();
+
+    /** Send a message to the worker (structured-clone copied). */
+    void postMessage(const Value &v);
+
+    /** Parent-side message handler; runs on the main loop. */
+    void setOnMessage(std::function<void(Value)> handler);
+
+    /**
+     * Immediately terminate the worker, like Worker.terminate(): wakes any
+     * Atomics.wait, stops the loop, joins the thread. Idempotent.
+     */
+    void terminate();
+
+    bool terminated() const;
+
+    InterruptToken &token() { return token_; }
+    uint64_t id() const { return id_; }
+
+  private:
+    friend class Browser;
+    friend class WorkerScope;
+
+    Worker(Browser &browser, uint64_t id,
+           std::shared_ptr<const std::vector<uint8_t>> script, Main main);
+    void start();
+
+    Browser &browser_;
+    uint64_t id_;
+    std::shared_ptr<const std::vector<uint8_t>> script_;
+    Main main_;
+
+    EventLoop loop_;
+    InterruptToken token_;
+    std::thread thread_;
+
+    mutable std::mutex mutex_;
+    bool terminated_ = false;
+    std::function<void(Value)> parentHandler_;
+    std::function<void(Value)> workerHandler_;
+    std::vector<std::function<void()>> atExit_;
+};
+
+} // namespace jsvm
+} // namespace browsix

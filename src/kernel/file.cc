@@ -1,0 +1,151 @@
+#include "kernel/file.h"
+
+namespace browsix {
+namespace kernel {
+
+void
+RegularFile::read(size_t maxlen, bfs::DataCb cb)
+{
+    file_->pread(offset_, maxlen, [this, cb](int err, bfs::BufferPtr data) {
+        if (!err && data)
+            offset_ += data->size();
+        cb(err, std::move(data));
+    });
+}
+
+void
+RegularFile::write(bfs::Buffer data, bfs::SizeCb cb)
+{
+    if (append_) {
+        file_->fstat([this, data = std::move(data), cb](int err,
+                                                        const bfs::Stat &st) {
+            if (err) {
+                cb(err, 0);
+                return;
+            }
+            offset_ = st.size;
+            file_->pwrite(offset_, data.data(), data.size(),
+                          [this, cb](int werr, size_t n) {
+                              if (!werr)
+                                  offset_ += n;
+                              cb(werr, n);
+                          });
+        });
+        return;
+    }
+    auto buf = std::make_shared<bfs::Buffer>(std::move(data));
+    file_->pwrite(offset_, buf->data(), buf->size(),
+                  [this, buf, cb](int werr, size_t n) {
+                      if (!werr)
+                          offset_ += n;
+                      cb(werr, n);
+                  });
+}
+
+void
+RegularFile::pread(uint64_t off, size_t len, bfs::DataCb cb)
+{
+    file_->pread(off, len, std::move(cb));
+}
+
+void
+RegularFile::pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb)
+{
+    auto buf = std::make_shared<bfs::Buffer>(std::move(data));
+    file_->pwrite(off, buf->data(), buf->size(),
+                  [buf, cb](int err, size_t n) { cb(err, n); });
+}
+
+void
+RegularFile::fstat(bfs::StatCb cb)
+{
+    file_->fstat(std::move(cb));
+}
+
+void
+RegularFile::seek(int64_t off, int whence, std::function<void(int64_t)> cb)
+{
+    switch (whence) {
+      case SEEK_SET_:
+        if (off < 0) {
+            cb(-EINVAL);
+            return;
+        }
+        offset_ = static_cast<uint64_t>(off);
+        cb(static_cast<int64_t>(offset_));
+        return;
+      case SEEK_CUR_: {
+        int64_t next = static_cast<int64_t>(offset_) + off;
+        if (next < 0) {
+            cb(-EINVAL);
+            return;
+        }
+        offset_ = static_cast<uint64_t>(next);
+        cb(next);
+        return;
+      }
+      case SEEK_END_:
+        file_->fstat([this, off, cb](int err, const bfs::Stat &st) {
+            if (err) {
+                cb(-err);
+                return;
+            }
+            int64_t next = static_cast<int64_t>(st.size) + off;
+            if (next < 0) {
+                cb(-EINVAL);
+                return;
+            }
+            offset_ = static_cast<uint64_t>(next);
+            cb(next);
+        });
+        return;
+      default:
+        cb(-EINVAL);
+    }
+}
+
+void
+DirFile::getdents(size_t max_bytes, bfs::DataCb cb)
+{
+    auto serve = [this, max_bytes, cb]() {
+        std::vector<sys::Dirent> batch;
+        size_t bytes = 0;
+        while (cursor_ < entries_.size()) {
+            const auto &e = entries_[cursor_];
+            size_t reclen = ((8 + 2 + 1 + e.name.size() + 1) + 3) & ~size_t{3};
+            if (bytes + reclen > max_bytes && !batch.empty())
+                break;
+            if (reclen > max_bytes) { // entry alone exceeds buffer
+                cb(EINVAL, nullptr);
+                return;
+            }
+            batch.push_back(e);
+            bytes += reclen;
+            cursor_++;
+        }
+        cb(0, std::make_shared<bfs::Buffer>(sys::encodeDirents(batch)));
+    };
+    if (loaded_) {
+        serve();
+        return;
+    }
+    vfs_->readdir(path_, [this, serve, cb](int err,
+                                           std::vector<bfs::DirEntry> es) {
+        if (err) {
+            cb(err, nullptr);
+            return;
+        }
+        entries_.clear();
+        entries_.push_back(sys::Dirent{1, sys::DT_DIR, "."});
+        entries_.push_back(sys::Dirent{1, sys::DT_DIR, ".."});
+        for (const auto &e : es)
+            entries_.push_back(sys::Dirent{e.ino ? e.ino : 1,
+                                           sys::direntTypeFromBfs(e.type),
+                                           e.name});
+        loaded_ = true;
+        serve();
+    });
+}
+
+} // namespace kernel
+} // namespace browsix

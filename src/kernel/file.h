@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Kernel file objects: what a file descriptor refers to.
+ *
+ * Every object a descriptor can name (regular file, directory, pipe end,
+ * socket, host-callback sink) implements KFile. The kernel reference-counts
+ * these (§3.6: "BROWSIX manages each object (whether it is a file,
+ * directory, pipe or socket) with reference counting"): dup and child fd
+ * inheritance bump the count; the last close triggers onLastClose, which
+ * is what gives pipes their EOF/EPIPE semantics.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bfs/backend.h"
+#include "bfs/vfs.h"
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace kernel {
+
+/// seek whence values.
+constexpr int SEEK_SET_ = 0;
+constexpr int SEEK_CUR_ = 1;
+constexpr int SEEK_END_ = 2;
+
+class KFile
+{
+  public:
+    virtual ~KFile() = default;
+
+    virtual const char *kind() const = 0;
+
+    /** Sequential read (advances the cursor where one exists). Completing
+     * with empty data and err==0 signals EOF. */
+    virtual void read(size_t maxlen, bfs::DataCb cb) = 0;
+
+    /** Sequential write; completes with the number of bytes written. */
+    virtual void write(bfs::Buffer data, bfs::SizeCb cb) = 0;
+
+    virtual void pread(uint64_t off, size_t len, bfs::DataCb cb)
+    {
+        (void)off;
+        (void)len;
+        cb(ESPIPE, nullptr);
+    }
+
+    virtual void pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb)
+    {
+        (void)off;
+        (void)data;
+        cb(ESPIPE, 0);
+    }
+
+    virtual void fstat(bfs::StatCb cb)
+    {
+        bfs::Stat st;
+        st.type = bfs::FileType::Regular;
+        cb(0, st);
+    }
+
+    /** Completes with the new offset, or -errno. */
+    virtual void seek(int64_t off, int whence,
+                      std::function<void(int64_t)> cb)
+    {
+        (void)off;
+        (void)whence;
+        cb(-ESPIPE);
+    }
+
+    virtual void getdents(size_t max_bytes, bfs::DataCb cb)
+    {
+        (void)max_bytes;
+        cb(ENOTDIR, nullptr);
+    }
+
+    virtual bool isTty() const { return false; }
+
+    // --- descriptor reference counting ---
+    void ref() { refs_++; }
+    /** Drop a reference; runs onLastClose when it was the last. */
+    void unref()
+    {
+        if (--refs_ == 0)
+            onLastClose();
+    }
+    int refCount() const { return refs_; }
+
+  protected:
+    virtual void onLastClose() {}
+
+  private:
+    int refs_ = 1;
+};
+
+using KFilePtr = std::shared_ptr<KFile>;
+
+/** A regular file: a backend OpenFile plus a cursor. */
+class RegularFile : public KFile
+{
+  public:
+    RegularFile(bfs::OpenFilePtr f, bool append)
+        : file_(std::move(f)), append_(append)
+    {
+    }
+
+    const char *kind() const override { return "file"; }
+
+    void read(size_t maxlen, bfs::DataCb cb) override;
+    void write(bfs::Buffer data, bfs::SizeCb cb) override;
+    void pread(uint64_t off, size_t len, bfs::DataCb cb) override;
+    void pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb) override;
+    void fstat(bfs::StatCb cb) override;
+    void seek(int64_t off, int whence,
+              std::function<void(int64_t)> cb) override;
+
+  private:
+    bfs::OpenFilePtr file_;
+    uint64_t offset_ = 0;
+    bool append_;
+};
+
+/** An open directory, supporting getdents with a cursor. */
+class DirFile : public KFile
+{
+  public:
+    DirFile(bfs::Vfs *vfs, std::string path)
+        : vfs_(vfs), path_(std::move(path))
+    {
+    }
+
+    const char *kind() const override { return "dir"; }
+
+    void read(size_t, bfs::DataCb cb) override { cb(EISDIR, nullptr); }
+    void write(bfs::Buffer, bfs::SizeCb cb) override { cb(EISDIR, 0); }
+    void fstat(bfs::StatCb cb) override { vfs_->stat(path_, cb); }
+    void getdents(size_t max_bytes, bfs::DataCb cb) override;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    bfs::Vfs *vfs_;
+    std::string path_;
+    bool loaded_ = false;
+    std::vector<sys::Dirent> entries_;
+    size_t cursor_ = 0;
+};
+
+/**
+ * Write-only sink delivering output to a host callback: how standard
+ * output/error of a `kernel.system()` process reaches the web application
+ * (Figure 4's logStdout/logStderr parameters).
+ */
+class CallbackSinkFile : public KFile
+{
+  public:
+    using Sink = std::function<void(const bfs::Buffer &)>;
+
+    explicit CallbackSinkFile(Sink sink, bool tty = true)
+        : sink_(std::move(sink)), tty_(tty)
+    {
+    }
+
+    const char *kind() const override { return "tty"; }
+
+    void read(size_t, bfs::DataCb cb) override
+    {
+        cb(0, std::make_shared<bfs::Buffer>()); // EOF
+    }
+
+    void write(bfs::Buffer data, bfs::SizeCb cb) override
+    {
+        size_t n = data.size();
+        if (sink_)
+            sink_(data);
+        cb(0, n);
+    }
+
+    bool isTty() const override { return tty_; }
+
+  private:
+    Sink sink_;
+    bool tty_;
+};
+
+/** /dev/null: reads EOF, writes vanish. */
+class NullFile : public KFile
+{
+  public:
+    const char *kind() const override { return "null"; }
+
+    void read(size_t, bfs::DataCb cb) override
+    {
+        cb(0, std::make_shared<bfs::Buffer>());
+    }
+
+    void write(bfs::Buffer data, bfs::SizeCb cb) override
+    {
+        cb(0, data.size());
+    }
+};
+
+/** In-memory data source used as stdin for host-fed processes. */
+class BufferSourceFile : public KFile
+{
+  public:
+    explicit BufferSourceFile(bfs::Buffer data) : data_(std::move(data)) {}
+
+    const char *kind() const override { return "bufsrc"; }
+
+    void read(size_t maxlen, bfs::DataCb cb) override
+    {
+        auto out = std::make_shared<bfs::Buffer>();
+        if (pos_ < data_.size()) {
+            size_t n = std::min(maxlen, data_.size() - pos_);
+            out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+            pos_ += n;
+        }
+        cb(0, std::move(out));
+    }
+
+    void write(bfs::Buffer, bfs::SizeCb cb) override { cb(EBADF, 0); }
+
+  private:
+    bfs::Buffer data_;
+    size_t pos_ = 0;
+};
+
+} // namespace kernel
+} // namespace browsix

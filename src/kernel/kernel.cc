@@ -1,0 +1,601 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "bfs/path.h"
+#include "jsvm/util.h"
+#include "kernel/syscall_ctx.h"
+
+namespace browsix {
+namespace kernel {
+
+Kernel::Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs)
+    : browser_(browser), vfs_(std::move(vfs))
+{
+}
+
+Kernel::~Kernel()
+{
+    for (auto &[pid, t] : tasks_) {
+        if (t->worker)
+            t->worker->terminate();
+    }
+}
+
+Task *
+Kernel::task(int pid)
+{
+    auto it = tasks_.find(pid);
+    return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+std::vector<int>
+Kernel::pids() const
+{
+    std::vector<int> out;
+    for (const auto &[pid, t] : tasks_)
+        out.push_back(pid);
+    return out;
+}
+
+void
+Kernel::resolveExecutable(
+    std::vector<std::string> argv, const std::string &cwd, int depth,
+    std::function<void(int err, bfs::BufferPtr, std::vector<std::string>)>
+        cb)
+{
+    if (argv.empty()) {
+        cb(EINVAL, nullptr, {});
+        return;
+    }
+    if (depth > 4) { // runaway shebang chain
+        cb(ELOOP, nullptr, {});
+        return;
+    }
+    std::string path = bfs::joinPath(cwd, argv[0]);
+    vfs_->readFile(path, [this, argv = std::move(argv), cwd, depth, path,
+                          cb](int err, bfs::BufferPtr data) mutable {
+        if (err) {
+            cb(err, nullptr, {});
+            return;
+        }
+        argv[0] = path;
+        // Shebang (§3.3): executables include "file[s] beginning with a
+        // shebang line"; the kernel re-spawns the named interpreter.
+        if (data->size() > 2 && (*data)[0] == '#' && (*data)[1] == '!') {
+            size_t eol = 2;
+            while (eol < data->size() && (*data)[eol] != '\n')
+                eol++;
+            std::string line(data->begin() + 2, data->begin() + eol);
+            std::vector<std::string> words;
+            std::string cur;
+            for (char c : line) {
+                if (c == ' ' || c == '\t' || c == '\r') {
+                    if (!cur.empty()) {
+                        words.push_back(cur);
+                        cur.clear();
+                    }
+                } else {
+                    cur.push_back(c);
+                }
+            }
+            if (!cur.empty())
+                words.push_back(cur);
+            if (words.empty()) {
+                cb(ENOEXEC, nullptr, {});
+                return;
+            }
+            std::vector<std::string> next;
+            if (bfs::basename(words[0]) == "env" && words.size() >= 2) {
+                // "#!/usr/bin/env node": resolve the named program.
+                next.push_back("/usr/bin/" + words[1]);
+                next.insert(next.end(), words.begin() + 2, words.end());
+            } else {
+                next = words;
+            }
+            next.push_back(path); // the script itself
+            next.insert(next.end(), argv.begin() + 1, argv.end());
+            resolveExecutable(std::move(next), cwd, depth + 1, cb);
+            return;
+        }
+        cb(0, std::move(data), std::move(argv));
+    });
+}
+
+void
+Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
+                std::map<std::string, std::string> env, std::string cwd,
+                std::map<int, KFilePtr> fds, jsvm::Value snapshot,
+                SpawnCb cb, ExitCb root_exit)
+{
+    int ppid = parent ? parent->pid : 0;
+    resolveExecutable(
+        std::move(argv), cwd, 0,
+        [this, ppid, env = std::move(env), cwd, fds = std::move(fds),
+         snapshot = std::move(snapshot), cb = std::move(cb),
+         root_exit = std::move(root_exit)](
+            int err, bfs::BufferPtr code,
+            std::vector<std::string> final_argv) mutable {
+            if (err) {
+                // Inherited descriptors were pre-referenced by the caller.
+                for (auto &[fd, f] : fds)
+                    f->unref();
+                cb(-err);
+                return;
+            }
+            if (!bootstrapper_)
+                jsvm::panic("Kernel: no bootstrapper registered");
+
+            std::string url = browser_.blobs().createObjectUrl(*code);
+            auto worker = browser_.createWorker(url, bootstrapper_);
+
+            int pid = nextPid_++;
+            auto t = std::make_unique<Task>();
+            t->pid = pid;
+            t->ppid = ppid;
+            t->worker = worker;
+            t->cwd = cwd.empty() ? "/" : bfs::normalizePath(cwd);
+            t->files = std::move(fds);
+            t->argv = final_argv;
+            t->env = env;
+            t->blobUrl = url;
+            t->execPath = final_argv.empty() ? "" : final_argv[0];
+            t->state = TaskState::Running;
+            t->onExit = std::move(root_exit);
+
+            worker->setOnMessage([this, pid](jsvm::Value msg) {
+                onWorkerMessage(pid, std::move(msg));
+            });
+
+            if (Task *p = ppid ? task(ppid) : nullptr)
+                p->children.insert(pid);
+
+            jsvm::Value init = jsvm::Value::object();
+            init.set("t", jsvm::Value("init"));
+            init.set("pid", jsvm::Value(pid));
+            jsvm::Value args = jsvm::Value::array();
+            for (const auto &a : final_argv)
+                args.push(jsvm::Value(a));
+            init.set("args", std::move(args));
+            jsvm::Value envv = jsvm::Value::object();
+            for (const auto &[k, v] : env)
+                envv.set(k, jsvm::Value(v));
+            init.set("env", std::move(envv));
+            init.set("cwd", jsvm::Value(t->cwd));
+            if (!snapshot.isUndefined())
+                init.set("snapshot", std::move(snapshot));
+
+            tasks_[pid] = std::move(t);
+            processesSpawned++;
+            messagesSent++;
+            worker->postMessage(init);
+            cb(pid);
+        });
+}
+
+void
+Kernel::doExec(Task &t, std::vector<std::string> argv,
+               std::map<std::string, std::string> env, SpawnCb cb)
+{
+    int pid = t.pid;
+    resolveExecutable(
+        std::move(argv), t.cwd, 0,
+        [this, pid, env = std::move(env), cb = std::move(cb)](
+            int err, bfs::BufferPtr code,
+            std::vector<std::string> final_argv) mutable {
+            Task *t = task(pid);
+            if (!t || t->state == TaskState::Zombie) {
+                cb(-ESRCH);
+                return;
+            }
+            if (err) {
+                cb(-err); // caller survives a failed exec
+                return;
+            }
+            // Point of no return: replace the process image.
+            t->worker->terminate();
+            if (!t->blobUrl.empty())
+                browser_.blobs().revokeObjectUrl(t->blobUrl);
+
+            std::string url = browser_.blobs().createObjectUrl(*code);
+            auto worker = browser_.createWorker(url, bootstrapper_);
+            t->worker = worker;
+            t->blobUrl = url;
+            t->argv = final_argv;
+            if (!env.empty())
+                t->env = std::move(env);
+            t->execPath = final_argv.empty() ? "" : final_argv[0];
+            t->heap = nullptr; // personality does not survive exec
+            t->retOff = t->waitOff = t->sigOff = -1;
+            t->sigDisp.clear();
+
+            worker->setOnMessage([this, pid](jsvm::Value msg) {
+                onWorkerMessage(pid, std::move(msg));
+            });
+
+            jsvm::Value init = jsvm::Value::object();
+            init.set("t", jsvm::Value("init"));
+            init.set("pid", jsvm::Value(pid));
+            jsvm::Value args = jsvm::Value::array();
+            for (const auto &a : final_argv)
+                args.push(jsvm::Value(a));
+            init.set("args", std::move(args));
+            jsvm::Value envv = jsvm::Value::object();
+            for (const auto &[k, v] : t->env)
+                envv.set(k, jsvm::Value(v));
+            init.set("env", std::move(envv));
+            init.set("cwd", jsvm::Value(t->cwd));
+            messagesSent++;
+            worker->postMessage(init);
+            cb(pid);
+        });
+}
+
+int
+Kernel::doFork(Task &parent, jsvm::Value snapshot)
+{
+    auto code = browser_.blobs().resolve(parent.blobUrl);
+    if (!code)
+        return -ENOENT;
+    // Workers cannot be cloned (§3.3): boot a fresh worker from the same
+    // executable and hand it the serialized memory + program counter.
+    // The child gets its own blob URL: revocation at its exit/exec must
+    // not strand the parent's executable.
+    std::string child_url = browser_.blobs().createObjectUrl(*code);
+    auto worker = browser_.createWorker(child_url, bootstrapper_);
+
+    int pid = nextPid_++;
+    auto t = std::make_unique<Task>();
+    t->pid = pid;
+    t->ppid = parent.pid;
+    t->worker = worker;
+    t->cwd = parent.cwd;
+    t->argv = parent.argv;
+    t->env = parent.env;
+    t->blobUrl = child_url;
+    t->execPath = parent.execPath;
+    t->state = TaskState::Running;
+    t->sigDisp = parent.sigDisp;
+
+    // Children inherit the descriptor table (§3.6): same file objects,
+    // reference counts bumped.
+    for (auto &[fd, f] : parent.files) {
+        f->ref();
+        t->files[fd] = f;
+    }
+
+    worker->setOnMessage([this, pid](jsvm::Value msg) {
+        onWorkerMessage(pid, std::move(msg));
+    });
+    parent.children.insert(pid);
+
+    jsvm::Value init = jsvm::Value::object();
+    init.set("t", jsvm::Value("init"));
+    init.set("pid", jsvm::Value(pid));
+    jsvm::Value args = jsvm::Value::array();
+    for (const auto &a : parent.argv)
+        args.push(jsvm::Value(a));
+    init.set("args", std::move(args));
+    jsvm::Value envv = jsvm::Value::object();
+    for (const auto &[k, v] : parent.env)
+        envv.set(k, jsvm::Value(v));
+    init.set("env", std::move(envv));
+    init.set("cwd", jsvm::Value(t->cwd));
+    init.set("snapshot", std::move(snapshot));
+    init.set("forked", jsvm::Value(true));
+
+    tasks_[pid] = std::move(t);
+    processesSpawned++;
+    messagesSent++;
+    worker->postMessage(init);
+    return pid;
+}
+
+void
+Kernel::doExit(Task &t, int status)
+{
+    if (t.state == TaskState::Zombie)
+        return;
+    t.state = TaskState::Zombie;
+    t.exitStatus = status;
+
+    // Listening ports owned by this task die with it.
+    for (auto &[fd, f] : t.files) {
+        if (auto *sock = dynamic_cast<SocketFile *>(f.get())) {
+            if (sock->state() == SocketFile::State::Listening)
+                ports_.erase(sock->port());
+        }
+    }
+    for (auto &[fd, f] : t.files)
+        f->unref();
+    t.files.clear();
+    t.waitWaiters.clear();
+
+    if (t.worker) {
+        t.worker->terminate();
+        t.worker = nullptr;
+    }
+    if (!t.blobUrl.empty()) {
+        browser_.blobs().revokeObjectUrl(t.blobUrl);
+        t.blobUrl.clear();
+    }
+
+    // Orphaned children are re-parented to the kernel and auto-reaped.
+    for (int child : t.children) {
+        if (Task *c = task(child)) {
+            c->ppid = 0;
+            c->onExit = nullptr;
+            if (c->state == TaskState::Zombie)
+                reapTask(child);
+        }
+    }
+    t.children.clear();
+
+    int pid = t.pid;
+    if (t.ppid != 0) {
+        if (Task *parent = task(t.ppid)) {
+            // "required us to implement the zombie task state" (§3.3).
+            if (parent->dispositionFor(sys::SIGCHLD) ==
+                sys::SigDisposition::Handler)
+                deliverSignal(*parent, sys::SIGCHLD);
+            completeWaits(*parent);
+            return;
+        }
+    }
+    // Root (embedder-owned) task: notify and reap immediately.
+    auto on_exit = std::move(t.onExit);
+    reapTask(pid);
+    if (on_exit)
+        on_exit(status);
+}
+
+void
+Kernel::completeWaits(Task &parent)
+{
+    auto &waiters = parent.waitWaiters;
+    for (auto it = waiters.begin(); it != waiters.end();) {
+        int found = 0;
+        for (int child : parent.children) {
+            Task *c = task(child);
+            if (!c || c->state != TaskState::Zombie)
+                continue;
+            if (it->waitFor == -1 || it->waitFor == child) {
+                found = child;
+                break;
+            }
+        }
+        if (found) {
+            auto done = std::move(it->done);
+            int status = task(found)->exitStatus;
+            it = waiters.erase(it);
+            parent.children.erase(found);
+            reapTask(found);
+            done(found, status);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Kernel::reapTask(int pid)
+{
+    Task *t = task(pid);
+    if (!t)
+        return;
+    if (t->ppid != 0) {
+        if (Task *parent = task(t->ppid))
+            parent->children.erase(pid);
+    }
+    tasks_.erase(pid);
+}
+
+int
+Kernel::kill(int pid, int sig)
+{
+    Task *t = task(pid);
+    if (!t || t->state == TaskState::Zombie)
+        return ESRCH;
+    deliverSignal(*t, sig);
+    return 0;
+}
+
+void
+Kernel::deliverSignal(Task &t, int sig)
+{
+    signalsDelivered++;
+    if (sig == sys::SIGKILL) {
+        doExit(t, sys::statusFromSignal(sig));
+        return;
+    }
+    if (sig == sys::SIGSTOP || sig == sys::SIGCONT)
+        return; // job control is out of scope, as in the paper
+
+    switch (t.dispositionFor(sig)) {
+      case sys::SigDisposition::Ignore:
+        return;
+      case sys::SigDisposition::Default: {
+        static const std::set<int> terminating = {
+            sys::SIGHUP, sys::SIGINT, sys::SIGQUIT, sys::SIGPIPE,
+            sys::SIGTERM, sys::SIGUSR1, sys::SIGUSR2};
+        if (terminating.count(sig))
+            doExit(t, sys::statusFromSignal(sig));
+        return;
+      }
+      case sys::SigDisposition::Handler:
+        break;
+    }
+
+    if (t.usesSyncCalls()) {
+        // §3.2: a blocked process "is awakened when the system call has
+        // completed or a signal is received". The signal number is placed
+        // in the agreed heap slot and the wait word is poked.
+        jsvm::Atomics::store(*t.heap, static_cast<uint32_t>(t.sigOff), sig);
+        jsvm::Atomics::notify(*t.heap, static_cast<uint32_t>(t.waitOff));
+        return;
+    }
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("t", jsvm::Value("signal"));
+    msg.set("sig", jsvm::Value(sig));
+    msg.set("name", jsvm::Value(sys::signalName(sig)));
+    messagesSent++;
+    if (t.worker)
+        t.worker->postMessage(msg);
+}
+
+int
+Kernel::doConnect(Task *, SocketFile &client, int port)
+{
+    auto it = ports_.find(port);
+    if (it == ports_.end())
+        return ECONNREFUSED;
+    SocketFile *listener = it->second;
+
+    auto to_server = std::make_shared<Pipe>();
+    auto to_client = std::make_shared<Pipe>();
+
+    static int ephemeral = 49152;
+    int client_port = ephemeral++;
+
+    auto server_end = std::make_shared<SocketFile>();
+    server_end->establish(to_server, to_client, port, client_port);
+
+    int rc = listener->enqueueConnection(server_end);
+    if (rc != 0)
+        return rc;
+
+    client.establish(to_client, to_server, client_port, port);
+    return 0;
+}
+
+void
+Kernel::notifyListen(int port, SocketFile *listener)
+{
+    ports_[port] = listener;
+    auto range = listenWatchers_.equal_range(port);
+    std::vector<std::function<void()>> cbs;
+    for (auto it = range.first; it != range.second; ++it)
+        cbs.push_back(it->second);
+    listenWatchers_.erase(range.first, range.second);
+    for (auto &cb : cbs)
+        cb();
+}
+
+void
+Kernel::onPortListen(int port, std::function<void()> cb)
+{
+    if (ports_.count(port)) {
+        cb();
+        return;
+    }
+    listenWatchers_.emplace(port, std::move(cb));
+}
+
+bool
+Kernel::portListening(int port) const
+{
+    return ports_.count(port) > 0;
+}
+
+void
+Kernel::connect(int port, std::function<void(const bfs::Buffer &)> on_data,
+                std::function<void()> on_close,
+                std::function<void(int err, std::shared_ptr<HostConn>)> cb)
+{
+    auto client = std::make_shared<SocketFile>();
+    int rc = doConnect(nullptr, *client, port);
+    if (rc != 0) {
+        cb(rc, nullptr);
+        return;
+    }
+    auto conn = std::make_shared<HostConn>();
+    conn->write = [client](bfs::Buffer data) {
+        client->write(std::move(data), [](int, size_t) {});
+    };
+    conn->close = [client]() { client->unref(); };
+
+    // Pump received bytes to the host callback.
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [client, on_data, on_close, pump]() {
+        client->read(64 * 1024, [client, on_data, on_close,
+                                 pump](int err, bfs::BufferPtr data) {
+            if (err || !data || data->empty()) {
+                if (on_close)
+                    on_close();
+                return;
+            }
+            if (on_data)
+                on_data(*data);
+            (*pump)();
+        });
+    };
+    (*pump)();
+    cb(0, conn);
+}
+
+void
+Kernel::spawnRoot(std::vector<std::string> argv,
+                  std::map<std::string, std::string> env, std::string cwd,
+                  ExitCb on_exit, OutputCb out, OutputCb err, SpawnCb cb,
+                  bfs::Buffer stdin_data)
+{
+    std::map<int, KFilePtr> fds;
+    if (stdin_data.empty())
+        fds[0] = std::make_shared<NullFile>();
+    else
+        fds[0] = std::make_shared<BufferSourceFile>(std::move(stdin_data));
+    fds[1] = std::make_shared<CallbackSinkFile>(out);
+    fds[2] = std::make_shared<CallbackSinkFile>(err);
+    doSpawn(nullptr, std::move(argv), std::move(env), std::move(cwd),
+            std::move(fds), jsvm::Value::undefined(), std::move(cb),
+            std::move(on_exit));
+}
+
+void
+Kernel::system(const std::string &cmd, ExitCb on_exit, OutputCb out,
+               OutputCb err)
+{
+    spawnRoot({"/bin/sh", "-c", cmd}, defaultEnv, "/", std::move(on_exit),
+              std::move(out), std::move(err), [](int rc) {
+                  if (rc < 0)
+                      jsvm::panic("kernel.system: cannot spawn /bin/sh: " +
+                                  std::to_string(rc));
+              });
+}
+
+void
+Kernel::onWorkerMessage(int pid, jsvm::Value msg)
+{
+    Task *t = task(pid);
+    if (!t || t->state == TaskState::Zombie)
+        return;
+    const jsvm::Value &type = msg.get("t");
+    if (!type.isString())
+        return;
+    const std::string &ty = type.asString();
+
+    if (ty == "syscall") {
+        syscallCount++;
+        asyncSyscallCount++;
+        auto ctx = std::make_shared<SyscallCtx>(
+            *this, pid, msg.get("id").asNumber(),
+            msg.get("name").asString(), msg.get("args").clone());
+        dispatchSyscall(*t, std::move(ctx));
+        return;
+    }
+    if (ty == "sys") {
+        syscallCount++;
+        syncSyscallCount++;
+        std::array<int32_t, 6> args{};
+        const jsvm::Value &av = msg.get("args");
+        for (size_t i = 0; i < 6 && i < av.size(); i++)
+            args[i] = av.at(i).asInt();
+        auto ctx = std::make_shared<SyscallCtx>(
+            *this, pid, msg.get("trap").asInt(), args);
+        dispatchSyscall(*t, std::move(ctx));
+        return;
+    }
+}
+
+} // namespace kernel
+} // namespace browsix

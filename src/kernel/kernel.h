@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The Browsix kernel (§3): lives in the main browser context, owns the
+ * shared Unix subsystems (filesystem, pipes, sockets, task structures),
+ * dispatches system calls from processes, and delivers signals.
+ *
+ * Threading model: everything here runs on the browser's main event loop.
+ * Processes post syscall messages from their workers; the postMessage
+ * machinery delivers them here as loop tasks, so kernel state needs no
+ * locks — exactly like JavaScript.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bfs/vfs.h"
+#include "jsvm/browser.h"
+#include "kernel/socket.h"
+#include "kernel/task.h"
+
+namespace browsix {
+namespace kernel {
+
+class SyscallCtx;
+using SyscallCtxPtr = std::shared_ptr<SyscallCtx>;
+
+class Kernel
+{
+  public:
+    /// Runs inside a freshly-created worker; instantiates the right
+    /// language runtime for the executable bytes (set by core/).
+    using Bootstrapper = std::function<void(
+        jsvm::WorkerScope &,
+        std::shared_ptr<const std::vector<uint8_t>> code)>;
+
+    using OutputCb = std::function<void(const bfs::Buffer &)>;
+    using ExitCb = std::function<void(int status)>;
+    using SpawnCb = std::function<void(int err_or_pid)>;
+
+    Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs);
+    ~Kernel();
+
+    void setBootstrapper(Bootstrapper b) { bootstrapper_ = std::move(b); }
+
+    bfs::Vfs &fs() { return *vfs_; }
+    jsvm::Browser &browser() { return browser_; }
+
+    /// Default environment for root processes (PATH etc.).
+    std::map<std::string, std::string> defaultEnv = {
+        {"PATH", "/usr/bin:/bin"}, {"HOME", "/"}, {"TERM", "xterm"}};
+
+    // ----- embedder API (§4.1) -----
+
+    /**
+     * Run a shell command, Figure 4 style: stdout/stderr are delivered to
+     * the callbacks, on_exit receives the wait status.
+     */
+    void system(const std::string &cmd, ExitCb on_exit, OutputCb out,
+                OutputCb err);
+
+    /** Spawn a root process (ppid 0) with callback-wired stdio. */
+    void spawnRoot(std::vector<std::string> argv,
+                   std::map<std::string, std::string> env, std::string cwd,
+                   ExitCb on_exit, OutputCb out, OutputCb err, SpawnCb cb,
+                   bfs::Buffer stdin_data = {});
+
+    /** Send a signal (kernel.kill). */
+    int kill(int pid, int sig);
+
+    /** Register a socket notification: cb fires when a process starts
+     * listening on port (§4.1 "Socket notifications"). */
+    void onPortListen(int port, std::function<void()> cb);
+
+    /** True once some process is listening on port. */
+    bool portListening(int port) const;
+
+    /**
+     * Host-side connection into a Browsix socket server, used by the
+     * XMLHttpRequest-like API. on_data fires per received chunk; on_close
+     * at EOF. The returned functions write to / close the connection.
+     */
+    struct HostConn
+    {
+        std::function<void(bfs::Buffer)> write;
+        std::function<void()> close;
+    };
+    void connect(int port,
+                 std::function<void(const bfs::Buffer &)> on_data,
+                 std::function<void()> on_close,
+                 std::function<void(int err, std::shared_ptr<HostConn>)> cb);
+
+    // ----- introspection / experiment counters -----
+    size_t taskCount() const { return tasks_.size(); }
+    Task *task(int pid);
+    std::vector<int> pids() const;
+
+    uint64_t syscallCount = 0;
+    uint64_t asyncSyscallCount = 0;
+    uint64_t syncSyscallCount = 0;
+    uint64_t messagesSent = 0;
+    uint64_t signalsDelivered = 0;
+    uint64_t processesSpawned = 0;
+
+    // ----- internal (used by syscall handlers; public for the ctx) -----
+
+    void doSpawn(Task *parent, std::vector<std::string> argv,
+                 std::map<std::string, std::string> env, std::string cwd,
+                 std::map<int, KFilePtr> fds, jsvm::Value snapshot,
+                 SpawnCb cb, ExitCb root_exit = nullptr);
+    void doExec(Task &t, std::vector<std::string> argv,
+                std::map<std::string, std::string> env, SpawnCb cb);
+    /** fork(): duplicate the task, booting the child from the parent's
+     * executable blob with the serialized heap+PC snapshot (§4.3). */
+    int doFork(Task &parent, jsvm::Value snapshot);
+    void doExit(Task &t, int status);
+    void deliverSignal(Task &t, int sig);
+    int doConnect(Task *client_task, SocketFile &client, int port);
+    void notifyListen(int port, SocketFile *listener);
+    void completeWaits(Task &parent);
+    void reapTask(int pid);
+
+    std::map<int, SocketFile *> &ports() { return ports_; }
+
+  private:
+    void onWorkerMessage(int pid, jsvm::Value msg);
+    void dispatchSyscall(Task &t, SyscallCtxPtr ctx);
+    void replyTo(Task &t, const jsvm::Value &msg);
+
+    /** Resolve shebangs: yields final executable bytes + argv. */
+    void resolveExecutable(std::vector<std::string> argv,
+                           const std::string &cwd, int depth,
+                           std::function<void(int err, bfs::BufferPtr,
+                                              std::vector<std::string>)>
+                               cb);
+
+    jsvm::Browser &browser_;
+    bfs::VfsPtr vfs_;
+    Bootstrapper bootstrapper_;
+
+    int nextPid_ = 1;
+    std::map<int, std::unique_ptr<Task>> tasks_;
+    std::map<int, SocketFile *> ports_; // bound port -> listening socket
+    std::multimap<int, std::function<void()>> listenWatchers_;
+
+    friend class SyscallCtx;
+};
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,877 @@
+/**
+ * @file
+ * System-call handlers (Figure 3's table, plus Browsix extensions).
+ *
+ * Each handler is written once against SyscallCtx and so serves both the
+ * asynchronous (message/CPS) and synchronous (shared heap + Atomics)
+ * conventions. Handlers re-look-up the task in completion callbacks: the
+ * process may have been killed while its call was in flight.
+ */
+#include <cstring>
+#include <functional>
+#include <map>
+
+#include "bfs/path.h"
+#include "jsvm/util.h"
+#include "kernel/kernel.h"
+#include "kernel/syscall_ctx.h"
+
+namespace browsix {
+namespace kernel {
+
+namespace {
+
+using Handler = std::function<void(Kernel &, Task &, SyscallCtxPtr)>;
+
+KFilePtr
+getFile(Task &t, int fd)
+{
+    auto it = t.files.find(fd);
+    return it == t.files.end() ? nullptr : it->second;
+}
+
+std::string
+resolvePath(Task &t, const std::string &path)
+{
+    return bfs::joinPath(t.cwd, path);
+}
+
+// ---------- process management ----------
+
+void
+sysExit(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.doExit(t, sys::statusFromExitCode(ctx->argInt(0)));
+    // No reply: the calling context is gone.
+}
+
+void
+sysFork(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    if (ctx->isSync()) {
+        // §3.2: "fork is not compatible with synchronous system calls".
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    jsvm::Value snapshot = ctx->argValue(0);
+    if (snapshot.isUndefined() || !snapshot.isBytes()) {
+        // The runtime could not serialize its state (no Emterpreter).
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    // Parent sees the child pid; the restored child's runtime makes its
+    // own fork() return 0 when it resumes from the snapshot.
+    ctx->complete(k.doFork(t, std::move(snapshot)));
+}
+
+void
+sysSpawn(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    if (ctx->isSync()) {
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    jsvm::Value argv_v = ctx->argValue(0);
+    if (!argv_v.isArray() || argv_v.size() == 0) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    std::vector<std::string> argv;
+    for (const auto &a : argv_v.asArray())
+        argv.push_back(a.isString() ? a.asString() : "");
+
+    std::map<std::string, std::string> env = t.env;
+    jsvm::Value env_v = ctx->argValue(1);
+    if (env_v.isObject()) {
+        env.clear();
+        for (const auto &[key, val] : env_v.asObject())
+            env[key] = val.isString() ? val.asString() : "";
+    }
+
+    std::string cwd = t.cwd;
+    jsvm::Value cwd_v = ctx->argValue(2);
+    if (cwd_v.isString() && !cwd_v.asString().empty())
+        cwd = resolvePath(t, cwd_v.asString());
+
+    // Descriptor inheritance: child fd i <- parent fd fds[i]; default
+    // stdio passthrough.
+    std::vector<int> inherit = {0, 1, 2};
+    jsvm::Value fds_v = ctx->argValue(3);
+    if (fds_v.isArray()) {
+        inherit.clear();
+        for (const auto &f : fds_v.asArray())
+            inherit.push_back(f.asInt());
+    }
+    std::map<int, KFilePtr> child_fds;
+    for (size_t i = 0; i < inherit.size(); i++) {
+        if (inherit[i] < 0)
+            continue; // explicitly closed in the child
+        KFilePtr f = getFile(t, inherit[i]);
+        if (!f) {
+            for (auto &[fd, file] : child_fds)
+                file->unref();
+            ctx->completeErr(EBADF);
+            return;
+        }
+        f->ref();
+        child_fds[static_cast<int>(i)] = f;
+    }
+
+    k.doSpawn(&t, std::move(argv), std::move(env), cwd,
+              std::move(child_fds), jsvm::Value::undefined(),
+              [ctx](int pid_or_err) { ctx->complete(pid_or_err); });
+}
+
+void
+sysExecve(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    if (ctx->isSync()) {
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    jsvm::Value argv_v = ctx->argValue(0);
+    if (!argv_v.isArray() || argv_v.size() == 0) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    std::vector<std::string> argv;
+    for (const auto &a : argv_v.asArray())
+        argv.push_back(a.isString() ? a.asString() : "");
+    std::map<std::string, std::string> env;
+    jsvm::Value env_v = ctx->argValue(1);
+    if (env_v.isObject()) {
+        for (const auto &[key, val] : env_v.asObject())
+            env[key] = val.isString() ? val.asString() : "";
+    }
+    k.doExec(t, std::move(argv), std::move(env), [ctx](int rc) {
+        // Only a *failed* exec is observable by the caller.
+        if (rc < 0)
+            ctx->complete(rc);
+    });
+}
+
+void
+sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    // The wait status is returned in ret1 under both conventions (§3.3:
+    // wait4 "returns immediately if the specified child has already
+    // exited, or the WNOHANG option is specified").
+    int wait_pid = ctx->argInt(0);
+    int options = ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1);
+
+    int found = 0;
+    for (int child : t.children) {
+        Task *c = k.task(child);
+        if (!c)
+            continue;
+        if (wait_pid != -1 && wait_pid != child)
+            continue;
+        if (c->state == TaskState::Zombie) {
+            found = child;
+            break;
+        }
+    }
+    if (found) {
+        int status = k.task(found)->exitStatus;
+        t.children.erase(found);
+        k.reapTask(found);
+        ctx->complete(found, status);
+        return;
+    }
+
+    bool has_candidate = false;
+    for (int child : t.children) {
+        if (wait_pid == -1 || wait_pid == child) {
+            has_candidate = true;
+            break;
+        }
+    }
+    if (!has_candidate) {
+        ctx->completeErr(ECHILD);
+        return;
+    }
+    if (options & sys::WNOHANG) {
+        ctx->complete(0, 0);
+        return;
+    }
+    t.waitWaiters.push_back(Task::WaitWaiter{
+        wait_pid,
+        [ctx](int pid, int status) { ctx->complete(pid, status); }});
+}
+
+void
+sysGetpid(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    ctx->complete(t.pid);
+}
+
+void
+sysGetppid(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    ctx->complete(t.ppid);
+}
+
+void
+sysGetcwd(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    ctx->completeStr(t.cwd, 0, 1);
+}
+
+void
+sysChdir(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    std::string path = resolvePath(t, ctx->argStr(0));
+    int pid = t.pid;
+    k.fs().stat(path, [&k, pid, path, ctx](int err, const bfs::Stat &st) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        if (!st.isDir()) {
+            ctx->completeErr(ENOTDIR);
+            return;
+        }
+        if (Task *t2 = k.task(pid))
+            t2->cwd = path;
+        ctx->complete(0);
+    });
+}
+
+void
+sysKill(Kernel &k, Task &, SyscallCtxPtr ctx)
+{
+    int rc = k.kill(ctx->argInt(0), ctx->argInt(1));
+    if (rc)
+        ctx->completeErr(rc);
+    else
+        ctx->complete(0);
+}
+
+void
+sysSigaction(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int sig = ctx->argInt(0);
+    int action = ctx->argInt(1);
+    if (sig <= 0 || sig >= 32 || sig == sys::SIGKILL) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    t.sigDisp[sig] = static_cast<sys::SigDisposition>(action);
+    ctx->complete(0);
+}
+
+void
+sysGettimeofday(Kernel &, Task &, SyscallCtxPtr ctx)
+{
+    ctx->complete(jsvm::nowUs() / 1000);
+}
+
+void
+sysPersonality(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    // §3.2: the runtime passes its heap SharedArrayBuffer plus the return
+    // value offset and wake offset (we add a signal slot).
+    jsvm::Value sab = ctx->argValue(0);
+    if (!sab.isShared()) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    t.heap = sab.asShared();
+    t.retOff = ctx->argInt(1);
+    t.waitOff = ctx->argInt(2);
+    t.sigOff = ctx->argInt(3);
+    ctx->complete(0);
+}
+
+// ---------- file I/O ----------
+
+void
+sysOpen(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    std::string path = resolvePath(t, ctx->argStr(0));
+    int oflags = ctx->argInt(1);
+    uint32_t mode = static_cast<uint32_t>(ctx->argInt(2));
+    int pid = t.pid;
+
+    k.fs().stat(path, [&k, pid, path, oflags, mode,
+                       ctx](int serr, const bfs::Stat &st) {
+        if (serr == 0 && st.isDir()) {
+            if (bfs::flags::wantsWrite(oflags)) {
+                ctx->completeErr(EISDIR);
+                return;
+            }
+            Task *t2 = k.task(pid);
+            if (!t2 || t2->state == TaskState::Zombie)
+                return;
+            int fd = t2->allocFd();
+            t2->files[fd] = std::make_shared<DirFile>(&k.fs(), path);
+            ctx->complete(fd);
+            return;
+        }
+        k.fs().open(path, oflags, mode, [&k, pid, oflags,
+                                         ctx](int err, bfs::OpenFilePtr f) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            Task *t2 = k.task(pid);
+            if (!t2 || t2->state == TaskState::Zombie) {
+                f->close();
+                return;
+            }
+            int fd = t2->allocFd();
+            t2->files[fd] = std::make_shared<RegularFile>(
+                f, (oflags & bfs::flags::APPEND) != 0);
+            ctx->complete(fd);
+        });
+    });
+}
+
+void
+sysClose(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    t.files.erase(fd);
+    f->unref();
+    ctx->complete(0);
+}
+
+void
+sysRead(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    size_t len = static_cast<uint32_t>(
+        ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1));
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->read(len, [ctx, f](int err, bfs::BufferPtr data) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->completeData(*data, 1);
+    });
+}
+
+void
+sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    bfs::Buffer data = ctx->argData(1, 2);
+    f->write(std::move(data), [ctx, f](int err, size_t n) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->complete(static_cast<int64_t>(n));
+    });
+}
+
+void
+sysPread(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    size_t len = static_cast<uint32_t>(
+        ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1));
+    uint64_t off = static_cast<uint64_t>(
+        ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2));
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->pread(off, len, [ctx, f](int err, bfs::BufferPtr data) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->completeData(*data, 1);
+    });
+}
+
+void
+sysPwrite(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    uint64_t off = static_cast<uint64_t>(
+        ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2));
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->pwrite(off, ctx->argData(1, 2), [ctx, f](int err, size_t n) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->complete(static_cast<int64_t>(n));
+    });
+}
+
+void
+sysLlseek(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    int64_t off = static_cast<int64_t>(ctx->argNum(1));
+    int whence = ctx->argInt(2);
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->seek(off, whence, [ctx, f](int64_t result) { ctx->complete(result); });
+}
+
+void
+sysGetdents(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = ctx->argInt(0);
+    size_t len = static_cast<uint32_t>(
+        ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1));
+    KFilePtr f = getFile(t, fd);
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->getdents(len, [ctx, f](int err, bfs::BufferPtr data) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->completeData(*data, 1);
+    });
+}
+
+void
+sysReaddir(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    // Async convenience used by the Node runtime: names as an array.
+    std::string path = resolvePath(t, ctx->argStr(0));
+    k.fs().readdir(path, [ctx](int err, std::vector<bfs::DirEntry> es) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        jsvm::Value names = jsvm::Value::array();
+        for (const auto &e : es)
+            names.push(jsvm::Value(e.name));
+        ctx->completeValue(static_cast<int64_t>(es.size()),
+                           std::move(names));
+    });
+}
+
+void
+sysDup(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    KFilePtr f = getFile(t, ctx->argInt(0));
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    int fd = t.allocFd();
+    f->ref();
+    t.files[fd] = f;
+    ctx->complete(fd);
+}
+
+void
+sysDup2(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int oldfd = ctx->argInt(0);
+    int newfd = ctx->argInt(1);
+    KFilePtr f = getFile(t, oldfd);
+    if (!f || newfd < 0) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    if (oldfd == newfd) {
+        ctx->complete(newfd);
+        return;
+    }
+    if (KFilePtr old = getFile(t, newfd)) {
+        t.files.erase(newfd);
+        old->unref();
+    }
+    f->ref();
+    t.files[newfd] = f;
+    ctx->complete(newfd);
+}
+
+void
+sysIoctl(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    KFilePtr f = getFile(t, ctx->argInt(0));
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    // Only the isatty probe (TCGETS) is supported.
+    ctx->complete(f->isTty() ? 0 : -ENOTTY);
+}
+
+// ---------- file metadata & directories ----------
+
+void
+statCommon(Kernel &k, Task &t, SyscallCtxPtr ctx, bool follow)
+{
+    std::string path = resolvePath(t, ctx->argStr(0));
+    auto cb = [ctx](int err, const bfs::Stat &st) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->completeStat(sys::statXFromBfs(st), 1);
+    };
+    if (follow)
+        k.fs().stat(path, cb);
+    else
+        k.fs().lstat(path, cb);
+}
+
+void
+sysStat(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    statCommon(k, t, ctx, true);
+}
+
+void
+sysLstat(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    statCommon(k, t, ctx, false);
+}
+
+void
+sysFstat(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    KFilePtr f = getFile(t, ctx->argInt(0));
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    f->fstat([ctx, f](int err, const bfs::Stat &st) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        ctx->completeStat(sys::statXFromBfs(st), 1);
+    });
+}
+
+void
+sysAccess(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    std::string path = resolvePath(t, ctx->argStr(0));
+    k.fs().access(path, ctx->argInt(1), [ctx](int err) {
+        if (err)
+            ctx->completeErr(err);
+        else
+            ctx->complete(0);
+    });
+}
+
+void
+sysUnlink(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().unlink(resolvePath(t, ctx->argStr(0)), [ctx](int err) {
+        if (err)
+            ctx->completeErr(err);
+        else
+            ctx->complete(0);
+    });
+}
+
+void
+sysMkdir(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().mkdir(resolvePath(t, ctx->argStr(0)),
+                 static_cast<uint32_t>(ctx->argInt(1)), [ctx](int err) {
+                     if (err)
+                         ctx->completeErr(err);
+                     else
+                         ctx->complete(0);
+                 });
+}
+
+void
+sysRmdir(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().rmdir(resolvePath(t, ctx->argStr(0)), [ctx](int err) {
+        if (err)
+            ctx->completeErr(err);
+        else
+            ctx->complete(0);
+    });
+}
+
+void
+sysRename(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().rename(resolvePath(t, ctx->argStr(0)),
+                  resolvePath(t, ctx->argStr(1)), [ctx](int err) {
+                      if (err)
+                          ctx->completeErr(err);
+                      else
+                          ctx->complete(0);
+                  });
+}
+
+void
+sysReadlink(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().readlink(resolvePath(t, ctx->argStr(0)),
+                    [ctx](int err, const std::string &target) {
+                        if (err) {
+                            ctx->completeErr(err);
+                            return;
+                        }
+                        ctx->completeStr(target, 1, 2);
+                    });
+}
+
+void
+sysSymlink(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    k.fs().symlink(ctx->argStr(0), resolvePath(t, ctx->argStr(1)),
+                   [ctx](int err) {
+                       if (err)
+                           ctx->completeErr(err);
+                       else
+                           ctx->complete(0);
+                   });
+}
+
+void
+sysUtimes(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    int64_t atime = static_cast<int64_t>(ctx->argNum(1));
+    int64_t mtime = static_cast<int64_t>(ctx->argNum(2));
+    if (ctx->isSync()) { // seconds in the sync convention
+        atime *= 1000000;
+        mtime *= 1000000;
+    }
+    k.fs().utimes(resolvePath(t, ctx->argStr(0)), atime, mtime,
+                  [ctx](int err) {
+                      if (err)
+                          ctx->completeErr(err);
+                      else
+                          ctx->complete(0);
+                  });
+}
+
+// ---------- pipes ----------
+
+void
+sysPipe2(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    auto pipe = std::make_shared<Pipe>();
+    int rfd = t.allocFd();
+    t.files[rfd] = std::make_shared<PipeEndFile>(pipe, true);
+    int wfd = t.allocFd();
+    t.files[wfd] = std::make_shared<PipeEndFile>(pipe, false);
+    if (ctx->isSync()) {
+        int32_t fds[2] = {rfd, wfd};
+        bfs::Buffer out(8);
+        std::memcpy(out.data(), fds, 8);
+        ctx->completeData(out, 0); // fds written at the pointer arg
+    } else {
+        ctx->complete(rfd, wfd);
+    }
+}
+
+// ---------- sockets ----------
+
+void
+sysSocket(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = t.allocFd();
+    t.files[fd] = std::make_shared<SocketFile>();
+    ctx->complete(fd);
+}
+
+void
+sysBind(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    auto *sock = dynamic_cast<SocketFile *>(getFile(t, ctx->argInt(0)).get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    int port = ctx->argInt(1);
+    if (port == 0) { // ephemeral
+        static int next = 32768;
+        while (k.ports().count(next))
+            next++;
+        port = next++;
+    } else if (k.ports().count(port)) {
+        ctx->completeErr(EADDRINUSE);
+        return;
+    }
+    int rc = sock->bind(port);
+    if (rc)
+        ctx->completeErr(rc);
+    else
+        ctx->complete(0);
+}
+
+void
+sysListen(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    auto file = getFile(t, ctx->argInt(0));
+    auto *sock = dynamic_cast<SocketFile *>(file.get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    if (k.ports().count(sock->port())) {
+        ctx->completeErr(EADDRINUSE);
+        return;
+    }
+    int rc = sock->listen(ctx->argInt(1));
+    if (rc) {
+        ctx->completeErr(rc);
+        return;
+    }
+    // Socket notification (§4.1): tell the web application the server is
+    // ready, so it need not poll.
+    k.notifyListen(sock->port(), sock);
+    ctx->complete(0);
+}
+
+void
+sysAccept(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    auto file = getFile(t, ctx->argInt(0));
+    auto *sock = dynamic_cast<SocketFile *>(file.get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    int pid = t.pid;
+    sock->accept([&k, pid, ctx, file](int err, SocketFilePtr peer) {
+        if (err) {
+            ctx->completeErr(err);
+            return;
+        }
+        Task *t2 = k.task(pid);
+        if (!t2 || t2->state == TaskState::Zombie)
+            return; // peer collapses when its pipes are dropped
+        int fd = t2->allocFd();
+        t2->files[fd] = peer;
+        ctx->complete(fd, peer->remotePort());
+    });
+}
+
+void
+sysConnect(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    auto file = getFile(t, ctx->argInt(0));
+    auto *sock = dynamic_cast<SocketFile *>(file.get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    int rc = k.doConnect(&t, *sock, ctx->argInt(1));
+    if (rc)
+        ctx->completeErr(rc);
+    else
+        ctx->complete(0);
+}
+
+void
+sysGetsockname(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    auto *sock = dynamic_cast<SocketFile *>(getFile(t, ctx->argInt(0)).get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    ctx->complete(sock->port());
+}
+
+const std::map<std::string, Handler> &
+handlerTable()
+{
+    static const std::map<std::string, Handler> table = {
+        {"exit", sysExit},
+        {"fork", sysFork},
+        {"spawn", sysSpawn},
+        {"execve", sysExecve},
+        {"wait4", sysWait4},
+        {"getpid", sysGetpid},
+        {"getppid", sysGetppid},
+        {"getcwd", sysGetcwd},
+        {"chdir", sysChdir},
+        {"kill", sysKill},
+        {"sigaction", sysSigaction},
+        {"gettimeofday", sysGettimeofday},
+        {"personality", sysPersonality},
+        {"open", sysOpen},
+        {"close", sysClose},
+        {"read", sysRead},
+        {"write", sysWrite},
+        {"pread", sysPread},
+        {"pwrite", sysPwrite},
+        {"llseek", sysLlseek},
+        {"getdents", sysGetdents},
+        {"getdents64", sysGetdents},
+        {"readdir", sysReaddir},
+        {"dup", sysDup},
+        {"dup2", sysDup2},
+        {"ioctl", sysIoctl},
+        {"stat", sysStat},
+        {"lstat", sysLstat},
+        {"fstat", sysFstat},
+        {"access", sysAccess},
+        {"unlink", sysUnlink},
+        {"mkdir", sysMkdir},
+        {"rmdir", sysRmdir},
+        {"rename", sysRename},
+        {"readlink", sysReadlink},
+        {"symlink", sysSymlink},
+        {"utimes", sysUtimes},
+        {"pipe2", sysPipe2},
+        {"socket", sysSocket},
+        {"bind", sysBind},
+        {"listen", sysListen},
+        {"accept", sysAccept},
+        {"connect", sysConnect},
+        {"getsockname", sysGetsockname},
+    };
+    return table;
+}
+
+} // namespace
+
+void
+Kernel::dispatchSyscall(Task &t, SyscallCtxPtr ctx)
+{
+    auto it = handlerTable().find(ctx->name());
+    if (it == handlerTable().end()) {
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    it->second(*this, t, std::move(ctx));
+}
+
+void
+Kernel::replyTo(Task &, const jsvm::Value &)
+{
+    // (folded into SyscallCtx; kept for interface stability)
+}
+
+} // namespace kernel
+} // namespace browsix

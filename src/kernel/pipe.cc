@@ -1,0 +1,150 @@
+#include "kernel/pipe.h"
+
+#include <algorithm>
+
+namespace browsix {
+namespace kernel {
+
+void
+Pipe::pump()
+{
+    // Move queued writer data into freed buffer space, then satisfy
+    // readers, repeating until no further progress is possible.
+    for (;;) {
+        bool progress = false;
+
+        while (!writeWaiters_.empty() && buf_.size() < capacity_) {
+            WriteWaiter &w = writeWaiters_.front();
+            size_t space = capacity_ - buf_.size();
+            size_t n = std::min(space, w.data.size() - w.off);
+            buf_.insert(buf_.end(), w.data.begin() + w.off,
+                        w.data.begin() + w.off + n);
+            w.off += n;
+            progress = progress || n > 0;
+            if (w.off == w.data.size()) {
+                auto cb = std::move(w.cb);
+                size_t total = w.total;
+                writeWaiters_.pop_front();
+                cb(0, total);
+            } else {
+                break; // buffer full again
+            }
+        }
+
+        while (!readWaiters_.empty() && !buf_.empty()) {
+            ReadWaiter r = std::move(readWaiters_.front());
+            readWaiters_.pop_front();
+            size_t n = std::min(r.maxlen, buf_.size());
+            auto out = std::make_shared<bfs::Buffer>(buf_.begin(),
+                                                     buf_.begin() + n);
+            buf_.erase(buf_.begin(), buf_.begin() + n);
+            bytesTransferred_ += n;
+            progress = true;
+            r.cb(0, std::move(out));
+        }
+
+        // Writer gone: wake remaining readers with EOF.
+        if (writerClosed_ && buf_.empty() && writeWaiters_.empty()) {
+            while (!readWaiters_.empty()) {
+                ReadWaiter r = std::move(readWaiters_.front());
+                readWaiters_.pop_front();
+                r.cb(0, std::make_shared<bfs::Buffer>());
+                progress = true;
+            }
+        }
+
+        // Reader gone: queued writes fail with EPIPE, and any reads the
+        // (former) reader still had queued complete with EOF.
+        if (readerClosed_) {
+            while (!writeWaiters_.empty()) {
+                WriteWaiter w = std::move(writeWaiters_.front());
+                writeWaiters_.pop_front();
+                w.cb(EPIPE, 0);
+                progress = true;
+            }
+            while (!readWaiters_.empty()) {
+                ReadWaiter r = std::move(readWaiters_.front());
+                readWaiters_.pop_front();
+                r.cb(0, std::make_shared<bfs::Buffer>());
+                progress = true;
+            }
+        }
+
+        if (!progress)
+            return;
+    }
+}
+
+void
+Pipe::read(size_t maxlen, bfs::DataCb cb)
+{
+    if (maxlen == 0) {
+        cb(0, std::make_shared<bfs::Buffer>());
+        return;
+    }
+    if (!buf_.empty()) {
+        size_t n = std::min(maxlen, buf_.size());
+        auto out =
+            std::make_shared<bfs::Buffer>(buf_.begin(), buf_.begin() + n);
+        buf_.erase(buf_.begin(), buf_.begin() + n);
+        bytesTransferred_ += n;
+        cb(0, std::move(out));
+        pump();
+        return;
+    }
+    if (writerClosed_) {
+        cb(0, std::make_shared<bfs::Buffer>()); // EOF
+        return;
+    }
+    readWaiters_.push_back(ReadWaiter{maxlen, std::move(cb)});
+}
+
+void
+Pipe::write(bfs::Buffer data, bfs::SizeCb cb)
+{
+    if (readerClosed_) {
+        cb(EPIPE, 0);
+        return;
+    }
+    if (writerClosed_) {
+        cb(EBADF, 0);
+        return;
+    }
+    size_t total = data.size();
+    if (total == 0) {
+        cb(0, 0);
+        return;
+    }
+    size_t space = capacity_ > buf_.size() ? capacity_ - buf_.size() : 0;
+    size_t n = std::min(space, total);
+    buf_.insert(buf_.end(), data.begin(), data.begin() + n);
+    if (n == total) {
+        cb(0, total);
+    } else {
+        stalls_++;
+        writeWaiters_.push_back(
+            WriteWaiter{std::move(data), n, total, std::move(cb)});
+    }
+    pump();
+}
+
+void
+Pipe::closeReader()
+{
+    if (readerClosed_)
+        return;
+    readerClosed_ = true;
+    pump();
+}
+
+void
+Pipe::closeWriter()
+{
+    if (writerClosed_)
+        return;
+    writerClosed_ = true;
+    pump();
+}
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pipes: in-memory buffers with read-side wait queues (§3.4).
+ *
+ * A read against an empty pipe enqueues its completion callback, invoked
+ * when data is written; a write that overfills the buffer is held until
+ * the pipe is drained (backpressure — §6 argues browsers themselves need
+ * this for postMessage). Sockets reuse Pipe as their per-direction stream.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "kernel/file.h"
+
+namespace browsix {
+namespace kernel {
+
+class Pipe : public std::enable_shared_from_this<Pipe>
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 64 * 1024;
+
+    explicit Pipe(size_t capacity = kDefaultCapacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Read up to maxlen bytes. Completes immediately when data is
+     * buffered; at EOF (writer closed, buffer drained) completes with
+     * empty data; otherwise queues.
+     */
+    void read(size_t maxlen, bfs::DataCb cb);
+
+    /**
+     * Write data. The completion callback fires once every byte has been
+     * accepted into the buffer (i.e. a blocking write); writes beyond
+     * capacity wait for readers.
+     */
+    void write(bfs::Buffer data, bfs::SizeCb cb);
+
+    void closeReader();
+    void closeWriter();
+
+    bool readerClosed() const { return readerClosed_; }
+    bool writerClosed() const { return writerClosed_; }
+    size_t buffered() const { return buf_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /// Experiment counters.
+    uint64_t bytesTransferred() const { return bytesTransferred_; }
+    uint64_t backpressureStalls() const { return stalls_; }
+
+  private:
+    struct ReadWaiter
+    {
+        size_t maxlen;
+        bfs::DataCb cb;
+    };
+    struct WriteWaiter
+    {
+        bfs::Buffer data;
+        size_t off;
+        size_t total;
+        bfs::SizeCb cb;
+    };
+
+    void pump();
+
+    size_t capacity_;
+    std::deque<uint8_t> buf_;
+    std::deque<ReadWaiter> readWaiters_;
+    std::deque<WriteWaiter> writeWaiters_;
+    bool readerClosed_ = false;
+    bool writerClosed_ = false;
+    uint64_t bytesTransferred_ = 0;
+    uint64_t stalls_ = 0;
+};
+
+using PipePtr = std::shared_ptr<Pipe>;
+
+/** One end of a pipe, exposed as a file descriptor. */
+class PipeEndFile : public KFile
+{
+  public:
+    PipeEndFile(PipePtr pipe, bool reader)
+        : pipe_(std::move(pipe)), reader_(reader)
+    {
+    }
+
+    const char *kind() const override
+    {
+        return reader_ ? "pipe:r" : "pipe:w";
+    }
+
+    void read(size_t maxlen, bfs::DataCb cb) override
+    {
+        if (!reader_) {
+            cb(EBADF, nullptr);
+            return;
+        }
+        pipe_->read(maxlen, std::move(cb));
+    }
+
+    void write(bfs::Buffer data, bfs::SizeCb cb) override
+    {
+        if (reader_) {
+            cb(EBADF, 0);
+            return;
+        }
+        pipe_->write(std::move(data), std::move(cb));
+    }
+
+    PipePtr pipe() const { return pipe_; }
+
+  protected:
+    void onLastClose() override
+    {
+        if (reader_)
+            pipe_->closeReader();
+        else
+            pipe_->closeWriter();
+    }
+
+  private:
+    PipePtr pipe_;
+    bool reader_;
+};
+
+} // namespace kernel
+} // namespace browsix

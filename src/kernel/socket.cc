@@ -1,0 +1,111 @@
+#include "kernel/socket.h"
+
+namespace browsix {
+namespace kernel {
+
+void
+SocketFile::read(size_t maxlen, bfs::DataCb cb)
+{
+    if (state_ != State::Connected) {
+        cb(ENOTCONN, nullptr);
+        return;
+    }
+    rx_->read(maxlen, std::move(cb));
+}
+
+void
+SocketFile::write(bfs::Buffer data, bfs::SizeCb cb)
+{
+    if (state_ != State::Connected) {
+        cb(ENOTCONN, 0);
+        return;
+    }
+    tx_->write(std::move(data), std::move(cb));
+}
+
+int
+SocketFile::bind(int port)
+{
+    if (state_ != State::Unbound)
+        return EINVAL;
+    port_ = port;
+    state_ = State::Bound;
+    return 0;
+}
+
+int
+SocketFile::listen(int backlog)
+{
+    if (state_ != State::Bound)
+        return EINVAL;
+    backlog_ = backlog > 0 ? backlog : 8;
+    state_ = State::Listening;
+    return 0;
+}
+
+int
+SocketFile::enqueueConnection(SocketFilePtr peer)
+{
+    if (state_ != State::Listening)
+        return ECONNREFUSED;
+    if (!acceptWaiters_.empty()) {
+        auto cb = std::move(acceptWaiters_.front());
+        acceptWaiters_.pop_front();
+        cb(0, std::move(peer));
+        return 0;
+    }
+    if (static_cast<int>(pending_.size()) >= backlog_)
+        return ECONNREFUSED;
+    pending_.push_back(std::move(peer));
+    return 0;
+}
+
+void
+SocketFile::accept(std::function<void(int err, SocketFilePtr)> cb)
+{
+    if (state_ != State::Listening) {
+        cb(EINVAL, nullptr);
+        return;
+    }
+    if (!pending_.empty()) {
+        SocketFilePtr peer = std::move(pending_.front());
+        pending_.pop_front();
+        cb(0, std::move(peer));
+        return;
+    }
+    acceptWaiters_.push_back(std::move(cb));
+}
+
+void
+SocketFile::establish(PipePtr rx, PipePtr tx, int local_port,
+                      int remote_port)
+{
+    rx_ = std::move(rx);
+    tx_ = std::move(tx);
+    port_ = local_port;
+    remotePort_ = remote_port;
+    state_ = State::Connected;
+}
+
+void
+SocketFile::onLastClose()
+{
+    if (state_ == State::Connected) {
+        rx_->closeReader();
+        tx_->closeWriter();
+    }
+    while (!acceptWaiters_.empty()) {
+        auto cb = std::move(acceptWaiters_.front());
+        acceptWaiters_.pop_front();
+        cb(EBADF, nullptr);
+    }
+    // Pending (never-accepted) peers see EOF when their pipes collapse.
+    for (auto &peer : pending_) {
+        (void)peer; // peers' pipes are dropped with the queue
+    }
+    pending_.clear();
+    state_ = State::Unbound;
+}
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SOCK_STREAM sockets between Browsix processes (§3.5).
+ *
+ * Sequenced, reliable, bi-directional streams: servers bind/listen/accept,
+ * clients connect; a connection is a pair of Pipes (one per direction).
+ * The kernel owns the port namespace and the accept rendezvous. The main
+ * browser context can also connect (kernel-side API) — that's how the
+ * XMLHttpRequest-like interface (§4.1) reaches in-Browsix HTTP servers.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "kernel/pipe.h"
+
+namespace browsix {
+namespace kernel {
+
+class SocketFile;
+using SocketFilePtr = std::shared_ptr<SocketFile>;
+
+class SocketFile : public KFile
+{
+  public:
+    enum class State { Unbound, Bound, Listening, Connected };
+
+    const char *kind() const override { return "socket"; }
+
+    State state() const { return state_; }
+    int port() const { return port_; }
+    int remotePort() const { return remotePort_; }
+
+    // --- stream I/O (Connected only) ---
+    void read(size_t maxlen, bfs::DataCb cb) override;
+    void write(bfs::Buffer data, bfs::SizeCb cb) override;
+
+    // --- state transitions, driven by the kernel's syscall handlers ---
+    int bind(int port);
+    int listen(int backlog);
+
+    /**
+     * Enqueue a fully-connected peer endpoint; completes a pending accept
+     * if one is waiting. Returns ECONNREFUSED when the backlog is full.
+     */
+    int enqueueConnection(SocketFilePtr peer);
+
+    /** Accept a connection: immediately if one is pending, else queued. */
+    void accept(std::function<void(int err, SocketFilePtr)> cb);
+
+    /** Make this endpoint one side of a connection. */
+    void establish(PipePtr rx, PipePtr tx, int local_port, int remote_port);
+
+    bool hasPendingConnections() const { return !pending_.empty(); }
+
+  protected:
+    void onLastClose() override;
+
+  private:
+    State state_ = State::Unbound;
+    int port_ = 0;
+    int remotePort_ = 0;
+    int backlog_ = 8;
+
+    PipePtr rx_, tx_;
+    std::deque<SocketFilePtr> pending_;
+    std::deque<std::function<void(int, SocketFilePtr)>> acceptWaiters_;
+};
+
+} // namespace kernel
+} // namespace browsix

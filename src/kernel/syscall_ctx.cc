@@ -1,0 +1,236 @@
+#include "kernel/syscall_ctx.h"
+
+#include <cstring>
+
+#include "jsvm/sab.h"
+#include "jsvm/util.h"
+#include "kernel/kernel.h"
+
+namespace browsix {
+namespace kernel {
+
+SyscallCtx::SyscallCtx(Kernel &k, int pid, double id, std::string name,
+                       jsvm::Value args)
+    : kernel_(k), pid_(pid), sync_(false), id_(id), name_(std::move(name)),
+      args_(std::move(args))
+{
+}
+
+SyscallCtx::SyscallCtx(Kernel &k, int pid, int trap,
+                       std::array<int32_t, 6> args)
+    : kernel_(k), pid_(pid), sync_(true), name_(sys::trapName(trap)),
+      sargs_(args)
+{
+}
+
+Task *
+SyscallCtx::taskOrNull() const
+{
+    Task *t = kernel_.task(pid_);
+    if (!t || t->state == TaskState::Zombie)
+        return nullptr;
+    return t;
+}
+
+size_t
+SyscallCtx::argCount() const
+{
+    return sync_ ? 6 : args_.size();
+}
+
+int32_t
+SyscallCtx::argInt(size_t i) const
+{
+    if (sync_)
+        return i < 6 ? sargs_[i] : 0;
+    return args_.at(i).isNumber() ? args_.at(i).asInt() : 0;
+}
+
+double
+SyscallCtx::argNum(size_t i) const
+{
+    if (sync_)
+        return i < 6 ? sargs_[i] : 0;
+    return args_.at(i).isNumber() ? args_.at(i).asNumber() : 0;
+}
+
+std::string
+SyscallCtx::argStr(size_t i) const
+{
+    if (!sync_) {
+        const jsvm::Value &v = args_.at(i);
+        return v.isString() ? v.asString() : std::string();
+    }
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return std::string();
+    size_t off = static_cast<uint32_t>(sargs_[i]);
+    const uint8_t *heap = t->heap->data();
+    size_t size = t->heap->size();
+    std::string out;
+    while (off < size && heap[off] != 0)
+        out.push_back(static_cast<char>(heap[off++]));
+    return out;
+}
+
+bfs::Buffer
+SyscallCtx::argData(size_t i, size_t len_idx) const
+{
+    if (!sync_) {
+        const jsvm::Value &v = args_.at(i);
+        if (v.isBytes() && v.asBytes())
+            return *v.asBytes();
+        if (v.isString()) {
+            const std::string &s = v.asString();
+            return bfs::Buffer(s.begin(), s.end());
+        }
+        return {};
+    }
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return {};
+    size_t off = static_cast<uint32_t>(sargs_[i]);
+    size_t len = static_cast<uint32_t>(sargs_[len_idx]);
+    if (off > t->heap->size())
+        return {};
+    len = std::min(len, t->heap->size() - off);
+    const uint8_t *heap = t->heap->data();
+    return bfs::Buffer(heap + off, heap + off + len);
+}
+
+jsvm::Value
+SyscallCtx::argValue(size_t i) const
+{
+    if (sync_)
+        jsvm::panic("SyscallCtx::argValue on a sync call: " + name_);
+    return args_.at(i);
+}
+
+bool
+SyscallCtx::heapWrite(size_t off, const uint8_t *data, size_t len) const
+{
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return false;
+    if (off + len > t->heap->size())
+        return false;
+    std::memcpy(t->heap->data() + off, data, len);
+    return true;
+}
+
+void
+SyscallCtx::finishSync(int64_t r0, int64_t r1)
+{
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return; // task died while the call was in flight
+    int32_t ret0 = static_cast<int32_t>(r0);
+    int32_t ret1 = static_cast<int32_t>(r1);
+    heapWrite(static_cast<uint32_t>(t->retOff),
+              reinterpret_cast<const uint8_t *>(&ret0), 4);
+    heapWrite(static_cast<uint32_t>(t->retOff) + 4,
+              reinterpret_cast<const uint8_t *>(&ret1), 4);
+    jsvm::Atomics::store(*t->heap, static_cast<uint32_t>(t->waitOff), 1);
+    jsvm::Atomics::notify(*t->heap, static_cast<uint32_t>(t->waitOff));
+}
+
+void
+SyscallCtx::finishAsync(int64_t r0, int64_t r1, jsvm::Value extra)
+{
+    Task *t = taskOrNull();
+    if (!t || !t->worker)
+        return;
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("t", jsvm::Value("ret"));
+    msg.set("id", jsvm::Value(id_));
+    jsvm::Value ret = jsvm::Value::array();
+    ret.push(jsvm::Value(static_cast<double>(r0)));
+    ret.push(jsvm::Value(static_cast<double>(r1)));
+    msg.set("ret", std::move(ret));
+    if (!extra.isUndefined())
+        msg.set("data", std::move(extra));
+    kernel_.messagesSent++;
+    t->worker->postMessage(msg);
+}
+
+void
+SyscallCtx::complete(int64_t r0, int64_t r1)
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    completed_ = true;
+    if (sync_)
+        finishSync(r0, r1);
+    else
+        finishAsync(r0, r1, jsvm::Value::undefined());
+}
+
+void
+SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx)
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    completed_ = true;
+    if (sync_) {
+        heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), data.data(),
+                  data.size());
+        finishSync(static_cast<int64_t>(data.size()), 0);
+    } else {
+        finishAsync(static_cast<int64_t>(data.size()), 0,
+                    jsvm::Value::bytes(data.data(), data.size()));
+    }
+}
+
+void
+SyscallCtx::completeStr(const std::string &s, size_t dst_ptr_idx,
+                        size_t max_len_idx)
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    completed_ = true;
+    if (sync_) {
+        size_t max_len = static_cast<uint32_t>(sargs_[max_len_idx]);
+        if (s.size() + 1 > max_len) {
+            finishSync(-ERANGE, 0);
+            return;
+        }
+        bfs::Buffer out(s.begin(), s.end());
+        out.push_back(0);
+        heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), out.data(),
+                  out.size());
+        finishSync(static_cast<int64_t>(s.size()), 0);
+    } else {
+        finishAsync(static_cast<int64_t>(s.size()), 0, jsvm::Value(s));
+    }
+}
+
+void
+SyscallCtx::completeStat(const sys::StatX &st, size_t dst_ptr_idx)
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    completed_ = true;
+    if (sync_) {
+        uint8_t packed[sys::STAT_BYTES];
+        sys::packStat(st, packed);
+        heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), packed,
+                  sizeof(packed));
+        finishSync(0, 0);
+    } else {
+        finishAsync(0, 0, sys::statToValue(st));
+    }
+}
+
+void
+SyscallCtx::completeValue(int64_t r0, jsvm::Value extra)
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    if (sync_)
+        jsvm::panic("completeValue on sync call " + name_);
+    completed_ = true;
+    finishAsync(r0, 0, std::move(extra));
+}
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SyscallCtx: one in-flight system call, abstracting over the two
+ * conventions so every syscall handler is written exactly once.
+ *
+ * Async calls carry structured-clone Values; sync calls carry six int32s,
+ * where "pointer" arguments are offsets into the calling task's shared
+ * heap. Out-data (pread payloads, getdents records, getcwd strings) is
+ * written directly into the caller's heap for sync calls — the paper's
+ * zero-extra-copy property — and attached to the reply message for async
+ * calls.
+ */
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "jsvm/value.h"
+#include "kernel/task.h"
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace kernel {
+
+class Kernel;
+
+class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
+{
+  public:
+    /** Async form. */
+    SyscallCtx(Kernel &k, int pid, double id, std::string name,
+               jsvm::Value args);
+
+    /** Sync form. */
+    SyscallCtx(Kernel &k, int pid, int trap,
+               std::array<int32_t, 6> args);
+
+    const std::string &name() const { return name_; }
+    bool isSync() const { return sync_; }
+    int pid() const { return pid_; }
+    size_t argCount() const;
+
+    // --- argument accessors ---
+    int32_t argInt(size_t i) const;
+    double argNum(size_t i) const;
+    /** Async: string arg; sync: NUL-terminated string in the heap. */
+    std::string argStr(size_t i) const;
+    /** Async: Bytes at i; sync: heap slice (ptr at i, length at len_idx). */
+    bfs::Buffer argData(size_t i, size_t len_idx) const;
+    /** Async only: the raw Value (arrays/objects, e.g. spawn argv). */
+    jsvm::Value argValue(size_t i) const;
+
+    // --- completion (exactly once) ---
+    void complete(int64_t r0, int64_t r1 = 0);
+    void completeErr(int err) { complete(-static_cast<int64_t>(err)); }
+    /** Deliver out-data: sync writes into heap at arg[dst_ptr_idx]. */
+    void completeData(const bfs::Buffer &data, size_t dst_ptr_idx);
+    /** Deliver a string result (getcwd, readlink). */
+    void completeStr(const std::string &s, size_t dst_ptr_idx,
+                     size_t max_len_idx);
+    /** Deliver a packed/object stat. */
+    void completeStat(const sys::StatX &st, size_t dst_ptr_idx);
+    /** Async only: complete with an arbitrary extra value. */
+    void completeValue(int64_t r0, jsvm::Value extra);
+
+    bool completed() const { return completed_; }
+
+  private:
+    Task *taskOrNull() const;
+    void finishSync(int64_t r0, int64_t r1);
+    void finishAsync(int64_t r0, int64_t r1, jsvm::Value extra);
+    bool heapWrite(size_t off, const uint8_t *data, size_t len) const;
+
+    Kernel &kernel_;
+    int pid_;
+    bool sync_;
+    double id_ = 0;
+    std::string name_;
+    jsvm::Value args_;                 // async
+    std::array<int32_t, 6> sargs_{};   // sync
+    bool completed_ = false;
+};
+
+using SyscallCtxPtr = std::shared_ptr<SyscallCtx>;
+
+} // namespace kernel
+} // namespace browsix

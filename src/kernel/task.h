@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The per-process task structure (§3.3): "Each BROWSIX process has an
+ * associated task structure that lives in the kernel that contains its
+ * process ID, parent's process ID, Web Worker object, current working
+ * directory, and map of open file descriptors."
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jsvm/sab.h"
+#include "jsvm/worker.h"
+#include "kernel/file.h"
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace kernel {
+
+enum class TaskState { Starting, Running, Zombie };
+
+struct Task
+{
+    int pid = 0;
+    int ppid = 0;
+    std::shared_ptr<jsvm::Worker> worker;
+    std::string cwd = "/";
+    std::map<int, KFilePtr> files;
+    TaskState state = TaskState::Starting;
+    int exitStatus = 0;
+
+    std::vector<std::string> argv;
+    std::map<std::string, std::string> env;
+
+    /// The executable this task was booted from (reused by fork/exec).
+    std::string blobUrl;
+    std::string execPath;
+
+    /// Synchronous-syscall personality (§3.2): heap + agreed offsets.
+    jsvm::SabPtr heap;
+    int32_t retOff = -1;
+    int32_t waitOff = -1;
+    int32_t sigOff = -1;
+
+    /// Signal dispositions registered via sigaction.
+    std::map<int, sys::SigDisposition> sigDisp;
+
+    std::set<int> children;
+
+    /// Pending wait4 completions: (pid-selector, completion).
+    struct WaitWaiter
+    {
+        int waitFor; // pid or -1 for any child
+        std::function<void(int pid, int status)> done;
+    };
+    std::vector<WaitWaiter> waitWaiters;
+
+    /// Root-task (ppid 0) exit notification for the embedder.
+    std::function<void(int status)> onExit;
+
+    /** Lowest unused descriptor number. */
+    int allocFd() const
+    {
+        int fd = 0;
+        while (files.count(fd))
+            fd++;
+        return fd;
+    }
+
+    bool usesSyncCalls() const { return heap != nullptr; }
+
+    sys::SigDisposition dispositionFor(int sig) const
+    {
+        auto it = sigDisp.find(sig);
+        return it == sigDisp.end() ? sys::SigDisposition::Default
+                                   : it->second;
+    }
+};
+
+} // namespace kernel
+} // namespace browsix

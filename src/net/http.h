@@ -1,0 +1,118 @@
+/**
+ * @file
+ * HTTP/1.1 message parsing and serialization.
+ *
+ * Browsix replaces Node's native HTTP parser with a pure-JavaScript one
+ * (§4.3) and provides an XMLHttpRequest-like API that serializes requests
+ * to bytes, sends them over a Browsix socket, and parses the (possibly
+ * chunked) response (§4.1). This module is that parser/serializer; it is
+ * shared by the in-Browsix servers (Go and Node runtimes) and the client.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace browsix {
+namespace net {
+
+struct HttpRequest
+{
+    std::string method = "GET";
+    std::string target = "/";
+    std::string version = "HTTP/1.1";
+    std::map<std::string, std::string> headers; // lower-cased names
+    std::vector<uint8_t> body;
+
+    std::string header(const std::string &name, const std::string &dflt = "")
+        const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string reason = "OK";
+    std::string version = "HTTP/1.1";
+    std::map<std::string, std::string> headers; // lower-cased names
+    std::vector<uint8_t> body;
+
+    std::string header(const std::string &name, const std::string &dflt = "")
+        const;
+};
+
+/** Serialize with a Content-Length header (adding it if absent). */
+std::vector<uint8_t> serializeRequest(const HttpRequest &req);
+std::vector<uint8_t> serializeResponse(const HttpResponse &resp);
+
+/** Serialize a response using chunked transfer encoding. */
+std::vector<uint8_t> serializeResponseChunked(const HttpResponse &resp,
+                                              size_t chunk_size = 1024);
+
+/**
+ * Incremental HTTP parser. Feed bytes as they arrive off a socket; a
+ * complete message is reported exactly once. Handles Content-Length and
+ * chunked bodies.
+ */
+class HttpParser
+{
+  public:
+    enum class Mode { Request, Response };
+
+    explicit HttpParser(Mode mode) : mode_(mode) {}
+
+    /** Feed incoming bytes; returns false on a malformed message. */
+    bool feed(const uint8_t *data, size_t len);
+    bool feed(const std::vector<uint8_t> &data)
+    {
+        return feed(data.data(), data.size());
+    }
+
+    bool done() const { return state_ == State::Done; }
+    bool failed() const { return state_ == State::Error; }
+
+    /** Valid once done() (mode Request). */
+    const HttpRequest &request() const { return req_; }
+    /** Valid once done() (mode Response). */
+    const HttpResponse &response() const { return resp_; }
+
+    /** Bytes fed beyond the end of the message (pipelining). */
+    const std::vector<uint8_t> &trailingBytes() const { return trailing_; }
+
+    /** Reset to parse another message. */
+    void reset();
+
+  private:
+    enum class State { StartLine, Headers, Body, ChunkSize, ChunkData,
+                       ChunkTrailer, Done, Error };
+
+    bool parseStartLine(const std::string &line);
+    bool parseHeaderLine(const std::string &line);
+    void finishHeaders();
+
+    Mode mode_;
+    State state_ = State::StartLine;
+    std::string lineBuf_;
+    std::vector<uint8_t> buf_;
+    size_t bodyRemaining_ = 0;
+    size_t chunkRemaining_ = 0;
+    bool chunked_ = false;
+    HttpRequest req_;
+    HttpResponse resp_;
+    std::vector<uint8_t> trailing_;
+};
+
+/** Parse a query string ("a=1&b=2") into a map; minimal %XX decoding. */
+std::map<std::string, std::string> parseQuery(const std::string &query);
+
+/** Split a request target into path and query map. */
+std::pair<std::string, std::map<std::string, std::string>>
+splitTarget(const std::string &target);
+
+/** Percent-decode. */
+std::string urlDecode(const std::string &s);
+
+} // namespace net
+} // namespace browsix

@@ -1,0 +1,40 @@
+#include "net/netsim.h"
+
+namespace browsix {
+namespace net {
+
+LinkParams
+LinkParams::ec2()
+{
+    // Same-region EC2 from a well-connected client, 2016: ~12 ms RTT,
+    // ~50 Mbit/s. With the paper's ~9 ms in-browser request this puts
+    // the remote server ~3x behind, as §5.2 reports.
+    return LinkParams{/*rttUs=*/12000, /*bytesPerUs=*/6.25};
+}
+
+LinkParams
+LinkParams::localhost()
+{
+    return LinkParams{/*rttUs=*/50, /*bytesPerUs=*/0};
+}
+
+void
+SimulatedRemoteServer::request(const HttpRequest &req, ResponseCb cb)
+{
+    requests_++;
+    size_t up_bytes = serializeRequest(req).size();
+    int64_t up_delay = link_.oneWayUs(up_bytes);
+    loop_->setTimeout(
+        [this, req, cb = std::move(cb)]() {
+            HttpResponse resp = handler_(req);
+            size_t down_bytes = serializeResponse(resp).size();
+            int64_t down_delay = link_.oneWayUs(down_bytes);
+            loop_->setTimeout(
+                [cb, resp = std::move(resp)]() { cb(0, resp); },
+                down_delay);
+        },
+        up_delay);
+}
+
+} // namespace net
+} // namespace browsix

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulated wide-area network for the "remote server" comparisons.
+ *
+ * The paper compares requests served by a meme server running inside
+ * Browsix against the same server running on a remote EC2 instance
+ * (§5.2): once network round-trips are factored in, the in-browser server
+ * wins by ~3x. This module models that remote path: a request/response
+ * exchange across a link with a round-trip latency and finite bandwidth,
+ * with the server computing natively (it runs on a real machine).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "jsvm/event_loop.h"
+#include "net/http.h"
+
+namespace browsix {
+namespace net {
+
+struct LinkParams
+{
+    int64_t rttUs = 0;     ///< round-trip latency
+    double bytesPerUs = 0; ///< bandwidth; 0 = infinite
+
+    int64_t oneWayUs(size_t bytes) const
+    {
+        return rttUs / 2 +
+               (bytesPerUs > 0 ? static_cast<int64_t>(bytes / bytesPerUs)
+                               : 0);
+    }
+
+    /** A 2016-vintage client-to-EC2 path: ~30 ms RTT, ~50 Mbit/s. */
+    static LinkParams ec2();
+    /** Loopback: negligible. */
+    static LinkParams localhost();
+};
+
+/**
+ * A server reachable only across a simulated link. The handler runs
+ * natively (real elapsed time counts as server compute time).
+ */
+class SimulatedRemoteServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+    using ResponseCb = std::function<void(int err, HttpResponse)>;
+
+    SimulatedRemoteServer(jsvm::EventLoop *loop, LinkParams link,
+                          Handler handler)
+        : loop_(loop), link_(link), handler_(std::move(handler))
+    {
+    }
+
+    /** Issue a request; the callback fires on the event loop. */
+    void request(const HttpRequest &req, ResponseCb cb);
+
+    uint64_t requestCount() const { return requests_; }
+
+  private:
+    jsvm::EventLoop *loop_;
+    LinkParams link_;
+    Handler handler_;
+    uint64_t requests_ = 0;
+};
+
+} // namespace net
+} // namespace browsix

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Browsix-enhanced Emscripten runtime (§4.3, C and C++).
+ *
+ * "Compiled" C programs are C++ callables written against EmEnv, a
+ * blocking POSIX-style API. Two modes exist, selected at "compile time"
+ * exactly as in the paper:
+ *
+ *  - Sync (asm.js + SharedArrayBuffer): system calls use the synchronous
+ *    convention — arguments marshalled into the shared heap, the program
+ *    thread blocked in Atomics.wait. Fast, but fork is unavailable.
+ *
+ *  - AsyncEmterpreter: system calls are asynchronous; the "Emterpreter"
+ *    (our app thread + the emvm bytecode VM for compute kernels) can
+ *    suspend and resume, which also enables fork. A program compiled
+ *    *without* the Emterpreter that calls fork fails at runtime with
+ *    ENOSYS (§2.2's warning about misconfigured builds).
+ *
+ * fork for C-style callables: the program supplies a small resume-state
+ * string; the kernel ships it (like the heap+PC payload) to the child,
+ * whose main() starts with resumeState() set. Bytecode programs hosted by
+ * EmVmHost get full-fidelity fork: the entire VM state is the snapshot.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jsvm/cost_model.h"
+#include "runtime/emvm/vm.h"
+#include "runtime/syscall_client.h"
+
+namespace browsix {
+namespace rt {
+
+enum class EmMode { Sync, AsyncEmterpreter };
+
+/** Thrown by EmEnv::exit; unwinds the program thread. */
+struct ExitRequested
+{
+    int code;
+};
+
+class EmEnv
+{
+  public:
+    EmEnv(std::shared_ptr<SyscallClient> client, EmMode mode,
+          bool emterpreter, const jsvm::CostModel &costs);
+
+    // --- process identity / startup ---
+    const std::vector<std::string> &argv() const { return init_.args; }
+    const std::map<std::string, std::string> &environ() const
+    {
+        return init_.env;
+    }
+    std::string getenv(const std::string &key) const;
+    int pid() const { return init_.pid; }
+    bool emterpreted() const { return emterpreter_; }
+    EmMode mode() const { return mode_; }
+    const jsvm::CostModel &costs() const { return costs_; }
+    /** Non-empty when this process is a fork/exec resumption. */
+    const std::string &resumeState() const { return resumeState_; }
+
+    // --- file I/O (all blocking; negative returns are -errno) ---
+    int open(const std::string &path, int oflags, int mode = 0644);
+    int close(int fd);
+    int64_t read(int fd, bfs::Buffer &out, size_t n);
+    int64_t write(int fd, const void *data, size_t n);
+    int64_t write(int fd, const std::string &s);
+    int64_t pread(int fd, bfs::Buffer &out, size_t n, int64_t off);
+    int64_t pwrite(int fd, const void *data, size_t n, int64_t off);
+    int64_t llseek(int fd, int64_t off, int whence);
+    int stat(const std::string &path, sys::StatX &out);
+    int lstat(const std::string &path, sys::StatX &out);
+    int fstat(int fd, sys::StatX &out);
+    int access(const std::string &path, int amode);
+    int unlink(const std::string &path);
+    int mkdir(const std::string &path, int mode = 0755);
+    int rmdir(const std::string &path);
+    int rename(const std::string &from, const std::string &to);
+    int readlink(const std::string &path, std::string &out);
+    int symlink(const std::string &target, const std::string &path);
+    int utimes(const std::string &path, int64_t atime_us, int64_t mtime_us);
+    int getdents(int fd, std::vector<sys::Dirent> &out);
+    int ioctlIsatty(int fd);
+
+    // --- directories / process metadata ---
+    int chdir(const std::string &path);
+    std::string getcwd();
+    int getpid();
+    int getppid();
+    int64_t nowMs();
+
+    // --- pipes / descriptors ---
+    int pipe2(int fds_out[2]);
+    int dup(int fd);
+    int dup2(int oldfd, int newfd);
+
+    // --- processes & signals ---
+    int spawn(const std::vector<std::string> &argv,
+              const std::vector<int> &fds = {0, 1, 2});
+    int spawn(const std::vector<std::string> &argv,
+              const std::map<std::string, std::string> &env,
+              const std::string &cwd, const std::vector<int> &fds);
+    int waitpid(int pid, int *status, int options);
+    int kill(int pid, int sig);
+    /** Register a handler; runs at syscall boundaries (JS cannot preempt
+     * running code, so neither do we). */
+    void signal(int sig, std::function<void(int)> handler);
+    int fork(const std::string &resume_state);
+    int execv(const std::vector<std::string> &argv);
+    [[noreturn]] void exit(int code);
+
+    /**
+     * Run a compute kernel. In AsyncEmterpreter mode the bytecode is
+     * genuinely interpreted (the Emterpreter tax); in Sync mode the
+     * caller's native callable runs instead, scaled by the profile's
+     * asm.js factor via costs().
+     */
+    int64_t runInterpreted(const emvm::Image &image, const std::string &fn,
+                           std::vector<int64_t> args);
+
+    /** Drain queued async-delivered signals; called at syscall bounds. */
+    void pollSignals();
+
+    /** Enqueue a kernel-delivered signal (runs on the worker loop). */
+    void queueSignal(int sig);
+
+  private:
+    friend class EmscriptenRuntime;
+
+    CallResult invoke(int trap, jsvm::Value::Array async_args,
+                      std::array<int32_t, 6> sync_args,
+                      bool sync_capable = true);
+    int64_t pathCall(int trap, const std::string &path, int32_t a = 0,
+                     int32_t b = 0);
+    int statCall(int trap, const std::string &path, int fd,
+                 sys::StatX &out);
+
+    std::shared_ptr<SyscallClient> client_;
+    EmMode mode_;
+    bool emterpreter_;
+    const jsvm::CostModel &costs_;
+    InitInfo init_;
+    std::string resumeState_;
+    std::unique_ptr<SyncSyscalls> sync_;
+
+    std::mutex sigMutex_;
+    std::vector<int> pendingSignals_;
+    std::map<int, std::function<void(int)>> handlers_;
+};
+
+using EmProgramFn = std::function<int(EmEnv &)>;
+
+/** Boot a "compiled C program" inside a worker. */
+class EmscriptenRuntime
+{
+  public:
+    static void boot(jsvm::WorkerScope &scope,
+                     std::shared_ptr<SyscallClient> client,
+                     EmProgramFn program, EmMode mode, bool emterpreter);
+};
+
+/** Boot a bytecode (BSXBC) executable: full-fidelity Emterpreter. */
+class EmVmHost
+{
+  public:
+    static void boot(jsvm::WorkerScope &scope,
+                     std::shared_ptr<SyscallClient> client,
+                     emvm::Image image);
+};
+
+} // namespace rt
+} // namespace browsix

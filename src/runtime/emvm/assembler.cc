@@ -1,0 +1,283 @@
+#include "runtime/emvm/assembler.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace browsix {
+namespace emvm {
+
+namespace {
+
+struct PendingRef
+{
+    size_t instr;      // index in current function's code
+    std::string name;  // label or function name
+    bool isCall;
+    int line;
+};
+
+const std::map<std::string, Op> &
+mnemonics()
+{
+    static const std::map<std::string, Op> m = {
+        {"nop", Op::NOP},       {"push", Op::PUSH},   {"dup", Op::DUP},
+        {"pop", Op::POP},       {"swap", Op::SWAP},   {"loadl", Op::LOADL},
+        {"storel", Op::STOREL}, {"load8", Op::LOAD8}, {"load32", Op::LOAD32},
+        {"load64", Op::LOAD64}, {"store8", Op::STORE8},
+        {"store32", Op::STORE32}, {"store64", Op::STORE64},
+        {"add", Op::ADD},       {"sub", Op::SUB},     {"mul", Op::MUL},
+        {"divs", Op::DIVS},     {"mods", Op::MODS},   {"and", Op::AND},
+        {"or", Op::OR},         {"xor", Op::XOR},     {"shl", Op::SHL},
+        {"shr", Op::SHR},       {"eq", Op::EQ},       {"ne", Op::NE},
+        {"lt", Op::LT},         {"le", Op::LE},       {"gt", Op::GT},
+        {"ge", Op::GE},         {"jmp", Op::JMP},     {"jz", Op::JZ},
+        {"jnz", Op::JNZ},       {"call", Op::CALL},   {"ret", Op::RET},
+        {"syscall", Op::SYSCALL}, {"halt", Op::HALT},
+    };
+    return m;
+}
+
+bool
+parseInt(const std::string &tok, int64_t &out)
+{
+    try {
+        size_t pos = 0;
+        out = std::stoll(tok, &pos, 0);
+        return pos == tok.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseEscapedString(const std::string &tok, std::string &out)
+{
+    if (tok.size() < 2 || tok.front() != '"' || tok.back() != '"')
+        return false;
+    out.clear();
+    for (size_t i = 1; i + 1 < tok.size(); i++) {
+        char c = tok[i];
+        if (c == '\\' && i + 2 < tok.size()) {
+            char e = tok[++i];
+            switch (e) {
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case '0': out.push_back('\0'); break;
+              case 'r': out.push_back('\r'); break;
+              case '\\': out.push_back('\\'); break;
+              case '"': out.push_back('"'); break;
+              default: out.push_back(e); break;
+            }
+        } else {
+            out.push_back(c);
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    size_t i = 0;
+    while (i < line.size()) {
+        char c = line[i];
+        if (c == ';')
+            break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            i++;
+            continue;
+        }
+        if (c == '"') {
+            size_t j = i + 1;
+            while (j < line.size()) {
+                if (line[j] == '\\')
+                    j += 2;
+                else if (line[j] == '"')
+                    break;
+                else
+                    j++;
+            }
+            toks.push_back(line.substr(i, j - i + 1));
+            i = j + 1;
+            continue;
+        }
+        size_t j = i;
+        while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+               line[j] != ';' && line[j] != '\r')
+            j++;
+        toks.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return toks;
+}
+
+} // namespace
+
+bool
+assemble(const std::string &source, Image &out, std::string &err)
+{
+    out = Image{};
+    std::istringstream is(source);
+    std::string line;
+    int lineno = 0;
+
+    Function *cur = nullptr;
+    std::map<std::string, uint32_t> labels;
+    std::vector<PendingRef> refs;      // function-local jump refs
+    std::vector<PendingRef> callRefs;  // cross-function call refs
+    struct CallPatch
+    {
+        size_t fnIndex;
+        size_t instr;
+        std::string target;
+        int line;
+    };
+    std::vector<CallPatch> callPatches;
+
+    auto fail = [&](const std::string &msg) {
+        err = "line " + std::to_string(lineno) + ": " + msg;
+        return false;
+    };
+
+    auto endFunction = [&]() -> bool {
+        for (const auto &ref : refs) {
+            auto it = labels.find(ref.name);
+            if (it == labels.end()) {
+                err = "line " + std::to_string(ref.line) +
+                      ": unknown label '" + ref.name + "'";
+                return false;
+            }
+            cur->code[ref.instr].imm = it->second;
+        }
+        refs.clear();
+        labels.clear();
+        cur = nullptr;
+        return true;
+    };
+
+    while (std::getline(is, line)) {
+        lineno++;
+        auto toks = tokenize(line);
+        if (toks.empty())
+            continue;
+
+        if (toks[0] == ".memory") {
+            int64_t n;
+            if (toks.size() != 2 || !parseInt(toks[1], n) || n <= 0)
+                return fail(".memory needs a positive size");
+            out.memSize = static_cast<uint32_t>(n);
+            continue;
+        }
+        if (toks[0] == ".data") {
+            int64_t off;
+            if (toks.size() < 3 || !parseInt(toks[1], off) || off < 0)
+                return fail(".data needs offset and payload");
+            std::string payload;
+            if (toks[2].front() == '"') {
+                if (!parseEscapedString(toks[2], payload))
+                    return fail("bad string literal");
+            } else {
+                for (size_t i = 2; i < toks.size(); i++) {
+                    int64_t b;
+                    if (!parseInt(toks[i], b) || b < 0 || b > 255)
+                        return fail("bad data byte");
+                    payload.push_back(static_cast<char>(b));
+                }
+            }
+            size_t need = static_cast<size_t>(off) + payload.size();
+            if (out.initData.size() < need)
+                out.initData.resize(need, 0);
+            std::copy(payload.begin(), payload.end(),
+                      out.initData.begin() + off);
+            if (out.memSize < need)
+                out.memSize = static_cast<uint32_t>(need);
+            continue;
+        }
+        if (toks[0] == ".func") {
+            if (cur)
+                return fail("nested .func");
+            int64_t nargs, nlocals;
+            if (toks.size() != 4 || !parseInt(toks[2], nargs) ||
+                !parseInt(toks[3], nlocals))
+                return fail(".func NAME NARGS NLOCALS");
+            Function f;
+            f.name = toks[1];
+            f.nargs = static_cast<uint32_t>(nargs);
+            f.nlocals = static_cast<uint32_t>(std::max(nargs, nlocals));
+            out.functions.push_back(std::move(f));
+            cur = &out.functions.back();
+            continue;
+        }
+        if (toks[0] == ".end") {
+            if (!cur)
+                return fail(".end without .func");
+            if (!endFunction())
+                return false;
+            continue;
+        }
+
+        if (!cur)
+            return fail("instruction outside .func");
+
+        // Label?
+        if (toks.size() == 1 && toks[0].back() == ':') {
+            std::string name = toks[0].substr(0, toks[0].size() - 1);
+            if (labels.count(name))
+                return fail("duplicate label '" + name + "'");
+            labels[name] = static_cast<uint32_t>(cur->code.size());
+            continue;
+        }
+
+        auto mit = mnemonics().find(toks[0]);
+        if (mit == mnemonics().end())
+            return fail("unknown mnemonic '" + toks[0] + "'");
+        Op op = mit->second;
+        Instr ins;
+        ins.op = op;
+
+        bool needs_imm = op == Op::PUSH || op == Op::LOADL ||
+                         op == Op::STOREL || op == Op::JMP || op == Op::JZ ||
+                         op == Op::JNZ || op == Op::CALL ||
+                         op == Op::SYSCALL;
+        if (needs_imm) {
+            if (toks.size() != 2)
+                return fail("'" + toks[0] + "' needs one operand");
+            if (op == Op::JMP || op == Op::JZ || op == Op::JNZ) {
+                refs.push_back(PendingRef{cur->code.size(), toks[1], false,
+                                          lineno});
+            } else if (op == Op::CALL) {
+                callPatches.push_back(CallPatch{out.functions.size() - 1,
+                                                cur->code.size(), toks[1],
+                                                lineno});
+            } else {
+                int64_t v;
+                if (!parseInt(toks[1], v))
+                    return fail("bad operand '" + toks[1] + "'");
+                ins.imm = v;
+            }
+        } else if (toks.size() != 1) {
+            return fail("'" + toks[0] + "' takes no operand");
+        }
+        cur->code.push_back(ins);
+    }
+
+    if (cur)
+        return fail("missing .end");
+
+    for (const auto &patch : callPatches) {
+        int idx = out.functionIndex(patch.target);
+        if (idx < 0) {
+            err = "line " + std::to_string(patch.line) +
+                  ": unknown function '" + patch.target + "'";
+            return false;
+        }
+        out.functions[patch.fnIndex].code[patch.instr].imm = idx;
+    }
+    (void)callRefs;
+    return true;
+}
+
+} // namespace emvm
+} // namespace browsix

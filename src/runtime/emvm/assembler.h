@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Assembler for the Emterpreter VM: the "compiler" producing BSXBC images.
+ *
+ * Syntax (one instruction per line; ';' starts a comment):
+ *   .memory 4096                 ; VM memory size in bytes
+ *   .data 256 "hello\n"          ; initialize memory at offset
+ *   .data 300 1 2 3              ; raw bytes
+ *   .func main 0 3               ; name, nargs, nlocals
+ *   loop:                        ; label
+ *       push 10
+ *       storel 0
+ *       loadl 0
+ *       jnz loop
+ *       push 0
+ *       halt
+ *   .end
+ *
+ * `call` takes a function name; jumps take labels. The image's entry point
+ * is the function named "main" by convention.
+ */
+#pragma once
+
+#include <string>
+
+#include "runtime/emvm/vm.h"
+
+namespace browsix {
+namespace emvm {
+
+/** Assemble source into an image. Returns false and sets err on failure. */
+bool assemble(const std::string &source, Image &out, std::string &err);
+
+} // namespace emvm
+} // namespace browsix

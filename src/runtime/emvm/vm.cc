@@ -1,0 +1,536 @@
+#include "runtime/emvm/vm.h"
+
+#include <cstring>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace emvm {
+
+namespace {
+
+constexpr char kMagic[] = "BSXBC1\n";
+constexpr size_t kMagicLen = 7;
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    size_t n = out.size();
+    out.resize(n + 4);
+    std::memcpy(out.data() + n, &v, 4);
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    size_t n = out.size();
+    out.resize(n + 8);
+    std::memcpy(out.data() + n, &v, 8);
+}
+
+struct Reader
+{
+    const uint8_t *p;
+    size_t len;
+    size_t off = 0;
+    bool ok = true;
+
+    uint32_t u32()
+    {
+        if (off + 4 > len) {
+            ok = false;
+            return 0;
+        }
+        uint32_t v;
+        std::memcpy(&v, p + off, 4);
+        off += 4;
+        return v;
+    }
+    uint64_t u64()
+    {
+        if (off + 8 > len) {
+            ok = false;
+            return 0;
+        }
+        uint64_t v;
+        std::memcpy(&v, p + off, 8);
+        off += 8;
+        return v;
+    }
+    std::string str()
+    {
+        uint32_t n = u32();
+        if (!ok || off + n > len) {
+            ok = false;
+            return "";
+        }
+        std::string s(reinterpret_cast<const char *>(p + off), n);
+        off += n;
+        return s;
+    }
+    bool bytes(uint8_t *dst, size_t n)
+    {
+        if (off + n > len) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(dst, p + off, n);
+        off += n;
+        return true;
+    }
+};
+
+} // namespace
+
+int
+Image::functionIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < functions.size(); i++) {
+        if (functions[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<uint8_t>
+Image::serialize() const
+{
+    std::vector<uint8_t> out(kMagic, kMagic + kMagicLen);
+    put32(out, static_cast<uint32_t>(functions.size()));
+    for (const auto &f : functions) {
+        put32(out, static_cast<uint32_t>(f.name.size()));
+        out.insert(out.end(), f.name.begin(), f.name.end());
+        put32(out, f.nargs);
+        put32(out, f.nlocals);
+        put32(out, static_cast<uint32_t>(f.code.size()));
+        for (const auto &ins : f.code) {
+            out.push_back(static_cast<uint8_t>(ins.op));
+            put64(out, static_cast<uint64_t>(ins.imm));
+        }
+    }
+    put32(out, memSize);
+    put32(out, static_cast<uint32_t>(initData.size()));
+    out.insert(out.end(), initData.begin(), initData.end());
+    return out;
+}
+
+bool
+Image::isImage(const uint8_t *data, size_t len)
+{
+    return len >= kMagicLen && std::memcmp(data, kMagic, kMagicLen) == 0;
+}
+
+bool
+Image::deserialize(const std::vector<uint8_t> &bytes, Image &out)
+{
+    if (!isImage(bytes.data(), bytes.size()))
+        return false;
+    Reader r{bytes.data(), bytes.size(), kMagicLen};
+    uint32_t nfn = r.u32();
+    if (nfn > 4096)
+        return false;
+    out.functions.clear();
+    for (uint32_t i = 0; i < nfn && r.ok; i++) {
+        Function f;
+        f.name = r.str();
+        f.nargs = r.u32();
+        f.nlocals = r.u32();
+        uint32_t n = r.u32();
+        if (!r.ok || n > 1u << 22)
+            return false;
+        f.code.resize(n);
+        for (uint32_t j = 0; j < n && r.ok; j++) {
+            if (r.off >= r.len) {
+                r.ok = false;
+                break;
+            }
+            f.code[j].op = static_cast<Op>(r.p[r.off++]);
+            f.code[j].imm = static_cast<int64_t>(r.u64());
+        }
+        out.functions.push_back(std::move(f));
+    }
+    out.memSize = r.u32();
+    uint32_t dlen = r.u32();
+    if (!r.ok || dlen > (64u << 20))
+        return false;
+    out.initData.resize(dlen);
+    if (dlen && !r.bytes(out.initData.data(), dlen))
+        return false;
+    return r.ok;
+}
+
+Vm::Vm(Image image) : image_(std::move(image))
+{
+    mem_.assign(std::max<uint32_t>(image_.memSize, 64), 0);
+    if (!image_.initData.empty()) {
+        size_t n = std::min(image_.initData.size(), mem_.size());
+        std::memcpy(mem_.data(), image_.initData.data(), n);
+    }
+}
+
+bool
+Vm::start(const std::string &name, const std::vector<int64_t> &args)
+{
+    int fn = image_.functionIndex(name);
+    if (fn < 0)
+        return false;
+    const Function &f = image_.functions[fn];
+    Frame frame;
+    frame.fn = static_cast<uint32_t>(fn);
+    frame.pc = 0;
+    frame.locals.assign(std::max<uint32_t>(f.nlocals, f.nargs), 0);
+    for (size_t i = 0; i < args.size() && i < frame.locals.size(); i++)
+        frame.locals[i] = args[i];
+    frames_.clear();
+    stack_.clear();
+    frames_.push_back(std::move(frame));
+    running_ = true;
+    awaitingSyscall_ = false;
+    return true;
+}
+
+RunState
+Vm::fault(const std::string &msg)
+{
+    trapMsg_ = msg;
+    running_ = false;
+    return RunState::Trapped;
+}
+
+void
+Vm::resume(int64_t syscall_result)
+{
+    if (!awaitingSyscall_)
+        jsvm::panic("Vm::resume without pending syscall");
+    awaitingSyscall_ = false;
+    stack_.push_back(syscall_result);
+}
+
+std::string
+Vm::memStr(uint64_t addr) const
+{
+    std::string out;
+    while (addr < mem_.size() && mem_[addr] != 0)
+        out.push_back(static_cast<char>(mem_[addr++]));
+    return out;
+}
+
+bool
+Vm::memWrite(uint64_t addr, const uint8_t *data, size_t len)
+{
+    if (addr + len > mem_.size())
+        return false;
+    std::memcpy(mem_.data() + addr, data, len);
+    return true;
+}
+
+bool
+Vm::memRead(uint64_t addr, uint8_t *out, size_t len) const
+{
+    if (addr + len > mem_.size())
+        return false;
+    std::memcpy(out, mem_.data() + addr, len);
+    return true;
+}
+
+RunState
+Vm::run(jsvm::InterruptToken *token)
+{
+    if (awaitingSyscall_)
+        jsvm::panic("Vm::run while awaiting a syscall result");
+    if (!running_ || frames_.empty())
+        return fault("vm not started");
+
+    auto pop = [this](int64_t &v) -> bool {
+        if (stack_.empty())
+            return false;
+        v = stack_.back();
+        stack_.pop_back();
+        return true;
+    };
+
+    int check = 0;
+    for (;;) {
+        if (++check >= 4096) {
+            check = 0;
+            if (token && token->interrupted())
+                throw jsvm::WorkerTerminated{};
+        }
+        Frame &fr = frames_.back();
+        const Function &fn = image_.functions[fr.fn];
+        if (fr.pc >= fn.code.size())
+            return fault("pc out of range in " + fn.name);
+        const Instr ins = fn.code[fr.pc++];
+        retired_++;
+
+        int64_t a, b;
+        switch (ins.op) {
+          case Op::NOP:
+            break;
+          case Op::PUSH:
+            stack_.push_back(ins.imm);
+            break;
+          case Op::DUP:
+            if (stack_.empty())
+                return fault("DUP on empty stack");
+            stack_.push_back(stack_.back());
+            break;
+          case Op::POP:
+            if (!pop(a))
+                return fault("POP on empty stack");
+            break;
+          case Op::SWAP:
+            if (stack_.size() < 2)
+                return fault("SWAP underflow");
+            std::swap(stack_[stack_.size() - 1], stack_[stack_.size() - 2]);
+            break;
+          case Op::LOADL:
+            if (ins.imm < 0 ||
+                static_cast<size_t>(ins.imm) >= fr.locals.size())
+                return fault("LOADL out of range");
+            stack_.push_back(fr.locals[ins.imm]);
+            break;
+          case Op::STOREL:
+            if (ins.imm < 0 ||
+                static_cast<size_t>(ins.imm) >= fr.locals.size())
+                return fault("STOREL out of range");
+            if (!pop(a))
+                return fault("STOREL underflow");
+            fr.locals[ins.imm] = a;
+            break;
+          case Op::LOAD8:
+            if (!pop(a))
+                return fault("LOAD8 underflow");
+            if (a < 0 || static_cast<size_t>(a) >= mem_.size())
+                return fault("LOAD8 out of bounds");
+            stack_.push_back(mem_[a]);
+            break;
+          case Op::LOAD32: {
+            if (!pop(a))
+                return fault("LOAD32 underflow");
+            if (a < 0 || static_cast<size_t>(a) + 4 > mem_.size())
+                return fault("LOAD32 out of bounds");
+            int32_t v;
+            std::memcpy(&v, mem_.data() + a, 4);
+            stack_.push_back(v);
+            break;
+          }
+          case Op::LOAD64: {
+            if (!pop(a))
+                return fault("LOAD64 underflow");
+            if (a < 0 || static_cast<size_t>(a) + 8 > mem_.size())
+                return fault("LOAD64 out of bounds");
+            int64_t v;
+            std::memcpy(&v, mem_.data() + a, 8);
+            stack_.push_back(v);
+            break;
+          }
+          case Op::STORE8:
+            if (!pop(b) || !pop(a))
+                return fault("STORE8 underflow");
+            if (a < 0 || static_cast<size_t>(a) >= mem_.size())
+                return fault("STORE8 out of bounds");
+            mem_[a] = static_cast<uint8_t>(b);
+            break;
+          case Op::STORE32: {
+            if (!pop(b) || !pop(a))
+                return fault("STORE32 underflow");
+            if (a < 0 || static_cast<size_t>(a) + 4 > mem_.size())
+                return fault("STORE32 out of bounds");
+            int32_t v = static_cast<int32_t>(b);
+            std::memcpy(mem_.data() + a, &v, 4);
+            break;
+          }
+          case Op::STORE64:
+            if (!pop(b) || !pop(a))
+                return fault("STORE64 underflow");
+            if (a < 0 || static_cast<size_t>(a) + 8 > mem_.size())
+                return fault("STORE64 out of bounds");
+            std::memcpy(mem_.data() + a, &b, 8);
+            break;
+
+#define BINOP(name, expr)                                                  \
+  case Op::name:                                                           \
+    if (!pop(b) || !pop(a))                                                \
+        return fault(#name " underflow");                                  \
+    stack_.push_back(expr);                                                \
+    break;
+          BINOP(ADD, a + b)
+          BINOP(SUB, a - b)
+          BINOP(MUL, a * b)
+          BINOP(AND, a & b)
+          BINOP(OR, a | b)
+          BINOP(XOR, a ^ b)
+          BINOP(SHL, a << (b & 63))
+          BINOP(SHR, static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                          (b & 63)))
+          BINOP(EQ, a == b ? 1 : 0)
+          BINOP(NE, a != b ? 1 : 0)
+          BINOP(LT, a < b ? 1 : 0)
+          BINOP(LE, a <= b ? 1 : 0)
+          BINOP(GT, a > b ? 1 : 0)
+          BINOP(GE, a >= b ? 1 : 0)
+#undef BINOP
+          case Op::DIVS:
+            if (!pop(b) || !pop(a))
+                return fault("DIVS underflow");
+            if (b == 0)
+                return fault("division by zero");
+            stack_.push_back(a / b);
+            break;
+          case Op::MODS:
+            if (!pop(b) || !pop(a))
+                return fault("MODS underflow");
+            if (b == 0)
+                return fault("modulo by zero");
+            stack_.push_back(a % b);
+            break;
+
+          case Op::JMP:
+            fr.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Op::JZ:
+            if (!pop(a))
+                return fault("JZ underflow");
+            if (a == 0)
+                fr.pc = static_cast<uint32_t>(ins.imm);
+            break;
+          case Op::JNZ:
+            if (!pop(a))
+                return fault("JNZ underflow");
+            if (a != 0)
+                fr.pc = static_cast<uint32_t>(ins.imm);
+            break;
+
+          case Op::CALL: {
+            if (ins.imm < 0 ||
+                static_cast<size_t>(ins.imm) >= image_.functions.size())
+                return fault("CALL out of range");
+            const Function &callee = image_.functions[ins.imm];
+            if (stack_.size() < callee.nargs)
+                return fault("CALL arg underflow");
+            Frame nf;
+            nf.fn = static_cast<uint32_t>(ins.imm);
+            nf.pc = 0;
+            nf.locals.assign(
+                std::max(callee.nlocals, callee.nargs), 0);
+            for (uint32_t i = 0; i < callee.nargs; i++) {
+                nf.locals[callee.nargs - 1 - i] = stack_.back();
+                stack_.pop_back();
+            }
+            if (frames_.size() > 1024)
+                return fault("call stack overflow");
+            frames_.push_back(std::move(nf));
+            break;
+          }
+          case Op::RET: {
+            if (!pop(a))
+                return fault("RET underflow");
+            frames_.pop_back();
+            if (frames_.empty()) {
+                exitCode_ = a;
+                running_ = false;
+                return RunState::Done;
+            }
+            stack_.push_back(a);
+            break;
+          }
+
+          case Op::SYSCALL: {
+            int nargs = static_cast<int>(ins.imm);
+            if (static_cast<int>(stack_.size()) < nargs + 1)
+                return fault("SYSCALL underflow");
+            pendingArgs_.assign(nargs, 0);
+            for (int i = nargs - 1; i >= 0; i--) {
+                pendingArgs_[i] = stack_.back();
+                stack_.pop_back();
+            }
+            pendingTrap_ = static_cast<int>(stack_.back());
+            stack_.pop_back();
+            awaitingSyscall_ = true;
+            return RunState::Syscall;
+          }
+
+          case Op::HALT:
+            if (!pop(a))
+                return fault("HALT underflow");
+            exitCode_ = a;
+            running_ = false;
+            return RunState::Done;
+
+          default:
+            return fault("illegal opcode");
+        }
+    }
+}
+
+std::vector<uint8_t>
+Vm::snapshot() const
+{
+    std::vector<uint8_t> out;
+    const char tag[] = "BSXSNAP1";
+    out.insert(out.end(), tag, tag + 8);
+    put32(out, static_cast<uint32_t>(mem_.size()));
+    out.insert(out.end(), mem_.begin(), mem_.end());
+    put32(out, static_cast<uint32_t>(stack_.size()));
+    for (int64_t v : stack_)
+        put64(out, static_cast<uint64_t>(v));
+    put32(out, static_cast<uint32_t>(frames_.size()));
+    for (const auto &fr : frames_) {
+        put32(out, fr.fn);
+        put32(out, fr.pc);
+        put32(out, static_cast<uint32_t>(fr.locals.size()));
+        for (int64_t v : fr.locals)
+            put64(out, static_cast<uint64_t>(v));
+    }
+    out.push_back(awaitingSyscall_ ? 1 : 0);
+    out.push_back(running_ ? 1 : 0);
+    return out;
+}
+
+bool
+Vm::restore(const Image &image, const std::vector<uint8_t> &snap, Vm &out)
+{
+    if (snap.size() < 8 || std::memcmp(snap.data(), "BSXSNAP1", 8) != 0)
+        return false;
+    Reader r{snap.data(), snap.size(), 8};
+    out.image_ = image;
+    uint32_t memsz = r.u32();
+    if (!r.ok || memsz > (256u << 20))
+        return false;
+    out.mem_.resize(memsz);
+    if (memsz && !r.bytes(out.mem_.data(), memsz))
+        return false;
+    uint32_t stksz = r.u32();
+    if (!r.ok || stksz > (1u << 22))
+        return false;
+    out.stack_.resize(stksz);
+    for (uint32_t i = 0; i < stksz; i++)
+        out.stack_[i] = static_cast<int64_t>(r.u64());
+    uint32_t nframes = r.u32();
+    if (!r.ok || nframes > 65536)
+        return false;
+    out.frames_.clear();
+    for (uint32_t i = 0; i < nframes && r.ok; i++) {
+        Frame fr;
+        fr.fn = r.u32();
+        fr.pc = r.u32();
+        uint32_t nl = r.u32();
+        if (!r.ok || nl > (1u << 20))
+            return false;
+        fr.locals.resize(nl);
+        for (uint32_t j = 0; j < nl; j++)
+            fr.locals[j] = static_cast<int64_t>(r.u64());
+        if (fr.fn >= image.functions.size())
+            return false;
+        out.frames_.push_back(std::move(fr));
+    }
+    if (r.off + 2 > r.len)
+        return false;
+    out.awaitingSyscall_ = snap[r.off] != 0;
+    out.running_ = snap[r.off + 1] != 0;
+    return r.ok;
+}
+
+} // namespace emvm
+} // namespace browsix

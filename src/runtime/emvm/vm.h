@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The Emterpreter VM: a stack-machine bytecode interpreter standing in for
+ * Emscripten's interpreted mode (§3.2, §4.3).
+ *
+ * Two properties matter to Browsix and both are real here:
+ *  1. Interpretation is genuinely slower than native execution — this is
+ *     where the paper's async-vs-sync LaTeX gap comes from.
+ *  2. The complete machine state (memory, operand stack, call stack, PC)
+ *     can be serialized and restored, which is what makes asynchronous
+ *     system calls (suspend mid-call) and fork (ship memory+PC to a new
+ *     worker) possible for C programs.
+ *
+ * Executables are images ("BSXBC1" magic) produced by the assembler; a
+ * SYSCALL instruction returns control to the hosting runtime, which
+ * performs the call under whichever convention it uses and resumes the VM
+ * with the result.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jsvm/sab.h"
+
+namespace browsix {
+namespace emvm {
+
+enum class Op : uint8_t {
+    NOP = 0,
+    PUSH,   ///< push imm
+    DUP,
+    POP,
+    SWAP,
+    LOADL,  ///< push locals[imm]
+    STOREL, ///< locals[imm] = pop
+    LOAD8,  ///< pop addr; push mem[addr] (zero-extended)
+    LOAD32,
+    LOAD64,
+    STORE8, ///< pop value, pop addr; mem[addr] = value
+    STORE32,
+    STORE64,
+    ADD, SUB, MUL, DIVS, MODS,
+    AND, OR, XOR, SHL, SHR,
+    EQ, NE, LT, LE, GT, GE,
+    JMP,    ///< pc = imm
+    JZ,     ///< pop; if zero pc = imm
+    JNZ,
+    CALL,   ///< call function imm (args popped into callee locals)
+    RET,    ///< pop return value, return to caller
+    SYSCALL,///< imm = nargs; stack: trap, a1..aN -> host; result pushed
+    HALT,   ///< pop exit code; execution complete
+};
+
+struct Instr
+{
+    Op op = Op::NOP;
+    int64_t imm = 0;
+};
+
+struct Function
+{
+    std::string name;
+    uint32_t nargs = 0;
+    uint32_t nlocals = 0; ///< total locals including args
+    std::vector<Instr> code;
+};
+
+struct Image
+{
+    std::vector<Function> functions;
+    uint32_t memSize = 4096;
+    std::vector<uint8_t> initData; ///< copied to memory offset 0
+
+    int functionIndex(const std::string &name) const;
+
+    std::vector<uint8_t> serialize() const;
+    static bool deserialize(const std::vector<uint8_t> &bytes, Image &out);
+    static bool isImage(const uint8_t *data, size_t len);
+};
+
+/** Why Vm::run returned. */
+enum class RunState {
+    Done,      ///< HALT executed; exitCode valid
+    Syscall,   ///< SYSCALL executed; pendingTrap/pendingArgs valid
+    Trapped,   ///< machine fault (bad opcode, OOB memory, stack underflow)
+};
+
+class Vm
+{
+  public:
+    explicit Vm(Image image);
+
+    /** Prepare to run function `name` with the given arguments. */
+    bool start(const std::string &name, const std::vector<int64_t> &args);
+
+    /**
+     * Interpret until HALT, SYSCALL, or a fault. Checks the interrupt
+     * token every few thousand instructions and throws WorkerTerminated.
+     */
+    RunState run(jsvm::InterruptToken *token = nullptr);
+
+    /** Resume after a Syscall return with the syscall's result. */
+    void resume(int64_t syscall_result);
+
+    int64_t exitCode() const { return exitCode_; }
+    int pendingTrap() const { return pendingTrap_; }
+    const std::vector<int64_t> &pendingArgs() const { return pendingArgs_; }
+    const std::string &trapMessage() const { return trapMsg_; }
+
+    uint64_t instructionsRetired() const { return retired_; }
+
+    std::vector<uint8_t> &memory() { return mem_; }
+    const Image &image() const { return image_; }
+
+    /** Read a NUL-terminated string out of VM memory. */
+    std::string memStr(uint64_t addr) const;
+    /** Copy bytes into VM memory (bounds-checked). */
+    bool memWrite(uint64_t addr, const uint8_t *data, size_t len);
+    bool memRead(uint64_t addr, uint8_t *out, size_t len) const;
+
+    /**
+     * Serialize the full machine state (memory + stacks + PC), the fork
+     * payload of §4.3. A VM restored from a snapshot is indistinguishable
+     * from the original — resume() then differs only in the value pushed
+     * (child 0, parent the child's pid).
+     */
+    std::vector<uint8_t> snapshot() const;
+    static bool restore(const Image &image,
+                        const std::vector<uint8_t> &snap, Vm &out);
+
+  private:
+    struct Frame
+    {
+        uint32_t fn = 0;
+        uint32_t pc = 0;
+        std::vector<int64_t> locals;
+    };
+
+    RunState fault(const std::string &msg);
+
+    Image image_;
+    std::vector<uint8_t> mem_;
+    std::vector<int64_t> stack_;
+    std::vector<Frame> frames_;
+    bool running_ = false;
+    bool awaitingSyscall_ = false;
+    int64_t exitCode_ = 0;
+    int pendingTrap_ = 0;
+    std::vector<int64_t> pendingArgs_;
+    std::string trapMsg_;
+    uint64_t retired_ = 0;
+};
+
+} // namespace emvm
+} // namespace browsix

@@ -1,0 +1,263 @@
+#include "runtime/gopher/int64emu.h"
+
+#include <cmath>
+
+namespace browsix {
+namespace rt {
+
+namespace {
+
+constexpr double kTwo32 = 4294967296.0;
+constexpr double kTwo16 = 65536.0;
+
+/** Truncate a double to its low 32 bits (what JS `>>> 0` does). */
+inline double
+mask32(double x)
+{
+    return x - std::floor(x / kTwo32) * kTwo32;
+}
+
+inline double
+mask16(double x)
+{
+    return x - std::floor(x / kTwo16) * kTwo16;
+}
+
+} // namespace
+
+Int64
+Int64::operator+(const Int64 &o) const
+{
+    // Carry propagation through doubles, as the GopherJS runtime does.
+    double lo = lo_ + o.lo_;
+    double carry = lo >= kTwo32 ? 1.0 : 0.0;
+    double hi = hi_ + o.hi_ + carry;
+    Int64 r;
+    r.lo_ = mask32(lo);
+    r.hi_ = mask32(hi);
+    return r;
+}
+
+Int64
+Int64::operator-() const
+{
+    // two's complement: ~x + 1
+    Int64 r;
+    r.lo_ = mask32(kTwo32 - 1.0 - lo_);
+    r.hi_ = mask32(kTwo32 - 1.0 - hi_);
+    return r + Int64(1);
+}
+
+Int64
+Int64::operator-(const Int64 &o) const
+{
+    return *this + (-o);
+}
+
+Int64
+Int64::operator*(const Int64 &o) const
+{
+    // 16-bit limb decomposition: a = a3:a2:a1:a0, each limb a double.
+    double a0 = mask16(lo_);
+    double a1 = mask16(std::floor(lo_ / kTwo16));
+    double a2 = mask16(hi_);
+    double a3 = mask16(std::floor(hi_ / kTwo16));
+    double b0 = mask16(o.lo_);
+    double b1 = mask16(std::floor(o.lo_ / kTwo16));
+    double b2 = mask16(o.hi_);
+    double b3 = mask16(std::floor(o.hi_ / kTwo16));
+
+    double c0 = a0 * b0;
+    double c1 = a0 * b1 + a1 * b0 + std::floor(c0 / kTwo16);
+    c0 = mask16(c0);
+    double c2 = a0 * b2 + a1 * b1 + a2 * b0 + std::floor(c1 / kTwo16);
+    c1 = mask16(c1);
+    double c3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 +
+                std::floor(c2 / kTwo16);
+    c2 = mask16(c2);
+    c3 = mask16(c3);
+
+    Int64 r;
+    r.lo_ = c0 + c1 * kTwo16;
+    r.hi_ = c2 + c3 * kTwo16;
+    return r;
+}
+
+bool
+Int64::isNegative() const
+{
+    return hi_ >= kTwo32 / 2;
+}
+
+bool
+Int64::operator==(const Int64 &o) const
+{
+    return hi_ == o.hi_ && lo_ == o.lo_;
+}
+
+bool
+Int64::operator<(const Int64 &o) const
+{
+    bool an = isNegative(), bn = o.isNegative();
+    if (an != bn)
+        return an;
+    if (hi_ != o.hi_)
+        return hi_ < o.hi_;
+    return lo_ < o.lo_;
+}
+
+bool
+Int64::operator<=(const Int64 &o) const
+{
+    return *this < o || *this == o;
+}
+
+Int64
+Int64::operator<<(int n) const
+{
+    n &= 63;
+    if (n == 0)
+        return *this;
+    Int64 r;
+    if (n >= 32) {
+        r.hi_ = mask32(lo_ * std::pow(2.0, n - 32));
+        r.lo_ = 0;
+    } else {
+        double f = std::pow(2.0, n);
+        // Mask the high product before adding the carry: the unmasked
+        // sum can span more than 53 significant bits.
+        r.hi_ = mask32(mask32(hi_ * f) + std::floor(lo_ * f / kTwo32));
+        r.lo_ = mask32(lo_ * f);
+    }
+    return r;
+}
+
+Int64
+Int64::shrU(int n) const
+{
+    n &= 63;
+    if (n == 0)
+        return *this;
+    Int64 r;
+    if (n >= 32) {
+        r.lo_ = std::floor(hi_ / std::pow(2.0, n - 32));
+        r.hi_ = 0;
+    } else {
+        double f = std::pow(2.0, n);
+        r.lo_ = mask32(std::floor(lo_ / f) +
+                       mask32(hi_ * std::pow(2.0, 32 - n)));
+        r.hi_ = std::floor(hi_ / f);
+    }
+    return r;
+}
+
+Int64
+Int64::operator>>(int n) const
+{
+    n &= 63;
+    if (n == 0)
+        return *this;
+    if (!isNegative())
+        return shrU(n);
+    // sign-fill: shift, then OR in the high ones.
+    Int64 r = shrU(n);
+    Int64 ones = Int64(-1) << (64 - n > 63 ? 63 : 64 - n);
+    return r | ones;
+}
+
+namespace {
+inline double
+bitop32(double a, double b, char op)
+{
+    uint32_t x = static_cast<uint32_t>(a);
+    uint32_t y = static_cast<uint32_t>(b);
+    uint32_t z = op == '&' ? (x & y) : op == '|' ? (x | y) : (x ^ y);
+    return static_cast<double>(z);
+}
+} // namespace
+
+Int64
+Int64::operator&(const Int64 &o) const
+{
+    Int64 r;
+    r.hi_ = bitop32(hi_, o.hi_, '&');
+    r.lo_ = bitop32(lo_, o.lo_, '&');
+    return r;
+}
+
+Int64
+Int64::operator|(const Int64 &o) const
+{
+    Int64 r;
+    r.hi_ = bitop32(hi_, o.hi_, '|');
+    r.lo_ = bitop32(lo_, o.lo_, '|');
+    return r;
+}
+
+Int64
+Int64::operator^(const Int64 &o) const
+{
+    Int64 r;
+    r.hi_ = bitop32(hi_, o.hi_, '^');
+    r.lo_ = bitop32(lo_, o.lo_, '^');
+    return r;
+}
+
+Int64
+Int64::operator/(const Int64 &o) const
+{
+    if (o == Int64(0))
+        return Int64(0);
+    bool neg = isNegative() != o.isNegative();
+    Int64 a = isNegative() ? -*this : *this;
+    Int64 b = o.isNegative() ? -o : o;
+
+    // GopherJS fast path: when both magnitudes are exactly representable
+    // as doubles (< 2^53), divide as doubles and fix up the truncation.
+    constexpr double kTwo21 = 2097152.0; // 2^53 / 2^32
+    if (a.hi_ < kTwo21 && b.hi_ < kTwo21) {
+        double da = a.hi_ * kTwo32 + a.lo_;
+        double db = b.hi_ * kTwo32 + b.lo_;
+        double dq = std::floor(da / db);
+        Int64 q = Int64::fromParts(
+            static_cast<uint32_t>(std::floor(dq / kTwo32)),
+            static_cast<uint32_t>(mask32(dq)));
+        // One-ulp fix-up: ensure 0 <= a - q*b < b using exact emulation.
+        Int64 rem = a - q * b;
+        while (rem.isNegative()) {
+            q = q - Int64(1);
+            rem = rem + b;
+        }
+        while (rem >= b) {
+            q = q + Int64(1);
+            rem = rem - b;
+        }
+        return neg ? -q : q;
+    }
+
+    // Shift-subtract long division, one bit at a time (GopherJS's slow
+    // runtime helper for full-width values).
+    Int64 q(0), rem(0);
+    for (int i = 63; i >= 0; i--) {
+        rem = rem << 1;
+        if ((a.shrU(i) & Int64(1)) == Int64(1))
+            rem = rem | Int64(1);
+        if (rem >= b) {
+            rem = rem - b;
+            q = q | (Int64(1) << i);
+        }
+    }
+    return neg ? -q : q;
+}
+
+Int64
+Int64::operator%(const Int64 &o) const
+{
+    if (o == Int64(0))
+        return Int64(0);
+    Int64 q = *this / o;
+    return *this - q * o;
+}
+
+} // namespace rt
+} // namespace browsix

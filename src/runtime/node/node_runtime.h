@@ -1,0 +1,157 @@
+/**
+ * @file
+ * browser-node (§4.3, Node.js): Node's high-level callback APIs backed by
+ * pure replacements for its C++ bindings that issue Browsix system calls.
+ *
+ * NodeApi is the API surface our utilities (cat, ls, grep, sha1sum, ...)
+ * are written against. It has two implementations:
+ *   - NodeBrowsixApi (here): bindings that make async Browsix syscalls —
+ *     the paper's browser-node. Runs on the worker's event loop, single
+ *     threaded and callback-driven exactly like Node.
+ *   - NodeDirectApi (bench/fig9): bindings that call the filesystem
+ *     directly — "the same utility run under Node.js on Linux", the
+ *     middle column of Figure 9.
+ *
+ * Utilities register themselves by name (registerNodeUtil); an executable
+ * script marked "//:node-util:<name>" selects one, mirroring how node
+ * resolves and runs a script file.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/syscall_client.h"
+
+namespace browsix {
+namespace rt {
+
+class NodeApi
+{
+  public:
+    virtual ~NodeApi() = default;
+
+    // --- process globals ---
+    std::vector<std::string> argv; ///< [node, script, args...]
+    std::map<std::string, std::string> env;
+    std::string cwd = "/";
+    int pid = 0;
+
+    using VoidCb = std::function<void(int err)>;
+    using IntCb = std::function<void(int64_t r)>;
+    using DataCb = std::function<void(int err, bfs::Buffer)>;
+    using NamesCb = std::function<void(int err, std::vector<std::string>)>;
+    using StatCb = std::function<void(int err, sys::StatX)>;
+
+    // --- fs ---
+    virtual void readFile(const std::string &path, DataCb cb) = 0;
+    virtual void writeFile(const std::string &path, bfs::Buffer data,
+                           VoidCb cb) = 0;
+    virtual void appendFile(const std::string &path, bfs::Buffer data,
+                            VoidCb cb) = 0;
+    virtual void readdir(const std::string &path, NamesCb cb) = 0;
+    virtual void stat(const std::string &path, StatCb cb) = 0;
+    virtual void lstat(const std::string &path, StatCb cb) = 0;
+    virtual void unlink(const std::string &path, VoidCb cb) = 0;
+    virtual void mkdir(const std::string &path, VoidCb cb) = 0;
+    virtual void rmdir(const std::string &path, VoidCb cb) = 0;
+    virtual void rename(const std::string &from, const std::string &to,
+                        VoidCb cb) = 0;
+    virtual void utimes(const std::string &path, int64_t atime_us,
+                        int64_t mtime_us, VoidCb cb) = 0;
+    virtual void open(const std::string &path, int oflags, IntCb cb) = 0;
+    virtual void read(int fd, size_t n, DataCb cb) = 0;
+    virtual void write(int fd, bfs::Buffer data, IntCb cb) = 0;
+    virtual void close(int fd, VoidCb cb) = 0;
+
+    // --- stdio ---
+    virtual void stdoutWrite(const std::string &s, VoidCb cb = nullptr) = 0;
+    virtual void stderrWrite(const std::string &s, VoidCb cb = nullptr) = 0;
+    /** Read the next stdin chunk; empty buffer means EOF. */
+    virtual void stdinRead(DataCb cb) = 0;
+
+    // --- net (for curl / HTTP utilities) ---
+    /** Connect a TCP stream to a local Browsix port; yields an fd. */
+    virtual void connect(int port, IntCb cb)
+    {
+        (void)port;
+        cb(-ENOSYS);
+    }
+
+    // --- child_process (for xargs / sh integration) ---
+    virtual void spawn(const std::vector<std::string> &argv,
+                       IntCb cb) = 0;
+    virtual void waitPid(int pid, std::function<void(int, int)> cb) = 0;
+    virtual void kill(int pid, int sig, VoidCb cb) = 0;
+
+    virtual void exit(int code) = 0;
+    virtual int64_t nowMs() = 0;
+};
+
+using NodeUtilFn = std::function<void(std::shared_ptr<NodeApi>)>;
+
+/** Register a utility under its command name (e.g. "cat"). */
+void registerNodeUtil(const std::string &name, NodeUtilFn fn);
+NodeUtilFn lookupNodeUtil(const std::string &name);
+std::vector<std::string> nodeUtilNames();
+
+/** Parse "//:node-util:<name>" out of a script's bytes ("" if absent). */
+std::string nodeUtilFromScript(const bfs::Buffer &script);
+
+/** The Browsix bindings. */
+class NodeBrowsixApi : public NodeApi,
+                       public std::enable_shared_from_this<NodeBrowsixApi>
+{
+  public:
+    explicit NodeBrowsixApi(std::shared_ptr<SyscallClient> client);
+
+    void readFile(const std::string &path, DataCb cb) override;
+    void writeFile(const std::string &path, bfs::Buffer data,
+                   VoidCb cb) override;
+    void appendFile(const std::string &path, bfs::Buffer data,
+                    VoidCb cb) override;
+    void readdir(const std::string &path, NamesCb cb) override;
+    void stat(const std::string &path, StatCb cb) override;
+    void lstat(const std::string &path, StatCb cb) override;
+    void unlink(const std::string &path, VoidCb cb) override;
+    void mkdir(const std::string &path, VoidCb cb) override;
+    void rmdir(const std::string &path, VoidCb cb) override;
+    void rename(const std::string &from, const std::string &to,
+                VoidCb cb) override;
+    void utimes(const std::string &path, int64_t atime_us, int64_t mtime_us,
+                VoidCb cb) override;
+    void open(const std::string &path, int oflags, IntCb cb) override;
+    void read(int fd, size_t n, DataCb cb) override;
+    void write(int fd, bfs::Buffer data, IntCb cb) override;
+    void close(int fd, VoidCb cb) override;
+    void stdoutWrite(const std::string &s, VoidCb cb) override;
+    void stderrWrite(const std::string &s, VoidCb cb) override;
+    void stdinRead(DataCb cb) override;
+    void connect(int port, IntCb cb) override;
+    void spawn(const std::vector<std::string> &argv, IntCb cb) override;
+    void waitPid(int pid, std::function<void(int, int)> cb) override;
+    void kill(int pid, int sig, VoidCb cb) override;
+    void exit(int code) override;
+    int64_t nowMs() override;
+
+  private:
+    void fdWrite(int fd, const std::string &s, VoidCb cb);
+
+    std::shared_ptr<SyscallClient> client_;
+    bool exited_ = false;
+};
+
+/** Boot the node executable inside a worker: load the script named in
+ * argv[1], resolve the utility, run it. */
+class NodeRuntime
+{
+  public:
+    static void boot(jsvm::WorkerScope &scope,
+                     std::shared_ptr<SyscallClient> client);
+};
+
+} // namespace rt
+} // namespace browsix

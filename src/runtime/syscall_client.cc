@@ -1,0 +1,236 @@
+#include "runtime/syscall_client.h"
+
+#include <cstring>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace rt {
+
+SyscallClient::SyscallClient(jsvm::WorkerScope &scope) : scope_(scope)
+{
+    scope_.setOnMessage([this](jsvm::Value msg) { onMessage(std::move(msg)); });
+}
+
+void
+SyscallClient::onMessage(jsvm::Value msg)
+{
+    const jsvm::Value &type = msg.get("t");
+    if (!type.isString())
+        return;
+    const std::string &ty = type.asString();
+
+    if (ty == "init") {
+        init_.pid = msg.get("pid").asInt();
+        init_.args.clear();
+        if (msg.get("args").isArray()) {
+            for (const auto &a : msg.get("args").asArray())
+                init_.args.push_back(a.isString() ? a.asString() : "");
+        }
+        init_.env.clear();
+        if (msg.get("env").isObject()) {
+            for (const auto &[k, v] : msg.get("env").asObject())
+                init_.env[k] = v.isString() ? v.asString() : "";
+        }
+        if (msg.get("cwd").isString())
+            init_.cwd = msg.get("cwd").asString();
+        if (msg.get("snapshot").isBytes() && msg.get("snapshot").asBytes())
+            init_.snapshot = *msg.get("snapshot").asBytes();
+        init_.forked = msg.get("forked").isBool() &&
+                       msg.get("forked").asBool();
+        initReceived_ = true;
+        if (initCb_) {
+            auto cb = std::move(initCb_);
+            initCb_ = nullptr;
+            cb(init_);
+        }
+        return;
+    }
+    if (ty == "ret") {
+        double id = msg.get("id").asNumber();
+        auto it = outstanding_.find(id);
+        if (it == outstanding_.end())
+            return;
+        RetCb cb = std::move(it->second);
+        outstanding_.erase(it);
+        const jsvm::Value &ret = msg.get("ret");
+        cb(ret.at(0).asInt64(), ret.at(1).asInt64(),
+           msg.get("data").clone());
+        return;
+    }
+    if (ty == "signal") {
+        if (signalCb_)
+            signalCb_(msg.get("sig").asInt());
+        return;
+    }
+}
+
+void
+SyscallClient::onInit(std::function<void(const InitInfo &)> cb)
+{
+    if (initReceived_) {
+        cb(init_);
+        return;
+    }
+    initCb_ = std::move(cb);
+}
+
+void
+SyscallClient::onSignal(std::function<void(int)> cb)
+{
+    signalCb_ = std::move(cb);
+}
+
+void
+SyscallClient::call(const std::string &name, jsvm::Value::Array args,
+                    RetCb cb)
+{
+    double id = nextId_++;
+    calls_++;
+    outstanding_[id] = std::move(cb);
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("t", jsvm::Value("syscall"));
+    msg.set("id", jsvm::Value(id));
+    msg.set("name", jsvm::Value(name));
+    msg.set("args", jsvm::Value(std::move(args)));
+    scope_.postMessage(msg);
+}
+
+void
+SyscallClient::post(const std::string &name, jsvm::Value::Array args)
+{
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("t", jsvm::Value("syscall"));
+    msg.set("id", jsvm::Value(0.0));
+    msg.set("name", jsvm::Value(name));
+    msg.set("args", jsvm::Value(std::move(args)));
+    scope_.postMessage(msg);
+}
+
+CallResult
+blockingCall(SyscallClient &client, const std::string &name,
+             jsvm::Value::Array args)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    CallResult result;
+
+    jsvm::InterruptToken &token = client.scope().token();
+    uint64_t waker = token.addWaker([&]() {
+        std::lock_guard<std::mutex> lk(m);
+        cv.notify_all();
+    });
+
+    // The call itself must be issued from the worker loop thread.
+    client.scope().loop().post(
+        [&client, name, args = std::move(args), &m, &cv, &done,
+         &result]() mutable {
+            client.call(name, std::move(args),
+                        [&m, &cv, &done, &result](int64_t r0, int64_t r1,
+                                                  jsvm::Value data) {
+                            std::lock_guard<std::mutex> lk(m);
+                            result.r0 = r0;
+                            result.r1 = r1;
+                            result.data = std::move(data);
+                            done = true;
+                            cv.notify_all();
+                        });
+        });
+
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&]() { return done || token.interrupted(); });
+    lk.unlock();
+    token.removeWaker(waker);
+    if (!done)
+        throw jsvm::WorkerTerminated{};
+    return result;
+}
+
+SyncSyscalls::SyncSyscalls(SyscallClient &client, size_t heap_bytes)
+    : client_(client)
+{
+    heap_ = std::make_shared<jsvm::SharedArrayBuffer>(
+        std::max(heap_bytes, size_t{4096}));
+    // Register the personality: heap + offsets, via an async syscall.
+    CallResult r = blockingCall(
+        client_, "personality",
+        {jsvm::Value(heap_), jsvm::Value(static_cast<int>(kRetOff)),
+         jsvm::Value(static_cast<int>(kWaitOff)),
+         jsvm::Value(static_cast<int>(kSigOff))});
+    if (r.r0 != 0)
+        jsvm::panic("SyncSyscalls: personality registration failed");
+}
+
+uint32_t
+SyncSyscalls::pushString(const std::string &s)
+{
+    uint32_t off = alloc(s.size() + 1);
+    std::memcpy(heap_->data() + off, s.data(), s.size());
+    heap_->data()[off + s.size()] = 0;
+    return off;
+}
+
+uint32_t
+SyncSyscalls::alloc(size_t n)
+{
+    size_t off = (scratchTop_ + 7) & ~size_t{7};
+    if (off + n > heap_->size())
+        jsvm::panic("SyncSyscalls: scratch overflow");
+    scratchTop_ = off + n;
+    return static_cast<uint32_t>(off);
+}
+
+void
+SyncSyscalls::pollSignal()
+{
+    int sig = jsvm::Atomics::load(*heap_, kSigOff);
+    if (sig != 0) {
+        jsvm::Atomics::store(*heap_, kSigOff, 0);
+        if (signalHandler)
+            signalHandler(sig);
+    }
+}
+
+int64_t
+SyncSyscalls::call(int trap, std::array<int32_t, 6> args, int32_t *r1_out)
+{
+    jsvm::InterruptToken &token = client_.scope().token();
+    if (token.interrupted())
+        throw jsvm::WorkerTerminated{};
+
+    jsvm::Atomics::store(*heap_, kWaitOff, 0);
+
+    jsvm::Value msg = jsvm::Value::object();
+    msg.set("t", jsvm::Value("sys"));
+    msg.set("trap", jsvm::Value(trap));
+    jsvm::Value av = jsvm::Value::array();
+    for (int32_t a : args)
+        av.push(jsvm::Value(a));
+    msg.set("args", std::move(av));
+    client_.scope().postMessage(msg);
+
+    // §3.2: block until the kernel completes the call or a signal lands.
+    for (;;) {
+        jsvm::WaitResult wr =
+            jsvm::Atomics::wait(*heap_, kWaitOff, 0, -1, &token);
+        if (wr == jsvm::WaitResult::Interrupted)
+            throw jsvm::WorkerTerminated{};
+        pollSignal();
+        if (jsvm::Atomics::load(*heap_, kWaitOff) != 0)
+            break;
+        // Spurious wake / signal-only wake: keep waiting.
+        if (wr == jsvm::WaitResult::NotEqual)
+            break;
+    }
+
+    int32_t r0, r1;
+    std::memcpy(&r0, heap_->data() + kRetOff, 4);
+    std::memcpy(&r1, heap_->data() + kRetOff + 4, 4);
+    if (r1_out)
+        *r1_out = r1;
+    return r0;
+}
+
+} // namespace rt
+} // namespace browsix

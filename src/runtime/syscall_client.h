@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Worker-side syscall layer (§4.2 "Common Services"): a typed API for
+ * system calls over the browser's message-passing primitives, used by all
+ * language runtimes. A Browsix process can have multiple outstanding
+ * system calls (which is how GopherJS multiplexes goroutines over one
+ * worker). Signals arrive over the same message interface.
+ *
+ * Three façades:
+ *  - SyscallClient: raw async (CPS) calls + init/signal dispatch; must be
+ *    used from the worker's loop thread.
+ *  - blockingCall(): lets a runtime's "app thread" (the Emterpreter or a
+ *    goroutine) issue an async call and park until the reply.
+ *  - SyncSyscalls: the synchronous convention — a shared heap registered
+ *    with the kernel ("personality"), calls that block in Atomics.wait.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jsvm/sab.h"
+#include "jsvm/worker.h"
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace rt {
+
+/** Process start-up parameters, delivered in the kernel's init message
+ * (§3.3: runtimes "delay execution of a process's main() function until
+ * after the worker has received an 'init' message"). */
+struct InitInfo
+{
+    int pid = 0;
+    std::vector<std::string> args;
+    std::map<std::string, std::string> env;
+    std::string cwd = "/";
+    bfs::Buffer snapshot; ///< fork/exec resume state (empty if fresh)
+    bool forked = false;
+};
+
+class SyscallClient
+{
+  public:
+    /// (r0, r1, extra-data) — Linux convention: r0 < 0 is -errno.
+    using RetCb =
+        std::function<void(int64_t r0, int64_t r1, jsvm::Value data)>;
+
+    explicit SyscallClient(jsvm::WorkerScope &scope);
+
+    /** Fires (once) when the kernel's init message arrives. */
+    void onInit(std::function<void(const InitInfo &)> cb);
+
+    /** Register the signal handler dispatcher. */
+    void onSignal(std::function<void(int sig)> cb);
+
+    /** Issue an async syscall; must run on the worker loop thread. */
+    void call(const std::string &name, jsvm::Value::Array args, RetCb cb);
+
+    /** Fire-and-forget (exit). Safe from any thread. */
+    void post(const std::string &name, jsvm::Value::Array args);
+
+    jsvm::WorkerScope &scope() { return scope_; }
+    const InitInfo &init() const { return init_; }
+    bool initReceived() const { return initReceived_; }
+
+    uint64_t callsIssued() const { return calls_; }
+
+  private:
+    void onMessage(jsvm::Value msg);
+
+    jsvm::WorkerScope &scope_;
+    InitInfo init_;
+    bool initReceived_ = false;
+    std::function<void(const InitInfo &)> initCb_;
+    std::function<void(int)> signalCb_;
+    double nextId_ = 1;
+    std::map<double, RetCb> outstanding_;
+    uint64_t calls_ = 0;
+};
+
+/** Result of a blocking call. */
+struct CallResult
+{
+    int64_t r0 = 0;
+    int64_t r1 = 0;
+    jsvm::Value data;
+};
+
+/**
+ * Issue an async syscall from an app thread and park until the reply;
+ * throws jsvm::WorkerTerminated if the worker is killed meanwhile. This
+ * is the Emterpreter's save/restore-the-stack trick and GopherJS's
+ * suspended goroutine, in substrate form.
+ */
+CallResult blockingCall(SyscallClient &client, const std::string &name,
+                        jsvm::Value::Array args);
+
+/**
+ * The synchronous convention (§3.2). Layout of the shared heap:
+ *   [0..4)   wake word (Atomics.wait address)
+ *   [4..8)   pending-signal slot
+ *   [8..16)  return values (two int32)
+ *   [16..)   scratch + program memory (bump-allocated per call)
+ */
+class SyncSyscalls
+{
+  public:
+    static constexpr size_t kWaitOff = 0;
+    static constexpr size_t kSigOff = 4;
+    static constexpr size_t kRetOff = 8;
+    static constexpr size_t kScratchOff = 16;
+
+    /**
+     * Allocate the heap and register the personality with the kernel
+     * (via an async call, per the paper). Blocking; call from the app
+     * thread after init.
+     */
+    SyncSyscalls(SyscallClient &client, size_t heap_bytes);
+
+    /** Blocking syscall; returns r0 (and r1 via out-param if non-null). */
+    int64_t call(int trap, std::array<int32_t, 6> args,
+                 int32_t *r1_out = nullptr);
+
+    // --- scratch marshalling helpers (reset per call by the caller) ---
+    uint32_t pushString(const std::string &s);
+    uint32_t alloc(size_t n);
+    void resetScratch() { scratchTop_ = kScratchOff; }
+    uint8_t *heapData() { return heap_->data(); }
+    size_t heapSize() const { return heap_->size(); }
+
+    /** Handler invoked (on the app thread) when a signal is delivered
+     * while blocked in Atomics.wait. */
+    std::function<void(int sig)> signalHandler;
+
+    /** Check-and-clear any signal the kernel parked in the signal slot. */
+    void pollSignal();
+
+  private:
+    SyscallClient &client_;
+    jsvm::SabPtr heap_;
+    size_t scratchTop_ = kScratchOff;
+};
+
+} // namespace rt
+} // namespace browsix

@@ -1,0 +1,257 @@
+#include "runtime/syscall_proto.h"
+
+#include <cstring>
+#include <map>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace sys {
+
+namespace {
+
+const std::map<int, const char *> &
+trapTable()
+{
+    static const std::map<int, const char *> table = {
+        {EXIT, "exit"},
+        {FORK, "fork"},
+        {READ, "read"},
+        {WRITE, "write"},
+        {OPEN, "open"},
+        {CLOSE, "close"},
+        {UNLINK, "unlink"},
+        {EXECVE, "execve"},
+        {CHDIR, "chdir"},
+        {GETPID, "getpid"},
+        {ACCESS, "access"},
+        {KILL, "kill"},
+        {RENAME, "rename"},
+        {MKDIR, "mkdir"},
+        {RMDIR, "rmdir"},
+        {DUP, "dup"},
+        {PIPE2, "pipe2"},
+        {IOCTL, "ioctl"},
+        {DUP2, "dup2"},
+        {GETPPID, "getppid"},
+        {GETTIMEOFDAY, "gettimeofday"},
+        {SYMLINK, "symlink"},
+        {READLINK, "readlink"},
+        {WAIT4, "wait4"},
+        {LLSEEK, "llseek"},
+        {GETDENTS, "getdents"},
+        {PREAD, "pread"},
+        {PWRITE, "pwrite"},
+        {GETCWD, "getcwd"},
+        {STAT, "stat"},
+        {LSTAT, "lstat"},
+        {FSTAT, "fstat"},
+        {GETDENTS64, "getdents64"},
+        {UTIMES, "utimes"},
+        {SOCKET, "socket"},
+        {BIND, "bind"},
+        {LISTEN, "listen"},
+        {ACCEPT, "accept"},
+        {CONNECT, "connect"},
+        {GETSOCKNAME, "getsockname"},
+        {SPAWN, "spawn"},
+        {READDIR, "readdir"},
+        {SIGACTION, "sigaction"},
+        {PERSONALITY, "personality"},
+    };
+    return table;
+}
+
+} // namespace
+
+const char *
+trapName(int trap)
+{
+    auto it = trapTable().find(trap);
+    return it == trapTable().end() ? "unknown" : it->second;
+}
+
+int
+trapFromName(const std::string &name)
+{
+    static std::map<std::string, int> inverse = [] {
+        std::map<std::string, int> m;
+        for (const auto &[num, n] : trapTable())
+            m[n] = num;
+        return m;
+    }();
+    auto it = inverse.find(name);
+    return it == inverse.end() ? -1 : it->second;
+}
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGHUP: return "SIGHUP";
+      case SIGINT: return "SIGINT";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGKILL: return "SIGKILL";
+      case SIGUSR1: return "SIGUSR1";
+      case SIGUSR2: return "SIGUSR2";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGTERM: return "SIGTERM";
+      case SIGCHLD: return "SIGCHLD";
+      case SIGCONT: return "SIGCONT";
+      case SIGSTOP: return "SIGSTOP";
+      case SIGWINCH: return "SIGWINCH";
+      default: return "SIG?";
+    }
+}
+
+StatX
+statXFromBfs(const bfs::Stat &st)
+{
+    StatX x;
+    x.ino = st.ino;
+    uint32_t typebits = st.isDir()       ? S_IFDIR_
+                        : st.isSymlink() ? S_IFLNK_
+                                         : S_IFREG_;
+    x.mode = (st.mode & 07777) | typebits;
+    x.nlink = st.nlink;
+    x.size = st.size;
+    x.atimeUs = st.atimeUs;
+    x.mtimeUs = st.mtimeUs;
+    x.ctimeUs = st.ctimeUs;
+    return x;
+}
+
+namespace {
+void
+put32(uint8_t *p, uint32_t v)
+{
+    std::memcpy(p, &v, 4);
+}
+void
+put64(uint8_t *p, uint64_t v)
+{
+    std::memcpy(p, &v, 8);
+}
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+} // namespace
+
+void
+packStat(const StatX &st, uint8_t *dst)
+{
+    put64(dst + 0, st.ino);
+    put32(dst + 8, st.mode);
+    put32(dst + 12, st.nlink);
+    put64(dst + 16, st.size);
+    put64(dst + 24, static_cast<uint64_t>(st.atimeUs));
+    put64(dst + 32, static_cast<uint64_t>(st.mtimeUs));
+    put64(dst + 40, static_cast<uint64_t>(st.ctimeUs));
+}
+
+StatX
+unpackStat(const uint8_t *src)
+{
+    StatX st;
+    st.ino = get64(src + 0);
+    st.mode = get32(src + 8);
+    st.nlink = get32(src + 12);
+    st.size = get64(src + 16);
+    st.atimeUs = static_cast<int64_t>(get64(src + 24));
+    st.mtimeUs = static_cast<int64_t>(get64(src + 32));
+    st.ctimeUs = static_cast<int64_t>(get64(src + 40));
+    return st;
+}
+
+jsvm::Value
+statToValue(const StatX &st)
+{
+    jsvm::Value v = jsvm::Value::object();
+    v.set("ino", jsvm::Value(static_cast<double>(st.ino)));
+    v.set("mode", jsvm::Value(static_cast<double>(st.mode)));
+    v.set("nlink", jsvm::Value(static_cast<double>(st.nlink)));
+    v.set("size", jsvm::Value(static_cast<double>(st.size)));
+    v.set("atimeUs", jsvm::Value(static_cast<double>(st.atimeUs)));
+    v.set("mtimeUs", jsvm::Value(static_cast<double>(st.mtimeUs)));
+    v.set("ctimeUs", jsvm::Value(static_cast<double>(st.ctimeUs)));
+    return v;
+}
+
+StatX
+statFromValue(const jsvm::Value &v)
+{
+    StatX st;
+    st.ino = static_cast<uint64_t>(v.get("ino").asNumber());
+    st.mode = static_cast<uint32_t>(v.get("mode").asNumber());
+    st.nlink = static_cast<uint32_t>(v.get("nlink").asNumber());
+    st.size = static_cast<uint64_t>(v.get("size").asNumber());
+    st.atimeUs = static_cast<int64_t>(v.get("atimeUs").asNumber());
+    st.mtimeUs = static_cast<int64_t>(v.get("mtimeUs").asNumber());
+    st.ctimeUs = static_cast<int64_t>(v.get("ctimeUs").asNumber());
+    return st;
+}
+
+std::vector<uint8_t>
+encodeDirents(const std::vector<Dirent> &entries)
+{
+    std::vector<uint8_t> out;
+    for (const auto &e : entries) {
+        // layout: ino u64, reclen u16, type u8, name..., NUL (4-aligned)
+        size_t base = 8 + 2 + 1 + e.name.size() + 1;
+        size_t reclen = (base + 3) & ~size_t{3};
+        size_t off = out.size();
+        out.resize(off + reclen, 0);
+        put64(out.data() + off, e.ino);
+        uint16_t rl = static_cast<uint16_t>(reclen);
+        std::memcpy(out.data() + off + 8, &rl, 2);
+        out[off + 10] = e.type;
+        std::memcpy(out.data() + off + 11, e.name.data(), e.name.size());
+    }
+    return out;
+}
+
+std::vector<Dirent>
+decodeDirents(const uint8_t *data, size_t len)
+{
+    std::vector<Dirent> out;
+    size_t off = 0;
+    while (off + 11 <= len) {
+        Dirent e;
+        e.ino = get64(data + off);
+        uint16_t reclen;
+        std::memcpy(&reclen, data + off + 8, 2);
+        if (reclen < 12 || off + reclen > len)
+            break;
+        e.type = data[off + 10];
+        const char *name = reinterpret_cast<const char *>(data + off + 11);
+        e.name.assign(name, strnlen(name, reclen - 11));
+        out.push_back(std::move(e));
+        off += reclen;
+    }
+    return out;
+}
+
+uint8_t
+direntTypeFromBfs(bfs::FileType t)
+{
+    switch (t) {
+      case bfs::FileType::Directory: return DT_DIR;
+      case bfs::FileType::Symlink: return DT_LNK;
+      case bfs::FileType::Regular: return DT_REG;
+    }
+    return DT_REG;
+}
+
+} // namespace sys
+} // namespace browsix

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared system-call conventions between the kernel and process runtimes
+ * (the paper's "shared syscall module", Figure 2).
+ *
+ * Two conventions exist (§3.2):
+ *  - Asynchronous: the process posts {t:"syscall", id, name, args:[...]}
+ *    and the kernel replies {t:"ret", id, ret:[r0,r1], data?}. Arguments
+ *    and results are structured-clone copied between heaps.
+ *  - Synchronous: the process first registers a "personality" (its heap
+ *    SharedArrayBuffer plus return/wake/signal offsets), then posts
+ *    {t:"sys", trap, args:[i32 x6]} where pointer arguments are offsets
+ *    into the shared heap; it then blocks in Atomics.wait on the wake
+ *    word. The kernel writes return values (and out-data, e.g. pread
+ *    payloads) directly into the heap and wakes it.
+ *
+ * Trap numbers use Linux/ia32 values where they exist (the paper's own
+ * examples use e.g. 220 for getdents64); Browsix-specific calls use >=400.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bfs/types.h"
+#include "jsvm/value.h"
+
+namespace browsix {
+namespace sys {
+
+enum Trap : int {
+    EXIT = 1,
+    FORK = 2,
+    READ = 3,
+    WRITE = 4,
+    OPEN = 5,
+    CLOSE = 6,
+    UNLINK = 10,
+    EXECVE = 11,
+    CHDIR = 12,
+    GETPID = 20,
+    ACCESS = 33,
+    KILL = 37,
+    RENAME = 38,
+    MKDIR = 39,
+    RMDIR = 40,
+    DUP = 41,
+    PIPE2 = 42,
+    IOCTL = 54,
+    DUP2 = 63,
+    GETPPID = 64,
+    GETTIMEOFDAY = 78,
+    SYMLINK = 83,
+    READLINK = 85,
+    WAIT4 = 114,
+    LLSEEK = 140,
+    GETDENTS = 141,
+    PREAD = 180,
+    PWRITE = 181,
+    GETCWD = 183,
+    STAT = 195,
+    LSTAT = 196,
+    FSTAT = 197,
+    GETDENTS64 = 220,
+    UTIMES = 271,
+
+    // Browsix-specific
+    SOCKET = 400,
+    BIND = 401,
+    LISTEN = 402,
+    ACCEPT = 403,
+    CONNECT = 404,
+    GETSOCKNAME = 405,
+    SPAWN = 410,
+    READDIR = 411, ///< convenience form: returns entry names (async only)
+    SIGACTION = 420,
+    PERSONALITY = 422,
+};
+
+/** Human-readable syscall name (also the async message "name" field). */
+const char *trapName(int trap);
+
+/** Inverse of trapName; -1 when unknown. */
+int trapFromName(const std::string &name);
+
+// These are Browsix's own signal/dirent constants; shed any libc macros
+// that leak in transitively (this library never uses host signals).
+#ifdef SIGHUP
+#undef SIGHUP
+#undef SIGINT
+#undef SIGQUIT
+#undef SIGKILL
+#undef SIGUSR1
+#undef SIGUSR2
+#undef SIGPIPE
+#undef SIGTERM
+#undef SIGCHLD
+#undef SIGCONT
+#undef SIGSTOP
+#undef SIGWINCH
+#endif
+#ifdef WNOHANG
+#undef WNOHANG
+#endif
+#ifdef DT_DIR
+#undef DT_DIR
+#undef DT_REG
+#undef DT_LNK
+#endif
+
+/// Signal numbers (Linux).
+enum Signal : int {
+    SIGHUP = 1, SIGINT = 2, SIGQUIT = 3, SIGKILL = 9, SIGUSR1 = 10,
+    SIGUSR2 = 12, SIGPIPE = 13, SIGTERM = 15, SIGCHLD = 17, SIGCONT = 18,
+    SIGSTOP = 19, SIGWINCH = 28,
+};
+
+const char *signalName(int sig);
+
+/// sigaction "action" argument values.
+enum class SigDisposition : int { Default = 0, Handler = 1, Ignore = 2 };
+
+/// wait4 options.
+constexpr int WNOHANG = 1;
+
+/// Wait-status encoding helpers (POSIX style).
+inline int statusFromExitCode(int code) { return (code & 0xff) << 8; }
+inline int statusFromSignal(int sig) { return sig & 0x7f; }
+inline bool wifExited(int status) { return (status & 0x7f) == 0; }
+inline int wexitstatus(int status) { return (status >> 8) & 0xff; }
+inline int wtermsig(int status) { return status & 0x7f; }
+
+/// File type bits in packed stat mode (Linux values).
+constexpr uint32_t S_IFREG_ = 0100000;
+constexpr uint32_t S_IFDIR_ = 0040000;
+constexpr uint32_t S_IFLNK_ = 0120000;
+
+/// Packed stat layout used by synchronous calls (fixed 48 bytes).
+constexpr size_t STAT_BYTES = 48;
+
+/** The decoded form runtimes hand to programs. */
+struct StatX
+{
+    uint64_t ino = 0;
+    uint32_t mode = 0; ///< permission bits | S_IF* type bits
+    uint32_t nlink = 1;
+    uint64_t size = 0;
+    int64_t atimeUs = 0;
+    int64_t mtimeUs = 0;
+    int64_t ctimeUs = 0;
+
+    bool isDir() const { return (mode & 0170000) == S_IFDIR_; }
+    bool isFile() const { return (mode & 0170000) == S_IFREG_; }
+    bool isSymlink() const { return (mode & 0170000) == S_IFLNK_; }
+};
+
+StatX statXFromBfs(const bfs::Stat &st);
+
+/** Serialize into the 48-byte packed layout (sync convention). */
+void packStat(const StatX &st, uint8_t *dst);
+StatX unpackStat(const uint8_t *src);
+
+/** Async convention: stat as a structured-clone object. */
+jsvm::Value statToValue(const StatX &st);
+StatX statFromValue(const jsvm::Value &v);
+
+/// Dirent types (Linux d_type).
+constexpr uint8_t DT_DIR = 4;
+constexpr uint8_t DT_REG = 8;
+constexpr uint8_t DT_LNK = 10;
+
+struct Dirent
+{
+    uint64_t ino = 0;
+    uint8_t type = DT_REG;
+    std::string name;
+};
+
+/** Pack dirents in getdents64 record format. */
+std::vector<uint8_t> encodeDirents(const std::vector<Dirent> &entries);
+
+/** Decode as many whole records as present. */
+std::vector<Dirent> decodeDirents(const uint8_t *data, size_t len);
+
+uint8_t direntTypeFromBfs(bfs::FileType t);
+
+} // namespace sys
+} // namespace browsix

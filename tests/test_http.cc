@@ -1,0 +1,222 @@
+/**
+ * @file
+ * HTTP/1.1 parser + serializer tests (incremental feeding, chunked
+ * bodies, pipelining, malformed input) and the simulated remote link.
+ */
+#include <gtest/gtest.h>
+
+#include "jsvm/util.h"
+#include "net/http.h"
+#include "net/netsim.h"
+
+using namespace browsix::net;
+
+namespace {
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string
+str(const std::vector<uint8_t> &v)
+{
+    return std::string(v.begin(), v.end());
+}
+
+} // namespace
+
+TEST(HttpSerialize, RequestAddsContentLength)
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/api/meme";
+    req.body = bytes("hello");
+    std::string out = str(serializeRequest(req));
+    EXPECT_NE(out.find("POST /api/meme HTTP/1.1\r\n"), std::string::npos);
+    EXPECT_NE(out.find("content-length: 5\r\n"), std::string::npos);
+    EXPECT_NE(out.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpSerialize, ResponseRoundtrip)
+{
+    HttpResponse resp;
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.headers["content-type"] = "text/plain";
+    resp.body = bytes("nope");
+    auto wire = serializeResponse(resp);
+
+    HttpParser p(HttpParser::Mode::Response);
+    ASSERT_TRUE(p.feed(wire));
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.response().status, 404);
+    EXPECT_EQ(p.response().reason, "Not Found");
+    EXPECT_EQ(p.response().header("content-type"), "text/plain");
+    EXPECT_EQ(str(p.response().body), "nope");
+}
+
+TEST(HttpParser, RequestWithQueryAndHeaders)
+{
+    HttpParser p(HttpParser::Mode::Request);
+    ASSERT_TRUE(p.feed(bytes("GET /api/meme?top=hi%20there&x=1 HTTP/1.1\r\n"
+                             "Host: localhost:8080\r\n"
+                             "Accept: */*\r\n\r\n")));
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().header("host"), "localhost:8080");
+    auto [path, query] = splitTarget(p.request().target);
+    EXPECT_EQ(path, "/api/meme");
+    EXPECT_EQ(query["top"], "hi there");
+    EXPECT_EQ(query["x"], "1");
+}
+
+class HttpParserFeedSizes : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(HttpParserFeedSizes, ByteGranularityIsIrrelevant)
+{
+    // An incremental parser must produce identical results no matter how
+    // the socket fragments the stream.
+    std::string wire =
+        "HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\nhello world";
+    HttpParser p(HttpParser::Mode::Response);
+    size_t chunk = GetParam();
+    for (size_t off = 0; off < wire.size(); off += chunk) {
+        size_t n = std::min(chunk, wire.size() - off);
+        ASSERT_TRUE(p.feed(
+            reinterpret_cast<const uint8_t *>(wire.data()) + off, n));
+    }
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(str(p.response().body), "hello world");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HttpParserFeedSizes,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1024));
+
+TEST(HttpParser, ChunkedBodyDecodes)
+{
+    HttpResponse resp;
+    resp.body = bytes(std::string(5000, 'z'));
+    auto wire = serializeResponseChunked(resp, 1024);
+    HttpParser p(HttpParser::Mode::Response);
+    // feed in awkward pieces
+    for (size_t off = 0; off < wire.size(); off += 333) {
+        size_t n = std::min<size_t>(333, wire.size() - off);
+        ASSERT_TRUE(p.feed(wire.data() + off, n));
+    }
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.response().body.size(), 5000u);
+    EXPECT_EQ(p.response().body[4999], 'z');
+}
+
+TEST(HttpParser, ChunkedEmptyBody)
+{
+    HttpParser p(HttpParser::Mode::Response);
+    ASSERT_TRUE(p.feed(bytes("HTTP/1.1 200 OK\r\n"
+                             "transfer-encoding: chunked\r\n\r\n"
+                             "0\r\n\r\n")));
+    EXPECT_TRUE(p.done());
+    EXPECT_TRUE(p.response().body.empty());
+}
+
+TEST(HttpParser, PipelinedBytesLandInTrailing)
+{
+    HttpParser p(HttpParser::Mode::Request);
+    ASSERT_TRUE(p.feed(bytes("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n"
+                             "\r\n")));
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.request().target, "/a");
+    p.reset();
+    ASSERT_TRUE(p.feed(bytes("")));
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.request().target, "/b");
+}
+
+TEST(HttpParser, MalformedStartLineFails)
+{
+    HttpParser p(HttpParser::Mode::Response);
+    EXPECT_FALSE(p.feed(bytes("NOT-HTTP GARBAGE\r\n\r\n")));
+    EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpParser, MalformedHeaderFails)
+{
+    HttpParser p(HttpParser::Mode::Request);
+    EXPECT_FALSE(p.feed(bytes("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")));
+    EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpParser, BadChunkSizeFails)
+{
+    HttpParser p(HttpParser::Mode::Response);
+    EXPECT_FALSE(p.feed(bytes("HTTP/1.1 200 OK\r\n"
+                              "transfer-encoding: chunked\r\n\r\n"
+                              "zz\r\n")));
+}
+
+TEST(HttpUtil, UrlDecode)
+{
+    EXPECT_EQ(urlDecode("a%20b+c"), "a b c");
+    EXPECT_EQ(urlDecode("%41%6a"), "Aj");
+    EXPECT_EQ(urlDecode("100%"), "100%") << "stray % stays literal";
+}
+
+TEST(HttpUtil, ParseQueryEdgeCases)
+{
+    auto q = parseQuery("a=1&b=&c&d=x%3Dy");
+    EXPECT_EQ(q["a"], "1");
+    EXPECT_EQ(q["b"], "");
+    EXPECT_EQ(q["c"], "");
+    EXPECT_EQ(q["d"], "x=y");
+}
+
+TEST(NetSim, RemoteRequestPaysRtt)
+{
+    browsix::jsvm::EventLoop loop;
+    LinkParams link{/*rttUs=*/10000, /*bytesPerUs=*/0};
+    SimulatedRemoteServer server(&loop, link, [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = {'o', 'k'};
+        return r;
+    });
+    bool done = false;
+    int64_t t0 = browsix::jsvm::nowUs();
+    int64_t elapsed = 0;
+    HttpRequest req;
+    server.request(req, [&](int err, HttpResponse resp) {
+        EXPECT_EQ(err, 0);
+        EXPECT_EQ(resp.body.size(), 2u);
+        elapsed = browsix::jsvm::nowUs() - t0;
+        done = true;
+    });
+    while (!done && browsix::jsvm::nowUs() - t0 < 2000000)
+        loop.pumpOne(true);
+    ASSERT_TRUE(done);
+    EXPECT_GE(elapsed, 10000) << "request + response each pay rtt/2";
+}
+
+TEST(NetSim, BandwidthDelaysLargePayloads)
+{
+    browsix::jsvm::EventLoop loop;
+    LinkParams slow{/*rttUs=*/0, /*bytesPerUs=*/1.0}; // 1 MB/s
+    SimulatedRemoteServer server(&loop, slow, [](const HttpRequest &) {
+        HttpResponse r;
+        r.body.assign(50000, 'x');
+        return r;
+    });
+    bool done = false;
+    int64_t t0 = browsix::jsvm::nowUs();
+    HttpRequest req;
+    int64_t elapsed = 0;
+    server.request(req, [&](int, HttpResponse) {
+        elapsed = browsix::jsvm::nowUs() - t0;
+        done = true;
+    });
+    while (!done && browsix::jsvm::nowUs() - t0 < 2000000)
+        loop.pumpOne(true);
+    ASSERT_TRUE(done);
+    EXPECT_GE(elapsed, 50000) << "50 KB at 1 B/us is 50 ms downstream";
+}

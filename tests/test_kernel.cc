@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Kernel tests: pipes (buffering, backpressure, EOF/EPIPE), sockets,
+ * process lifecycle (spawn/exit/wait4/zombies/orphans), descriptor
+ * inheritance and dup, signals (handlers, defaults, SIGKILL), the two
+ * syscall conventions, shebang resolution, and host connections.
+ */
+#include <gtest/gtest.h>
+
+#include "core/browsix.h"
+#include "kernel/pipe.h"
+#include "kernel/socket.h"
+
+using namespace browsix;
+using namespace browsix::kernel;
+
+// ---------- Pipe (unit) ----------
+
+namespace {
+
+bfs::Buffer
+toBuf(const std::string &s)
+{
+    return bfs::Buffer(s.begin(), s.end());
+}
+
+} // namespace
+
+TEST(Pipe, WriteThenReadImmediate)
+{
+    Pipe p;
+    bool wrote = false;
+    p.write(toBuf("abc"), [&](int err, size_t n) {
+        EXPECT_EQ(err, 0);
+        EXPECT_EQ(n, 3u);
+        wrote = true;
+    });
+    EXPECT_TRUE(wrote);
+    std::string got;
+    p.read(10, [&](int err, bfs::BufferPtr data) {
+        EXPECT_EQ(err, 0);
+        got.assign(data->begin(), data->end());
+    });
+    EXPECT_EQ(got, "abc");
+}
+
+TEST(Pipe, ReadBeforeWriteQueues)
+{
+    Pipe p;
+    std::string got;
+    p.read(10, [&](int, bfs::BufferPtr data) {
+        got.assign(data->begin(), data->end());
+    });
+    EXPECT_TRUE(got.empty());
+    p.write(toBuf("late"), [](int, size_t) {});
+    EXPECT_EQ(got, "late");
+}
+
+TEST(Pipe, BackpressureHoldsOversizeWrite)
+{
+    Pipe p(8);
+    bool first_done = false, second_done = false;
+    p.write(toBuf("12345678"), [&](int, size_t) { first_done = true; });
+    EXPECT_TRUE(first_done);
+    p.write(toBuf("ABCD"), [&](int err, size_t n) {
+        EXPECT_EQ(err, 0);
+        EXPECT_EQ(n, 4u);
+        second_done = true;
+    });
+    EXPECT_FALSE(second_done) << "buffer full: write must stall";
+    EXPECT_EQ(p.backpressureStalls(), 1u);
+    std::string got;
+    p.read(8, [&](int, bfs::BufferPtr d) {
+        got.assign(d->begin(), d->end());
+    });
+    EXPECT_EQ(got, "12345678");
+    EXPECT_TRUE(second_done) << "drain completes the stalled write";
+    p.read(8, [&](int, bfs::BufferPtr d) {
+        got.assign(d->begin(), d->end());
+    });
+    EXPECT_EQ(got, "ABCD");
+}
+
+TEST(Pipe, EofAfterWriterClose)
+{
+    Pipe p;
+    p.write(toBuf("tail"), [](int, size_t) {});
+    p.closeWriter();
+    std::string got = "x";
+    p.read(10, [&](int err, bfs::BufferPtr d) {
+        EXPECT_EQ(err, 0);
+        got.assign(d->begin(), d->end());
+    });
+    EXPECT_EQ(got, "tail") << "buffered data is still readable";
+    bool eof = false;
+    p.read(10, [&](int err, bfs::BufferPtr d) {
+        EXPECT_EQ(err, 0);
+        eof = d->empty();
+    });
+    EXPECT_TRUE(eof);
+}
+
+TEST(Pipe, WriterCloseWakesBlockedReader)
+{
+    Pipe p;
+    bool eof = false;
+    p.read(10, [&](int err, bfs::BufferPtr d) {
+        EXPECT_EQ(err, 0);
+        eof = d->empty();
+    });
+    p.closeWriter();
+    EXPECT_TRUE(eof);
+}
+
+TEST(Pipe, EpipeOnWriteAfterReaderClose)
+{
+    Pipe p;
+    p.closeReader();
+    int err = 0;
+    p.write(toBuf("x"), [&](int e, size_t) { err = e; });
+    EXPECT_EQ(err, EPIPE);
+}
+
+TEST(Pipe, ReaderCloseFailsStalledWrites)
+{
+    Pipe p(4);
+    int err = 0;
+    p.write(toBuf("123456"), [&](int e, size_t) { err = e; });
+    EXPECT_EQ(err, 0) << "still stalled";
+    p.closeReader();
+    EXPECT_EQ(err, EPIPE);
+}
+
+TEST(PipeEnd, RefcountedCloseDrivesEof)
+{
+    auto p = std::make_shared<Pipe>();
+    auto w1 = std::make_shared<PipeEndFile>(p, false);
+    w1->ref(); // two descriptors share the write end (dup/inheritance)
+    w1->unref();
+    EXPECT_FALSE(p->writerClosed()) << "one reference remains";
+    w1->unref();
+    EXPECT_TRUE(p->writerClosed()) << "last close ends the stream";
+}
+
+// ---------- Socket (unit) ----------
+
+TEST(Socket, AcceptBeforeConnectQueuesWaiter)
+{
+    SocketFile listener;
+    EXPECT_EQ(listener.bind(100), 0);
+    EXPECT_EQ(listener.listen(4), 0);
+    SocketFilePtr got;
+    listener.accept([&](int err, SocketFilePtr peer) {
+        EXPECT_EQ(err, 0);
+        got = peer;
+    });
+    EXPECT_EQ(got, nullptr);
+    auto peer = std::make_shared<SocketFile>();
+    peer->establish(std::make_shared<Pipe>(), std::make_shared<Pipe>(),
+                    100, 5000);
+    EXPECT_EQ(listener.enqueueConnection(peer), 0);
+    EXPECT_EQ(got, peer);
+}
+
+TEST(Socket, BacklogLimitRefuses)
+{
+    SocketFile listener;
+    listener.bind(100);
+    listener.listen(1);
+    auto mk = []() {
+        auto s = std::make_shared<SocketFile>();
+        s->establish(std::make_shared<Pipe>(), std::make_shared<Pipe>(),
+                     100, 1);
+        return s;
+    };
+    EXPECT_EQ(listener.enqueueConnection(mk()), 0);
+    EXPECT_EQ(listener.enqueueConnection(mk()), ECONNREFUSED);
+}
+
+TEST(Socket, IoRequiresConnection)
+{
+    SocketFile s;
+    int err = 0;
+    s.read(10, [&](int e, bfs::BufferPtr) { err = e; });
+    EXPECT_EQ(err, ENOTCONN);
+    s.write(toBuf("x"), [&](int e, size_t) { err = e; });
+    EXPECT_EQ(err, ENOTCONN);
+}
+
+// ---------- process lifecycle (full stack) ----------
+
+TEST(Process, ExitCodePropagates)
+{
+    Browsix bx;
+    EXPECT_EQ(bx.run("true").exitCode(), 0);
+    EXPECT_EQ(bx.run("false").exitCode(), 1);
+    EXPECT_EQ(bx.run("exit 42").exitCode(), 42);
+}
+
+TEST(Process, SpawnMissingExecutableFails)
+{
+    Browsix bx;
+    auto r = bx.runArgv({"/no/such/program"});
+    EXPECT_FALSE(r.ok) << "spawn itself fails; nothing ran";
+    EXPECT_EQ(r.exitCode(), 127);
+    // Through the shell, the same mistake surfaces as exit code 127.
+    EXPECT_EQ(bx.run("/no/such/program").exitCode(), 127);
+}
+
+TEST(Process, TasksAreReapedAfterExit)
+{
+    Browsix bx;
+    bx.run("true");
+    bx.run("true");
+    EXPECT_EQ(bx.kernel().taskCount(), 0u)
+        << "no zombies after root tasks exit";
+}
+
+TEST(Process, GetPidAndPpidDiffer)
+{
+    Browsix bx;
+    // $$ is the shell's pid; a child's getppid (via wait-status plumbing)
+    // is covered by the shell tests; here check pids are allocated.
+    auto r1 = bx.run("echo $$");
+    auto r2 = bx.run("echo $$");
+    EXPECT_NE(r1.out, r2.out) << "fresh pid per process";
+}
+
+TEST(Process, WaitStatusEncodesSignalDeath)
+{
+    Browsix bx;
+    bool exited = false;
+    int status = 0;
+    int child = 0;
+    bx.kernel().spawnRoot(
+        {"/usr/bin/meme-server"}, bx.kernel().defaultEnv, "/",
+        [&](int st) {
+            status = st;
+            exited = true;
+        },
+        nullptr, nullptr, [&](int pid) { child = pid; });
+    ASSERT_TRUE(bx.runUntil([&]() { return child > 0; }, 5000));
+    // The server runs forever; kill it.
+    bx.kernel().kill(child, sys::SIGKILL);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited; }, 5000));
+    EXPECT_FALSE(sys::wifExited(status));
+    EXPECT_EQ(sys::wtermsig(status), sys::SIGKILL);
+}
+
+TEST(Process, KillEsrchForUnknownPid)
+{
+    Browsix bx;
+    EXPECT_EQ(bx.kernel().kill(4242, sys::SIGTERM), ESRCH);
+}
+
+TEST(Process, ShebangChainResolvesInterpreter)
+{
+    Browsix bx;
+    // /usr/bin/wc is "#!/usr/bin/node" + marker: two-level resolution.
+    auto r = bx.run("echo abc | wc");
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.out, "1 1 4\n");
+}
+
+TEST(Process, ShebangWithEnvResolves)
+{
+    Browsix bx;
+    bx.rootFs().writeFile("/usr/bin/viaenv",
+                          std::string("#!/usr/bin/env node\n"
+                                      "//:node-util:echo\n"));
+    auto r = bx.runArgv({"/usr/bin/viaenv", "worked"});
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.out, "worked\n");
+}
+
+TEST(Process, ExecveReplacesImage)
+{
+    Browsix bx;
+    // make's fork children exec /bin/sh; a direct observation: run make
+    // with a rule whose command's output proves sh ran in the child.
+    bx.rootFs().writeFile("/home/Makefile",
+                          std::string("out:\n\techo from-exec > out\n"));
+    auto r = bx.run("cd /home && /usr/bin/make");
+    EXPECT_EQ(r.exitCode(), 0) << r.err;
+    bfs::Buffer data;
+    ASSERT_EQ(bx.fs().readFileSync("/home/out", data), 0);
+    EXPECT_EQ(std::string(data.begin(), data.end()), "from-exec\n");
+}
+
+TEST(Process, OrphansAreReparentedAndReaped)
+{
+    Browsix bx;
+    // Parent exits immediately, leaving a background sleep-ish child
+    // (meme-server). The child must not leak as a zombie forever.
+    auto r = bx.run("MEME_PORT=9911 /usr/bin/meme-server & true");
+    EXPECT_EQ(r.exitCode(), 0);
+    bx.waitForPort(9911, 5000);
+    // find the orphan and kill it
+    std::vector<int> pids = bx.kernel().pids();
+    for (int pid : pids)
+        bx.kernel().kill(pid, sys::SIGKILL);
+    bx.runUntil([&]() { return bx.kernel().taskCount() == 0; }, 5000);
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+}
+
+// ---------- signals ----------
+
+TEST(Signals, DefaultTermSignalKills)
+{
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    bool exited = false;
+    int status = 0;
+    int pid = 0;
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "9912"}}, "/",
+                          [&](int st) {
+                              status = st;
+                              exited = true;
+                          },
+                          nullptr, nullptr, [&](int p) { pid = p; });
+    ASSERT_TRUE(bx.waitForPort(9912, 5000));
+    bx.kernel().kill(pid, sys::SIGTERM);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited; }, 5000));
+    EXPECT_EQ(sys::wtermsig(status), sys::SIGTERM);
+}
+
+TEST(Signals, DeliveredCountIncrements)
+{
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    int pid = 0;
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "9913"}}, "/", [](int) {},
+                          nullptr, nullptr, [&](int p) { pid = p; });
+    ASSERT_TRUE(bx.waitForPort(9913, 5000));
+    uint64_t before = bx.kernel().signalsDelivered;
+    bx.kernel().kill(pid, sys::SIGKILL);
+    EXPECT_EQ(bx.kernel().signalsDelivered, before + 1);
+    bx.runUntil([&]() { return bx.kernel().taskCount() == 0; }, 5000);
+}
+
+// ---------- sockets (full stack) ----------
+
+TEST(Sockets, ListenNotificationFires)
+{
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    bool notified = false;
+    bx.kernel().onPortListen(8080, [&]() { notified = true; });
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8080"}}, "/", [](int) {},
+                          nullptr, nullptr, [](int) {});
+    ASSERT_TRUE(bx.runUntil([&]() { return notified; }, 5000));
+    EXPECT_TRUE(bx.kernel().portListening(8080));
+}
+
+TEST(Sockets, ConnectToUnboundPortRefused)
+{
+    Browsix bx;
+    int err = 0;
+    bool done = false;
+    bx.kernel().connect(
+        12345, nullptr, nullptr,
+        [&](int e, std::shared_ptr<kernel::Kernel::HostConn>) {
+            err = e;
+            done = true;
+        });
+    bx.runUntil([&]() { return done; }, 2000);
+    EXPECT_EQ(err, ECONNREFUSED);
+}
+
+TEST(Sockets, HostToServerRoundtrip)
+{
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8080"}}, "/", [](int) {},
+                          nullptr, nullptr, [](int) {});
+    ASSERT_TRUE(bx.waitForPort(8080, 5000));
+    net::HttpRequest req;
+    req.target = "/api/images";
+    auto x = bx.xhr(8080, req);
+    EXPECT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 200);
+    std::string body(x.response.body.begin(), x.response.body.end());
+    EXPECT_NE(body.find("doge"), std::string::npos);
+}
+
+TEST(Sockets, InBrowsixCurlTalksToServer)
+{
+    // curl (Node, socket client) -> meme-server (Go, socket server):
+    // processes talking over kernel sockets, §3.5.
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8080"}}, "/", [](int) {},
+                          nullptr, nullptr, [](int) {});
+    ASSERT_TRUE(bx.waitForPort(8080, 5000));
+    auto r = bx.run("curl http://localhost:8080/api/images");
+    EXPECT_EQ(r.exitCode(), 0) << r.err;
+    EXPECT_NE(r.out.find("wonka"), std::string::npos);
+}
+
+// ---------- descriptor semantics ----------
+
+TEST(Fds, RedirectionWritesFile)
+{
+    Browsix bx;
+    auto r = bx.run("echo data > /tmp/out && cat /tmp/out");
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.out, "data\n");
+}
+
+TEST(Fds, AppendRedirection)
+{
+    Browsix bx;
+    auto r = bx.run("echo a > /tmp/f && echo b >> /tmp/f && cat /tmp/f");
+    EXPECT_EQ(r.out, "a\nb\n");
+}
+
+TEST(Fds, StderrRedirectionAndDup)
+{
+    Browsix bx;
+    auto r = bx.run("ls /missing 2> /tmp/err; wc /tmp/err");
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_NE(r.out, "0 0 0 /tmp/err\n") << "stderr must have been captured";
+    r = bx.run("ls /missing 2>&1 | grep -v '^$' | wc");
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_NE(r.out.substr(0, 2), "0 ");
+}
+
+TEST(Fds, InputRedirection)
+{
+    Browsix bx;
+    bx.rootFs().writeFile("/tmp/in", std::string("x\ny\n"));
+    auto r = bx.run("wc < /tmp/in");
+    EXPECT_EQ(r.out, "2 2 4\n");
+}
+
+// ---------- syscall conventions ----------
+
+TEST(Syscalls, SyncAndAsyncBothWork)
+{
+    // pdflatex-sync uses the synchronous convention; node utilities the
+    // asynchronous one. Run both against the same kernel.
+    BootConfig cfg;
+    cfg.texlive = true;
+    cfg.pdflatexSync = true;
+    Browsix bx(cfg);
+    uint64_t sync0 = bx.kernel().syncSyscallCount;
+    auto r = bx.run("cd /home && /usr/bin/pdflatex main.tex");
+    EXPECT_EQ(r.exitCode(), 0) << r.out;
+    EXPECT_GT(bx.kernel().syncSyscallCount, sync0)
+        << "sync-compiled pdflatex must use the shared-memory convention";
+    uint64_t async0 = bx.kernel().asyncSyscallCount;
+    bx.run("echo hi");
+    EXPECT_GT(bx.kernel().asyncSyscallCount, async0);
+}
+
+TEST(Syscalls, EmterpreterVariantUsesAsyncOnly)
+{
+    BootConfig cfg;
+    cfg.texlive = true;
+    cfg.pdflatexSync = false;
+    Browsix bx(cfg);
+    uint64_t sync0 = bx.kernel().syncSyscallCount;
+    auto r = bx.run("cd /home && /usr/bin/pdflatex main.tex", 60000);
+    EXPECT_EQ(r.exitCode(), 0) << r.out;
+    EXPECT_EQ(bx.kernel().syncSyscallCount, sync0);
+}
+
+TEST(Syscalls, UnknownSyscallIsEnosys)
+{
+    // Covered indirectly: fork from a sync-mode program returns ENOSYS.
+    // (See EmscriptenModes.ForkWithoutEmterpreterFails in test_runtime.)
+    SUCCEED();
+}
+
+// ---------- cwd ----------
+
+TEST(Cwd, ChdirAffectsRelativePaths)
+{
+    Browsix bx;
+    bx.rootFs().mkdirAll("/work/sub");
+    bx.rootFs().writeFile("/work/sub/f", std::string("found"));
+    auto r = bx.run("cd /work/sub && cat f && pwd");
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.out, "found/work/sub\n");
+}
+
+TEST(Cwd, SpawnInheritsCwd)
+{
+    Browsix bx;
+    bx.rootFs().mkdirAll("/work");
+    bx.rootFs().writeFile("/work/here", std::string("yes\n"));
+    auto r = bx.run("cd /work && cat here");
+    EXPECT_EQ(r.out, "yes\n");
+}

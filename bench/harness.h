@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <map>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -56,10 +58,29 @@ struct Series
     }
 };
 
+/**
+ * True when BROWSIX_BENCH_SMOKE is set: the `bench-smoke` ctest label
+ * runs every benchmark this way — one un-warmed iteration, enough to
+ * prove the workload still executes without paying for stable numbers.
+ */
+inline bool
+smokeMode()
+{
+    static const bool v = []() {
+        const char *s = std::getenv("BROWSIX_BENCH_SMOKE");
+        return s && *s && std::string(s) != "0";
+    }();
+    return v;
+}
+
 /** Repeat fn `warmup + runs` times; collect the timed runs. */
 inline Series
 measure(int warmup, int runs, const std::function<void()> &fn)
 {
+    if (smokeMode()) {
+        warmup = 0;
+        runs = runs > 0 ? 1 : runs;
+    }
     Series s;
     for (int i = 0; i < warmup; i++)
         fn();

@@ -51,7 +51,8 @@ double
 perCallUs(Browsix &bx, const std::string &exe, int n)
 {
     double with = 1e9, without = 1e9;
-    for (int rep = 0; rep < 3; rep++) {
+    const int reps = smokeMode() ? 1 : 3;
+    for (int rep = 0; rep < reps; rep++) {
         with = std::min(with, timeMs([&]() {
                             bx.runArgv({exe, std::to_string(n)}, 120000);
                         }));
@@ -68,7 +69,7 @@ int
 main()
 {
     registerSysbench();
-    const int kCalls = 300;
+    const int kCalls = smokeMode() ? 50 : 300;
 
     BootConfig cfg;
     cfg.profile = jsvm::BrowserProfile::chrome2016();
@@ -82,14 +83,14 @@ main()
     // Direct call baseline: what a real getpid costs in-process.
     bfs::Stat st;
     volatile int sink = 0;
+    const int kDirect = smokeMode() ? 10000 : 1000000;
     double direct_ms = timeMs([&]() {
-        for (int i = 0; i < 1000000; i++) {
+        for (int i = 0; i < kDirect; i++) {
             bx.fs().statSync("/usr/bin", st);
             sink += static_cast<int>(st.size);
         }
     });
-    double direct_us = direct_ms; // 1e6 iters: ms total == us each /1000
-    direct_us = direct_ms * 1000.0 / 1000000.0;
+    double direct_us = direct_ms * 1000.0 / kDirect;
 
     // Bare postMessage round-trip (charged with the Chrome profile).
     jsvm::Browser browser(jsvm::BrowserProfile::chrome2016());

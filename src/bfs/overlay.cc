@@ -418,10 +418,6 @@ OverlayBackend::rename(const std::string &from, const std::string &to,
                 return;
             }
             if (uerr == 0 && lerr != 0) {
-                if (ust.isDir()) {
-                    upper_->rename(from, to, cb);
-                    return;
-                }
                 shadowDirs(dirname(to), [this, from, to, cb](int derr) {
                     if (derr) {
                         cb(derr);
@@ -433,22 +429,36 @@ OverlayBackend::rename(const std::string &from, const std::string &to,
                 return;
             }
             // Source (at least partly) in the underlay: copy-up + delete.
+            // The destination's parent chain may itself exist only in the
+            // underlay, so it must be shadowed before the upper rename.
             if (uerr != 0 && lerr == 0) {
                 copyUp(from, [this, from, to, cb](int cerr) {
                     if (cerr) {
                         cb(cerr);
                         return;
                     }
-                    markDeleted(from);
-                    clearDeleted(to);
-                    upper_->rename(from, to, cb);
+                    shadowDirs(dirname(to), [this, from, to, cb](int derr) {
+                        if (derr) {
+                            cb(derr);
+                            return;
+                        }
+                        markDeleted(from);
+                        clearDeleted(to);
+                        upper_->rename(from, to, cb);
+                    });
                 });
                 return;
             }
             // Present in both layers (shadowed): move upper, hide lower.
-            markDeleted(from);
-            clearDeleted(to);
-            upper_->rename(from, to, cb);
+            shadowDirs(dirname(to), [this, from, to, cb](int derr) {
+                if (derr) {
+                    cb(derr);
+                    return;
+                }
+                markDeleted(from);
+                clearDeleted(to);
+                upper_->rename(from, to, cb);
+            });
         });
     });
 }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "jsvm/test_clock.h"
 #include "jsvm/util.h"
 
 namespace browsix {
@@ -53,6 +54,13 @@ burn(double us)
 {
     if (us <= 0)
         return;
+    // Under a virtual clock, charge the cost as virtual time: spinning on
+    // a frozen nowUs() would never terminate, and sleeping would make the
+    // test wall-clock-dependent again.
+    if (TestClock *c = TestClock::active()) {
+        c->advanceUs(static_cast<int64_t>(us));
+        return;
+    }
     if (us < 1000) {
         int64_t end = nowUs() + static_cast<int64_t>(us);
         while (nowUs() < end) {

@@ -140,6 +140,17 @@ EventLoop::stop()
     cv_.notify_all();
 }
 
+int64_t
+EventLoop::nextTimerDueUs() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    int64_t next = -1;
+    for (const auto &[id, t] : timers_)
+        if (next < 0 || t.due_us < next)
+            next = t.due_us;
+    return next;
+}
+
 bool
 EventLoop::idle() const
 {

@@ -56,6 +56,13 @@ class EventLoop
     /** True when no tasks are queued and no timers are pending. */
     bool idle() const;
 
+    /**
+     * Absolute due time (us) of the soonest pending timer, or -1 when no
+     * timers are pending. Lets a test clock jump straight to the next
+     * deadline instead of sleeping (see jsvm::TestClock::pumpUntilIdle).
+     */
+    int64_t nextTimerDueUs() const;
+
     /** True once stop() has been called. */
     bool stopped() const;
 

@@ -11,13 +11,24 @@ void
 InterruptToken::interrupt()
 {
     flag_.store(true, std::memory_order_release);
+    // Invoke a snapshot of the wakers without holding mutex_ (a waker may
+    // take other locks whose holders call addWaker). invoking_ keeps
+    // removeWaker from returning mid-pass: a waker closure may reference
+    // the remover's stack, which it destroys as soon as removeWaker
+    // returns.
     std::vector<std::pair<uint64_t, Waker>> wakers;
     {
         std::lock_guard<std::mutex> lk(mutex_);
+        invokingPasses_++;
         wakers = wakers_;
     }
     for (auto &[id, w] : wakers)
         w();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        invokingPasses_--;
+    }
+    cv_.notify_all();
 }
 
 uint64_t
@@ -32,13 +43,17 @@ InterruptToken::addWaker(Waker w)
 void
 InterruptToken::removeWaker(uint64_t id)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    std::unique_lock<std::mutex> lk(mutex_);
     for (auto it = wakers_.begin(); it != wakers_.end(); ++it) {
         if (it->first == id) {
             wakers_.erase(it);
-            return;
+            break;
         }
     }
+    // An interrupt() pass may still hold a copy of this waker; wait for
+    // every in-flight pass to finish before letting the caller free what
+    // the waker touches.
+    cv_.wait(lk, [this]() { return invokingPasses_ == 0; });
 }
 
 SharedArrayBuffer::SharedArrayBuffer(size_t bytes)

@@ -42,11 +42,19 @@ class InterruptToken
 
     /** Register a waker; returns an id for removal. */
     uint64_t addWaker(Waker w);
+
+    /**
+     * Unregister a waker. Blocks until any in-flight interrupt() pass has
+     * finished invoking its snapshot of the wakers, so the caller may
+     * destroy state the waker closure references as soon as this returns.
+     */
     void removeWaker(uint64_t id);
 
   private:
     std::atomic<bool> flag_{false};
     std::mutex mutex_;
+    std::condition_variable cv_;
+    int invokingPasses_ = 0; // concurrent interrupt() passes in flight
     uint64_t nextId_ = 1;
     std::vector<std::pair<uint64_t, Waker>> wakers_;
 };

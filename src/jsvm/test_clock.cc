@@ -1,0 +1,68 @@
+#include "jsvm/test_clock.h"
+
+#include <chrono>
+
+#include "jsvm/event_loop.h"
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace jsvm {
+
+namespace {
+std::atomic<TestClock *> gActive{nullptr};
+} // namespace
+
+int64_t
+nowUs()
+{
+    if (TestClock *c = gActive.load(std::memory_order_acquire))
+        return c->nowUs();
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+}
+
+TestClock::TestClock(int64_t start_us)
+    : now_us_(start_us), prev_(gActive.load(std::memory_order_acquire))
+{
+    gActive.store(this, std::memory_order_release);
+}
+
+TestClock::~TestClock()
+{
+    gActive.store(prev_, std::memory_order_release);
+}
+
+TestClock *
+TestClock::active()
+{
+    return gActive.load(std::memory_order_acquire);
+}
+
+void
+TestClock::advanceUs(int64_t delta_us)
+{
+    if (delta_us > 0)
+        now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
+}
+
+size_t
+TestClock::pumpUntilIdle(EventLoop &loop, int64_t max_virtual_us)
+{
+    size_t ran = 0;
+    int64_t deadline = nowUs() + max_virtual_us;
+    for (;;) {
+        ran += loop.pump();
+        int64_t due = loop.nextTimerDueUs();
+        if (due < 0)
+            return ran; // no timers pending; queue already drained
+        if (due > deadline)
+            return ran; // next timer is past the virtual budget
+        if (due > nowUs())
+            advanceUs(due - nowUs());
+        else
+            advanceUs(1); // defensive: guarantee forward progress
+    }
+}
+
+} // namespace jsvm
+} // namespace browsix

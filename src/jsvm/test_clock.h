@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic virtual clock for tests.
+ *
+ * Installing a TestClock reroutes jsvm::nowUs() — the time source for
+ * event-loop timers, the cost model, and the benchmark harness — to a
+ * manually-advanced counter. Tests drive timers by advancing the clock
+ * and pumping a loop instead of sleeping wall-clock time, which makes
+ * pipe-backpressure, timer, and kernel-lifecycle tests exact and fast.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace browsix {
+namespace jsvm {
+
+class EventLoop;
+
+class TestClock
+{
+  public:
+    /**
+     * Install this clock as the process-wide time source (RAII).
+     *
+     * Lifetime: threads read the installed clock without synchronization,
+     * so the TestClock must outlive every thread that may call nowUs() —
+     * terminate/join workers before it leaves scope.
+     */
+    explicit TestClock(int64_t start_us = 1000000);
+    ~TestClock();
+    TestClock(const TestClock &) = delete;
+    TestClock &operator=(const TestClock &) = delete;
+
+    /** Current virtual time in microseconds. */
+    int64_t nowUs() const { return now_us_.load(std::memory_order_acquire); }
+
+    /** Move virtual time forward; never backwards. */
+    void advanceUs(int64_t delta_us);
+
+    /**
+     * Drain `loop` without wall-clock waits: run every ready task, then
+     * jump the clock to the next pending timer and repeat, until the
+     * loop is idle or `max_virtual_us` of virtual time has elapsed.
+     *
+     * @return number of tasks executed.
+     */
+    size_t pumpUntilIdle(EventLoop &loop,
+                         int64_t max_virtual_us = 60ll * 1000 * 1000);
+
+    /** The installed clock, or nullptr when real time is in effect. */
+    static TestClock *active();
+
+  private:
+    std::atomic<int64_t> now_us_;
+    TestClock *prev_;
+};
+
+} // namespace jsvm
+} // namespace browsix

@@ -21,13 +21,13 @@ panic(const std::string &msg)
     std::abort();
 }
 
-/** Monotonic clock in microseconds, used for timers and benchmarks. */
-inline int64_t
-nowUs()
-{
-    auto t = std::chrono::steady_clock::now().time_since_epoch();
-    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
-}
+/**
+ * Monotonic clock in microseconds, used for timers and benchmarks.
+ * Real steady_clock time normally; a virtual counter while a
+ * jsvm::TestClock is installed (see test_clock.h). Defined in
+ * test_clock.cc.
+ */
+int64_t nowUs();
 
 } // namespace jsvm
 } // namespace browsix

@@ -467,9 +467,8 @@ Vm::run(jsvm::InterruptToken *token)
 std::vector<uint8_t>
 Vm::snapshot() const
 {
-    std::vector<uint8_t> out;
-    const char tag[] = "BSXSNAP1";
-    out.insert(out.end(), tag, tag + 8);
+    std::vector<uint8_t> out = {'B', 'S', 'X', 'S', 'N', 'A', 'P', '1'};
+    out.reserve(out.size() + mem_.size() + 16);
     put32(out, static_cast<uint32_t>(mem_.size()));
     out.insert(out.end(), mem_.begin(), mem_.end());
     put32(out, static_cast<uint32_t>(stack_.size()));

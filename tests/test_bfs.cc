@@ -145,6 +145,33 @@ TEST(Path, PrefixMatchingIsComponentWise)
     EXPECT_TRUE(pathHasPrefix("/anything", "/"));
 }
 
+// ".." must never climb above the root, no matter how it is spelled, and
+// trailing/doubled slashes must collapse — these are the inputs a hostile
+// or sloppy process hands the VFS.
+INSTANTIATE_TEST_SUITE_P(
+    PathEdges, PathNormalize,
+    ::testing::Values(PathCase{"/../a", "/a"}, PathCase{"..", "/"},
+                      PathCase{"../..", "/"},
+                      PathCase{"/a/../../..", "/"},
+                      PathCase{"/a/../../etc/passwd", "/etc/passwd"},
+                      PathCase{"./..", "/"}, PathCase{"a/..", "/"},
+                      PathCase{"/a/b/", "/a/b"}, PathCase{"/a/", "/a"},
+                      PathCase{"///", "/"}, PathCase{"/a//b//", "/a/b"},
+                      PathCase{"/a/./", "/a"},
+                      PathCase{"/..//../b/", "/b"}));
+
+TEST(Path, TrailingSlashVariantsAgree)
+{
+    EXPECT_EQ(bfs::dirname("/a/b/"), "/a");
+    EXPECT_EQ(bfs::basename("/a/b/"), "b");
+    EXPECT_EQ(joinPath("/a/b/", "../c"), "/a/c");
+    EXPECT_EQ(joinPath("/a/", "b/"), "/a/b");
+    EXPECT_EQ(joinPath("/", ".."), "/");
+    EXPECT_EQ(joinPath("/a", "..//..//.."), "/");
+    EXPECT_EQ(splitPath("///a//b/"),
+              (std::vector<std::string>{"a", "b"}));
+}
+
 // ---------- in-memory backend ----------
 
 TEST(InMem, WriteThenReadBack)
@@ -505,6 +532,121 @@ TEST(Overlay, RenameFromLowerLeavesWhiteout)
     std::string got;
     readWhole(*rig.fs, "/moved.txt", got);
     EXPECT_EQ(got, "read-only");
+}
+
+TEST(Overlay, RenameUpperFileIntoLowerOnlyDirectory)
+{
+    // The destination's parent exists only in the underlay: rename must
+    // shadow the directory chain into the writable layer first.
+    OverlayRig rig;
+    writeWhole(*rig.fs, "/new.txt", "fresh");
+    int err = -1;
+    rig.fs->rename("/new.txt", "/pkg/new.sty", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0);
+    std::string got;
+    EXPECT_EQ(readWhole(*rig.fs, "/pkg/new.sty", got), 0);
+    EXPECT_EQ(got, "fresh");
+    EXPECT_EQ(statOf(*rig.fs, "/new.txt"), ENOENT);
+    // The underlay saw none of it.
+    EXPECT_EQ(statOf(*rig.lower, "/pkg/new.sty"), ENOENT);
+    auto names = namesOf(*rig.fs, "/pkg");
+    EXPECT_EQ(std::count(names.begin(), names.end(), "new.sty"), 1);
+}
+
+TEST(Overlay, RenameUpperDirectoryIntoLowerOnlyParent)
+{
+    OverlayRig rig;
+    rig.upper->mkdirAll("/d");
+    rig.upper->writeFile("/d/f.txt", std::string("inside"));
+    int err = -1;
+    rig.fs->rename("/d", "/pkg/d", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0) << "directory rename must shadow /pkg like a file "
+                         "rename does";
+    std::string got;
+    EXPECT_EQ(readWhole(*rig.fs, "/pkg/d/f.txt", got), 0);
+    EXPECT_EQ(got, "inside");
+    EXPECT_EQ(statOf(*rig.fs, "/d"), ENOENT);
+}
+
+TEST(Overlay, RenameShadowedFileHidesLowerCopy)
+{
+    OverlayRig rig;
+    rig.upper->mkdirAll("/pkg");
+    rig.upper->writeFile("/pkg/a.sty", std::string("UPPER"));
+    int err = -1;
+    rig.fs->rename("/pkg/a.sty", "/pkg/z.sty", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0);
+    std::string got;
+    readWhole(*rig.fs, "/pkg/z.sty", got);
+    EXPECT_EQ(got, "UPPER") << "the upper version moves";
+    EXPECT_EQ(statOf(*rig.fs, "/pkg/a.sty"), ENOENT)
+        << "the lower copy must not reappear at the old name";
+    EXPECT_EQ(statOf(*rig.lower, "/pkg/a.sty"), 0) << "underlay untouched";
+}
+
+TEST(Overlay, RenameOntoExistingLowerTargetShadowsIt)
+{
+    OverlayRig rig;
+    int err = -1;
+    rig.fs->rename("/ro.txt", "/pkg/a.sty", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0);
+    std::string got;
+    readWhole(*rig.fs, "/pkg/a.sty", got);
+    EXPECT_EQ(got, "read-only") << "renamed content replaces the target";
+    auto names = namesOf(*rig.fs, "/pkg");
+    EXPECT_EQ(std::count(names.begin(), names.end(), "a.sty"), 1)
+        << "no duplicate entry for the replaced target";
+    EXPECT_EQ(statOf(*rig.fs, "/ro.txt"), ENOENT);
+}
+
+TEST(Overlay, RenameMissingSourceIsEnoent)
+{
+    OverlayRig rig;
+    int err = -1;
+    rig.fs->rename("/nope", "/also-nope", [&](int e) { err = e; });
+    EXPECT_EQ(err, ENOENT);
+}
+
+TEST(Overlay, UnlinkAfterCrossLayerRenameLeavesNoGhosts)
+{
+    // Move a lower file, then delete it at the new name: both names must
+    // read ENOENT even though the underlay still holds the original.
+    OverlayRig rig;
+    rig.fs->rename("/ro.txt", "/moved.txt", [](int) {});
+    int err = -1;
+    rig.fs->unlink("/moved.txt", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0);
+    EXPECT_EQ(statOf(*rig.fs, "/moved.txt"), ENOENT);
+    EXPECT_EQ(statOf(*rig.fs, "/ro.txt"), ENOENT);
+    EXPECT_EQ(statOf(*rig.lower, "/ro.txt"), 0);
+    auto names = namesOf(*rig.fs, "/");
+    EXPECT_EQ(std::count(names.begin(), names.end(), "moved.txt"), 0);
+    EXPECT_EQ(std::count(names.begin(), names.end(), "ro.txt"), 0);
+}
+
+TEST(Overlay, UnlinkErrors)
+{
+    OverlayRig rig;
+    int err = -1;
+    rig.fs->unlink("/nope", [&](int e) { err = e; });
+    EXPECT_EQ(err, ENOENT);
+    err = -1;
+    rig.fs->unlink("/pkg", [&](int e) { err = e; });
+    EXPECT_EQ(err, EISDIR) << "directories take rmdir, not unlink";
+}
+
+TEST(Overlay, UnlinkShadowedFileRemovesBothViews)
+{
+    OverlayRig rig;
+    rig.upper->mkdirAll("/pkg");
+    rig.upper->writeFile("/pkg/a.sty", std::string("UPPER"));
+    int err = -1;
+    rig.fs->unlink("/pkg/a.sty", [&](int e) { err = e; });
+    ASSERT_EQ(err, 0);
+    EXPECT_EQ(statOf(*rig.fs, "/pkg/a.sty"), ENOENT)
+        << "neither the upper copy nor the lower copy may survive";
+    auto names = namesOf(*rig.fs, "/pkg");
+    EXPECT_EQ(std::count(names.begin(), names.end(), "a.sty"), 0);
 }
 
 TEST(Overlay, LazyDoesNotTouchLowerAtInit)

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "jsvm/browser.h"
+#include "jsvm/cost_model.h"
+#include "jsvm/test_clock.h"
 #include "jsvm/util.h"
 
 using namespace browsix::jsvm;
@@ -120,13 +122,15 @@ TEST(EventLoop, TimerFiresAfterDelay)
 
 TEST(EventLoop, ClearTimeoutCancels)
 {
+    TestClock clock;
     EventLoop loop;
     bool fired = false;
     uint64_t id = loop.setTimeout([&]() { fired = true; }, 1000);
     loop.clearTimeout(id);
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    clock.advanceUs(3000); // well past the (cancelled) deadline
     loop.pump();
     EXPECT_FALSE(fired);
+    EXPECT_TRUE(loop.idle());
 }
 
 TEST(EventLoop, CrossThreadPostWakesRun)
@@ -157,6 +161,101 @@ TEST(EventLoop, IdleReflectsQueueAndTimers)
     EXPECT_FALSE(loop.idle());
     loop.clearTimeout(id);
     EXPECT_TRUE(loop.idle());
+}
+
+// ---------- deterministic test clock ----------
+
+TEST(TestClock, ReroutesNowUsWhileInstalled)
+{
+    int64_t real_before = nowUs();
+    {
+        TestClock clock(500);
+        EXPECT_EQ(TestClock::active(), &clock);
+        EXPECT_EQ(nowUs(), 500);
+        clock.advanceUs(250);
+        EXPECT_EQ(nowUs(), 750);
+        clock.advanceUs(-10);
+        EXPECT_EQ(nowUs(), 750) << "time never moves backwards";
+    }
+    EXPECT_EQ(TestClock::active(), nullptr);
+    EXPECT_GE(nowUs(), real_before) << "real clock restored on scope exit";
+}
+
+TEST(TestClock, NestedClocksRestoreOuter)
+{
+    TestClock outer(1000);
+    {
+        TestClock inner(9999999);
+        EXPECT_EQ(nowUs(), 9999999);
+    }
+    EXPECT_EQ(TestClock::active(), &outer);
+    EXPECT_EQ(nowUs(), 1000);
+}
+
+TEST(TestClock, TimerFiresAtExactVirtualDeadline)
+{
+    TestClock clock;
+    EventLoop loop;
+    int64_t fired_at = -1;
+    int64_t t0 = nowUs();
+    loop.setTimeout([&]() { fired_at = nowUs(); }, 5000);
+    loop.pump();
+    EXPECT_EQ(fired_at, -1) << "virtual time has not advanced";
+    EXPECT_EQ(loop.nextTimerDueUs(), t0 + 5000);
+    size_t ran = clock.pumpUntilIdle(loop);
+    EXPECT_EQ(ran, 1u);
+    EXPECT_EQ(fired_at, t0 + 5000)
+        << "the pump jumps exactly to the deadline, no sleeping, no slop";
+    EXPECT_TRUE(loop.idle());
+}
+
+TEST(TestClock, PumpRunsTimerCascadesInDueOrder)
+{
+    // Timers that schedule more timers: the pump must repeatedly jump to
+    // the next deadline until the loop is genuinely idle.
+    TestClock clock;
+    EventLoop loop;
+    std::vector<int> order;
+    loop.setTimeout(
+        [&]() {
+            order.push_back(2);
+            loop.setTimeout([&]() { order.push_back(3); }, 3000);
+        },
+        2000);
+    loop.setTimeout([&]() { order.push_back(1); }, 1000);
+    loop.post([&]() { order.push_back(0); });
+    clock.pumpUntilIdle(loop);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}))
+        << "ready tasks first, then timers in due-time order";
+    EXPECT_TRUE(loop.idle());
+}
+
+TEST(TestClock, PumpStopsAtVirtualBudget)
+{
+    TestClock clock;
+    EventLoop loop;
+    bool fired = false;
+    loop.setTimeout([&]() { fired = true; }, 10000000); // 10s virtual
+    clock.pumpUntilIdle(loop, /*max_virtual_us=*/1000000);
+    EXPECT_FALSE(fired) << "a timer past the budget is left pending";
+    EXPECT_FALSE(loop.idle());
+    clock.pumpUntilIdle(loop, /*max_virtual_us=*/60000000);
+    EXPECT_TRUE(fired);
+}
+
+TEST(TestClock, CostChargesBecomeVirtualTime)
+{
+    // Under a TestClock, cost-model charges advance the virtual clock
+    // instead of spinning or sleeping — kernel-lifecycle tests that spawn
+    // workers (25ms charge each) pay nothing in wall time.
+    TestClock clock;
+    CostModel costs(BrowserProfile::chrome2016());
+    int64_t t0 = nowUs();
+    costs.chargeSpawn();
+    EXPECT_EQ(nowUs() - t0, 25000) << "chrome2016 workerSpawnUs, exactly";
+    t0 = nowUs();
+    costs.chargeMessage(0);
+    EXPECT_EQ(nowUs() - t0, 450) << "postMessageUs, exactly";
 }
 
 // ---------- SharedArrayBuffer + Atomics ----------

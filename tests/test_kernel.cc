@@ -131,6 +131,130 @@ TEST(Pipe, ReaderCloseFailsStalledWrites)
     EXPECT_EQ(err, EPIPE);
 }
 
+TEST(Pipe, ZeroLengthWriteCompletesWithoutWakingReader)
+{
+    Pipe p;
+    bool reader_fired = false;
+    p.read(10, [&](int, bfs::BufferPtr) { reader_fired = true; });
+    int err = -1;
+    size_t n = 99;
+    p.write(bfs::Buffer{}, [&](int e, size_t written) {
+        err = e;
+        n = written;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 0u);
+    EXPECT_FALSE(reader_fired)
+        << "POSIX: write(fd, buf, 0) transfers nothing; a blocked reader "
+           "must keep waiting for real data";
+    p.write(toBuf("go"), [](int, size_t) {});
+    EXPECT_TRUE(reader_fired);
+}
+
+TEST(Pipe, ZeroLengthWriteAfterReaderCloseStillEpipe)
+{
+    Pipe p;
+    p.closeReader();
+    int err = -1;
+    p.write(bfs::Buffer{}, [&](int e, size_t) { err = e; });
+    EXPECT_EQ(err, EPIPE)
+        << "the reader-closed check precedes the empty-write shortcut";
+}
+
+TEST(Pipe, ReadAfterBothEndsClosed)
+{
+    Pipe p;
+    p.write(toBuf("last"), [](int, size_t) {});
+    p.closeWriter();
+    p.closeReader();
+    // Buffered data is still drainable through the raw pipe...
+    std::string got;
+    p.read(10, [&](int err, bfs::BufferPtr d) {
+        EXPECT_EQ(err, 0);
+        got.assign(d->begin(), d->end());
+    });
+    EXPECT_EQ(got, "last");
+    // ...and every read after the drain is a clean EOF, repeatedly.
+    for (int i = 0; i < 3; i++) {
+        bool eof = false;
+        p.read(10, [&](int err, bfs::BufferPtr d) {
+            EXPECT_EQ(err, 0);
+            eof = d->empty();
+        });
+        EXPECT_TRUE(eof) << "read " << i << " after both ends closed";
+    }
+}
+
+TEST(Pipe, CapacityOneBackpressureInterleaving)
+{
+    // A 1-byte pipe forces the tightest possible write/read interleave:
+    // every byte of a multi-byte write round-trips through the stall
+    // queue before the completion callback may fire.
+    Pipe p(1);
+    int werr = -1;
+    size_t wtotal = 0;
+    bool wdone = false;
+    p.write(toBuf("abc"), [&](int e, size_t n) {
+        werr = e;
+        wtotal = n;
+        wdone = true;
+    });
+    EXPECT_FALSE(wdone) << "only 1 of 3 bytes fits";
+    EXPECT_EQ(p.backpressureStalls(), 1u);
+    std::string got;
+    for (int i = 0; i < 3; i++) {
+        EXPECT_EQ(p.buffered(), 1u) << "refilled to capacity after drain "
+                                    << i;
+        p.read(1, [&](int err, bfs::BufferPtr d) {
+            EXPECT_EQ(err, 0);
+            got.append(d->begin(), d->end());
+        });
+        // The write completes exactly when its final byte is accepted
+        // into the buffer — that happens on draining byte 2, which frees
+        // space for byte 3.
+        EXPECT_EQ(wdone, i >= 1) << "after drain " << i;
+    }
+    EXPECT_EQ(got, "abc") << "bytes arrive in write order";
+    EXPECT_EQ(werr, 0);
+    EXPECT_EQ(wtotal, 3u) << "blocking write reports the full length";
+    EXPECT_EQ(p.bytesTransferred(), 3u);
+}
+
+TEST(Pipe, EpipeDeliveryOrderIsFifo)
+{
+    // Several writers stalled behind a full buffer: when the reader goes
+    // away, their failures must be delivered in the order the writes were
+    // issued, and a subsequent write fails inline — EPIPE is not sticky
+    // only for the first victim.
+    Pipe p(2);
+    std::vector<int> order;
+    int err1 = -1, err2 = -1, err3 = -1;
+    p.write(toBuf("xx"), [&](int e, size_t) {
+        EXPECT_EQ(e, 0);
+        order.push_back(0);
+    });
+    p.write(toBuf("aa"), [&](int e, size_t) {
+        err1 = e;
+        order.push_back(1);
+    });
+    p.write(toBuf("bb"), [&](int e, size_t) {
+        err2 = e;
+        order.push_back(2);
+    });
+    EXPECT_EQ(p.backpressureStalls(), 2u);
+    p.closeReader();
+    EXPECT_EQ(err1, EPIPE);
+    EXPECT_EQ(err2, EPIPE);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}))
+        << "stalled writes fail oldest-first";
+    p.write(toBuf("cc"), [&](int e, size_t) {
+        err3 = e;
+        order.push_back(3);
+    });
+    EXPECT_EQ(err3, EPIPE) << "writes after reader close fail inline";
+    EXPECT_EQ(order.back(), 3);
+}
+
 TEST(PipeEnd, RefcountedCloseDrivesEof)
 {
     auto p = std::make_shared<Pipe>();

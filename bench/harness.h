@@ -73,6 +73,62 @@ smokeMode()
     return v;
 }
 
+/**
+ * Machine-readable results: when BROWSIX_BENCH_JSON names a directory,
+ * every metric recorded via recordMetric() is written to
+ * `<dir>/<bench>.json` at process exit as
+ *   {"bench": "...", "metrics": [{"name": ..., "value": ..., "unit":
+ *   ...}, ...]}
+ * — the per-bench JSON the CI uploads as its `bench-results` artifact so
+ * successive PRs accumulate a perf trajectory. A no-op when the variable
+ * is unset (interactive runs keep their human-readable tables).
+ */
+inline void
+recordMetric(const std::string &bench, const std::string &name,
+             double value, const std::string &unit = "us")
+{
+    struct Row
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+    struct Sink
+    {
+        // Keyed by bench name: a binary recording under several names
+        // gets one correctly-labelled file per name.
+        std::map<std::string, std::vector<Row>> benches;
+
+        ~Sink()
+        {
+            const char *dir = std::getenv("BROWSIX_BENCH_JSON");
+            if (!dir || !*dir)
+                return;
+            for (const auto &[bench, rows] : benches) {
+                std::string path =
+                    std::string(dir) + "/" + bench + ".json";
+                std::FILE *f = std::fopen(path.c_str(), "w");
+                if (!f)
+                    continue;
+                std::fprintf(f, "{\"bench\": \"%s\", \"metrics\": [",
+                             bench.c_str());
+                for (size_t i = 0; i < rows.size(); i++) {
+                    std::fprintf(
+                        f,
+                        "%s\n  {\"name\": \"%s\", \"value\": %.6g, "
+                        "\"unit\": \"%s\"}",
+                        i ? "," : "", rows[i].name.c_str(), rows[i].value,
+                        rows[i].unit.c_str());
+                }
+                std::fprintf(f, "\n]}\n");
+                std::fclose(f);
+            }
+        }
+    };
+    static Sink sink;
+    sink.benches[bench].push_back(Row{name, value, unit});
+}
+
 /** Repeat fn `warmup + runs` times; collect the timed runs. */
 inline Series
 measure(int warmup, int runs, const std::function<void()> &fn)

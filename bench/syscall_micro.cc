@@ -11,8 +11,11 @@
  *
  * Measured here: a direct in-process call (the "traditional syscall"
  * stand-in), a bare postMessage round-trip, and per-call cost of the
- * async vs sync Browsix conventions measured from inside a C program
- * that issues a configurable number of getpid() calls.
+ * async vs sync vs ring Browsix conventions measured from inside a C
+ * program that issues a configurable number of getpid() calls. The ring
+ * convention is swept over batch sizes 1/8/64: one doorbell message and
+ * one Atomics wake per batch is what amortizes the per-call overhead
+ * away (cphVB-style batched dispatch applied to the syscall transport).
  */
 #include <cstdio>
 
@@ -35,6 +38,32 @@ sysbenchMain(rt::EmEnv &env)
     return 0;
 }
 
+/** getpid() through the ring in batches; argv[1]=count, argv[2]=batch. */
+int
+sysbenchRingMain(rt::EmEnv &env)
+{
+    int n = env.argv().size() > 1 ? std::atoi(env.argv()[1].c_str()) : 0;
+    int batch = std::max(
+        1, env.argv().size() > 2 ? std::atoi(env.argv()[2].c_str()) : 1);
+    rt::RingSyscalls *ring = env.ring();
+    if (!ring)
+        return 2;
+    std::vector<uint32_t> seqs;
+    for (int i = 0; i < n;) {
+        int k = std::min(batch, n - i);
+        seqs.clear();
+        for (int j = 0; j < k; j++)
+            seqs.push_back(ring->submit(sys::GETPID, {}));
+        ring->flush();
+        for (uint32_t seq : seqs) {
+            if (ring->wait(seq).r0 <= 0)
+                return 1;
+        }
+        i += k;
+    }
+    return 0;
+}
+
 void
 registerSysbench()
 {
@@ -44,21 +73,24 @@ registerSysbench()
                               64, sysbenchMain, nullptr});
     reg.add(apps::ProgramSpec{"sysbench-async", apps::RuntimeKind::EmAsync,
                               64, sysbenchMain, nullptr});
+    reg.add(apps::ProgramSpec{"sysbench-ring", apps::RuntimeKind::EmRing,
+                              64, sysbenchRingMain, nullptr});
 }
 
 /** Per-call microseconds: run with N calls and 0 calls, difference/N. */
 double
-perCallUs(Browsix &bx, const std::string &exe, int n)
+perCallUs(Browsix &bx, const std::string &exe, int n,
+          const std::vector<std::string> &extra = {})
 {
     double with = 1e9, without = 1e9;
     const int reps = smokeMode() ? 1 : 3;
     for (int rep = 0; rep < reps; rep++) {
-        with = std::min(with, timeMs([&]() {
-                            bx.runArgv({exe, std::to_string(n)}, 120000);
-                        }));
-        without = std::min(without, timeMs([&]() {
-                               bx.runArgv({exe, "0"}, 120000);
-                           }));
+        std::vector<std::string> argv = {exe, std::to_string(n)};
+        argv.insert(argv.end(), extra.begin(), extra.end());
+        with = std::min(with, timeMs([&]() { bx.runArgv(argv, 120000); }));
+        argv[1] = "0";
+        without =
+            std::min(without, timeMs([&]() { bx.runArgv(argv, 120000); }));
     }
     return (with - without) * 1000.0 / n;
 }
@@ -79,6 +111,8 @@ main()
                           reg.bundleFor("sysbench-sync"));
     bx.rootFs().writeFile("/usr/bin/sysbench-async",
                           reg.bundleFor("sysbench-async"));
+    bx.rootFs().writeFile("/usr/bin/sysbench-ring",
+                          reg.bundleFor("sysbench-ring"));
 
     // Direct call baseline: what a real getpid costs in-process.
     bfs::Stat st;
@@ -116,6 +150,12 @@ main()
 
     double async_us = perCallUs(bx, "/usr/bin/sysbench-async", kCalls);
     double sync_us = perCallUs(bx, "/usr/bin/sysbench-sync", kCalls);
+    const int kBatches[] = {1, 8, 64};
+    double ring_us[3];
+    for (int i = 0; i < 3; i++) {
+        ring_us[i] = perCallUs(bx, "/usr/bin/sysbench-ring", kCalls,
+                               {std::to_string(kBatches[i])});
+    }
 
     std::printf("syscall-path microbenchmarks (Chrome 2016 profile):\n\n");
     std::printf("%-36s | %12s\n", "operation", "per-op us");
@@ -127,12 +167,32 @@ main()
                 async_us);
     std::printf("%-36s | %12.1f\n", "Browsix sync syscall (getpid)",
                 sync_us);
+    for (int i = 0; i < 3; i++) {
+        char label[64];
+        std::snprintf(label, sizeof(label),
+                      "Browsix ring syscall (batch %d)", kBatches[i]);
+        std::printf("%-36s | %12.1f\n", label, ring_us[i]);
+    }
     std::printf("\nmessage passing vs direct call: %.0fx (paper: \"three "
                 "orders of magnitude\")\n",
                 pm_us / direct_us);
     std::printf("sync vs async per syscall: %.2fx faster (paper: sync "
                 "\"faster in practice\";\none message instead of two)\n",
                 async_us / sync_us);
+    std::printf("ring batch-64 vs sync per syscall: %.2fx faster (one "
+                "doorbell + one wake per batch)\n",
+                sync_us / ring_us[2]);
+
+    recordMetric("syscall_micro", "direct_call_us", direct_us);
+    recordMetric("syscall_micro", "postmessage_roundtrip_us", pm_us);
+    recordMetric("syscall_micro", "async_syscall_us", async_us);
+    recordMetric("syscall_micro", "sync_syscall_us", sync_us);
+    for (int i = 0; i < 3; i++) {
+        recordMetric("syscall_micro",
+                     "ring_syscall_batch" + std::to_string(kBatches[i]) +
+                         "_us",
+                     ring_us[i]);
+    }
     (void)sink;
     return 0;
 }

@@ -25,6 +25,7 @@ namespace apps {
 
 enum class RuntimeKind {
     EmSync,    ///< Emscripten, asm.js + synchronous syscalls
+    EmRing,    ///< Emscripten, asm.js + batched ring syscalls (io_uring)
     EmAsync,   ///< Emscripten, Emterpreter + asynchronous syscalls
     Gopher,    ///< GopherJS
     Node,      ///< browser-node (utilities resolved via the script file)

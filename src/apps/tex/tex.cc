@@ -17,14 +17,15 @@ int64_t
 typesetNative(int64_t seed, int64_t iters)
 {
     // Must match the bytecode kernel bit-for-bit; the VM's SHR is a
-    // logical shift, so use one here too.
-    int64_t x = seed | 1;
+    // logical shift and its arithmetic wraps, so compute in uint64_t
+    // (signed overflow would be UB here) and cast back.
+    uint64_t x = static_cast<uint64_t>(seed | 1);
     for (int64_t i = 0; i < iters; i++) {
-        x = x * 31 + seed;
-        x = x ^ static_cast<int64_t>(static_cast<uint64_t>(x) >> 7);
-        x = x + i;
+        x = x * 31 + static_cast<uint64_t>(seed);
+        x = x ^ (x >> 7);
+        x = x + static_cast<uint64_t>(i);
     }
-    return x;
+    return static_cast<int64_t>(x);
 }
 
 const emvm::Image &

@@ -60,7 +60,8 @@ class InMemBackend::MemOpenFile : public OpenFile
         Buffer &d = *node_->data;
         if (off + len > d.size())
             d.resize(off + len, 0);
-        std::memcpy(d.data() + off, data, len);
+        if (len > 0) // zero-length writes carry a null data pointer
+            std::memcpy(d.data() + off, data, len);
         node_->mtimeUs = jsvm::nowUs();
         cb(0, len);
     }

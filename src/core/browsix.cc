@@ -53,6 +53,11 @@ makeBootstrapper()
                                         rt::EmMode::Sync,
                                         /*emterpreter=*/false);
             return;
+          case apps::RuntimeKind::EmRing:
+            rt::EmscriptenRuntime::boot(scope, client, spec->emMain,
+                                        rt::EmMode::Ring,
+                                        /*emterpreter=*/false);
+            return;
           case apps::RuntimeKind::EmAsync:
             rt::EmscriptenRuntime::boot(scope, client, spec->emMain,
                                         rt::EmMode::AsyncEmterpreter,

@@ -56,6 +56,38 @@ InterruptToken::removeWaker(uint64_t id)
     cv_.wait(lk, [this]() { return invokingPasses_ == 0; });
 }
 
+RingIndices::RingIndices(SharedArrayBuffer &sab, size_t head_off,
+                         size_t tail_off, uint32_t capacity)
+    : sab_(sab), headOff_(head_off), tailOff_(tail_off), capacity_(capacity)
+{
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0)
+        panic("RingIndices: capacity must be a power of two");
+}
+
+uint32_t
+RingIndices::head() const
+{
+    return static_cast<uint32_t>(Atomics::load(sab_, headOff_));
+}
+
+uint32_t
+RingIndices::tail() const
+{
+    return static_cast<uint32_t>(Atomics::load(sab_, tailOff_));
+}
+
+void
+RingIndices::publish()
+{
+    Atomics::store(sab_, tailOff_, static_cast<int32_t>(tail() + 1));
+}
+
+void
+RingIndices::consume()
+{
+    Atomics::store(sab_, headOff_, static_cast<int32_t>(head() + 1));
+}
+
 SharedArrayBuffer::SharedArrayBuffer(size_t bytes)
     : bytes_(bytes), words_(new std::atomic<int32_t>[(bytes + 3) / 4])
 {

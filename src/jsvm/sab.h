@@ -105,6 +105,45 @@ class SharedArrayBuffer
 /** Result of Atomics::wait, mirroring the JS API ("ok"/"not-equal"/ ...). */
 enum class WaitResult { Ok, NotEqual, TimedOut, Interrupted };
 
+/**
+ * Single-producer/single-consumer ring-buffer index pair over two int32
+ * cells of a SharedArrayBuffer — the primitive under the io_uring-style
+ * syscall rings (see runtime/syscall_ring.h).
+ *
+ * head and tail are free-running unsigned counters (they wrap at 2^32);
+ * an entry index maps to a slot via slot(). The producer writes a slot's
+ * payload with plain stores, then publish()es; the consumer reads tail
+ * first, so the seq-cst tail store/load pair orders payload access —
+ * exactly the SharedArrayBuffer + Atomics discipline a JS engine offers.
+ */
+class RingIndices
+{
+  public:
+    /** capacity must be a power of two; offsets must be 4-aligned. */
+    RingIndices(SharedArrayBuffer &sab, size_t head_off, size_t tail_off,
+                uint32_t capacity);
+
+    uint32_t head() const;
+    uint32_t tail() const;
+    /** Entries published and not yet consumed. */
+    uint32_t count() const { return tail() - head(); }
+    bool empty() const { return count() == 0; }
+    bool full() const { return count() >= capacity_; }
+    uint32_t capacity() const { return capacity_; }
+    uint32_t slot(uint32_t index) const { return index & (capacity_ - 1); }
+
+    /** Producer: expose entry at tail() (write payload first), tail++. */
+    void publish();
+    /** Consumer: release the slot at head() (read payload first), head++. */
+    void consume();
+
+  private:
+    SharedArrayBuffer &sab_;
+    size_t headOff_;
+    size_t tailOff_;
+    uint32_t capacity_;
+};
+
 class Atomics
 {
   public:

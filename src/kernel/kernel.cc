@@ -5,6 +5,7 @@
 #include "bfs/path.h"
 #include "jsvm/util.h"
 #include "kernel/syscall_ctx.h"
+#include "runtime/syscall_ring.h"
 
 namespace browsix {
 namespace kernel {
@@ -166,8 +167,8 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
                 init.set("snapshot", std::move(snapshot));
 
             tasks_[pid] = std::move(t);
-            processesSpawned++;
-            messagesSent++;
+            stats_.processesSpawned++;
+            stats_.messagesSent++;
             worker->postMessage(init);
             cb(pid);
         });
@@ -207,6 +208,7 @@ Kernel::doExec(Task &t, std::vector<std::string> argv,
             t->execPath = final_argv.empty() ? "" : final_argv[0];
             t->heap = nullptr; // personality does not survive exec
             t->retOff = t->waitOff = t->sigOff = -1;
+            t->ring = Task::RingState{};
             t->sigDisp.clear();
 
             worker->setOnMessage([this, pid](jsvm::Value msg) {
@@ -225,7 +227,7 @@ Kernel::doExec(Task &t, std::vector<std::string> argv,
                 envv.set(k, jsvm::Value(v));
             init.set("env", std::move(envv));
             init.set("cwd", jsvm::Value(t->cwd));
-            messagesSent++;
+            stats_.messagesSent++;
             worker->postMessage(init);
             cb(pid);
         });
@@ -285,8 +287,8 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     init.set("forked", jsvm::Value(true));
 
     tasks_[pid] = std::move(t);
-    processesSpawned++;
-    messagesSent++;
+    stats_.processesSpawned++;
+    stats_.messagesSent++;
     worker->postMessage(init);
     return pid;
 }
@@ -403,7 +405,7 @@ Kernel::kill(int pid, int sig)
 void
 Kernel::deliverSignal(Task &t, int sig)
 {
-    signalsDelivered++;
+    stats_.signalsDelivered++;
     if (sig == sys::SIGKILL) {
         doExit(t, sys::statusFromSignal(sig));
         return;
@@ -429,16 +431,19 @@ Kernel::deliverSignal(Task &t, int sig)
     if (t.usesSyncCalls()) {
         // §3.2: a blocked process "is awakened when the system call has
         // completed or a signal is received". The signal number is placed
-        // in the agreed heap slot and the wait word is poked.
+        // in the agreed heap slot and the wait word is poked; a process
+        // parked on its ring's wait word is woken the same way.
         jsvm::Atomics::store(*t.heap, static_cast<uint32_t>(t.sigOff), sig);
         jsvm::Atomics::notify(*t.heap, static_cast<uint32_t>(t.waitOff));
+        if (t.ring.registered)
+            ringNotify(t);
         return;
     }
     jsvm::Value msg = jsvm::Value::object();
     msg.set("t", jsvm::Value("signal"));
     msg.set("sig", jsvm::Value(sig));
     msg.set("name", jsvm::Value(sys::signalName(sig)));
-    messagesSent++;
+    stats_.messagesSent++;
     if (t.worker)
         t.worker->postMessage(msg);
 }
@@ -575,8 +580,8 @@ Kernel::onWorkerMessage(int pid, jsvm::Value msg)
     const std::string &ty = type.asString();
 
     if (ty == "syscall") {
-        syscallCount++;
-        asyncSyscallCount++;
+        stats_.syscallCount++;
+        stats_.asyncSyscallCount++;
         auto ctx = std::make_shared<SyscallCtx>(
             *this, pid, msg.get("id").asNumber(),
             msg.get("name").asString(), msg.get("args").clone());
@@ -584,8 +589,8 @@ Kernel::onWorkerMessage(int pid, jsvm::Value msg)
         return;
     }
     if (ty == "sys") {
-        syscallCount++;
-        syncSyscallCount++;
+        stats_.syscallCount++;
+        stats_.syncSyscallCount++;
         std::array<int32_t, 6> args{};
         const jsvm::Value &av = msg.get("args");
         for (size_t i = 0; i < 6 && i < av.size(); i++)
@@ -595,6 +600,78 @@ Kernel::onWorkerMessage(int pid, jsvm::Value msg)
         dispatchSyscall(*t, std::move(ctx));
         return;
     }
+    if (ty == "ring") {
+        // Doorbell: the process published SQEs and rang once for the
+        // whole batch (the CAS-guarded doorbell word suppresses
+        // duplicates). One doorbell -> one drain pass.
+        drainSyscallRing(pid);
+        return;
+    }
+}
+
+void
+Kernel::ringNotify(Task &t)
+{
+    if (!t.ring.registered || !t.heap)
+        return;
+    sys::RingLayout ring(static_cast<uint32_t>(t.ring.off),
+                         static_cast<uint32_t>(t.ring.entries));
+    jsvm::Atomics::store(*t.heap, ring.waitOff(), 1);
+    jsvm::Atomics::notify(*t.heap, ring.waitOff());
+    stats_.ringNotifies++;
+}
+
+void
+Kernel::drainSyscallRing(int pid)
+{
+    Task *t = task(pid);
+    if (!t || t->state == TaskState::Zombie || !t->ring.registered ||
+        !t->heap)
+        return;
+    // The SAB outlives the task: a handler in this batch may exit the
+    // process, freeing the Task while we still reference the rings.
+    jsvm::SabPtr heap = t->heap;
+    sys::RingLayout ring(static_cast<uint32_t>(t->ring.off),
+                         static_cast<uint32_t>(t->ring.entries));
+    jsvm::RingIndices sq(*heap, ring.sqHeadOff(), ring.sqTailOff(),
+                         ring.entries());
+
+    // Clear the doorbell before reading the tail: entries published after
+    // this point are guaranteed a fresh doorbell message.
+    jsvm::Atomics::store(*heap, ring.doorbellOff(), 0);
+    t->ring.draining = true;
+    t->ring.deferredNotify = false;
+
+    size_t consumed = 0;
+    while (!sq.empty()) {
+        sys::Sqe e = ring.readSqe(*heap, sq.slot(sq.head()));
+        // Release the SQ slot before dispatching: a handler completing
+        // synchronously frees a parked producer that much sooner.
+        sq.consume();
+        consumed++;
+        stats_.syscallCount++;
+        stats_.ringSyscallCount++;
+        auto ctx =
+            std::make_shared<SyscallCtx>(*this, pid, e.trap, e.args, e.seq);
+        Task *cur = task(pid);
+        if (!cur || cur->state == TaskState::Zombie)
+            return;
+        dispatchSyscall(*cur, std::move(ctx));
+        // The handler may have exited or exec'd the process.
+        cur = task(pid);
+        if (!cur || cur->state == TaskState::Zombie ||
+            !cur->ring.registered)
+            return;
+    }
+    t->ring.draining = false;
+    // Batches count consumed work: a doorbell that raced an earlier
+    // drain and found the SQ empty is not a batch.
+    if (consumed > 0)
+        stats_.ringBatchesDrained++;
+    // One notify per batch: wake the waiter if any completion landed, or
+    // if SQ slots were freed (a producer may be parked on backpressure).
+    if (consumed > 0 || t->ring.deferredNotify)
+        ringNotify(*t);
 }
 
 } // namespace kernel

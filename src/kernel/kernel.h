@@ -29,6 +29,25 @@ namespace kernel {
 class SyscallCtx;
 using SyscallCtxPtr = std::shared_ptr<SyscallCtx>;
 
+/** Experiment counters, one per interesting kernel event. Read-only for
+ * embedders via Kernel::stats(). */
+struct KernelStats
+{
+    uint64_t syscallCount = 0;
+    uint64_t asyncSyscallCount = 0;
+    uint64_t syncSyscallCount = 0;
+    uint64_t ringSyscallCount = 0;
+    /// Ring batching effectiveness: doorbells serviced, Atomics notifies
+    /// issued (the whole point is notifies << ring syscalls), and CQEs
+    /// dropped because a non-conforming producer overflowed its CQ.
+    uint64_t ringBatchesDrained = 0;
+    uint64_t ringNotifies = 0;
+    uint64_t ringCqOverflows = 0;
+    uint64_t messagesSent = 0;
+    uint64_t signalsDelivered = 0;
+    uint64_t processesSpawned = 0;
+};
+
 class Kernel
 {
   public:
@@ -99,12 +118,7 @@ class Kernel
     Task *task(int pid);
     std::vector<int> pids() const;
 
-    uint64_t syscallCount = 0;
-    uint64_t asyncSyscallCount = 0;
-    uint64_t syncSyscallCount = 0;
-    uint64_t messagesSent = 0;
-    uint64_t signalsDelivered = 0;
-    uint64_t processesSpawned = 0;
+    const KernelStats &stats() const { return stats_; }
 
     // ----- internal (used by syscall handlers; public for the ctx) -----
 
@@ -119,6 +133,16 @@ class Kernel
     int doFork(Task &parent, jsvm::Value snapshot);
     void doExit(Task &t, int status);
     void deliverSignal(Task &t, int sig);
+    /**
+     * Drain the task's submission ring: consume every published SQE,
+     * dispatch it, and issue (at most) one Atomics notify for the whole
+     * batch. Invoked per doorbell message; a batch submitted under one
+     * doorbell is drained in one pump.
+     */
+    void drainSyscallRing(int pid);
+    /** Wake a ring waiter (wait word := 1 + notify). Used at end-of-batch
+     * and for completions that land outside a drain. */
+    void ringNotify(Task &t);
     int doConnect(Task *client_task, SocketFile &client, int port);
     void notifyListen(int port, SocketFile *listener);
     void completeWaits(Task &parent);
@@ -141,6 +165,7 @@ class Kernel
     jsvm::Browser &browser_;
     bfs::VfsPtr vfs_;
     Bootstrapper bootstrapper_;
+    KernelStats stats_;
 
     int nextPid_ = 1;
     std::map<int, std::unique_ptr<Task>> tasks_;

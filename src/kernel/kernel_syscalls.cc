@@ -15,6 +15,7 @@
 #include "jsvm/util.h"
 #include "kernel/kernel.h"
 #include "kernel/syscall_ctx.h"
+#include "runtime/syscall_ring.h"
 
 namespace browsix {
 namespace kernel {
@@ -280,6 +281,36 @@ sysPersonality(Kernel &, Task &t, SyscallCtxPtr ctx)
     t.retOff = ctx->argInt(1);
     t.waitOff = ctx->argInt(2);
     t.sigOff = ctx->argInt(3);
+    ctx->complete(0);
+}
+
+void
+sysRingPersonality(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    // Ring convention: the runtime reserves a SQ/CQ region inside its
+    // already-registered personality heap and hands over (offset,
+    // entries). See runtime/syscall_ring.h for the layout contract.
+    if (!t.heap) {
+        ctx->completeErr(EINVAL); // sync personality must come first
+        return;
+    }
+    if (t.ring.registered) {
+        // One ring per process: silently replacing it would orphan SQEs
+        // already written to the old region (and any facade still
+        // submitting there would park forever).
+        ctx->completeErr(EBUSY);
+        return;
+    }
+    int32_t off = ctx->argInt(0);
+    int32_t entries = ctx->argInt(1);
+    if (!sys::RingLayout::valid(off, entries, t.heap->size())) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    t.ring = Task::RingState{};
+    t.ring.registered = true;
+    t.ring.off = off;
+    t.ring.entries = entries;
     ctx->complete(0);
 }
 
@@ -819,6 +850,7 @@ handlerTable()
         {"sigaction", sysSigaction},
         {"gettimeofday", sysGettimeofday},
         {"personality", sysPersonality},
+        {"ring_personality", sysRingPersonality},
         {"open", sysOpen},
         {"close", sysClose},
         {"read", sysRead},

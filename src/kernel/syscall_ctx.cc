@@ -5,21 +5,29 @@
 #include "jsvm/sab.h"
 #include "jsvm/util.h"
 #include "kernel/kernel.h"
+#include "runtime/syscall_ring.h"
 
 namespace browsix {
 namespace kernel {
 
 SyscallCtx::SyscallCtx(Kernel &k, int pid, double id, std::string name,
                        jsvm::Value args)
-    : kernel_(k), pid_(pid), sync_(false), id_(id), name_(std::move(name)),
-      args_(std::move(args))
+    : kernel_(k), pid_(pid), conv_(SyscallConv::Async), id_(id),
+      name_(std::move(name)), args_(std::move(args))
 {
 }
 
 SyscallCtx::SyscallCtx(Kernel &k, int pid, int trap,
                        std::array<int32_t, 6> args)
-    : kernel_(k), pid_(pid), sync_(true), name_(sys::trapName(trap)),
-      sargs_(args)
+    : kernel_(k), pid_(pid), conv_(SyscallConv::Sync),
+      name_(sys::trapName(trap)), sargs_(args)
+{
+}
+
+SyscallCtx::SyscallCtx(Kernel &k, int pid, int trap,
+                       std::array<int32_t, 6> args, uint32_t seq)
+    : kernel_(k), pid_(pid), conv_(SyscallConv::Ring),
+      name_(sys::trapName(trap)), sargs_(args), seq_(seq)
 {
 }
 
@@ -35,13 +43,13 @@ SyscallCtx::taskOrNull() const
 size_t
 SyscallCtx::argCount() const
 {
-    return sync_ ? 6 : args_.size();
+    return isSync() ? 6 : args_.size();
 }
 
 int32_t
 SyscallCtx::argInt(size_t i) const
 {
-    if (sync_)
+    if (isSync())
         return i < 6 ? sargs_[i] : 0;
     return args_.at(i).isNumber() ? args_.at(i).asInt() : 0;
 }
@@ -49,7 +57,7 @@ SyscallCtx::argInt(size_t i) const
 double
 SyscallCtx::argNum(size_t i) const
 {
-    if (sync_)
+    if (isSync())
         return i < 6 ? sargs_[i] : 0;
     return args_.at(i).isNumber() ? args_.at(i).asNumber() : 0;
 }
@@ -57,7 +65,7 @@ SyscallCtx::argNum(size_t i) const
 std::string
 SyscallCtx::argStr(size_t i) const
 {
-    if (!sync_) {
+    if (!isSync()) {
         const jsvm::Value &v = args_.at(i);
         return v.isString() ? v.asString() : std::string();
     }
@@ -76,7 +84,7 @@ SyscallCtx::argStr(size_t i) const
 bfs::Buffer
 SyscallCtx::argData(size_t i, size_t len_idx) const
 {
-    if (!sync_) {
+    if (!isSync()) {
         const jsvm::Value &v = args_.at(i);
         if (v.isBytes() && v.asBytes())
             return *v.asBytes();
@@ -101,7 +109,7 @@ SyscallCtx::argData(size_t i, size_t len_idx) const
 jsvm::Value
 SyscallCtx::argValue(size_t i) const
 {
-    if (sync_)
+    if (isSync())
         jsvm::panic("SyscallCtx::argValue on a sync call: " + name_);
     return args_.at(i);
 }
@@ -114,7 +122,8 @@ SyscallCtx::heapWrite(size_t off, const uint8_t *data, size_t len) const
         return false;
     if (off + len > t->heap->size())
         return false;
-    std::memcpy(t->heap->data() + off, data, len);
+    if (len > 0) // empty payloads carry a null data pointer
+        std::memcpy(t->heap->data() + off, data, len);
     return true;
 }
 
@@ -135,6 +144,42 @@ SyscallCtx::finishSync(int64_t r0, int64_t r1)
 }
 
 void
+SyscallCtx::finishRing(int64_t r0, int64_t r1)
+{
+    Task *t = taskOrNull();
+    if (!t || !t->heap || !t->ring.registered)
+        return; // task died or dropped its ring while the call was in flight
+    sys::RingLayout ring(static_cast<uint32_t>(t->ring.off),
+                         static_cast<uint32_t>(t->ring.entries));
+    jsvm::RingIndices cq(*t->heap, ring.cqHeadOff(), ring.cqTailOff(),
+                         ring.entries());
+    if (cq.full()) {
+        // Only a producer that overruns the in-flight cap can get here.
+        kernel_.stats_.ringCqOverflows++;
+        return;
+    }
+    sys::Cqe e;
+    e.seq = seq_;
+    e.r0 = static_cast<int32_t>(r0);
+    e.r1 = static_cast<int32_t>(r1);
+    ring.writeCqe(*t->heap, cq.slot(cq.tail()), e);
+    cq.publish();
+    if (t->ring.draining)
+        t->ring.deferredNotify = true; // coalesced: one notify per batch
+    else
+        kernel_.ringNotify(*t);
+}
+
+void
+SyscallCtx::finishHeap(int64_t r0, int64_t r1)
+{
+    if (conv_ == SyscallConv::Ring)
+        finishRing(r0, r1);
+    else
+        finishSync(r0, r1);
+}
+
+void
 SyscallCtx::finishAsync(int64_t r0, int64_t r1, jsvm::Value extra)
 {
     Task *t = taskOrNull();
@@ -149,7 +194,7 @@ SyscallCtx::finishAsync(int64_t r0, int64_t r1, jsvm::Value extra)
     msg.set("ret", std::move(ret));
     if (!extra.isUndefined())
         msg.set("data", std::move(extra));
-    kernel_.messagesSent++;
+    kernel_.stats_.messagesSent++;
     t->worker->postMessage(msg);
 }
 
@@ -159,8 +204,8 @@ SyscallCtx::complete(int64_t r0, int64_t r1)
     if (completed_)
         jsvm::panic("syscall " + name_ + " completed twice");
     completed_ = true;
-    if (sync_)
-        finishSync(r0, r1);
+    if (isSync())
+        finishHeap(r0, r1);
     else
         finishAsync(r0, r1, jsvm::Value::undefined());
 }
@@ -171,10 +216,10 @@ SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx)
     if (completed_)
         jsvm::panic("syscall " + name_ + " completed twice");
     completed_ = true;
-    if (sync_) {
+    if (isSync()) {
         heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), data.data(),
                   data.size());
-        finishSync(static_cast<int64_t>(data.size()), 0);
+        finishHeap(static_cast<int64_t>(data.size()), 0);
     } else {
         finishAsync(static_cast<int64_t>(data.size()), 0,
                     jsvm::Value::bytes(data.data(), data.size()));
@@ -188,17 +233,17 @@ SyscallCtx::completeStr(const std::string &s, size_t dst_ptr_idx,
     if (completed_)
         jsvm::panic("syscall " + name_ + " completed twice");
     completed_ = true;
-    if (sync_) {
+    if (isSync()) {
         size_t max_len = static_cast<uint32_t>(sargs_[max_len_idx]);
         if (s.size() + 1 > max_len) {
-            finishSync(-ERANGE, 0);
+            finishHeap(-ERANGE, 0);
             return;
         }
         bfs::Buffer out(s.begin(), s.end());
         out.push_back(0);
         heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), out.data(),
                   out.size());
-        finishSync(static_cast<int64_t>(s.size()), 0);
+        finishHeap(static_cast<int64_t>(s.size()), 0);
     } else {
         finishAsync(static_cast<int64_t>(s.size()), 0, jsvm::Value(s));
     }
@@ -210,12 +255,12 @@ SyscallCtx::completeStat(const sys::StatX &st, size_t dst_ptr_idx)
     if (completed_)
         jsvm::panic("syscall " + name_ + " completed twice");
     completed_ = true;
-    if (sync_) {
+    if (isSync()) {
         uint8_t packed[sys::STAT_BYTES];
         sys::packStat(st, packed);
         heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), packed,
                   sizeof(packed));
-        finishSync(0, 0);
+        finishHeap(0, 0);
     } else {
         finishAsync(0, 0, sys::statToValue(st));
     }
@@ -226,7 +271,7 @@ SyscallCtx::completeValue(int64_t r0, jsvm::Value extra)
 {
     if (completed_)
         jsvm::panic("syscall " + name_ + " completed twice");
-    if (sync_)
+    if (isSync())
         jsvm::panic("completeValue on sync call " + name_);
     completed_ = true;
     finishAsync(r0, 0, std::move(extra));

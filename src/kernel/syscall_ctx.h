@@ -1,14 +1,16 @@
 /**
  * @file
- * SyscallCtx: one in-flight system call, abstracting over the two
+ * SyscallCtx: one in-flight system call, abstracting over the three
  * conventions so every syscall handler is written exactly once.
  *
- * Async calls carry structured-clone Values; sync calls carry six int32s,
- * where "pointer" arguments are offsets into the calling task's shared
- * heap. Out-data (pread payloads, getdents records, getcwd strings) is
- * written directly into the caller's heap for sync calls — the paper's
- * zero-extra-copy property — and attached to the reply message for async
- * calls.
+ * Async calls carry structured-clone Values; sync and ring calls carry
+ * six int32s, where "pointer" arguments are offsets into the calling
+ * task's shared heap. Out-data (pread payloads, getdents records, getcwd
+ * strings) is written directly into the caller's heap for sync/ring
+ * calls — the paper's zero-extra-copy property — and attached to the
+ * reply message for async calls. Completion differs per convention: a
+ * reply message (async), a heap write + immediate Atomics notify (sync),
+ * or a CQE push whose notify coalesces per batch (ring).
  */
 #pragma once
 
@@ -25,6 +27,9 @@ namespace kernel {
 
 class Kernel;
 
+/** Which transport carried this call (and will carry its completion). */
+enum class SyscallConv { Async, Sync, Ring };
+
 class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
 {
   public:
@@ -36,8 +41,15 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
     SyscallCtx(Kernel &k, int pid, int trap,
                std::array<int32_t, 6> args);
 
+    /** Ring form: one SQE; completion is CQE seq. */
+    SyscallCtx(Kernel &k, int pid, int trap, std::array<int32_t, 6> args,
+               uint32_t seq);
+
     const std::string &name() const { return name_; }
-    bool isSync() const { return sync_; }
+    SyscallConv conv() const { return conv_; }
+    /** True for the shared-heap argument encoding (sync AND ring): six
+     * int32s with pointer args as heap offsets. */
+    bool isSync() const { return conv_ != SyscallConv::Async; }
     int pid() const { return pid_; }
     size_t argCount() const;
 
@@ -68,17 +80,22 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
 
   private:
     Task *taskOrNull() const;
+    /** Route r0/r1 to the caller per convention (sync heap write + wake,
+     * or ring CQE push). */
+    void finishHeap(int64_t r0, int64_t r1);
     void finishSync(int64_t r0, int64_t r1);
+    void finishRing(int64_t r0, int64_t r1);
     void finishAsync(int64_t r0, int64_t r1, jsvm::Value extra);
     bool heapWrite(size_t off, const uint8_t *data, size_t len) const;
 
     Kernel &kernel_;
     int pid_;
-    bool sync_;
+    SyscallConv conv_;
     double id_ = 0;
     std::string name_;
     jsvm::Value args_;                 // async
-    std::array<int32_t, 6> sargs_{};   // sync
+    std::array<int32_t, 6> sargs_{};   // sync/ring
+    uint32_t seq_ = 0;                 // ring completion tag
     bool completed_ = false;
 };
 

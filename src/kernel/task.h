@@ -47,6 +47,20 @@ struct Task
     int32_t waitOff = -1;
     int32_t sigOff = -1;
 
+    /// Ring personality: the io_uring-style SQ/CQ region inside `heap`
+    /// (see runtime/syscall_ring.h). `draining` and `deferredNotify` are
+    /// kernel-side batch state: completions that land while the kernel is
+    /// draining this task's SQ coalesce into one end-of-batch notify.
+    struct RingState
+    {
+        bool registered = false;
+        int32_t off = -1;
+        int32_t entries = 0;
+        bool draining = false;
+        bool deferredNotify = false;
+    };
+    RingState ring;
+
     /// Signal dispositions registered via sigaction.
     std::map<int, sys::SigDisposition> sigDisp;
 

@@ -32,10 +32,20 @@ EmEnv::EmEnv(std::shared_ptr<SyscallClient> client, EmMode mode,
                                 init_.snapshot.end());
         }
     }
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_ = std::make_unique<SyncSyscalls>(*client_, 1 << 20);
         sync_->signalHandler = [this](int sig) { queueSignal(sig); };
+        if (mode_ == EmMode::Ring)
+            ring_ = std::make_unique<RingSyscalls>(*sync_);
     }
+}
+
+int64_t
+EmEnv::heapCall(int trap, std::array<int32_t, 6> args, int32_t *r1_out)
+{
+    if (ring_ && RingSyscalls::ringEligible(trap))
+        return ring_->call(trap, args, r1_out);
+    return sync_->call(trap, args, r1_out);
 }
 
 std::string
@@ -79,9 +89,9 @@ EmEnv::invoke(int trap, jsvm::Value::Array async_args,
 {
     pollSignals();
     CallResult r;
-    if (mode_ == EmMode::Sync && sync_capable) {
+    if (usesSharedHeap() && sync_capable) {
         int32_t r1 = 0;
-        r.r0 = sync_->call(trap, sync_args, &r1);
+        r.r0 = heapCall(trap, sync_args, &r1);
         r.r1 = r1;
     } else {
         r = blockingCall(*client_, sys::trapName(trap),
@@ -94,11 +104,10 @@ EmEnv::invoke(int trap, jsvm::Value::Array async_args,
 int64_t
 EmEnv::pathCall(int trap, const std::string &path, int32_t a, int32_t b)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t p = sync_->pushString(path);
-        return sync_->call(trap,
-                           {static_cast<int32_t>(p), a, b, 0, 0, 0});
+        return heapCall(trap, {static_cast<int32_t>(p), a, b, 0, 0, 0});
     }
     return invoke(trap, {jsvm::Value(path), jsvm::Value(a), jsvm::Value(b)},
                   {}, false)
@@ -121,10 +130,10 @@ EmEnv::close(int fd)
 int64_t
 EmEnv::read(int fd, bfs::Buffer &out, size_t n)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t buf = sync_->alloc(n);
-        int64_t r = sync_->call(
+        int64_t r = heapCall(
             sys::READ,
             {fd, static_cast<int32_t>(buf), static_cast<int32_t>(n), 0, 0,
              0});
@@ -148,11 +157,11 @@ EmEnv::read(int fd, bfs::Buffer &out, size_t n)
 int64_t
 EmEnv::write(int fd, const void *data, size_t n)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t buf = sync_->alloc(n);
         std::memcpy(sync_->heapData() + buf, data, n);
-        return sync_->call(
+        return heapCall(
             sys::WRITE,
             {fd, static_cast<int32_t>(buf), static_cast<int32_t>(n), 0, 0,
              0});
@@ -171,10 +180,10 @@ EmEnv::write(int fd, const std::string &s)
 int64_t
 EmEnv::pread(int fd, bfs::Buffer &out, size_t n, int64_t off)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t buf = sync_->alloc(n);
-        int64_t r = sync_->call(sys::PREAD,
+        int64_t r = heapCall(sys::PREAD,
                                 {fd, static_cast<int32_t>(buf),
                                  static_cast<int32_t>(n),
                                  static_cast<int32_t>(off), 0, 0});
@@ -198,11 +207,11 @@ EmEnv::pread(int fd, bfs::Buffer &out, size_t n, int64_t off)
 int64_t
 EmEnv::pwrite(int fd, const void *data, size_t n, int64_t off)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t buf = sync_->alloc(n);
         std::memcpy(sync_->heapData() + buf, data, n);
-        return sync_->call(sys::PWRITE,
+        return heapCall(sys::PWRITE,
                            {fd, static_cast<int32_t>(buf),
                             static_cast<int32_t>(n),
                             static_cast<int32_t>(off), 0, 0});
@@ -226,7 +235,7 @@ EmEnv::llseek(int fd, int64_t off, int whence)
 int
 EmEnv::statCall(int trap, const std::string &path, int fd, sys::StatX &out)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         int32_t a0;
         if (trap == sys::FSTAT) {
@@ -235,8 +244,8 @@ EmEnv::statCall(int trap, const std::string &path, int fd, sys::StatX &out)
             a0 = static_cast<int32_t>(sync_->pushString(path));
         }
         uint32_t sp = sync_->alloc(sys::STAT_BYTES);
-        int64_t r = sync_->call(trap,
-                                {a0, static_cast<int32_t>(sp), 0, 0, 0, 0});
+        int64_t r = heapCall(trap,
+                             {a0, static_cast<int32_t>(sp), 0, 0, 0, 0});
         if (r == 0)
             out = sys::unpackStat(sync_->heapData() + sp);
         return static_cast<int>(r);
@@ -298,13 +307,13 @@ EmEnv::rmdir(const std::string &path)
 int
 EmEnv::rename(const std::string &from, const std::string &to)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t a = sync_->pushString(from);
         uint32_t b = sync_->pushString(to);
         return static_cast<int>(
-            sync_->call(sys::RENAME, {static_cast<int32_t>(a),
-                                      static_cast<int32_t>(b), 0, 0, 0, 0}));
+            heapCall(sys::RENAME, {static_cast<int32_t>(a),
+                                   static_cast<int32_t>(b), 0, 0, 0, 0}));
     }
     return static_cast<int>(
         blockingCall(*client_, "rename",
@@ -315,11 +324,11 @@ EmEnv::rename(const std::string &from, const std::string &to)
 int
 EmEnv::readlink(const std::string &path, std::string &out)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t p = sync_->pushString(path);
         uint32_t buf = sync_->alloc(4096);
-        int64_t r = sync_->call(sys::READLINK,
+        int64_t r = heapCall(sys::READLINK,
                                 {static_cast<int32_t>(p),
                                  static_cast<int32_t>(buf), 4096, 0, 0, 0});
         if (r >= 0)
@@ -339,14 +348,14 @@ EmEnv::readlink(const std::string &path, std::string &out)
 int
 EmEnv::symlink(const std::string &target, const std::string &path)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t a = sync_->pushString(target);
         uint32_t b = sync_->pushString(path);
         return static_cast<int>(
-            sync_->call(sys::SYMLINK,
-                        {static_cast<int32_t>(a), static_cast<int32_t>(b),
-                         0, 0, 0, 0}));
+            heapCall(sys::SYMLINK,
+                     {static_cast<int32_t>(a), static_cast<int32_t>(b),
+                      0, 0, 0, 0}));
     }
     return static_cast<int>(
         blockingCall(*client_, "symlink",
@@ -357,10 +366,10 @@ EmEnv::symlink(const std::string &target, const std::string &path)
 int
 EmEnv::utimes(const std::string &path, int64_t atime_us, int64_t mtime_us)
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t p = sync_->pushString(path);
-        return static_cast<int>(sync_->call(
+        return static_cast<int>(heapCall(
             sys::UTIMES,
             {static_cast<int32_t>(p),
              static_cast<int32_t>(atime_us / 1000000),
@@ -382,10 +391,10 @@ EmEnv::getdents(int fd, std::vector<sys::Dirent> &out)
         constexpr size_t kBuf = 8192;
         bfs::Buffer data;
         int64_t r;
-        if (mode_ == EmMode::Sync) {
+        if (usesSharedHeap()) {
             sync_->resetScratch();
             uint32_t buf = sync_->alloc(kBuf);
-            r = sync_->call(sys::GETDENTS64,
+            r = heapCall(sys::GETDENTS64,
                             {fd, static_cast<int32_t>(buf),
                              static_cast<int32_t>(kBuf), 0, 0, 0});
             if (r > 0)
@@ -425,10 +434,10 @@ EmEnv::chdir(const std::string &path)
 std::string
 EmEnv::getcwd()
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t buf = sync_->alloc(4096);
-        int64_t r = sync_->call(
+        int64_t r = heapCall(
             sys::GETCWD, {static_cast<int32_t>(buf), 4096, 0, 0, 0, 0});
         if (r < 0)
             return "/";
@@ -460,11 +469,11 @@ EmEnv::nowMs()
 int
 EmEnv::pipe2(int fds_out[2])
 {
-    if (mode_ == EmMode::Sync) {
+    if (usesSharedHeap()) {
         sync_->resetScratch();
         uint32_t p = sync_->alloc(8);
-        int64_t r = sync_->call(sys::PIPE2,
-                                {static_cast<int32_t>(p), 0, 0, 0, 0, 0});
+        int64_t r = heapCall(sys::PIPE2,
+                             {static_cast<int32_t>(p), 0, 0, 0, 0, 0});
         if (r >= 0) {
             std::memcpy(fds_out, sync_->heapData() + p, 8);
             return 0;

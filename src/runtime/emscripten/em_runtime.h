@@ -10,6 +10,11 @@
  *    convention — arguments marshalled into the shared heap, the program
  *    thread blocked in Atomics.wait. Fast, but fork is unavailable.
  *
+ *  - Ring: like Sync, plus an io_uring-style SQ/CQ pair in the shared
+ *    heap. Ring-eligible calls are batched (one doorbell message and one
+ *    wake per batch); calls that may park indefinitely fall back to the
+ *    sync convention per call. Programs reach the batch API via ring().
+ *
  *  - AsyncEmterpreter: system calls are asynchronous; the "Emterpreter"
  *    (our app thread + the emvm bytecode VM for compute kernels) can
  *    suspend and resume, which also enables fork. A program compiled
@@ -37,7 +42,7 @@
 namespace browsix {
 namespace rt {
 
-enum class EmMode { Sync, AsyncEmterpreter };
+enum class EmMode { Sync, Ring, AsyncEmterpreter };
 
 /** Thrown by EmEnv::exit; unwinds the program thread. */
 struct ExitRequested
@@ -130,9 +135,23 @@ class EmEnv
     /** Enqueue a kernel-delivered signal (runs on the worker loop). */
     void queueSignal(int sig);
 
+    /** The ring façade (batch submit/flush/wait); null unless Ring mode. */
+    RingSyscalls *ring() { return ring_.get(); }
+    /** The sync façade; null in AsyncEmterpreter mode. */
+    SyncSyscalls *syncCalls() { return sync_.get(); }
+    SyscallClient &client() { return *client_; }
+
   private:
     friend class EmscriptenRuntime;
 
+    /** True when syscalls use the shared-heap i32 encoding (Sync/Ring). */
+    bool usesSharedHeap() const
+    {
+        return mode_ != EmMode::AsyncEmterpreter;
+    }
+    /** Shared-heap call, routed through the ring when eligible. */
+    int64_t heapCall(int trap, std::array<int32_t, 6> args,
+                     int32_t *r1_out = nullptr);
     CallResult invoke(int trap, jsvm::Value::Array async_args,
                       std::array<int32_t, 6> sync_args,
                       bool sync_capable = true);
@@ -148,6 +167,7 @@ class EmEnv
     InitInfo init_;
     std::string resumeState_;
     std::unique_ptr<SyncSyscalls> sync_;
+    std::unique_ptr<RingSyscalls> ring_;
 
     std::mutex sigMutex_;
     std::vector<int> pendingSignals_;

@@ -355,13 +355,19 @@ Vm::run(jsvm::InterruptToken *token)
         return fault(#name " underflow");                                  \
     stack_.push_back(expr);                                                \
     break;
-          BINOP(ADD, a + b)
-          BINOP(SUB, a - b)
-          BINOP(MUL, a * b)
+          // Arithmetic wraps mod 2^64 (JS-engine semantics): compute in
+          // uint64_t, where overflow is defined, and cast back.
+          BINOP(ADD, static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                          static_cast<uint64_t>(b)))
+          BINOP(SUB, static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                          static_cast<uint64_t>(b)))
+          BINOP(MUL, static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                          static_cast<uint64_t>(b)))
           BINOP(AND, a & b)
           BINOP(OR, a | b)
           BINOP(XOR, a ^ b)
-          BINOP(SHL, a << (b & 63))
+          BINOP(SHL, static_cast<int64_t>(static_cast<uint64_t>(a)
+                                          << (b & 63)))
           BINOP(SHR, static_cast<int64_t>(static_cast<uint64_t>(a) >>
                                           (b & 63)))
           BINOP(EQ, a == b ? 1 : 0)
@@ -376,14 +382,17 @@ Vm::run(jsvm::InterruptToken *token)
                 return fault("DIVS underflow");
             if (b == 0)
                 return fault("division by zero");
-            stack_.push_back(a / b);
+            // INT64_MIN / -1 overflows; wrap like the multiply does.
+            stack_.push_back(b == -1 ? static_cast<int64_t>(
+                                           -static_cast<uint64_t>(a))
+                                     : a / b);
             break;
           case Op::MODS:
             if (!pop(b) || !pop(a))
                 return fault("MODS underflow");
             if (b == 0)
                 return fault("modulo by zero");
-            stack_.push_back(a % b);
+            stack_.push_back(b == -1 ? 0 : a % b);
             break;
 
           case Op::JMP:

@@ -181,6 +181,14 @@ SyncSyscalls::alloc(size_t n)
     return static_cast<uint32_t>(off);
 }
 
+uint32_t
+SyncSyscalls::reserve(size_t n)
+{
+    uint32_t off = alloc(n);
+    scratchBase_ = scratchTop_;
+    return off;
+}
+
 void
 SyncSyscalls::pollSignal()
 {
@@ -230,6 +238,179 @@ SyncSyscalls::call(int trap, std::array<int32_t, 6> args, int32_t *r1_out)
     if (r1_out)
         *r1_out = r1;
     return r0;
+}
+
+// ---------------------------------------------------------------------------
+// RingSyscalls
+// ---------------------------------------------------------------------------
+
+RingSyscalls::RingSyscalls(SyncSyscalls &sync, uint32_t entries)
+    : sync_(sync),
+      layout_(sync.reserve(sys::RingLayout::bytesFor(entries)), entries),
+      sq_(sync.heap(), layout_.sqHeadOff(), layout_.sqTailOff(), entries),
+      cq_(sync.heap(), layout_.cqHeadOff(), layout_.cqTailOff(), entries)
+{
+    CallResult r = blockingCall(
+        sync_.client(), "ring_personality",
+        {jsvm::Value(static_cast<int>(layout_.sqHeadOff())),
+         jsvm::Value(static_cast<int>(entries))});
+    if (r.r0 != 0)
+        jsvm::panic("RingSyscalls: ring registration failed");
+}
+
+bool
+RingSyscalls::ringEligible(int trap)
+{
+    switch (trap) {
+      // Metadata, descriptors, and I/O whose completion needs no input
+      // the caller itself must provide. The kernel never parks — a CQE
+      // may simply land late (WRITE defers under pipe backpressure until
+      // a reader drains, exactly where the sync convention would block);
+      // a late CQE only ties up one in-flight slot meanwhile.
+      case sys::GETPID:
+      case sys::GETPPID:
+      case sys::GETTIMEOFDAY:
+      case sys::GETCWD:
+      case sys::CHDIR:
+      case sys::OPEN:
+      case sys::CLOSE:
+      case sys::LLSEEK:
+      case sys::STAT:
+      case sys::LSTAT:
+      case sys::FSTAT:
+      case sys::ACCESS:
+      case sys::UNLINK:
+      case sys::MKDIR:
+      case sys::RMDIR:
+      case sys::RENAME:
+      case sys::READLINK:
+      case sys::SYMLINK:
+      case sys::UTIMES:
+      case sys::GETDENTS:
+      case sys::GETDENTS64:
+      case sys::DUP:
+      case sys::DUP2:
+      case sys::IOCTL:
+      case sys::PREAD:
+      case sys::PWRITE:
+      case sys::WRITE:
+        return true;
+      default:
+        // read (empty pipe), wait4, accept, connect, ... may need the
+        // caller to act (consume data, reap a child) before completing —
+        // batching those can deadlock; they keep the per-call sync
+        // convention.
+        return false;
+    }
+}
+
+void
+RingSyscalls::reap()
+{
+    jsvm::SharedArrayBuffer &heap = sync_.heap();
+    while (!cq_.empty()) {
+        sys::Cqe e = layout_.readCqe(heap, cq_.slot(cq_.head()));
+        cq_.consume();
+        done_[e.seq] = Completion{e.r0, e.r1};
+        if (inflight_ > 0)
+            inflight_--;
+    }
+}
+
+void
+RingSyscalls::park(const std::function<bool()> &pred)
+{
+    jsvm::SharedArrayBuffer &heap = sync_.heap();
+    jsvm::InterruptToken &token = sync_.client().scope().token();
+    for (;;) {
+        reap();
+        if (pred())
+            return;
+        jsvm::Atomics::store(heap, layout_.waitOff(), 0);
+        // Re-check after arming: the kernel may have completed + notified
+        // between the reap above and the store (lost-wake guard).
+        reap();
+        if (pred())
+            return;
+        jsvm::WaitResult wr = jsvm::Atomics::wait(heap, layout_.waitOff(),
+                                                  0, -1, &token);
+        if (wr == jsvm::WaitResult::Interrupted)
+            throw jsvm::WorkerTerminated{};
+        sync_.pollSignal();
+    }
+}
+
+uint32_t
+RingSyscalls::submit(int trap, std::array<int32_t, 6> args)
+{
+    // Backpressure: the in-flight window doubles as the CQ reservation,
+    // so the kernel can never overflow the completion queue.
+    if (inflight_ >= capacity() || sq_.full()) {
+        flush(); // the kernel must see the batch or we park forever
+        park([this]() { return inflight_ < capacity() && !sq_.full(); });
+    }
+    uint32_t seq = nextSeq_++;
+    sys::Sqe e;
+    e.trap = trap;
+    e.seq = seq;
+    e.args = args;
+    layout_.writeSqe(sync_.heap(), sq_.slot(sq_.tail()), e);
+    sq_.publish();
+    inflight_++;
+    unflushed_++;
+    return seq;
+}
+
+void
+RingSyscalls::flush()
+{
+    // Idempotent per batch: once every local submission is covered by a
+    // doorbell, later flush() calls (wait() flushes defensively) are
+    // no-ops — probing the shared SQ indices here could double-ring for
+    // a batch the kernel is mid-drain on.
+    if (unflushed_ == 0)
+        return;
+    // Only the 0 -> 1 transition posts a message. A CAS failure means a
+    // doorbell is already in flight, and the kernel clears the flag
+    // before reading the tail — so it will see everything published up
+    // to this point either way.
+    jsvm::SharedArrayBuffer &heap = sync_.heap();
+    if (jsvm::Atomics::compareExchange(heap, layout_.doorbellOff(), 0, 1) ==
+        0) {
+        doorbells_++;
+        jsvm::Value msg = jsvm::Value::object();
+        msg.set("t", jsvm::Value("ring"));
+        sync_.client().scope().postMessage(msg);
+    }
+    unflushed_ = 0;
+}
+
+RingSyscalls::Completion
+RingSyscalls::wait(uint32_t seq)
+{
+    flush();
+    Completion out;
+    park([this, seq, &out]() {
+        auto it = done_.find(seq);
+        if (it == done_.end())
+            return false;
+        out = it->second;
+        done_.erase(it);
+        return true;
+    });
+    return out;
+}
+
+int64_t
+RingSyscalls::call(int trap, std::array<int32_t, 6> args, int32_t *r1_out)
+{
+    if (!ringEligible(trap))
+        return sync_.call(trap, args, r1_out);
+    uint32_t seq = submit(trap, args);
+    Completion c = wait(seq);
+    if (r1_out)
+        *r1_out = c.r1;
+    return c.r0;
 }
 
 } // namespace rt

@@ -6,13 +6,17 @@
  * system calls (which is how GopherJS multiplexes goroutines over one
  * worker). Signals arrive over the same message interface.
  *
- * Three façades:
+ * Four façades:
  *  - SyscallClient: raw async (CPS) calls + init/signal dispatch; must be
  *    used from the worker's loop thread.
  *  - blockingCall(): lets a runtime's "app thread" (the Emterpreter or a
  *    goroutine) issue an async call and park until the reply.
  *  - SyncSyscalls: the synchronous convention — a shared heap registered
  *    with the kernel ("personality"), calls that block in Atomics.wait.
+ *  - RingSyscalls: the io_uring-style batched convention — SQ/CQ rings
+ *    inside the same shared heap; one doorbell message and one Atomics
+ *    wake per batch instead of per call. Calls that may block
+ *    indefinitely fall back to SyncSyscalls per call.
  */
 #pragma once
 
@@ -26,6 +30,7 @@
 #include "jsvm/sab.h"
 #include "jsvm/worker.h"
 #include "runtime/syscall_proto.h"
+#include "runtime/syscall_ring.h"
 
 namespace browsix {
 namespace rt {
@@ -129,9 +134,14 @@ class SyncSyscalls
     // --- scratch marshalling helpers (reset per call by the caller) ---
     uint32_t pushString(const std::string &s);
     uint32_t alloc(size_t n);
-    void resetScratch() { scratchTop_ = kScratchOff; }
+    void resetScratch() { scratchTop_ = scratchBase_; }
+    /** Permanently carve n bytes out of the scratch region (8-aligned);
+     * resetScratch() no longer reclaims them. Used for ring regions. */
+    uint32_t reserve(size_t n);
     uint8_t *heapData() { return heap_->data(); }
     size_t heapSize() const { return heap_->size(); }
+    jsvm::SharedArrayBuffer &heap() { return *heap_; }
+    SyscallClient &client() { return client_; }
 
     /** Handler invoked (on the app thread) when a signal is delivered
      * while blocked in Atomics.wait. */
@@ -143,7 +153,93 @@ class SyncSyscalls
   private:
     SyscallClient &client_;
     jsvm::SabPtr heap_;
+    size_t scratchBase_ = kScratchOff;
     size_t scratchTop_ = kScratchOff;
+};
+
+/**
+ * The ring convention, process side. Built over a SyncSyscalls heap: the
+ * ring region is reserve()d from the shared heap, so pointer arguments
+ * keep the sync convention's encoding (offsets into the heap) and every
+ * marshalling helper keeps working.
+ *
+ * Usage, batched:
+ *   uint32_t s0 = ring.submit(sys::GETPID, {});
+ *   ...                 // up to capacity() calls in flight
+ *   ring.flush();       // one doorbell message for the whole batch
+ *   auto r = ring.wait(s0);
+ *
+ * or per call via call(), which transparently falls back to the sync
+ * convention for traps whose completion may require the caller itself to
+ * act first (read on an empty pipe, wait4, accept, ...) — batching those
+ * behind a parked app thread could deadlock. Ring-eligible completions
+ * may still land late (see ringEligible); they just occupy an in-flight
+ * slot until they do.
+ *
+ * Single-threaded like the rest of the runtime facades: all methods must
+ * run on the process's app thread.
+ */
+class RingSyscalls
+{
+  public:
+    static constexpr uint32_t kDefaultEntries = 64;
+
+    /** Reserve the ring inside sync's heap and register it with the
+     * kernel (blocking; call from the app thread after init). */
+    RingSyscalls(SyncSyscalls &sync, uint32_t entries = kDefaultEntries);
+
+    struct Completion
+    {
+        int32_t r0 = 0;
+        int32_t r1 = 0;
+    };
+
+    /** True when trap is safe to batch: its completion never depends on
+     * a further action by the submitting thread. */
+    static bool ringEligible(int trap);
+
+    /**
+     * One call through the ring (submit + flush + wait), or through the
+     * sync fallback when the trap is not ring-eligible.
+     */
+    int64_t call(int trap, std::array<int32_t, 6> args,
+                 int32_t *r1_out = nullptr);
+
+    /**
+     * Write one SQE; returns its completion tag. Blocks (parking on the
+     * ring wait word) when the submission queue or the in-flight window
+     * is full — SQ backpressure.
+     */
+    uint32_t submit(int trap, std::array<int32_t, 6> args);
+
+    /** Ring the doorbell if submissions are pending and no doorbell is
+     * already in flight. */
+    void flush();
+
+    /** Park until the completion for seq arrives; reaps the CQ. Throws
+     * jsvm::WorkerTerminated if the worker is killed meanwhile. */
+    Completion wait(uint32_t seq);
+
+    uint32_t capacity() const { return layout_.entries(); }
+    /** Submitted but not yet reaped. */
+    uint32_t inflight() const { return inflight_; }
+    uint64_t doorbellsRung() const { return doorbells_; }
+
+  private:
+    void reap();
+    /** Arm the wait word and park until the kernel pokes it (completion,
+     * freed SQ space, or signal). pred() short-circuits the park. */
+    void park(const std::function<bool()> &pred);
+
+    SyncSyscalls &sync_;
+    sys::RingLayout layout_;
+    jsvm::RingIndices sq_;
+    jsvm::RingIndices cq_;
+    uint32_t nextSeq_ = 1;
+    uint32_t inflight_ = 0;
+    uint32_t unflushed_ = 0; // submitted since the last doorbell coverage
+    uint64_t doorbells_ = 0;
+    std::map<uint32_t, Completion> done_;
 };
 
 } // namespace rt

@@ -58,6 +58,7 @@ trapTable()
         {READDIR, "readdir"},
         {SIGACTION, "sigaction"},
         {PERSONALITY, "personality"},
+        {RING_PERSONALITY, "ring_personality"},
     };
     return table;
 }

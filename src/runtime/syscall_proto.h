@@ -76,6 +76,7 @@ enum Trap : int {
     READDIR = 411, ///< convenience form: returns entry names (async only)
     SIGACTION = 420,
     PERSONALITY = 422,
+    RING_PERSONALITY = 423, ///< register the io_uring-style ring region
 };
 
 /** Human-readable syscall name (also the async message "name" field). */

@@ -1,0 +1,68 @@
+#include "runtime/syscall_ring.h"
+
+#include <cstring>
+
+#include "jsvm/sab.h"
+
+namespace browsix {
+namespace sys {
+
+bool
+RingLayout::valid(int64_t base, int64_t entries, size_t heap_bytes)
+{
+    if (base < 0 || base % 4 != 0)
+        return false;
+    if (entries <= 0 || entries > 4096 ||
+        (entries & (entries - 1)) != 0)
+        return false;
+    size_t need = bytesFor(static_cast<uint32_t>(entries));
+    return static_cast<size_t>(base) <= heap_bytes &&
+           need <= heap_bytes - static_cast<size_t>(base);
+}
+
+void
+RingLayout::writeSqe(jsvm::SharedArrayBuffer &heap, uint32_t slot,
+                     const Sqe &e) const
+{
+    int32_t words[8] = {e.trap,     static_cast<int32_t>(e.seq),
+                        e.args[0],  e.args[1],
+                        e.args[2],  e.args[3],
+                        e.args[4],  e.args[5]};
+    std::memcpy(heap.data() + sqeOff(slot), words, sizeof(words));
+}
+
+Sqe
+RingLayout::readSqe(const jsvm::SharedArrayBuffer &heap, uint32_t slot) const
+{
+    int32_t words[8];
+    std::memcpy(words, heap.data() + sqeOff(slot), sizeof(words));
+    Sqe e;
+    e.trap = words[0];
+    e.seq = static_cast<uint32_t>(words[1]);
+    for (int i = 0; i < 6; i++)
+        e.args[i] = words[2 + i];
+    return e;
+}
+
+void
+RingLayout::writeCqe(jsvm::SharedArrayBuffer &heap, uint32_t slot,
+                     const Cqe &e) const
+{
+    int32_t words[4] = {static_cast<int32_t>(e.seq), e.r0, e.r1, 0};
+    std::memcpy(heap.data() + cqeOff(slot), words, sizeof(words));
+}
+
+Cqe
+RingLayout::readCqe(const jsvm::SharedArrayBuffer &heap, uint32_t slot) const
+{
+    int32_t words[4];
+    std::memcpy(words, heap.data() + cqeOff(slot), sizeof(words));
+    Cqe e;
+    e.seq = static_cast<uint32_t>(words[0]);
+    e.r0 = words[1];
+    e.r1 = words[2];
+    return e;
+}
+
+} // namespace sys
+} // namespace browsix

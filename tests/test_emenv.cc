@@ -176,6 +176,8 @@ registerPosixTest()
     reg.add(apps::ProgramSpec{"posixtest-async",
                               apps::RuntimeKind::EmAsync, 64,
                               posixTestMain, nullptr});
+    reg.add(apps::ProgramSpec{"posixtest-ring", apps::RuntimeKind::EmRing,
+                              64, posixTestMain, nullptr});
 }
 
 class EmEnvPosix : public ::testing::TestWithParam<const char *>
@@ -198,14 +200,15 @@ TEST_P(EmEnvPosix, FullSurface)
 
 INSTANTIATE_TEST_SUITE_P(Conventions, EmEnvPosix,
                          ::testing::Values("posixtest-sync",
-                                           "posixtest-async"),
+                                           "posixtest-async",
+                                           "posixtest-ring"),
                          [](const ::testing::TestParamInfo<const char *> &i) {
-                             return std::string(i.param).find("sync") !=
-                                            std::string::npos &&
-                                        std::string(i.param).find(
-                                            "async") == std::string::npos
-                                        ? "Sync"
-                                        : "AsyncEmterpreter";
+                             std::string p(i.param);
+                             if (p.find("ring") != std::string::npos)
+                                 return std::string("Ring");
+                             if (p.find("async") != std::string::npos)
+                                 return std::string("AsyncEmterpreter");
+                             return std::string("Sync");
                          });
 
 TEST(EmEnvSignals, HandlerRunsAtSyscallBoundary)

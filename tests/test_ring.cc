@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Ring syscall convention tests: registration validation, SQ-full
+ * backpressure, whole-batch draining in a single kernel pump, the
+ * one-notify-per-batch contract (under a deterministic TestClock), and
+ * worker termination unwinding a parked ring waiter.
+ *
+ * Test programs run inside real Browsix processes (RuntimeKind::EmRing)
+ * and reach the batch API via EmEnv::ring(); the host asserts on exit
+ * codes and on the kernel's ring counters.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "core/browsix.h"
+#include "jsvm/test_clock.h"
+#include "runtime/syscall_ring.h"
+
+using namespace browsix;
+
+namespace {
+
+void
+addProgram(const std::string &name, rt::EmProgramFn fn,
+           apps::RuntimeKind kind = apps::RuntimeKind::EmRing)
+{
+    apps::registerAllPrograms();
+    apps::ProgramRegistry::instance().add(
+        apps::ProgramSpec{name, kind, 64, std::move(fn), nullptr});
+}
+
+void
+stage(Browsix &bx, const std::string &name)
+{
+    bx.rootFs().writeFile(
+        "/usr/bin/" + name,
+        apps::ProgramRegistry::instance().bundleFor(name));
+}
+
+} // namespace
+
+TEST(RingLayout, ValidationRejectsMalformedRegions)
+{
+    using sys::RingLayout;
+    const size_t heap = 1 << 20;
+    EXPECT_TRUE(RingLayout::valid(16, 64, heap));
+    EXPECT_FALSE(RingLayout::valid(-4, 64, heap)) << "negative base";
+    EXPECT_FALSE(RingLayout::valid(18, 64, heap)) << "misaligned base";
+    EXPECT_FALSE(RingLayout::valid(16, 48, heap)) << "non-power-of-two";
+    EXPECT_FALSE(RingLayout::valid(16, 0, heap)) << "zero entries";
+    EXPECT_FALSE(RingLayout::valid(16, 8192, heap)) << "entries cap";
+    // 64 entries need 32 + 64*48 = 3104 bytes: reject a heap too small.
+    EXPECT_FALSE(RingLayout::valid(16, 64, 3000));
+    EXPECT_TRUE(RingLayout::valid(0, 64, 3104));
+}
+
+TEST(RingSyscalls, KernelRejectsBogusRegistration)
+{
+    // ring_personality validates offset/entries against the heap, and a
+    // second registration is refused (EBUSY): replacing a live ring
+    // would orphan SQEs already written to the old region.
+    addProgram("ring-reject", [](rt::EmEnv &env) -> int {
+        rt::CallResult r =
+            rt::blockingCall(env.client(), "ring_personality",
+                             {jsvm::Value(-4), jsvm::Value(64)});
+        if (r.r0 != -EINVAL)
+            return 1;
+        r = rt::blockingCall(env.client(), "ring_personality",
+                             {jsvm::Value(16), jsvm::Value(48)});
+        if (r.r0 != -EINVAL)
+            return 2;
+        rt::RingSyscalls ring(*env.syncCalls(), 8); // the one real ring
+        if (ring.call(sys::GETPID, {}) != env.pid())
+            return 3;
+        r = rt::blockingCall(env.client(), "ring_personality",
+                             {jsvm::Value(16), jsvm::Value(8)});
+        if (r.r0 != -EBUSY)
+            return 4;
+        return 0;
+    }, apps::RuntimeKind::EmSync);
+    Browsix bx;
+    stage(bx, "ring-reject");
+    auto r = bx.runArgv({"/usr/bin/ring-reject"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0) << "kernel accepted a malformed ring";
+}
+
+TEST(RingSyscalls, SingleCallsRouteThroughRing)
+{
+    addProgram("ring-single", [](rt::EmEnv &env) -> int {
+        if (env.getpid() <= 0)
+            return 1;
+        // A blocking-capable call falls back to the sync convention but
+        // must still work end to end in Ring mode.
+        int fd = env.open("/tmp/ring.txt",
+                          bfs::flags::CREAT | bfs::flags::RDWR);
+        if (fd < 0)
+            return 2;
+        if (env.write(fd, std::string("ring")) != 4)
+            return 3;
+        if (env.llseek(fd, 0, 0) != 0)
+            return 4;
+        bfs::Buffer buf;
+        if (env.read(fd, buf, 16) != 4 ||
+            std::string(buf.begin(), buf.end()) != "ring")
+            return 5;
+        sys::StatX st;
+        if (env.fstat(fd, st) != 0 || st.size != 4)
+            return 6;
+        env.close(fd);
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-single");
+    auto r = bx.runArgv({"/usr/bin/ring-single"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_GT(bx.kernel().stats().ringSyscallCount, 0u)
+        << "Ring-mode getpid/open/... should use the ring";
+    EXPECT_GT(bx.kernel().stats().syncSyscallCount, 0u)
+        << "read must fall back to the sync convention";
+}
+
+TEST(RingSyscalls, SqFullBackpressureCompletesEveryCall)
+{
+    // A 4-entry ring, 16 getpids submitted before any wait: submit()
+    // must park on the full SQ/in-flight window and resume as the
+    // kernel frees slots — no call lost, no deadlock. EmSync mode: this
+    // hand-built ring is the process's one registered ring.
+    addProgram("ring-backpressure", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls small(*env.syncCalls(), 4);
+        std::vector<uint32_t> seqs;
+        for (int i = 0; i < 16; i++)
+            seqs.push_back(small.submit(sys::GETPID, {}));
+        small.flush();
+        for (uint32_t seq : seqs) {
+            if (small.wait(seq).r0 != env.pid())
+                return 1;
+        }
+        return 0;
+    }, apps::RuntimeKind::EmSync);
+    Browsix bx;
+    stage(bx, "ring-backpressure");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-backpressure"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.ringSyscallCount - before.ringSyscallCount, 16u);
+    EXPECT_GE(after.ringBatchesDrained - before.ringBatchesDrained, 2u)
+        << "a 4-entry ring cannot take 16 calls in one batch";
+    EXPECT_EQ(after.ringCqOverflows, 0u)
+        << "the in-flight window must protect the CQ";
+}
+
+TEST(RingSyscalls, BatchOf64DrainsInOnePumpWithOneNotify)
+{
+    // The tentpole contract, deterministically: 64 SQEs published under
+    // a single doorbell are drained in one kernel pump and answered
+    // with exactly one Atomics notify. TestClock turns the cost-model
+    // charges into virtual time so the run is exact and fast.
+    jsvm::TestClock clock;
+    addProgram("ring-batch64", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls *ring = env.ring();
+        if (!ring || ring->capacity() != 64)
+            return 2;
+        std::vector<uint32_t> seqs;
+        for (int i = 0; i < 64; i++)
+            seqs.push_back(ring->submit(sys::GETPID, {}));
+        ring->flush();
+        if (ring->doorbellsRung() != 1)
+            return 3;
+        for (uint32_t seq : seqs) {
+            if (ring->wait(seq).r0 != env.pid())
+                return 1;
+        }
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-batch64");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-batch64"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_EQ(after.ringSyscallCount - before.ringSyscallCount, 64u);
+    EXPECT_EQ(after.ringBatchesDrained - before.ringBatchesDrained, 1u)
+        << "one doorbell -> one drain pass";
+    EXPECT_EQ(after.ringNotifies - before.ringNotifies, 1u)
+        << "64 completions must coalesce into a single notify";
+}
+
+TEST(RingSyscalls, TerminateUnwindsParkedRingWaiter)
+{
+    // A waiter parked on the ring wait word holds an InterruptToken
+    // waker; SIGKILL must wake it, unwind the app thread via
+    // WorkerTerminated, and let the worker join — no hang, no
+    // use-after-free (the ASan/TSan CI jobs watch this path).
+    addProgram("ring-park", [](rt::EmEnv &env) -> int {
+        env.write(1, "parked\n");
+        // Never-completing wait: nothing was submitted under this seq.
+        env.ring()->wait(0xdead);
+        return 0; // unreachable
+    });
+    Browsix bx;
+    stage(bx, "ring-park");
+    std::string out;
+    bool exited = false;
+    int status = 0;
+    int pid = 0;
+    bx.kernel().spawnRoot(
+        {"/usr/bin/ring-park"}, bx.kernel().defaultEnv, "/",
+        [&](int st) {
+            status = st;
+            exited = true;
+        },
+        [&](const bfs::Buffer &d) { out.append(d.begin(), d.end()); },
+        nullptr, [&](int p) { pid = p; });
+    ASSERT_TRUE(bx.runUntil(
+        [&]() { return out.find("parked") != std::string::npos; }, 10000));
+    EXPECT_EQ(bx.kernel().kill(pid, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited; }, 10000))
+        << "SIGKILL must unwind a parked ring waiter";
+    EXPECT_EQ(sys::wtermsig(status), sys::SIGKILL);
+}
+
+TEST(RingSyscalls, PointerArgsAndOutDataThroughTheRing)
+{
+    // stat/getcwd marshal strings in and packed/str results out through
+    // heap offsets carried in ring entries.
+    addProgram("ring-pointers", [](rt::EmEnv &env) -> int {
+        if (env.mkdir("/tmp/ringdir") != 0)
+            return 1;
+        sys::StatX st;
+        if (env.stat("/tmp/ringdir", st) != 0 || !st.isDir())
+            return 2;
+        if (env.chdir("/tmp/ringdir") != 0)
+            return 3;
+        if (env.getcwd() != "/tmp/ringdir")
+            return 4;
+        if (env.rmdir("/tmp/../tmp/ringdir") != 0)
+            return 5;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-pointers");
+    auto r = bx.runArgv({"/usr/bin/ring-pointers"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_GT(bx.kernel().stats().ringSyscallCount, 0u);
+}

@@ -129,6 +129,28 @@ recordMetric(const std::string &bench, const std::string &name,
     sink.benches[bench].push_back(Row{name, value, unit});
 }
 
+/**
+ * Serialize a kernel latency histogram through recordMetric: one row
+ * each for p50/p99/mean/max (µs) plus the sample count, named
+ * "<prefix>.p50" and so on. The JSON schema stays the plain
+ * {"name", "value", "unit"} rows documented in BUILDING.md
+ * ("Histogram JSON").
+ */
+inline void
+recordHistogram(const std::string &bench, const std::string &prefix,
+                const kernel::LatencyHistogram &h)
+{
+    recordMetric(bench, prefix + ".p50",
+                 static_cast<double>(h.percentileUs(50)), "us");
+    recordMetric(bench, prefix + ".p99",
+                 static_cast<double>(h.percentileUs(99)), "us");
+    recordMetric(bench, prefix + ".mean", h.meanUs(), "us");
+    recordMetric(bench, prefix + ".max", static_cast<double>(h.maxUs),
+                 "us");
+    recordMetric(bench, prefix + ".count", static_cast<double>(h.count),
+                 "calls");
+}
+
 /** Repeat fn `warmup + runs` times; collect the timed runs. */
 inline Series
 measure(int warmup, int runs, const std::function<void()> &fn)

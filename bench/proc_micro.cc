@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Process-lifecycle microbenchmark: spawn/wait4/kill latency as the live
+ * process population grows (10 / 100 / 1000 parked processes).
+ *
+ * A driver process runs spawn→waitpid and spawn→kill→waitpid cycles
+ * while the parked population sits in the process table, so every sample
+ * crosses the real syscall path — and the sharded table — at the target
+ * population. Results are the kernel's per-syscall log2 latency
+ * histograms, printed as a table and serialized (p50/p99/mean/max/count
+ * per call) into $BROWSIX_BENCH_JSON via bench::recordHistogram.
+ *
+ * Under BROWSIX_BENCH_SMOKE only the 10-process point runs, with a
+ * handful of cycles — enough to prove the workload executes.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "tests/test_util.h"
+
+using namespace browsix;
+
+namespace {
+
+void
+registerBenchPrograms()
+{
+    // Parked background process (testutil's canonical pipe2+read park):
+    // async runtime, so no 1 MB shared-heap personality per instance —
+    // a 1000-strong population stays cheap.
+    testutil::addParkProgram("bx-park");
+    testutil::addProgram("bx-noop", [](rt::EmEnv &) -> int { return 0; },
+                         apps::RuntimeKind::EmAsync);
+    testutil::addProgram(
+        "bx-proc-driver",
+        [](rt::EmEnv &env) -> int {
+            int cycles = std::atoi(env.argv().at(1).c_str());
+            for (int i = 0; i < cycles; i++) {
+                int pid =
+                    env.spawn({"/usr/bin/bx-noop"}, std::vector<int>{});
+                if (pid <= 0)
+                    return 10;
+                int st = 0;
+                if (env.waitpid(pid, &st, 0) != pid)
+                    return 11;
+                if (!sys::wifExited(st))
+                    return 12;
+            }
+            for (int i = 0; i < cycles; i++) {
+                int pid =
+                    env.spawn({"/usr/bin/bx-park"}, std::vector<int>{});
+                if (pid <= 0)
+                    return 13;
+                if (env.kill(pid, sys::SIGKILL) != 0)
+                    return 14;
+                int st = 0;
+                if (env.waitpid(pid, &st, 0) != pid)
+                    return 15;
+                if (sys::wtermsig(st) != sys::SIGKILL)
+                    return 16;
+            }
+            return 0;
+        },
+        apps::RuntimeKind::EmAsync);
+}
+
+void
+runScale(int live, int cycles)
+{
+    Browsix bx;
+    for (const char *p : {"bx-park", "bx-noop", "bx-proc-driver"})
+        testutil::stage(bx, p);
+
+    int parked = 0, failed = 0;
+    for (int i = 0; i < live; i++) {
+        bx.kernel().spawnRoot(
+            {"/usr/bin/bx-park"}, bx.kernel().defaultEnv, "/", [](int) {},
+            nullptr, nullptr,
+            [&](int pid) { (pid > 0 ? parked : failed)++; });
+    }
+    if (!bx.runUntil([&]() { return parked + failed == live; }, 300000) ||
+        failed > 0) {
+        std::fprintf(stderr, "proc_micro: parked only %d/%d processes\n",
+                     parked, live);
+        std::exit(1);
+    }
+
+    auto r = bx.runArgv({"/usr/bin/bx-proc-driver", std::to_string(cycles)},
+                        600000);
+    if (!r.ok || r.exitCode() != 0) {
+        std::fprintf(stderr,
+                     "proc_micro: driver failed at live=%d (rc=%d)\n",
+                     live, r.exitCode());
+        std::exit(1);
+    }
+
+    const kernel::KernelStats &st = bx.kernel().stats();
+    std::printf("live=%-5d %-6s %10s %10s %10s %8s\n", live, "call",
+                "p50(us)", "p99(us)", "mean(us)", "count");
+    for (const char *name : {"spawn", "wait4", "kill"}) {
+        const kernel::LatencyHistogram *h = st.latency(name);
+        if (!h) {
+            std::fprintf(stderr, "proc_micro: no %s histogram\n", name);
+            std::exit(1);
+        }
+        std::printf("           %-6s %10llu %10llu %10.1f %8llu\n", name,
+                    static_cast<unsigned long long>(h->percentileUs(50)),
+                    static_cast<unsigned long long>(h->percentileUs(99)),
+                    h->meanUs(), static_cast<unsigned long long>(h->count));
+        bench::recordHistogram(
+            "proc_micro",
+            std::string(name) + ".live" + std::to_string(live), *h);
+    }
+    std::printf("\n");
+
+    // Teardown: SIGKILL broadcast against the parked population.
+    bx.kernel().kill(-1, sys::SIGKILL);
+    if (!bx.runUntil([&]() { return bx.kernel().taskCount() == 0; },
+                     300000)) {
+        std::fprintf(stderr, "proc_micro: teardown left %zu tasks\n",
+                     bx.kernel().taskCount());
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    registerBenchPrograms();
+    std::vector<int> scales = bench::smokeMode()
+                                  ? std::vector<int>{10}
+                                  : std::vector<int>{10, 100, 1000};
+    int cycles = bench::smokeMode() ? 4 : 64;
+    for (int live : scales)
+        runScale(live, cycles);
+    return 0;
+}

@@ -17,26 +17,38 @@ Kernel::Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs)
 
 Kernel::~Kernel()
 {
-    for (auto &[pid, t] : tasks_) {
-        if (t->worker)
-            t->worker->terminate();
-    }
+    forEachTask([](Task &t) {
+        if (t.worker)
+            t.worker->terminate();
+    });
 }
 
 Task *
 Kernel::task(int pid)
 {
-    auto it = tasks_.find(pid);
-    return it == tasks_.end() ? nullptr : it->second.get();
+    return tasks_.find(pid);
 }
 
 std::vector<int>
 Kernel::pids() const
 {
-    std::vector<int> out;
-    for (const auto &[pid, t] : tasks_)
-        out.push_back(pid);
-    return out;
+    return tasks_.pids();
+}
+
+int
+Kernel::allocPid()
+{
+    // The cursor hands out consecutive pids (round-robining the table's
+    // bands) and wraps at kMaxPid. A pid still present in the table —
+    // live or zombie — is skipped, so a long-lived session can never
+    // hand out a duplicate.
+    for (int scanned = 0; scanned < kMaxPid; scanned++) {
+        int pid = nextPid_;
+        nextPid_ = nextPid_ >= kMaxPid ? 1 : nextPid_ + 1;
+        if (!tasks_.find(pid))
+            return pid;
+    }
+    return -EAGAIN; // kMaxPid live tasks: the table is genuinely full
 }
 
 void
@@ -127,10 +139,16 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
             if (!bootstrapper_)
                 jsvm::panic("Kernel: no bootstrapper registered");
 
+            int pid = allocPid();
+            if (pid < 0) {
+                for (auto &[fd, f] : fds)
+                    f->unref();
+                cb(pid);
+                return;
+            }
             std::string url = browser_.blobs().createObjectUrl(*code);
             auto worker = browser_.createWorker(url, bootstrapper_);
 
-            int pid = nextPid_++;
             auto t = std::make_unique<Task>();
             t->pid = pid;
             t->ppid = ppid;
@@ -166,7 +184,7 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
             if (!snapshot.isUndefined())
                 init.set("snapshot", std::move(snapshot));
 
-            tasks_[pid] = std::move(t);
+            tasks_.insert(std::move(t));
             stats_.processesSpawned++;
             stats_.messagesSent++;
             worker->postMessage(init);
@@ -239,6 +257,9 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     auto code = browser_.blobs().resolve(parent.blobUrl);
     if (!code)
         return -ENOENT;
+    int pid = allocPid();
+    if (pid < 0)
+        return pid;
     // Workers cannot be cloned (§3.3): boot a fresh worker from the same
     // executable and hand it the serialized memory + program counter.
     // The child gets its own blob URL: revocation at its exit/exec must
@@ -246,7 +267,6 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     std::string child_url = browser_.blobs().createObjectUrl(*code);
     auto worker = browser_.createWorker(child_url, bootstrapper_);
 
-    int pid = nextPid_++;
     auto t = std::make_unique<Task>();
     t->pid = pid;
     t->ppid = parent.pid;
@@ -286,7 +306,7 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     init.set("snapshot", std::move(snapshot));
     init.set("forked", jsvm::Value(true));
 
-    tasks_[pid] = std::move(t);
+    tasks_.insert(std::move(t));
     stats_.processesSpawned++;
     stats_.messagesSent++;
     worker->postMessage(init);
@@ -332,11 +352,14 @@ Kernel::doExit(Task &t, int status)
         }
     }
     t.children.clear();
+    t.zombieFifo.clear();
 
     int pid = t.pid;
     if (t.ppid != 0) {
         if (Task *parent = task(t.ppid)) {
             // "required us to implement the zombie task state" (§3.3).
+            // Exit order is recorded per parent: wait-any reaps FIFO.
+            parent->zombieFifo.push_back(pid);
             if (parent->dispositionFor(sys::SIGCHLD) ==
                 sys::SigDisposition::Handler)
                 deliverSignal(*parent, sys::SIGCHLD);
@@ -354,15 +377,16 @@ Kernel::doExit(Task &t, int status)
 void
 Kernel::completeWaits(Task &parent)
 {
+    // Zombies are consulted in exit order (the parent's zombieFifo), not
+    // by scanning the children set: wait-any reaps FIFO across pid
+    // bands, and the walk is proportional to the zombie count, not the
+    // child count.
     auto &waiters = parent.waitWaiters;
     for (auto it = waiters.begin(); it != waiters.end();) {
         int found = 0;
-        for (int child : parent.children) {
-            Task *c = task(child);
-            if (!c || c->state != TaskState::Zombie)
-                continue;
-            if (it->waitFor == -1 || it->waitFor == child) {
-                found = child;
+        for (int zombie : parent.zombieFifo) {
+            if (it->waitFor == -1 || it->waitFor == zombie) {
+                found = zombie;
                 break;
             }
         }
@@ -370,8 +394,7 @@ Kernel::completeWaits(Task &parent)
             auto done = std::move(it->done);
             int status = task(found)->exitStatus;
             it = waiters.erase(it);
-            parent.children.erase(found);
-            reapTask(found);
+            reapTask(found); // also drops it from children + zombieFifo
             done(found, status);
         } else {
             ++it;
@@ -386,15 +409,36 @@ Kernel::reapTask(int pid)
     if (!t)
         return;
     if (t->ppid != 0) {
-        if (Task *parent = task(t->ppid))
+        if (Task *parent = task(t->ppid)) {
             parent->children.erase(pid);
+            auto &fifo = parent->zombieFifo;
+            fifo.erase(std::remove(fifo.begin(), fifo.end(), pid),
+                       fifo.end());
+        }
     }
     tasks_.erase(pid);
 }
 
 int
-Kernel::kill(int pid, int sig)
+Kernel::kill(int pid, int sig, int skip_pid)
 {
+    if (pid == -1) {
+        // POSIX kill(-1): signal every process (except the issuing one,
+        // per Linux — sysKill passes it as skip_pid). Snapshot the pids
+        // first: delivery can exit tasks, reparent children, and reap
+        // zombies, all of which mutate the table mid-walk.
+        int hit = 0;
+        for (int p : tasks_.pids()) {
+            if (p == skip_pid)
+                continue;
+            Task *t = task(p);
+            if (!t || t->state == TaskState::Zombie)
+                continue;
+            deliverSignal(*t, sig);
+            hit++;
+        }
+        return hit ? 0 : ESRCH;
+    }
     Task *t = task(pid);
     if (!t || t->state == TaskState::Zombie)
         return ESRCH;

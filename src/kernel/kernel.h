@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -20,8 +21,10 @@
 
 #include "bfs/vfs.h"
 #include "jsvm/browser.h"
+#include "kernel/latency_histogram.h"
 #include "kernel/socket.h"
 #include "kernel/task.h"
+#include "kernel/task_table.h"
 
 namespace browsix {
 namespace kernel {
@@ -46,6 +49,19 @@ struct KernelStats
     uint64_t messagesSent = 0;
     uint64_t signalsDelivered = 0;
     uint64_t processesSpawned = 0;
+
+    /// Per-syscall dispatch→completion latency, log2-bucketed in µs.
+    /// Keyed by syscall name; only calls actually observed appear. Calls
+    /// that never complete (exit, a read parked when its process dies)
+    /// are not recorded.
+    std::map<std::string, LatencyHistogram> syscallLatencyUs;
+
+    /** Histogram for one syscall, or nullptr if never observed. */
+    const LatencyHistogram *latency(const std::string &name) const
+    {
+        auto it = syscallLatencyUs.find(name);
+        return it == syscallLatencyUs.end() ? nullptr : &it->second;
+    }
 };
 
 class Kernel
@@ -88,8 +104,12 @@ class Kernel
                    ExitCb on_exit, OutputCb out, OutputCb err, SpawnCb cb,
                    bfs::Buffer stdin_data = {});
 
-    /** Send a signal (kernel.kill). */
-    int kill(int pid, int sig);
+    /** Send a signal (kernel.kill). pid == -1 broadcasts to every
+     * process except skip_pid — sysKill passes the calling task so a
+     * guest kill(-1) excludes itself, Linux style, while embedder
+     * teardown (skip_pid 0) hits everything. ESRCH when no process was
+     * signalled. */
+    int kill(int pid, int sig, int skip_pid = 0);
 
     /** Register a socket notification: cb fires when a process starts
      * listening on port (§4.1 "Socket notifications"). */
@@ -118,7 +138,26 @@ class Kernel
     Task *task(int pid);
     std::vector<int> pids() const;
 
+    /** Visit every task band by band — the only sanctioned whole-table
+     * walk (shutdown, broadcast). fn must not spawn or reap. */
+    template <typename Fn>
+    void forEachTask(Fn &&fn)
+    {
+        tasks_.forEach(std::forward<Fn>(fn));
+    }
+
     const KernelStats &stats() const { return stats_; }
+
+    /// Pid allocation wraps past this; the allocator then skips pids
+    /// still present in the table (Linux's PID_MAX_LIMIT).
+    static constexpr int kMaxPid = 4 * 1024 * 1024;
+
+    /** Test hook: move the pid-allocation cursor (wraparound coverage in
+     * the stress suite). Clamped to [1, kMaxPid]. */
+    void setNextPid(int pid)
+    {
+        nextPid_ = (pid < 1 || pid > kMaxPid) ? 1 : pid;
+    }
 
     // ----- internal (used by syscall handlers; public for the ctx) -----
 
@@ -147,6 +186,24 @@ class Kernel
     void notifyListen(int port, SocketFile *listener);
     void completeWaits(Task &parent);
     void reapTask(int pid);
+    /**
+     * Record one completed syscall's dispatch→completion time into the
+     * per-name latency histogram (called by SyscallCtx). Sync/ring calls
+     * pass their trap number so the hot path is an array index into a
+     * cached histogram pointer; only async calls (trap < 0) and each
+     * trap's first completion pay the name-keyed map lookup.
+     */
+    void noteSyscallLatency(int trap, const std::string &name, uint64_t us)
+    {
+        if (trap >= 0 && trap < kTrapHistSlots) {
+            LatencyHistogram *&slot = trapHist_[trap];
+            if (!slot)
+                slot = &stats_.syscallLatencyUs[name]; // map nodes are stable
+            slot->record(us);
+            return;
+        }
+        stats_.syscallLatencyUs[name].record(us);
+    }
 
     std::map<int, SocketFile *> &ports() { return ports_; }
 
@@ -162,13 +219,21 @@ class Kernel
                                               std::vector<std::string>)>
                                cb);
 
+    /** Next free pid from the round-robin cursor (skips pids still in
+     * the table after wraparound), or -EAGAIN when the table is full. */
+    int allocPid();
+
     jsvm::Browser &browser_;
     bfs::VfsPtr vfs_;
     Bootstrapper bootstrapper_;
     KernelStats stats_;
 
     int nextPid_ = 1;
-    std::map<int, std::unique_ptr<Task>> tasks_;
+    TaskTable tasks_;
+    /// Trap-indexed cache of histogram map nodes (covers every sys::Trap
+    /// value; 423 = RING_PERSONALITY is the current ceiling).
+    static constexpr int kTrapHistSlots = 512;
+    std::array<LatencyHistogram *, kTrapHistSlots> trapHist_{};
     std::map<int, SocketFile *> ports_; // bound port -> listening socket
     std::multimap<int, std::function<void()>> listenWatchers_;
 

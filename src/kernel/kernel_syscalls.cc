@@ -160,22 +160,18 @@ sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
     int wait_pid = ctx->argInt(0);
     int options = ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1);
 
+    // Existing zombies are reaped in exit order (the parent's
+    // zombieFifo), not pid order — deterministic FIFO across pid bands.
     int found = 0;
-    for (int child : t.children) {
-        Task *c = k.task(child);
-        if (!c)
-            continue;
-        if (wait_pid != -1 && wait_pid != child)
-            continue;
-        if (c->state == TaskState::Zombie) {
-            found = child;
+    for (int zombie : t.zombieFifo) {
+        if (wait_pid == -1 || wait_pid == zombie) {
+            found = zombie;
             break;
         }
     }
     if (found) {
         int status = k.task(found)->exitStatus;
-        t.children.erase(found);
-        k.reapTask(found);
+        k.reapTask(found); // also drops it from children + zombieFifo
         ctx->complete(found, status);
         return;
     }
@@ -239,9 +235,11 @@ sysChdir(Kernel &k, Task &t, SyscallCtxPtr ctx)
 }
 
 void
-sysKill(Kernel &k, Task &, SyscallCtxPtr ctx)
+sysKill(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    int rc = k.kill(ctx->argInt(0), ctx->argInt(1));
+    // The caller is excluded from a kill(-1) broadcast (Linux style):
+    // killing it mid-syscall would silently drop this completion.
+    int rc = k.kill(ctx->argInt(0), ctx->argInt(1), t.pid);
     if (rc)
         ctx->completeErr(rc);
     else

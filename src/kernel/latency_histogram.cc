@@ -1,0 +1,54 @@
+#include "kernel/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace browsix {
+namespace kernel {
+
+size_t
+LatencyHistogram::bucketFor(uint64_t us)
+{
+    if (us == 0)
+        return 0;
+    // floor(log2(us)) + 1: us == 1 -> bucket 1, us in [2,3] -> bucket 2.
+    auto b = static_cast<size_t>(64 - __builtin_clzll(us));
+    return std::min(b, kBuckets - 1);
+}
+
+uint64_t
+LatencyHistogram::bucketCeilingUs(size_t bucket)
+{
+    if (bucket == 0)
+        return 0;
+    return (uint64_t(1) << bucket) - 1;
+}
+
+void
+LatencyHistogram::record(uint64_t us)
+{
+    buckets[bucketFor(us)]++;
+    count++;
+    sumUs += us;
+    maxUs = std::max(maxUs, us);
+}
+
+uint64_t
+LatencyHistogram::percentileUs(double p) const
+{
+    if (count == 0)
+        return 0;
+    auto target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    target = std::max<uint64_t>(1, std::min(target, count));
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kBuckets; b++) {
+        cum += buckets[b];
+        if (cum >= target)
+            return std::min(bucketCeilingUs(b), maxUs);
+    }
+    return maxUs;
+}
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Log2-bucketed latency histogram for per-syscall completion times.
+ *
+ * Recording is a count-leading-zeros and two increments — cheap enough
+ * for the syscall hot path. Bucket 0 holds sub-microsecond completions;
+ * bucket i (i >= 1) holds [2^(i-1), 2^i) microseconds; the top bucket
+ * absorbs everything from 2^30 µs (~18 minutes) up. Percentiles are
+ * estimated as the ceiling of the covering bucket, clamped to the true
+ * observed maximum.
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace browsix {
+namespace kernel {
+
+struct LatencyHistogram
+{
+    static constexpr size_t kBuckets = 32;
+
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sumUs = 0;
+    uint64_t maxUs = 0;
+
+    /** Bucket index covering an elapsed time. */
+    static size_t bucketFor(uint64_t us);
+
+    /** Largest value (µs) the bucket can report (0 for bucket 0). */
+    static uint64_t bucketCeilingUs(size_t bucket);
+
+    void record(uint64_t us);
+
+    double meanUs() const
+    {
+        return count ? static_cast<double>(sumUs) / static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /** Percentile estimate for p in (0, 100]. */
+    uint64_t percentileUs(double p) const;
+};
+
+} // namespace kernel
+} // namespace browsix

@@ -13,22 +13,37 @@ namespace kernel {
 SyscallCtx::SyscallCtx(Kernel &k, int pid, double id, std::string name,
                        jsvm::Value args)
     : kernel_(k), pid_(pid), conv_(SyscallConv::Async), id_(id),
-      name_(std::move(name)), args_(std::move(args))
+      name_(std::move(name)), args_(std::move(args)),
+      startUs_(jsvm::nowUs())
 {
 }
 
 SyscallCtx::SyscallCtx(Kernel &k, int pid, int trap,
                        std::array<int32_t, 6> args)
     : kernel_(k), pid_(pid), conv_(SyscallConv::Sync),
-      name_(sys::trapName(trap)), sargs_(args)
+      name_(sys::trapName(trap)), sargs_(args), trap_(trap),
+      startUs_(jsvm::nowUs())
 {
 }
 
 SyscallCtx::SyscallCtx(Kernel &k, int pid, int trap,
                        std::array<int32_t, 6> args, uint32_t seq)
     : kernel_(k), pid_(pid), conv_(SyscallConv::Ring),
-      name_(sys::trapName(trap)), sargs_(args), seq_(seq)
+      name_(sys::trapName(trap)), sargs_(args), seq_(seq), trap_(trap),
+      startUs_(jsvm::nowUs())
 {
+}
+
+void
+SyscallCtx::markCompleted()
+{
+    if (completed_)
+        jsvm::panic("syscall " + name_ + " completed twice");
+    completed_ = true;
+    int64_t elapsed = jsvm::nowUs() - startUs_;
+    kernel_.noteSyscallLatency(trap_, name_,
+                               elapsed < 0 ? 0
+                                           : static_cast<uint64_t>(elapsed));
 }
 
 Task *
@@ -201,9 +216,7 @@ SyscallCtx::finishAsync(int64_t r0, int64_t r1, jsvm::Value extra)
 void
 SyscallCtx::complete(int64_t r0, int64_t r1)
 {
-    if (completed_)
-        jsvm::panic("syscall " + name_ + " completed twice");
-    completed_ = true;
+    markCompleted();
     if (isSync())
         finishHeap(r0, r1);
     else
@@ -213,9 +226,7 @@ SyscallCtx::complete(int64_t r0, int64_t r1)
 void
 SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx)
 {
-    if (completed_)
-        jsvm::panic("syscall " + name_ + " completed twice");
-    completed_ = true;
+    markCompleted();
     if (isSync()) {
         heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), data.data(),
                   data.size());
@@ -230,9 +241,7 @@ void
 SyscallCtx::completeStr(const std::string &s, size_t dst_ptr_idx,
                         size_t max_len_idx)
 {
-    if (completed_)
-        jsvm::panic("syscall " + name_ + " completed twice");
-    completed_ = true;
+    markCompleted();
     if (isSync()) {
         size_t max_len = static_cast<uint32_t>(sargs_[max_len_idx]);
         if (s.size() + 1 > max_len) {
@@ -252,9 +261,7 @@ SyscallCtx::completeStr(const std::string &s, size_t dst_ptr_idx,
 void
 SyscallCtx::completeStat(const sys::StatX &st, size_t dst_ptr_idx)
 {
-    if (completed_)
-        jsvm::panic("syscall " + name_ + " completed twice");
-    completed_ = true;
+    markCompleted();
     if (isSync()) {
         uint8_t packed[sys::STAT_BYTES];
         sys::packStat(st, packed);
@@ -269,11 +276,9 @@ SyscallCtx::completeStat(const sys::StatX &st, size_t dst_ptr_idx)
 void
 SyscallCtx::completeValue(int64_t r0, jsvm::Value extra)
 {
-    if (completed_)
-        jsvm::panic("syscall " + name_ + " completed twice");
     if (isSync())
         jsvm::panic("completeValue on sync call " + name_);
-    completed_ = true;
+    markCompleted();
     finishAsync(r0, 0, std::move(extra));
 }
 

@@ -80,6 +80,10 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
 
   private:
     Task *taskOrNull() const;
+    /** Exactly-once guard shared by every complete* entry point: panics
+     * on double completion and records dispatch→completion latency into
+     * the kernel's per-syscall histogram. */
+    void markCompleted();
     /** Route r0/r1 to the caller per convention (sync heap write + wake,
      * or ring CQE push). */
     void finishHeap(int64_t r0, int64_t r1);
@@ -96,6 +100,8 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
     jsvm::Value args_;                 // async
     std::array<int32_t, 6> sargs_{};   // sync/ring
     uint32_t seq_ = 0;                 // ring completion tag
+    int trap_ = -1;                    // sync/ring trap (latency fast path)
+    int64_t startUs_ = 0;              // dispatch time (latency histogram)
     bool completed_ = false;
 };
 

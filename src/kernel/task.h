@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -65,6 +66,11 @@ struct Task
     std::map<int, sys::SigDisposition> sigDisp;
 
     std::set<int> children;
+
+    /// Zombie children in exit order. wait-any reaps from the front —
+    /// deterministic FIFO regardless of which pid band a child lives in —
+    /// while wait-specific and reapTask remove from the middle.
+    std::deque<int> zombieFifo;
 
     /// Pending wait4 completions: (pid-selector, completion).
     struct WaitWaiter

@@ -1,0 +1,50 @@
+#include "kernel/task_table.h"
+
+#include <algorithm>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace kernel {
+
+Task *
+TaskTable::find(int pid) const
+{
+    const auto &band = bands_[bandOf(pid)];
+    auto it = band.find(pid);
+    return it == band.end() ? nullptr : it->second.get();
+}
+
+Task *
+TaskTable::insert(std::unique_ptr<Task> t)
+{
+    Task *raw = t.get();
+    auto [it, fresh] =
+        bands_[bandOf(raw->pid)].emplace(raw->pid, std::move(t));
+    if (!fresh)
+        jsvm::panic("TaskTable: duplicate pid " +
+                    std::to_string(raw->pid));
+    size_++;
+    return it->second.get();
+}
+
+bool
+TaskTable::erase(int pid)
+{
+    size_t n = bands_[bandOf(pid)].erase(pid);
+    size_ -= n;
+    return n > 0;
+}
+
+std::vector<int>
+TaskTable::pids() const
+{
+    std::vector<int> out;
+    out.reserve(size_);
+    forEach([&out](const Task &t) { out.push_back(t.pid); });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace kernel
+} // namespace browsix

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The kernel's process table, sharded by pid band.
+ *
+ * Pids come from a round-robin allocation cursor, so consecutive pids
+ * land in consecutive bands: band = pid mod kBands. Lookup hashes within
+ * a single band (O(1)); whole-table walks — pids(), signal broadcast,
+ * kernel shutdown — go band by band through forEach and never assume one
+ * ordered map, which is what lets the table grow to thousands of live
+ * processes without the walkers dominating.
+ */
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/task.h"
+
+namespace browsix {
+namespace kernel {
+
+class TaskTable
+{
+  public:
+    static constexpr int kBands = 64; // power of two: band is a mask
+
+    static int bandOf(int pid) { return pid & (kBands - 1); }
+
+    Task *find(int pid) const;
+
+    /**
+     * Take ownership of t, keyed by t->pid. The pid allocator guarantees
+     * uniqueness; a duplicate insert panics (it would mean a recycled
+     * pid collided with a live task).
+     */
+    Task *insert(std::unique_ptr<Task> t);
+
+    bool erase(int pid);
+
+    size_t size() const { return size_; }
+
+    /** Visit every task, band by band (order within a band is
+     * unspecified). The visitor must not insert or erase. */
+    template <typename Fn>
+    void forEach(Fn &&fn)
+    {
+        for (auto &band : bands_)
+            for (auto &[pid, t] : band)
+                fn(*t);
+    }
+
+    /** Read-only visit: a const table hands out const Tasks. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const auto &band : bands_)
+            for (const auto &[pid, t] : band)
+                fn(static_cast<const Task &>(*t));
+    }
+
+    /** Every pid in the table, ascending (stable embedder-facing order). */
+    std::vector<int> pids() const;
+
+  private:
+    std::array<std::unordered_map<int, std::unique_ptr<Task>>, kBands>
+        bands_;
+    size_t size_ = 0;
+};
+
+} // namespace kernel
+} // namespace browsix

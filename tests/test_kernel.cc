@@ -8,11 +8,101 @@
 #include <gtest/gtest.h>
 
 #include "core/browsix.h"
+#include "kernel/latency_histogram.h"
 #include "kernel/pipe.h"
 #include "kernel/socket.h"
+#include "kernel/task_table.h"
 
 using namespace browsix;
 using namespace browsix::kernel;
+
+// ---------- TaskTable (unit) ----------
+
+namespace {
+
+std::unique_ptr<Task>
+makeTask(int pid)
+{
+    auto t = std::make_unique<Task>();
+    t->pid = pid;
+    return t;
+}
+
+} // namespace
+
+TEST(TaskTable, BandedLookupInsertErase)
+{
+    TaskTable tbl;
+    // Pids kBands apart share a band; consecutive pids round-robin.
+    const int stride = TaskTable::kBands;
+    std::vector<int> pids = {1, 2, stride, stride + 1, 3 * stride + 1};
+    for (int pid : pids)
+        tbl.insert(makeTask(pid));
+    EXPECT_EQ(tbl.size(), pids.size());
+    EXPECT_EQ(TaskTable::bandOf(1), TaskTable::bandOf(stride + 1));
+    EXPECT_NE(TaskTable::bandOf(1), TaskTable::bandOf(2));
+    for (int pid : pids) {
+        ASSERT_NE(tbl.find(pid), nullptr) << pid;
+        EXPECT_EQ(tbl.find(pid)->pid, pid);
+    }
+    EXPECT_EQ(tbl.find(33), nullptr);
+    EXPECT_EQ(tbl.pids(), (std::vector<int>{1, 2, stride, stride + 1,
+                                            3 * stride + 1}))
+        << "pids() reports ascending across bands";
+
+    EXPECT_TRUE(tbl.erase(stride + 1));
+    EXPECT_FALSE(tbl.erase(stride + 1)) << "second erase is a no-op";
+    EXPECT_EQ(tbl.size(), pids.size() - 1);
+    EXPECT_EQ(tbl.find(stride + 1), nullptr);
+    EXPECT_NE(tbl.find(1), nullptr)
+        << "same-band neighbour must survive an erase";
+
+    std::set<int> visited;
+    tbl.forEach([&visited](Task &t) { visited.insert(t.pid); });
+    EXPECT_EQ(visited, (std::set<int>{1, 2, stride, 3 * stride + 1}));
+}
+
+// ---------- LatencyHistogram (unit) ----------
+
+TEST(LatencyHistogram, BucketBoundaries)
+{
+    EXPECT_EQ(LatencyHistogram::bucketFor(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(2), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(3), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(4), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1023), 10u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(1024), 11u);
+    EXPECT_EQ(LatencyHistogram::bucketFor(~uint64_t(0)),
+              LatencyHistogram::kBuckets - 1)
+        << "huge samples land in the top bucket, not out of bounds";
+    EXPECT_EQ(LatencyHistogram::bucketCeilingUs(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketCeilingUs(1), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketCeilingUs(2), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketCeilingUs(10), 1023u);
+}
+
+TEST(LatencyHistogram, RecordAndPercentiles)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentileUs(50), 0u) << "empty histogram";
+    for (int i = 0; i < 90; i++)
+        h.record(1); // bucket 1
+    for (int i = 0; i < 10; i++)
+        h.record(100); // bucket 7: [64, 127]
+    EXPECT_EQ(h.count, 100u);
+    EXPECT_EQ(h.maxUs, 100u);
+    EXPECT_DOUBLE_EQ(h.meanUs(), 10.9);
+    EXPECT_EQ(h.percentileUs(50), 1u);
+    EXPECT_EQ(h.percentileUs(90), 1u);
+    EXPECT_EQ(h.percentileUs(95), 100u)
+        << "p95 reports the bucket ceiling clamped to the observed max";
+    EXPECT_EQ(h.percentileUs(99), 100u);
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : h.buckets)
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, h.count);
+}
 
 // ---------- Pipe (unit) ----------
 

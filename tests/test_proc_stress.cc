@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Process-lifecycle stress suite (ctest label `stress`): spawn/exit
+ * churn of 1000+ processes against the sharded process table, pid
+ * allocation across wraparound, concurrent waitpid from many parents,
+ * waitpid edge cases (WNOHANG, ECHILD, FIFO reap order, wait-any racing
+ * wait-specific), and SIGKILL storms against parked ring waiters.
+ *
+ * Deterministic by construction: tests advance through runUntil
+ * predicates and synchronous kernel-side kills — no wall-clock sleeps —
+ * and the churn/FIFO tests run under jsvm::TestClock so cost-model
+ * charges become virtual time.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/browsix.h"
+#include "jsvm/test_clock.h"
+#include "runtime/syscall_ring.h"
+#include "tests/test_util.h"
+
+using namespace browsix;
+
+namespace {
+
+using testutil::stage;
+
+void
+addProgram(const std::string &name, rt::EmProgramFn fn,
+           apps::RuntimeKind kind = apps::RuntimeKind::EmAsync)
+{
+    testutil::addProgram(name, std::move(fn), kind);
+}
+
+void
+addParkProgram(const std::string &name = "stress-park")
+{
+    testutil::addParkProgram(name);
+}
+
+} // namespace
+
+// ---------- churn: the headline population ----------
+
+TEST(ProcStress, ChurnOfThousandProcessesReapsEverything)
+{
+    jsvm::TestClock clock;
+    addProgram("stress-noop", [](rt::EmEnv &) -> int { return 0; });
+    Browsix bx;
+    stage(bx, "stress-noop");
+
+    const int rounds = 16, batch = 64; // 1024 processes total
+    std::set<int> pids_seen;
+    int exits = 0, spawn_failures = 0;
+    for (int r = 0; r < rounds; r++) {
+        for (int i = 0; i < batch; i++) {
+            bx.kernel().spawnRoot(
+                {"/usr/bin/stress-noop"}, bx.kernel().defaultEnv, "/",
+                [&](int) { exits++; }, nullptr, nullptr, [&](int pid) {
+                    if (pid > 0)
+                        pids_seen.insert(pid);
+                    else
+                        spawn_failures++;
+                });
+        }
+        ASSERT_TRUE(bx.runUntil(
+            [&]() { return exits + spawn_failures == (r + 1) * batch; },
+            120000))
+            << "round " << r << ": only " << exits << " exits";
+    }
+    EXPECT_EQ(spawn_failures, 0);
+    EXPECT_EQ(pids_seen.size(), static_cast<size_t>(rounds * batch))
+        << "monotonic pid allocation must never hand out a duplicate";
+    EXPECT_EQ(bx.kernel().taskCount(), 0u) << "no zombies, no leaks";
+    EXPECT_GE(bx.kernel().stats().processesSpawned,
+              static_cast<uint64_t>(rounds * batch));
+}
+
+// ---------- pid allocation across wraparound ----------
+
+TEST(ProcStress, PidAllocationSkipsLivePidsOnWraparound)
+{
+    addParkProgram();
+    Browsix bx;
+    stage(bx, "stress-park");
+
+    auto park_one = [&bx]() {
+        int got = 0;
+        bx.kernel().spawnRoot({"/usr/bin/stress-park"},
+                              bx.kernel().defaultEnv, "/", [](int) {},
+                              nullptr, nullptr,
+                              [&got](int pid) { got = pid; });
+        EXPECT_TRUE(bx.runUntil([&got]() { return got != 0; }, 30000));
+        EXPECT_GT(got, 0);
+        return got;
+    };
+
+    std::set<int> low;
+    for (int i = 0; i < 3; i++)
+        low.insert(park_one());
+
+    // Jump the cursor to the top of pid space: the next spawns take the
+    // last pids before the wrap, then wrap — and must skip every pid
+    // still live in the table.
+    bx.kernel().setNextPid(kernel::Kernel::kMaxPid - 1);
+    int top1 = park_one();
+    int top2 = park_one();
+    EXPECT_EQ(top1, kernel::Kernel::kMaxPid - 1);
+    EXPECT_EQ(top2, kernel::Kernel::kMaxPid);
+    int wrapped1 = park_one();
+    int wrapped2 = park_one();
+    EXPECT_LT(wrapped1, top1) << "cursor must wrap, not keep growing";
+    EXPECT_EQ(low.count(wrapped1), 0u) << "live pid handed out twice";
+    EXPECT_EQ(low.count(wrapped2), 0u) << "live pid handed out twice";
+    EXPECT_NE(wrapped1, wrapped2);
+
+    // Point the cursor directly at a live pid: the allocator must skip
+    // to the next free one instead of duplicating it.
+    int first_live = *low.begin();
+    bx.kernel().setNextPid(first_live);
+    int skipped = park_one();
+    EXPECT_EQ(low.count(skipped), 0u);
+    EXPECT_NE(skipped, wrapped1);
+    EXPECT_NE(skipped, wrapped2);
+
+    EXPECT_EQ(bx.kernel().taskCount(), 8u);
+    EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil(
+        [&bx]() { return bx.kernel().taskCount() == 0; }, 30000));
+}
+
+// ---------- concurrent waitpid from many parents ----------
+
+TEST(ProcStress, ManyParentsWaitConcurrently)
+{
+    // Children exit with a code derived from their own pid, so each
+    // parent can verify it reaped exactly its own children with the
+    // right statuses — cross-parent leakage would be caught.
+    addProgram("stress-pidcode", [](rt::EmEnv &env) -> int {
+        return env.getpid() % 121;
+    });
+    addProgram("stress-parent", [](rt::EmEnv &env) -> int {
+        const int n = 16;
+        std::set<int> kids;
+        for (int i = 0; i < n; i++) {
+            int pid = env.spawn({"/usr/bin/stress-pidcode"},
+                                std::vector<int>{});
+            if (pid <= 0)
+                return 100;
+            kids.insert(pid);
+        }
+        for (int i = 0; i < n; i++) {
+            int st = 0;
+            int pid = env.waitpid(-1, &st, 0);
+            if (pid <= 0)
+                return 101;
+            if (!kids.erase(pid))
+                return 102; // not ours, or reaped twice
+            if (!sys::wifExited(st) || sys::wexitstatus(st) != pid % 121)
+                return 103;
+        }
+        if (!kids.empty())
+            return 104;
+        if (env.waitpid(-1, nullptr, 0) != -ECHILD)
+            return 105;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "stress-pidcode");
+    stage(bx, "stress-parent");
+
+    const int parents = 8;
+    int done = 0;
+    std::vector<int> statuses(parents, -1);
+    for (int i = 0; i < parents; i++) {
+        bx.kernel().spawnRoot({"/usr/bin/stress-parent"},
+                              bx.kernel().defaultEnv, "/",
+                              [&done, &statuses, i](int st) {
+                                  statuses[i] = st;
+                                  done++;
+                              },
+                              nullptr, nullptr, [](int) {});
+    }
+    ASSERT_TRUE(
+        bx.runUntil([&]() { return done == parents; }, 240000));
+    for (int i = 0; i < parents; i++)
+        EXPECT_EQ(sys::wexitstatus(statuses[i]), 0) << "parent " << i;
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+
+    // The whole exercise crossed the real syscall path, so the latency
+    // histograms must have seen every spawn and wait4.
+    const kernel::KernelStats &st = bx.kernel().stats();
+    const kernel::LatencyHistogram *spawn_h = st.latency("spawn");
+    const kernel::LatencyHistogram *wait_h = st.latency("wait4");
+    ASSERT_NE(spawn_h, nullptr);
+    ASSERT_NE(wait_h, nullptr);
+    EXPECT_EQ(spawn_h->count, static_cast<uint64_t>(parents * 16));
+    EXPECT_EQ(wait_h->count, static_cast<uint64_t>(parents * 17))
+        << "16 reaps + 1 final ECHILD per parent";
+    EXPECT_LE(spawn_h->percentileUs(50), spawn_h->percentileUs(99));
+}
+
+// ---------- waitpid edge cases ----------
+
+TEST(ProcStress, WaitpidWnohangAndEchildEdgeCases)
+{
+    addParkProgram();
+    addProgram("stress-wnohang", [](rt::EmEnv &env) -> int {
+        // No children at all: ECHILD, blocking or not.
+        if (env.waitpid(-1, nullptr, 0) != -ECHILD)
+            return 1;
+        if (env.waitpid(-1, nullptr, sys::WNOHANG) != -ECHILD)
+            return 2;
+        int kid = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        if (kid <= 0)
+            return 3;
+        // Live child, no zombie: WNOHANG returns 0 instead of blocking.
+        if (env.waitpid(-1, nullptr, sys::WNOHANG) != 0)
+            return 4;
+        if (env.waitpid(kid, nullptr, sys::WNOHANG) != 0)
+            return 5;
+        // A pid that is not our child: ECHILD even while kids are live.
+        if (env.waitpid(kid + 7777, nullptr, 0) != -ECHILD)
+            return 6;
+        if (env.kill(kid, sys::SIGKILL) != 0)
+            return 7;
+        int st = 0;
+        if (env.waitpid(kid, &st, 0) != kid)
+            return 8;
+        if (sys::wtermsig(st) != sys::SIGKILL)
+            return 9;
+        // Everything reaped: back to ECHILD.
+        if (env.waitpid(-1, nullptr, 0) != -ECHILD)
+            return 10;
+        if (env.waitpid(kid, nullptr, sys::WNOHANG) != -ECHILD)
+            return 11;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "stress-park");
+    stage(bx, "stress-wnohang");
+    auto r = bx.runArgv({"/usr/bin/stress-wnohang"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+}
+
+TEST(ProcStress, WaitAnyReapsInExitOrderAcrossBands)
+{
+    jsvm::TestClock clock;
+    addParkProgram();
+    addProgram("stress-fifo", [](rt::EmEnv &env) -> int {
+        // Consecutive pids round-robin the table's bands, so a, b and c
+        // live in three different shards; reap order must follow exit
+        // order (the kill order), not pid or band order.
+        int a = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        int b = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        int c = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        if (a <= 0 || b <= 0 || c <= 0)
+            return 1;
+        env.kill(c, sys::SIGKILL);
+        env.kill(a, sys::SIGKILL);
+        env.kill(b, sys::SIGKILL);
+        int st = 0;
+        if (env.waitpid(-1, &st, 0) != c)
+            return 2;
+        if (env.waitpid(-1, &st, 0) != a)
+            return 3;
+        if (env.waitpid(-1, &st, 0) != b)
+            return 4;
+        // Wait-specific removes from the middle of the FIFO: d exits
+        // before e, but waiting for e explicitly must not disturb d.
+        int d = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        int e = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        if (d <= 0 || e <= 0)
+            return 5;
+        env.kill(d, sys::SIGKILL);
+        env.kill(e, sys::SIGKILL);
+        if (env.waitpid(e, &st, 0) != e)
+            return 6;
+        if (env.waitpid(-1, &st, 0) != d)
+            return 7;
+        if (env.waitpid(-1, nullptr, 0) != -ECHILD)
+            return 8;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "stress-park");
+    stage(bx, "stress-fifo");
+    auto r = bx.runArgv({"/usr/bin/stress-fifo"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0) << "reap order diverged from exit order";
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+}
+
+TEST(ProcStress, WaitAnyRacesWaitSpecific)
+{
+    // Two wait4s pending on the same parent — the in-kernel waiter list
+    // the async convention produces. White-box: children are wired via
+    // doSpawn so ppid points at the parked parent, and waiters are
+    // registered exactly as sysWait4 would.
+    addParkProgram();
+    Browsix bx;
+    stage(bx, "stress-park");
+
+    int parent_pid = 0;
+    bx.kernel().spawnRoot({"/usr/bin/stress-park"}, bx.kernel().defaultEnv,
+                          "/", [](int) {}, nullptr, nullptr,
+                          [&](int pid) { parent_pid = pid; });
+    ASSERT_TRUE(bx.runUntil([&]() { return parent_pid > 0; }, 30000));
+    kernel::Task *parent = bx.kernel().task(parent_pid);
+    ASSERT_NE(parent, nullptr);
+
+    int c1 = 0, c2 = 0;
+    bx.kernel().doSpawn(parent, {"/usr/bin/stress-park"},
+                        bx.kernel().defaultEnv, "/", {},
+                        jsvm::Value::undefined(),
+                        [&](int pid) { c1 = pid; });
+    bx.kernel().doSpawn(parent, {"/usr/bin/stress-park"},
+                        bx.kernel().defaultEnv, "/", {},
+                        jsvm::Value::undefined(),
+                        [&](int pid) { c2 = pid; });
+    ASSERT_TRUE(bx.runUntil([&]() { return c1 > 0 && c2 > 0; }, 30000));
+
+    // wait-specific(c2) registered before wait-any.
+    std::vector<std::pair<int, int>> specific, any;
+    parent->waitWaiters.push_back(kernel::Task::WaitWaiter{
+        c2, [&](int pid, int st) { specific.emplace_back(pid, st); }});
+    parent->waitWaiters.push_back(kernel::Task::WaitWaiter{
+        -1, [&](int pid, int st) { any.emplace_back(pid, st); }});
+
+    // c2 dies first: the specific waiter must win it; wait-any must keep
+    // waiting even though a zombie existed momentarily.
+    EXPECT_EQ(bx.kernel().kill(c2, sys::SIGKILL), 0);
+    ASSERT_EQ(specific.size(), 1u);
+    EXPECT_EQ(specific[0].first, c2);
+    EXPECT_EQ(sys::wtermsig(specific[0].second), sys::SIGKILL);
+    EXPECT_TRUE(any.empty())
+        << "wait-any stole a zombie from a wait-specific ahead of it";
+
+    EXPECT_EQ(bx.kernel().kill(c1, sys::SIGKILL), 0);
+    ASSERT_EQ(any.size(), 1u);
+    EXPECT_EQ(any[0].first, c1);
+
+    EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil(
+        [&bx]() { return bx.kernel().taskCount() == 0; }, 30000));
+}
+
+// ---------- SIGKILL storm against parked ring waiters ----------
+
+TEST(ProcStress, SigkillStormUnwindsParkedRingWaiters)
+{
+    // Every process parks on its ring wait word (an InterruptToken-held
+    // waker); a broadcast SIGKILL must unwind all of them — no hang, no
+    // lost exit status, nothing left in the table. The TSan stress job
+    // watches this path for waker/terminate races.
+    addProgram(
+        "stress-ring-park",
+        [](rt::EmEnv &env) -> int {
+            env.write(1, "parked\n");
+            env.ring()->wait(0xdead); // no such seq: parks forever
+            return 0;
+        },
+        apps::RuntimeKind::EmRing);
+    Browsix bx;
+    stage(bx, "stress-ring-park");
+
+    const int waiters = 24;
+    int parked = 0, exited = 0;
+    std::vector<int> statuses(waiters, -1);
+    for (int i = 0; i < waiters; i++) {
+        bx.kernel().spawnRoot(
+            {"/usr/bin/stress-ring-park"}, bx.kernel().defaultEnv, "/",
+            [&exited, &statuses, i](int st) {
+                statuses[i] = st;
+                exited++;
+            },
+            [&parked](const bfs::Buffer &d) {
+                for (uint8_t ch : d)
+                    if (ch == '\n')
+                        parked++;
+            },
+            nullptr, [](int) {});
+    }
+    ASSERT_TRUE(bx.runUntil([&]() { return parked == waiters; }, 240000));
+    EXPECT_EQ(bx.kernel().taskCount(), static_cast<size_t>(waiters));
+
+    EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited == waiters; }, 240000))
+        << "SIGKILL storm left parked ring waiters behind";
+    for (int i = 0; i < waiters; i++)
+        EXPECT_EQ(sys::wtermsig(statuses[i]), sys::SIGKILL) << "waiter " << i;
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+    EXPECT_EQ(bx.kernel().stats().ringCqOverflows, 0u);
+}
+
+// ---------- broadcast semantics ----------
+
+TEST(ProcStress, BroadcastKillWithNoProcessesIsEsrch)
+{
+    Browsix bx;
+    EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), ESRCH);
+}
+
+TEST(ProcStress, GuestBroadcastKillExcludesTheCaller)
+{
+    // Linux kill(-1) never signals the issuing process: a guest cleaning
+    // up its jobs with kill(-1, SIGKILL) must survive to reap them.
+    addParkProgram();
+    addProgram("stress-bcast", [](rt::EmEnv &env) -> int {
+        int a = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        int b = env.spawn({"/usr/bin/stress-park"}, std::vector<int>{});
+        if (a <= 0 || b <= 0)
+            return 1;
+        if (env.kill(-1, sys::SIGKILL) != 0)
+            return 2;
+        // Broadcast delivery walks pids ascending, so exit order is a, b.
+        int st = 0;
+        if (env.waitpid(-1, &st, 0) != a)
+            return 3;
+        if (sys::wtermsig(st) != sys::SIGKILL)
+            return 4;
+        if (env.waitpid(-1, &st, 0) != b)
+            return 5;
+        if (env.waitpid(-1, nullptr, 0) != -ECHILD)
+            return 6;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "stress-park");
+    stage(bx, "stress-bcast");
+    auto r = bx.runArgv({"/usr/bin/stress-bcast"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0) << "caller died in its own broadcast";
+    EXPECT_EQ(bx.kernel().taskCount(), 0u);
+}

@@ -15,26 +15,19 @@
 #include "core/browsix.h"
 #include "jsvm/test_clock.h"
 #include "runtime/syscall_ring.h"
+#include "tests/test_util.h"
 
 using namespace browsix;
 
 namespace {
 
+using testutil::stage;
+
 void
 addProgram(const std::string &name, rt::EmProgramFn fn,
            apps::RuntimeKind kind = apps::RuntimeKind::EmRing)
 {
-    apps::registerAllPrograms();
-    apps::ProgramRegistry::instance().add(
-        apps::ProgramSpec{name, kind, 64, std::move(fn), nullptr});
-}
-
-void
-stage(Browsix &bx, const std::string &name)
-{
-    bx.rootFs().writeFile(
-        "/usr/bin/" + name,
-        apps::ProgramRegistry::instance().bundleFor(name));
+    testutil::addProgram(name, std::move(fn), kind);
 }
 
 } // namespace
@@ -188,6 +181,52 @@ TEST(RingSyscalls, BatchOf64DrainsInOnePumpWithOneNotify)
         << "one doorbell -> one drain pass";
     EXPECT_EQ(after.ringNotifies - before.ringNotifies, 1u)
         << "64 completions must coalesce into a single notify";
+}
+
+TEST(RingSyscalls, CountersAndLatencyHistogramsTrackRingCalls)
+{
+    // PR 2 added the ring counters without direct assertions; pin them
+    // down together with the per-syscall latency histograms so the stats
+    // refactor cannot silently regress either.
+    jsvm::TestClock clock;
+    addProgram("ring-hist", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls *ring = env.ring();
+        if (!ring)
+            return 2;
+        std::vector<uint32_t> seqs;
+        for (int i = 0; i < 32; i++)
+            seqs.push_back(ring->submit(sys::GETPID, {}));
+        ring->flush();
+        for (uint32_t seq : seqs) {
+            if (ring->wait(seq).r0 != env.pid())
+                return 1;
+        }
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-hist");
+    auto r = bx.runArgv({"/usr/bin/ring-hist"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+
+    const kernel::KernelStats &st = bx.kernel().stats();
+    EXPECT_EQ(st.ringCqOverflows, 0u)
+        << "a conforming producer must never overflow its CQ";
+    EXPECT_GE(st.ringSyscallCount, 32u);
+    EXPECT_GE(st.ringBatchesDrained, 1u);
+    EXPECT_LT(st.ringNotifies, st.ringSyscallCount)
+        << "batching exists to keep notifies below per-call count";
+
+    const kernel::LatencyHistogram *h = st.latency("getpid");
+    ASSERT_NE(h, nullptr) << "ring getpids must land in the histogram";
+    EXPECT_GE(h->count, 32u);
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : h->buckets)
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, h->count);
+    EXPECT_LE(h->percentileUs(50), h->percentileUs(99));
+    EXPECT_LE(h->percentileUs(99), h->maxUs);
+    EXPECT_EQ(st.latency("no-such-syscall"), nullptr);
 }
 
 TEST(RingSyscalls, TerminateUnwindsParkedRingWaiter)

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for suites (and benches) that register ad-hoc test
+ * programs: registry add, filesystem staging, and the canonical
+ * park-forever program.
+ */
+#pragma once
+
+#include <string>
+
+#include "apps/registry.h"
+#include "core/browsix.h"
+
+namespace browsix {
+namespace testutil {
+
+/** Register an EmProgramFn under `name` (re-registration overwrites).
+ * Tiny 4 KB bundle: helper programs should cost spawns, not parses. */
+inline void
+addProgram(const std::string &name, rt::EmProgramFn fn,
+           apps::RuntimeKind kind)
+{
+    apps::registerAllPrograms();
+    apps::ProgramRegistry::instance().add(
+        apps::ProgramSpec{name, kind, 4, std::move(fn), nullptr});
+}
+
+/** Stage a registered program's bundle at /usr/bin/<name>. */
+inline void
+stage(Browsix &bx, const std::string &name)
+{
+    bx.rootFs().writeFile(
+        "/usr/bin/" + name,
+        apps::ProgramRegistry::instance().bundleFor(name));
+}
+
+/**
+ * The canonical parked process: blocks forever reading its own empty
+ * pipe (the write end stays open, so no EOF). Async runtime by default —
+ * no per-process shared heap, so big parked populations stay cheap.
+ */
+inline void
+addParkProgram(const std::string &name,
+               apps::RuntimeKind kind = apps::RuntimeKind::EmAsync)
+{
+    addProgram(
+        name,
+        [](rt::EmEnv &env) -> int {
+            int fds[2];
+            if (env.pipe2(fds) != 0)
+                return 1;
+            bfs::Buffer buf;
+            env.read(fds[0], buf, 1); // parks until SIGKILL
+            return 0;
+        },
+        kind);
+}
+
+} // namespace testutil
+} // namespace browsix

@@ -11,8 +11,15 @@
  * Sweeps the size of the staged remote tree and reports kernel-startup
  * time and bytes transferred for both strategies, plus the first-access
  * latency lazy loading pays instead.
+ *
+ * Also sweeps the read path's data movement: pread through the historical
+ * copying pipeline (backend allocates an intermediate bfs::Buffer, the
+ * kernel memcpys it into the guest heap) against the zero-copy
+ * preadInto pipeline (the backend fills the caller's window in place) at
+ * 4 KiB / 64 KiB / 1 MiB.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "apps/tex/tex.h"
 #include "bench/harness.h"
@@ -52,6 +59,46 @@ runInit(size_t n_files, bool lazy)
             loop.pumpOne(true);
     });
     return Result{ms, http->bytesFetched(), http->fetchCount()};
+}
+
+/** Per-op µs for one pread size: the copying path models the pre-zero-copy
+ * kernel (backend Buffer + memcpy into the destination); the zero-copy
+ * path is preadInto straight into the destination. */
+void
+preadSweep(size_t bytes, const std::string &label)
+{
+    auto mem = std::make_shared<bfs::InMemBackend>();
+    mem->writeFile("/blob", makeBlob(bytes, 0x5eed));
+    bfs::OpenFilePtr f;
+    mem->open("/blob", bfs::flags::RDONLY, 0,
+              [&](int, bfs::OpenFilePtr file) { f = std::move(file); });
+
+    std::vector<uint8_t> dest(bytes);
+    const int iters =
+        smokeMode() ? 1 : static_cast<int>(std::max<size_t>(
+                              16, (8u << 20) / std::max<size_t>(bytes, 1)));
+
+    double copy_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            f->pread(0, bytes, [&](int, bfs::BufferPtr data) {
+                // What completeData used to do: bounce the intermediate
+                // buffer into the caller's memory.
+                std::memcpy(dest.data(), data->data(), data->size());
+            });
+        }
+    });
+    double zero_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            f->preadInto(0, bfs::ByteSpan{dest.data(), bytes},
+                         [](int, size_t) {});
+        }
+    });
+    double copy_us = copy_ms * 1000.0 / iters;
+    double zero_us = zero_ms * 1000.0 / iters;
+    std::printf("%8s | %12.2f | %12.2f | %10.2fx\n", label.c_str(),
+                copy_us, zero_us, zero_us > 0 ? copy_us / zero_us : 0);
+    recordMetric("fs_micro", "pread_copy_" + label + "_us", copy_us);
+    recordMetric("fs_micro", "pread_zerocopy_" + label + "_us", zero_us);
 }
 
 } // namespace
@@ -113,5 +160,17 @@ main()
     std::printf("\nConclusion (matches §3.6): eager startup scales with "
                 "the whole distribution;\nlazy startup is constant and "
                 "shifts a one-time per-file cost to first access.\n");
+
+    std::printf("\npread data movement: copying pipeline (intermediate "
+                "Buffer + memcpy) vs zero-copy preadInto\n\n");
+    std::printf("%8s | %12s | %12s | %10s\n", "size", "copy us/op",
+                "zerocopy us", "speedup");
+    std::printf("---------+--------------+--------------+------------\n");
+    preadSweep(4096, "4KiB");
+    preadSweep(64 * 1024, "64KiB");
+    preadSweep(1 << 20, "1MiB");
+    std::printf("\nThe win scales with payload size: past 64 KiB the "
+                "intermediate buffer's\nallocate+copy dominates the "
+                "per-call cost the ring already amortized away.\n");
     return 0;
 }

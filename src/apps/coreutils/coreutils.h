@@ -16,12 +16,21 @@
 #include <string>
 
 #include "bfs/vfs.h"
+#include "runtime/emscripten/em_runtime.h"
 
 namespace browsix {
 namespace apps {
 
 /** Register all utilities with the node runtime (idempotent). */
 void registerCoreutils();
+
+/**
+ * `els` (em_ls.cc): ls compiled against the Emscripten ring runtime.
+ * Flags: -l (long), -R (recurse), --serial (one lstat round-trip per
+ * entry instead of the batched statBatch sweep — the A/B baseline).
+ * Registered as program "els" by registerAllPrograms().
+ */
+int elsMain(rt::EmEnv &env);
 
 /** Figure 9 native baselines: direct VFS access, native SHA-1. */
 std::string nativeSha1sum(bfs::Vfs &vfs, const std::string &path);

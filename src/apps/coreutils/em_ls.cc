@@ -1,0 +1,141 @@
+/**
+ * @file
+ * `els`: ls "compiled" against the Emscripten runtime (RuntimeKind::EmRing)
+ * — the stat-heavy coreutils hot path from Figure 9's `ls` row, rebuilt on
+ * the batched syscall transport. Listing a directory costs one
+ * open/getdents/close plus one lstat per entry; a serial runner pays a
+ * full syscall round-trip (doorbell message + Atomics wake) for each of
+ * those lstats, while `els` sweeps every entry of a directory through
+ * EmEnv::statBatch — one ring doorbell and one wake per chunk. -R recurses
+ * (the `ls -lR` workload), -l prints the long format.
+ */
+#include "apps/coreutils/coreutils.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bfs/path.h"
+#include "runtime/emscripten/em_runtime.h"
+
+namespace browsix {
+namespace apps {
+
+namespace {
+
+/** One directory level: list, batch-lstat, print, recurse. */
+int
+listDir(rt::EmEnv &env, const std::string &path, bool longfmt,
+        bool recursive, bool serial_stats, std::string &out)
+{
+    int fd = env.open(path, 0);
+    if (fd < 0) {
+        out += "els: cannot access '" + path + "'\n";
+        return 2;
+    }
+    std::vector<sys::Dirent> entries;
+    int rc = env.getdents(fd, entries);
+    env.close(fd);
+    if (rc != 0) {
+        out += "els: cannot list '" + path + "'\n";
+        return 2;
+    }
+
+    std::vector<std::string> names;
+    for (const auto &e : entries) {
+        if (e.name != "." && e.name != "..")
+            names.push_back(e.name);
+    }
+    std::sort(names.begin(), names.end());
+
+    std::vector<std::string> full;
+    full.reserve(names.size());
+    for (const auto &n : names)
+        full.push_back(bfs::joinPath(path, n));
+
+    // The hot loop: every entry's metadata — needed for the long format
+    // and to find subdirectories to recurse into; a plain listing skips
+    // it entirely (getdents already named everything). Batched by
+    // default (one doorbell per chunk); --serial preserves the
+    // one-call-at-a-time pattern for A/B measurement.
+    std::vector<rt::EmEnv::StatResult> sts;
+    if (longfmt || recursive) {
+        if (serial_stats) {
+            sts.resize(full.size());
+            for (size_t i = 0; i < full.size(); i++)
+                sts[i].err = env.lstat(full[i], sts[i].st);
+        } else {
+            sts = env.statBatch(full, /*follow=*/false);
+        }
+    }
+
+    if (recursive)
+        out += path + ":\n";
+    std::vector<std::string> subdirs;
+    for (size_t i = 0; i < names.size(); i++) {
+        if (i < sts.size() && sts[i].err == 0 && sts[i].st.isDir())
+            subdirs.push_back(full[i]);
+        if (!longfmt) {
+            out += names[i] + "\n";
+            continue;
+        }
+        std::ostringstream os;
+        if (sts[i].err != 0) {
+            os << "?????????? " << names[i] << "\n";
+        } else {
+            const sys::StatX &st = sts[i].st;
+            os << (st.isDir() ? 'd' : st.isSymlink() ? 'l' : '-')
+               << "rw-r--r-- " << st.nlink << " " << st.size << " "
+               << names[i] << "\n";
+        }
+        out += os.str();
+    }
+
+    int worst = 0;
+    if (recursive) {
+        for (const auto &d : subdirs) {
+            out += "\n";
+            worst = std::max(
+                worst, listDir(env, d, longfmt, true, serial_stats, out));
+        }
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+elsMain(rt::EmEnv &env)
+{
+    bool longfmt = false;
+    bool recursive = false;
+    bool serial_stats = false;
+    std::vector<std::string> paths;
+    const auto &argv = env.argv();
+    for (size_t i = 1; i < argv.size(); i++) {
+        const std::string &a = argv[i];
+        if (a == "-l")
+            longfmt = true;
+        else if (a == "-R")
+            recursive = true;
+        else if (a == "-lR" || a == "-Rl")
+            longfmt = recursive = true;
+        else if (a == "--serial")
+            serial_stats = true;
+        else
+            paths.push_back(a);
+    }
+    if (paths.empty())
+        paths.push_back(env.getcwd());
+
+    int worst = 0;
+    std::string out;
+    for (const auto &p : paths)
+        worst = std::max(
+            worst, listDir(env, p, longfmt, recursive, serial_stats, out));
+    env.write(1, out);
+    return worst;
+}
+
+} // namespace apps
+} // namespace browsix

@@ -180,18 +180,23 @@ class MakeRun
             return 2;
         }
         building_.insert(target);
-        int64_t newest_dep = 0;
         for (const auto &dep : rule->deps) {
             int rc = build(dep);
             if (rc != 0) {
                 building_.erase(target);
                 return rc;
             }
-            sys::StatX dst;
-            if (env_.stat(dep, dst) == 0)
-                newest_dep = std::max(newest_dep, dst.mtimeUs);
         }
         building_.erase(target);
+
+        // Dependency freshness scan: one batched stat sweep over every
+        // prerequisite (a single ring doorbell covers the whole rule in
+        // Ring mode) instead of one syscall round-trip per dep.
+        int64_t newest_dep = 0;
+        for (const auto &r : env_.statBatch(rule->deps)) {
+            if (r.err == 0)
+                newest_dep = std::max(newest_dep, r.st.mtimeUs);
+        }
 
         if (exists && newest_dep <= st.mtimeUs) {
             if (!ranAnything_ && target == mf_.defaultTarget)

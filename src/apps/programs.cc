@@ -6,6 +6,7 @@
  */
 #include "apps/registry.h"
 
+#include "apps/coreutils/coreutils.h"
 #include "apps/make/make.h"
 #include "apps/meme/server.h"
 #include "apps/shell/shell.h"
@@ -31,6 +32,11 @@ registerAllPrograms()
     // make needs fork (§2.2) and therefore the Emterpreter.
     reg.add(ProgramSpec{"make", RuntimeKind::EmAsync, 820, makeMain,
                         nullptr});
+
+    // els: the stat-heavy ls hot path compiled for the batched ring
+    // convention — per-entry lstats go through statBatch (one doorbell
+    // per directory chunk instead of one round-trip per entry).
+    reg.add(ProgramSpec{"els", RuntimeKind::EmRing, 96, elsMain, nullptr});
 
     // pdflatex/bibtex exist in both compile modes; the filesystem stages
     // whichever variant the experiment wants (§3.2's sync-vs-async).

@@ -8,6 +8,8 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -15,6 +17,26 @@
 
 namespace browsix {
 namespace bfs {
+
+/**
+ * Adapt a Buffer-producing completion into a fill-this-window one: clamp
+ * to the window, copy, report the delivered count. The shared fallback
+ * for every preadInto/readInto default, so the clamp lives in one place.
+ */
+inline DataCb
+bounceIntoSpan(ByteSpan dst, SizeCb cb)
+{
+    return [dst, cb](int err, BufferPtr data) {
+        if (err) {
+            cb(err, 0);
+            return;
+        }
+        size_t n = data ? std::min(data->size(), dst.len) : 0;
+        if (n > 0)
+            std::memcpy(dst.data, data->data(), n);
+        cb(0, n);
+    };
+}
 
 /**
  * An open file supporting positional I/O; the kernel's file-descriptor
@@ -27,6 +49,19 @@ class OpenFile
 
     /** Read up to len bytes at offset; short data at EOF, empty at/after. */
     virtual void pread(uint64_t off, size_t len, DataCb cb) = 0;
+
+    /**
+     * Zero-copy positional read: fill the caller-provided window in place
+     * and complete with the byte count (short at EOF, 0 at/after). A
+     * backend must never write more than dst.len bytes. The default
+     * bounces through pread() and copies — backends with resident data
+     * (in-memory, fetched HTTP blobs) override it to skip the
+     * intermediate Buffer entirely.
+     */
+    virtual void preadInto(uint64_t off, ByteSpan dst, SizeCb cb)
+    {
+        pread(off, dst.len, bounceIntoSpan(dst, std::move(cb)));
+    }
 
     /** Write len bytes at offset, extending the file as needed. */
     virtual void pwrite(uint64_t off, const uint8_t *data, size_t len,

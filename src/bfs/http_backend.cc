@@ -189,6 +189,20 @@ class HttpOpenFile : public OpenFile
     }
 
     void
+    preadInto(uint64_t off, ByteSpan dst, SizeCb cb) override
+    {
+        // The blob is already fetched (and browser-cached); serving a
+        // read needs no further network trip, so fill in place.
+        size_t n = 0;
+        if (off < data_->size()) {
+            n = std::min<uint64_t>(dst.len, data_->size() - off);
+            if (n > 0)
+                std::memcpy(dst.data, data_->data() + off, n);
+        }
+        cb(0, n);
+    }
+
+    void
     pwrite(uint64_t, const uint8_t *, size_t, SizeCb cb) override
     {
         cb(EROFS, 0);

@@ -55,6 +55,20 @@ class InMemBackend::MemOpenFile : public OpenFile
     }
 
     void
+    preadInto(uint64_t off, ByteSpan dst, SizeCb cb) override
+    {
+        const Buffer &d = *node_->data;
+        size_t n = 0;
+        if (off < d.size()) {
+            n = std::min<uint64_t>(dst.len, d.size() - off);
+            if (n > 0)
+                std::memcpy(dst.data, d.data() + off, n);
+        }
+        node_->atimeUs = jsvm::nowUs();
+        cb(0, n);
+    }
+
+    void
     pwrite(uint64_t off, const uint8_t *data, size_t len, SizeCb cb) override
     {
         Buffer &d = *node_->data;

@@ -46,6 +46,19 @@ struct DirEntry
 using Buffer = std::vector<uint8_t>;
 using BufferPtr = std::shared_ptr<Buffer>;
 
+/**
+ * A caller-owned destination window for zero-copy reads (preadInto): the
+ * backend writes at most `len` bytes at `data` and reports the count via
+ * SizeCb. The caller guarantees the memory outlives the callback — for
+ * syscalls the window aliases the process's shared heap, which the kernel
+ * pins for the duration of the call.
+ */
+struct ByteSpan
+{
+    uint8_t *data = nullptr;
+    size_t len = 0;
+};
+
 using ErrCb = std::function<void(int err)>;
 using StatCb = std::function<void(int err, const Stat &)>;
 using DataCb = std::function<void(int err, BufferPtr data)>;

@@ -139,6 +139,7 @@ Browsix::stageSystem(const BootConfig &cfg)
                    reg.bundleFor(cfg.pdflatexSync ? "bibtex-sync"
                                                   : "bibtex-emterp"));
     root.writeFile("/usr/bin/node", reg.bundleFor("node"));
+    root.writeFile("/usr/bin/els", reg.bundleFor("els"));
     root.writeFile("/usr/bin/meme-server", reg.bundleFor("meme-server"));
 
     // Utilities: small scripts run by the node interpreter via shebang,

@@ -14,6 +14,20 @@ RegularFile::read(size_t maxlen, bfs::DataCb cb)
 }
 
 void
+RegularFile::readInto(bfs::ByteSpan dst, bfs::SizeCb cb)
+{
+    file_->preadInto(offset_, dst, [this, dst, cb](int err, size_t n) {
+        if (!err) {
+            // A backend may only have filled the window; never let a
+            // lying count run the cursor (or the caller) past it.
+            n = std::min(n, dst.len);
+            offset_ += n;
+        }
+        cb(err, n);
+    });
+}
+
+void
 RegularFile::write(bfs::Buffer data, bfs::SizeCb cb)
 {
     if (append_) {
@@ -46,6 +60,12 @@ void
 RegularFile::pread(uint64_t off, size_t len, bfs::DataCb cb)
 {
     file_->pread(off, len, std::move(cb));
+}
+
+void
+RegularFile::preadInto(uint64_t off, bfs::ByteSpan dst, bfs::SizeCb cb)
+{
+    file_->preadInto(off, dst, std::move(cb));
 }
 
 void

@@ -39,6 +39,18 @@ class KFile
      * with empty data and err==0 signals EOF. */
     virtual void read(size_t maxlen, bfs::DataCb cb) = 0;
 
+    /**
+     * Zero-copy sequential read: fill the caller-provided window (for
+     * sync/ring syscalls it aliases the guest heap) and complete with the
+     * byte count; 0 with err==0 is EOF. The default bounces through
+     * read() — regular files override it to let the backend write the
+     * destination directly.
+     */
+    virtual void readInto(bfs::ByteSpan dst, bfs::SizeCb cb)
+    {
+        read(dst.len, bfs::bounceIntoSpan(dst, std::move(cb)));
+    }
+
     /** Sequential write; completes with the number of bytes written. */
     virtual void write(bfs::Buffer data, bfs::SizeCb cb) = 0;
 
@@ -47,6 +59,13 @@ class KFile
         (void)off;
         (void)len;
         cb(ESPIPE, nullptr);
+    }
+
+    /** Zero-copy positional read; same contract as readInto. The default
+     * routes through pread(), so non-seekable files keep their ESPIPE. */
+    virtual void preadInto(uint64_t off, bfs::ByteSpan dst, bfs::SizeCb cb)
+    {
+        pread(off, dst.len, bfs::bounceIntoSpan(dst, std::move(cb)));
     }
 
     virtual void pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb)
@@ -111,8 +130,10 @@ class RegularFile : public KFile
     const char *kind() const override { return "file"; }
 
     void read(size_t maxlen, bfs::DataCb cb) override;
+    void readInto(bfs::ByteSpan dst, bfs::SizeCb cb) override;
     void write(bfs::Buffer data, bfs::SizeCb cb) override;
     void pread(uint64_t off, size_t len, bfs::DataCb cb) override;
+    void preadInto(uint64_t off, bfs::ByteSpan dst, bfs::SizeCb cb) override;
     void pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb) override;
     void fstat(bfs::StatCb cb) override;
     void seek(int64_t off, int whence,

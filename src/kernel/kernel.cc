@@ -700,6 +700,15 @@ Kernel::drainSyscallRing(int pid)
         Task *cur = task(pid);
         if (!cur || cur->state == TaskState::Zombie)
             return;
+        // Only the submitting process writes SQEs, so a heap-offset
+        // argument outside the personality heap means a corrupt (or
+        // hostile) entry: complete it with -EFAULT at the boundary
+        // instead of letting a handler reach heapWrite out of bounds.
+        if (!sys::sqeHeapArgsValid(e, heap->size())) {
+            stats_.ringEfaults++;
+            ctx->completeErr(EFAULT);
+            continue;
+        }
         dispatchSyscall(*cur, std::move(ctx));
         // The handler may have exited or exec'd the process.
         cur = task(pid);

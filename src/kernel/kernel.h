@@ -46,6 +46,16 @@ struct KernelStats
     uint64_t ringBatchesDrained = 0;
     uint64_t ringNotifies = 0;
     uint64_t ringCqOverflows = 0;
+    /// SQEs rejected at drain time because a heap-offset argument fell
+    /// outside the personality heap (completed with -EFAULT, never
+    /// dispatched to a handler).
+    uint64_t ringEfaults = 0;
+    /// Read-path data movement: completions whose out-data the backend
+    /// wrote directly into the guest heap through a heapSpan window
+    /// (zero-copy), vs completions that bounced an intermediate
+    /// bfs::Buffer through a kernel-side memcpy (completeData).
+    uint64_t zeroCopyCompletions = 0;
+    uint64_t copiedCompletions = 0;
     uint64_t messagesSent = 0;
     uint64_t signalsDelivered = 0;
     uint64_t processesSpawned = 0;

@@ -7,6 +7,7 @@
  * conventions. Handlers re-look-up the task in completion callbacks: the
  * process may have been killed while its call was in flight.
  */
+#include <algorithm>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -381,6 +382,27 @@ sysRead(Kernel &, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(EBADF);
         return;
     }
+    if (ctx->isSync()) {
+        // Zero-copy: resolve the guest destination up front and let the
+        // file (ultimately the backend) fill it in place.
+        SyscallCtx::HeapSpan dst = ctx->heapSpan(1, len);
+        if (!dst.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        f->readInto(dst.span, [ctx, f, dst](int err, size_t n) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            // Never report more than the window: a backend overriding
+            // preadInto could lie about its count, and the runtime reads
+            // exactly `n` bytes back out of the heap.
+            ctx->completeFilled(
+                static_cast<int64_t>(std::min(n, dst.span.len)));
+        });
+        return;
+    }
     f->read(len, [ctx, f](int err, bfs::BufferPtr data) {
         if (err) {
             ctx->completeErr(err);
@@ -420,6 +442,22 @@ sysPread(Kernel &, Task &t, SyscallCtxPtr ctx)
     KFilePtr f = getFile(t, fd);
     if (!f) {
         ctx->completeErr(EBADF);
+        return;
+    }
+    if (ctx->isSync()) {
+        SyscallCtx::HeapSpan dst = ctx->heapSpan(1, len);
+        if (!dst.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        f->preadInto(off, dst.span, [ctx, f, dst](int err, size_t n) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            ctx->completeFilled(
+                static_cast<int64_t>(std::min(n, dst.span.len)));
+        });
         return;
     }
     f->pread(off, len, [ctx, f](int err, bfs::BufferPtr data) {
@@ -476,12 +514,18 @@ sysGetdents(Kernel &, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(EBADF);
         return;
     }
+    // Validate the guest window before doing the directory work; the
+    // encoded records are then copied in, clamped to the caller's length.
+    if (ctx->isSync() && !ctx->heapSpan(1, len).ok()) {
+        ctx->completeErr(EFAULT);
+        return;
+    }
     f->getdents(len, [ctx, f](int err, bfs::BufferPtr data) {
         if (err) {
             ctx->completeErr(err);
             return;
         }
-        ctx->completeData(*data, 1);
+        ctx->completeData(*data, 1, ctx->isSync() ? 2 : -1);
     });
 }
 
@@ -661,6 +705,35 @@ sysRename(Kernel &k, Task &t, SyscallCtxPtr ctx)
 void
 sysReadlink(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
+    if (ctx->isSync()) {
+        // POSIX readlink(2): silently truncate to bufsiz — no ERANGE, no
+        // NUL terminator — and return the number of bytes placed.
+        // (completeStr's ERANGE is getcwd's contract, not readlink's.)
+        int32_t bufsiz = ctx->argInt(2);
+        if (bufsiz <= 0) {
+            ctx->completeErr(EINVAL);
+            return;
+        }
+        SyscallCtx::HeapSpan dst =
+            ctx->heapSpan(1, static_cast<uint32_t>(bufsiz));
+        if (!dst.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        k.fs().readlink(
+            resolvePath(t, ctx->argStr(0)),
+            [ctx, dst](int err, const std::string &target) {
+                if (err) {
+                    ctx->completeErr(err);
+                    return;
+                }
+                size_t n = std::min(target.size(), dst.span.len);
+                if (n > 0)
+                    std::memcpy(dst.span.data, target.data(), n);
+                ctx->completeFilled(static_cast<int64_t>(n));
+            });
+        return;
+    }
     k.fs().readlink(resolvePath(t, ctx->argStr(0)),
                     [ctx](int err, const std::string &target) {
                         if (err) {

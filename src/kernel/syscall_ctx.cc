@@ -1,5 +1,6 @@
 #include "kernel/syscall_ctx.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "jsvm/sab.h"
@@ -129,6 +130,24 @@ SyscallCtx::argValue(size_t i) const
     return args_.at(i);
 }
 
+SyscallCtx::HeapSpan
+SyscallCtx::heapSpan(size_t dst_ptr_idx, size_t len) const
+{
+    HeapSpan out;
+    if (!isSync())
+        return out;
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return out;
+    size_t off = static_cast<uint32_t>(sargs_[dst_ptr_idx]);
+    if (off > t->heap->size() || len > t->heap->size() - off)
+        return out; // any byte outside the heap: EFAULT territory
+    out.heap = t->heap;
+    out.span.data = t->heap->data() + off;
+    out.span.len = len;
+    return out;
+}
+
 bool
 SyscallCtx::heapWrite(size_t off, const uint8_t *data, size_t len) const
 {
@@ -224,17 +243,38 @@ SyscallCtx::complete(int64_t r0, int64_t r1)
 }
 
 void
-SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx)
+SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx,
+                         int len_idx)
 {
     markCompleted();
     if (isSync()) {
-        heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]), data.data(),
-                  data.size());
-        finishHeap(static_cast<int64_t>(data.size()), 0);
+        size_t n = data.size();
+        if (len_idx >= 0)
+            n = std::min(n, static_cast<size_t>(static_cast<uint32_t>(
+                                sargs_[len_idx])));
+        if (!heapWrite(static_cast<uint32_t>(sargs_[dst_ptr_idx]),
+                       data.data(), n)) {
+            // The destination window is not inside the heap: refuse
+            // rather than report bytes that were never delivered.
+            finishHeap(-EFAULT, 0);
+            return;
+        }
+        kernel_.stats_.copiedCompletions++;
+        finishHeap(static_cast<int64_t>(n), 0);
     } else {
         finishAsync(static_cast<int64_t>(data.size()), 0,
                     jsvm::Value::bytes(data.data(), data.size()));
     }
+}
+
+void
+SyscallCtx::completeFilled(int64_t n)
+{
+    if (!isSync())
+        jsvm::panic("completeFilled on async call " + name_);
+    markCompleted();
+    kernel_.stats_.zeroCopyCompletions++;
+    finishHeap(n, 0);
 }
 
 void

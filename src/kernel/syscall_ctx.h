@@ -63,11 +63,44 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
     /** Async only: the raw Value (arrays/objects, e.g. spawn argv). */
     jsvm::Value argValue(size_t i) const;
 
+    /**
+     * A guest destination window resolved up front: the byte span plus a
+     * reference pinning the backing personality heap, so a backend may
+     * fill it after the task is gone (the write lands in still-live
+     * shared memory and is simply never observed).
+     */
+    struct HeapSpan
+    {
+        jsvm::SabPtr heap; ///< null when resolution failed (the EFAULT case)
+        bfs::ByteSpan span;
+        bool ok() const { return heap != nullptr; }
+    };
+
+    /**
+     * Resolve [sargs[dst_ptr_idx], +len) against the caller's personality
+     * heap, bounds-checked: fails (null heap) when the call is async, the
+     * task died, or any byte of the window falls outside the heap — the
+     * handler should then complete with -EFAULT. This is what makes the
+     * sync/ring read path zero-copy: backends write through span.data and
+     * the handler finishes with completeFilled(n).
+     */
+    HeapSpan heapSpan(size_t dst_ptr_idx, size_t len) const;
+
     // --- completion (exactly once) ---
     void complete(int64_t r0, int64_t r1 = 0);
     void completeErr(int err) { complete(-static_cast<int64_t>(err)); }
-    /** Deliver out-data: sync writes into heap at arg[dst_ptr_idx]. */
-    void completeData(const bfs::Buffer &data, size_t dst_ptr_idx);
+    /**
+     * Deliver out-data: sync writes into heap at arg[dst_ptr_idx]. When
+     * len_idx >= 0 the write (and the returned count) is clamped to the
+     * caller-supplied length argument sargs[len_idx] — a backend handing
+     * back more than requested must never overrun the guest buffer.
+     */
+    void completeData(const bfs::Buffer &data, size_t dst_ptr_idx,
+                      int len_idx = -1);
+    /** Sync/ring only: complete a call whose out-data was already written
+     * in place through a heapSpan() window — the no-copy successor to
+     * completeData on the zero-copy read path. */
+    void completeFilled(int64_t n);
     /** Deliver a string result (getcwd, readlink). */
     void completeStr(const std::string &s, size_t dst_ptr_idx,
                      size_t max_len_idx);

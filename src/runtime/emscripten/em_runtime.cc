@@ -268,6 +268,56 @@ EmEnv::stat(const std::string &path, sys::StatX &out)
     return statCall(sys::STAT, path, -1, out);
 }
 
+std::vector<EmEnv::StatResult>
+EmEnv::statBatch(const std::vector<std::string> &paths, bool follow)
+{
+    int trap = follow ? sys::STAT : sys::LSTAT;
+    std::vector<StatResult> out(paths.size());
+    if (!ring_) {
+        for (size_t i = 0; i < paths.size(); i++)
+            out[i].err = statCall(trap, paths[i], -1, out[i].st);
+        return out;
+    }
+    pollSignals();
+    // Chunked: each chunk's path strings + stat buffers live in the
+    // scratch region together, so the chunk is bounded both by the ring
+    // capacity and by a scratch-byte budget (the 1 MiB heap also holds
+    // the ring region itself).
+    const size_t kScratchBudget = 256 * 1024;
+    size_t i = 0;
+    while (i < paths.size()) {
+        sync_->resetScratch();
+        size_t base = i;
+        size_t scratch_used = 0;
+        std::vector<uint32_t> seqs;
+        std::vector<uint32_t> stat_ptrs;
+        while (i < paths.size() && seqs.size() < ring_->capacity()) {
+            size_t need = paths[i].size() + 1 + sys::STAT_BYTES + 16;
+            if (scratch_used + need > kScratchBudget && !seqs.empty())
+                break;
+            uint32_t p = sync_->pushString(paths[i]);
+            uint32_t sp = sync_->alloc(sys::STAT_BYTES);
+            seqs.push_back(ring_->submit(
+                trap, {static_cast<int32_t>(p), static_cast<int32_t>(sp),
+                       0, 0, 0, 0}));
+            stat_ptrs.push_back(sp);
+            scratch_used += need;
+            i++;
+        }
+        ring_->flush(); // one doorbell covers the whole chunk
+        for (size_t j = 0; j < seqs.size(); j++) {
+            rt::RingSyscalls::Completion c = ring_->wait(seqs[j]);
+            out[base + j].err = c.r0;
+            if (c.r0 == 0)
+                out[base + j].st =
+                    sys::unpackStat(sync_->heapData() + stat_ptrs[j]);
+        }
+    }
+    pollSignals();
+    return out;
+}
+
+
 int
 EmEnv::lstat(const std::string &path, sys::StatX &out)
 {

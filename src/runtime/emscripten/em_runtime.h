@@ -82,6 +82,24 @@ class EmEnv
     int stat(const std::string &path, sys::StatX &out);
     int lstat(const std::string &path, sys::StatX &out);
     int fstat(int fd, sys::StatX &out);
+
+    /** One entry of a batched metadata scan. */
+    struct StatResult
+    {
+        int err = 0; ///< 0 or -errno, per path
+        sys::StatX st;
+    };
+
+    /**
+     * stat (or lstat) many paths in one go — the coreutils/make hot path
+     * (`ls -lR` per-entry stats, make's dependency scans). In Ring mode
+     * the scan is chunked through RingSyscalls::submit + one flush per
+     * chunk: one doorbell message and one Atomics wake cover a whole
+     * chunk of calls instead of one each. Other modes fall back to one
+     * call per path with identical results.
+     */
+    std::vector<StatResult> statBatch(const std::vector<std::string> &paths,
+                                      bool follow = true);
     int access(const std::string &path, int amode);
     int unlink(const std::string &path);
     int mkdir(const std::string &path, int mode = 0755);

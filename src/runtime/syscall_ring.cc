@@ -3,9 +3,75 @@
 #include <cstring>
 
 #include "jsvm/sab.h"
+#include "runtime/syscall_proto.h"
 
 namespace browsix {
 namespace sys {
+
+namespace {
+
+/** [off, off+len) lies fully inside a heap of `heap` bytes. */
+bool
+spanOk(int32_t off, int64_t len, size_t heap)
+{
+    if (off < 0 || len < 0)
+        return false;
+    return static_cast<size_t>(off) <= heap &&
+           static_cast<size_t>(len) <= heap - static_cast<size_t>(off);
+}
+
+/** A NUL-terminated string may start at off (the scan is heap-clamped). */
+bool
+strOk(int32_t off, size_t heap)
+{
+    return off >= 0 && static_cast<size_t>(off) < heap;
+}
+
+} // namespace
+
+bool
+sqeHeapArgsValid(const Sqe &e, size_t heap_bytes)
+{
+    const std::array<int32_t, 6> &a = e.args;
+    switch (e.trap) {
+      case READ:
+      case WRITE:
+      case PREAD:
+      case PWRITE:
+      case GETDENTS:
+      case GETDENTS64:
+        return spanOk(a[1], a[2], heap_bytes); // (fd, buf, len, ...)
+      case OPEN:
+      case UNLINK:
+      case CHDIR:
+      case ACCESS:
+      case MKDIR:
+      case RMDIR:
+      case UTIMES:
+        return strOk(a[0], heap_bytes); // (path, ...)
+      case RENAME:
+      case SYMLINK:
+        return strOk(a[0], heap_bytes) && strOk(a[1], heap_bytes);
+      case READLINK:
+        // bufsiz <= 0 passes validation untouched: the handler returns
+        // the POSIX -EINVAL before resolving the window, and the errno
+        // must not differ between the sync and ring conventions.
+        return strOk(a[0], heap_bytes) &&
+               (a[2] <= 0 || spanOk(a[1], a[2], heap_bytes));
+      case GETCWD:
+        return spanOk(a[0], a[1], heap_bytes); // (buf, len)
+      case STAT:
+      case LSTAT:
+        return strOk(a[0], heap_bytes) &&
+               spanOk(a[1], STAT_BYTES, heap_bytes);
+      case FSTAT:
+        return spanOk(a[1], STAT_BYTES, heap_bytes); // (fd, statbuf)
+      case PIPE2:
+        return spanOk(a[0], 8, heap_bytes); // two int32 fds
+      default:
+        return true; // integer-only argument lists
+    }
+}
 
 bool
 RingLayout::valid(int64_t base, int64_t entries, size_t heap_bytes)

@@ -62,6 +62,17 @@ struct Cqe
     int32_t r1 = 0;
 };
 
+/**
+ * True when every heap-offset argument carried by this SQE names memory
+ * fully inside a personality heap of heap_bytes: (pointer, length)
+ * out/in-buffers must fit end to end, string pointers must start in
+ * bounds (the NUL scan itself is heap-clamped). The kernel checks this at
+ * drain time so a corrupt or hostile SQE completes with -EFAULT instead
+ * of reaching the heap-write path out of bounds. Traps without heap
+ * arguments always validate.
+ */
+bool sqeHeapArgsValid(const Sqe &e, size_t heap_bytes);
+
 /** Byte offsets of a ring region registered at `base` in a shared heap. */
 class RingLayout
 {

@@ -440,3 +440,43 @@ TEST(NativeUtils, LsMatchesBrowsixLs)
     auto r = bx.run("ls /data");
     EXPECT_EQ(r.out, "a\nb\nd\n");
 }
+
+// ---------- els (ring-batched ls) ----------
+
+TEST(Els, ListsAndRecursesWithBatchedStats)
+{
+    Browsix bx;
+    bx.rootFs().mkdirAll("/tree/sub");
+    bx.rootFs().writeFile("/tree/b.txt", std::string(3, 'b'));
+    bx.rootFs().writeFile("/tree/a.txt", std::string(5, 'a'));
+    bx.rootFs().writeFile("/tree/sub/c.txt", std::string(7, 'c'));
+
+    // Plain listing: sorted names.
+    auto r = bx.runArgv({"/usr/bin/els", "/tree"});
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.out, "a.txt\nb.txt\nsub\n");
+
+    // Long + recursive: per-entry lstat data (type char + size), and the
+    // subdirectory is walked.
+    r = bx.runArgv({"/usr/bin/els", "-lR", "/tree"});
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_NE(r.out.find("/tree:\n"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("-rw-r--r-- 1 5 a.txt"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("drw-r--r-- 1"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("/tree/sub:\n"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("-rw-r--r-- 1 7 c.txt"), std::string::npos)
+        << r.out;
+    EXPECT_GT(bx.kernel().stats().ringSyscallCount, 0u)
+        << "els must run on the ring convention";
+
+    // --serial must produce byte-identical output (it is the A/B
+    // baseline for the bench, not a different ls).
+    auto serial = bx.runArgv({"/usr/bin/els", "-lR", "--serial", "/tree"});
+    EXPECT_EQ(serial.exitCode(), 0);
+    EXPECT_EQ(serial.out, r.out);
+
+    // A missing operand reports and fails.
+    r = bx.runArgv({"/usr/bin/els", "/nope"});
+    EXPECT_EQ(r.exitCode(), 2);
+}

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <random>
 
@@ -869,4 +870,144 @@ TEST(OverlayProperty, RandomOpsMatchModel)
             want.push_back(k.substr(1));
         EXPECT_EQ(names, want);
     }
+}
+
+// ---------- zero-copy preadInto ----------
+
+TEST(PreadInto, InMemFillsWindowAndClampsToSpan)
+{
+    InMemBackend fs;
+    fs.writeFile("/f", std::string("abcdefghij"));
+    OpenFilePtr f;
+    fs.open("/f", flags::RDONLY, 0,
+            [&](int, OpenFilePtr file) { f = std::move(file); });
+    ASSERT_TRUE(f);
+
+    // A 4-byte window at offset 2 gets exactly "cdef"; the sentinel
+    // bytes around the window must never be touched.
+    uint8_t buf[8];
+    std::memset(buf, '#', sizeof(buf));
+    int err = -1;
+    size_t n = 0;
+    f->preadInto(2, ByteSpan{buf + 2, 4}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(std::string(buf + 2, buf + 6), "cdef");
+    EXPECT_EQ(buf[0], '#');
+    EXPECT_EQ(buf[1], '#');
+    EXPECT_EQ(buf[6], '#');
+    EXPECT_EQ(buf[7], '#');
+
+    // Short at EOF, zero past it — same contract as pread.
+    f->preadInto(8, ByteSpan{buf, 8}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 2u);
+    f->preadInto(100, ByteSpan{buf, 8}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(PreadInto, DefaultFallbackClampsOverReturningBackend)
+{
+    // A backend whose pread hands back more than was asked for must not
+    // overrun the caller's window: the default preadInto clamps.
+    struct OverF : OpenFile
+    {
+        void pread(uint64_t, size_t, DataCb cb) override
+        {
+            cb(0, std::make_shared<Buffer>(64, uint8_t('Z')));
+        }
+        void pwrite(uint64_t, const uint8_t *, size_t, SizeCb cb) override
+        {
+            cb(EROFS, 0);
+        }
+        void fstat(StatCb cb) override { cb(0, Stat{}); }
+        void ftruncate(uint64_t, ErrCb cb) override { cb(EROFS); }
+    };
+    OverF f;
+    uint8_t buf[16];
+    std::memset(buf, '#', sizeof(buf));
+    int err = -1;
+    size_t n = 0;
+    f.preadInto(0, ByteSpan{buf + 4, 8}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 8u) << "count must be clamped to the window";
+    EXPECT_EQ(std::string(buf + 4, buf + 12), "ZZZZZZZZ");
+    for (int i : {0, 1, 2, 3, 12, 13, 14, 15})
+        EXPECT_EQ(buf[i], '#') << "overrun at sentinel " << i;
+}
+
+TEST(PreadInto, OverlayCrossesLowerAndUpperLayers)
+{
+    OverlayRig rig;
+    uint8_t buf[16];
+
+    // Lower-layer open: the read-only InMem node fills the window.
+    OpenFilePtr ro;
+    rig.fs->open("/ro.txt", flags::RDONLY, 0,
+                 [&](int, OpenFilePtr f) { ro = std::move(f); });
+    ASSERT_TRUE(ro);
+    size_t n = 0;
+    ro->preadInto(5, ByteSpan{buf, sizeof(buf)},
+                  [&](int, size_t got) { n = got; });
+    EXPECT_EQ(std::string(buf, buf + n), "only");
+
+    // Write-open copies up; the upper layer's handle must serve the same
+    // bytes through preadInto (the lower/upper boundary crossing).
+    OpenFilePtr rw;
+    rig.fs->open("/ro.txt", flags::RDWR, 0,
+                 [&](int, OpenFilePtr f) { rw = std::move(f); });
+    ASSERT_TRUE(rw);
+    EXPECT_EQ(rig.fs->copyUpCount(), 1u);
+    rw->preadInto(0, ByteSpan{buf, sizeof(buf)},
+                  [&](int, size_t got) { n = got; });
+    EXPECT_EQ(std::string(buf, buf + n), "read-only");
+
+    uint8_t x = 'X';
+    rw->pwrite(0, &x, 1, [](int, size_t) {});
+    rw->preadInto(0, ByteSpan{buf, sizeof(buf)},
+                  [&](int, size_t got) { n = got; });
+    EXPECT_EQ(std::string(buf, buf + n), "Xead-only");
+
+    // The lower layer still serves the original bytes.
+    OpenFilePtr lo;
+    rig.lower->open("/ro.txt", flags::RDONLY, 0,
+                    [&](int, OpenFilePtr f) { lo = std::move(f); });
+    lo->preadInto(0, ByteSpan{buf, sizeof(buf)},
+                  [&](int, size_t got) { n = got; });
+    EXPECT_EQ(std::string(buf, buf + n), "read-only");
+}
+
+TEST(PreadInto, HttpBackendFillsFromFetchedBlob)
+{
+    auto store = std::make_shared<HttpStore>();
+    store->put("/doc.txt", std::string("hello from http"));
+    auto cache = std::make_shared<BrowserHttpCache>();
+    HttpBackend http(store, cache, nullptr, NetworkParams{});
+    OpenFilePtr f;
+    http.open("/doc.txt", flags::RDONLY, 0,
+              [&](int err, OpenFilePtr file) {
+                  ASSERT_EQ(err, 0);
+                  f = std::move(file);
+              });
+    ASSERT_TRUE(f);
+    uint8_t buf[8];
+    std::memset(buf, '#', sizeof(buf));
+    size_t n = 0;
+    f->preadInto(6, ByteSpan{buf, 4}, [&](int, size_t got) { n = got; });
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(std::string(buf, buf + 4), "from");
+    EXPECT_EQ(buf[4], '#');
 }

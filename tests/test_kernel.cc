@@ -7,11 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/browsix.h"
 #include "kernel/latency_histogram.h"
 #include "kernel/pipe.h"
 #include "kernel/socket.h"
 #include "kernel/task_table.h"
+#include "tests/test_util.h"
 
 using namespace browsix;
 using namespace browsix::kernel;
@@ -717,4 +720,214 @@ TEST(Cwd, SpawnInheritsCwd)
     bx.rootFs().writeFile("/work/here", std::string("yes\n"));
     auto r = bx.run("cd /work && cat here");
     EXPECT_EQ(r.out, "yes\n");
+}
+
+// ---------- read-path correctness (zero-copy PR) ----------
+
+namespace {
+
+/**
+ * A hostile backend whose pread hands back more bytes than requested.
+ * The kernel must clamp to the caller-supplied length — a guest buffer
+ * may never be overrun by a misbehaving (or malicious) backend.
+ */
+class OverReturningFs : public bfs::InMemBackend
+{
+  public:
+    void
+    open(const std::string &path, int oflags, uint32_t mode,
+         bfs::OpenCb cb) override
+    {
+        bfs::InMemBackend::open(
+            path, oflags, mode, [cb](int err, bfs::OpenFilePtr f) {
+                cb(err, err ? nullptr
+                            : std::make_shared<Wrap>(std::move(f)));
+            });
+    }
+
+  private:
+    struct Wrap : bfs::OpenFile
+    {
+        explicit Wrap(bfs::OpenFilePtr f) : inner(std::move(f)) {}
+
+        void
+        pread(uint64_t off, size_t len, bfs::DataCb cb) override
+        {
+            inner->pread(off, len * 2 + 32, std::move(cb)); // over-return
+        }
+        void
+        preadInto(uint64_t off, bfs::ByteSpan dst, bfs::SizeCb cb) override
+        {
+            // Fill only the window but *lie* about the count: the kernel
+            // must clamp what it reports to the guest.
+            inner->preadInto(off, dst, [cb](int err, size_t n) {
+                cb(err, err ? n : n + 1000);
+            });
+        }
+        void
+        pwrite(uint64_t off, const uint8_t *d, size_t n,
+               bfs::SizeCb cb) override
+        {
+            inner->pwrite(off, d, n, std::move(cb));
+        }
+        void fstat(bfs::StatCb cb) override { inner->fstat(std::move(cb)); }
+        void
+        ftruncate(uint64_t s, bfs::ErrCb cb) override
+        {
+            inner->ftruncate(s, std::move(cb));
+        }
+
+        bfs::OpenFilePtr inner;
+    };
+};
+
+} // namespace
+
+TEST(Syscalls, ReadlinkTruncatesPosixStyle)
+{
+    // readlink(2) silently truncates to bufsiz (no NUL, no error) and
+    // returns the byte count; ERANGE stays getcwd's contract.
+    testutil::addProgram(
+        "readlink-trunc",
+        [](rt::EmEnv &env) -> int {
+            const std::string target = "/a/very/long/target";
+            if (env.symlink(target, "/tmp/lnk") != 0)
+                return 1;
+            rt::SyncSyscalls *sync = env.syncCalls();
+            sync->resetScratch();
+            int32_t p = static_cast<int32_t>(sync->pushString("/tmp/lnk"));
+            uint32_t buf = sync->alloc(32);
+            std::memset(sync->heapData() + buf, '#', 32);
+
+            // Truncating read: 4 of 19 bytes, no ERANGE, no NUL.
+            int64_t r = sync->call(
+                sys::READLINK,
+                {p, static_cast<int32_t>(buf), 4, 0, 0, 0});
+            if (r != 4)
+                return 2;
+            if (std::string(reinterpret_cast<char *>(sync->heapData()) +
+                                buf, 4) != "/a/v")
+                return 3;
+            if (sync->heapData()[buf + 4] != '#')
+                return 4; // nothing past bufsiz may be written
+
+            // Roomy read: the whole target, length returned.
+            r = sync->call(sys::READLINK,
+                           {p, static_cast<int32_t>(buf), 32, 0, 0, 0});
+            if (r != static_cast<int64_t>(target.size()))
+                return 5;
+            if (std::string(reinterpret_cast<char *>(sync->heapData()) +
+                                buf,
+                            target.size()) != target)
+                return 6;
+
+            // POSIX: bufsiz <= 0 is EINVAL.
+            r = sync->call(sys::READLINK,
+                           {p, static_cast<int32_t>(buf), 0, 0, 0, 0});
+            if (r != -EINVAL)
+                return 7;
+
+            // getcwd keeps ERANGE when the buffer is too small (cwd "/"
+            // needs 2 bytes with its NUL; offer 1).
+            uint32_t cb = sync->alloc(4);
+            r = sync->call(sys::GETCWD,
+                           {static_cast<int32_t>(cb), 1, 0, 0, 0, 0});
+            if (r != -ERANGE)
+                return 8;
+            return 0;
+        },
+        apps::RuntimeKind::EmSync);
+    Browsix bx;
+    testutil::stage(bx, "readlink-trunc");
+    auto r = bx.runArgv({"/usr/bin/readlink-trunc"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(Syscalls, ShortGuestBufferIsNeverOverrun)
+{
+    // read and pread against the over-returning backend: the completion
+    // count and the bytes written must both be clamped to the caller's
+    // length argument, leaving sentinel bytes beyond the window intact.
+    testutil::addProgram(
+        "clamp-read",
+        [](rt::EmEnv &env) -> int {
+            int fd = env.open("/evil/f", 0);
+            if (fd < 0)
+                return 1;
+            rt::SyncSyscalls *sync = env.syncCalls();
+            sync->resetScratch();
+            uint32_t buf = sync->alloc(16);
+            std::memset(sync->heapData() + buf, '#', 16);
+
+            int64_t r = sync->call(
+                sys::PREAD,
+                {fd, static_cast<int32_t>(buf), 8, 0, 0, 0});
+            if (r != 8)
+                return 2; // count must be clamped to len
+            if (std::string(reinterpret_cast<char *>(sync->heapData()) +
+                                buf, 8) != "ABCDEFGH")
+                return 3;
+            for (int i = 8; i < 16; i++) {
+                if (sync->heapData()[buf + i] != '#')
+                    return 4; // guest memory past len was written
+            }
+
+            std::memset(sync->heapData() + buf, '#', 16);
+            r = sync->call(sys::READ,
+                           {fd, static_cast<int32_t>(buf), 8, 0, 0, 0});
+            if (r != 8)
+                return 5;
+            for (int i = 8; i < 16; i++) {
+                if (sync->heapData()[buf + i] != '#')
+                    return 6;
+            }
+            env.close(fd);
+            return 0;
+        },
+        apps::RuntimeKind::EmSync);
+    Browsix bx;
+    auto evil = std::make_shared<OverReturningFs>();
+    evil->writeFile("/f", std::string("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                      "0123456789abcdefghijklmnop"));
+    bx.fs().mount("/evil", evil);
+    testutil::stage(bx, "clamp-read");
+    auto r = bx.runArgv({"/usr/bin/clamp-read"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(Syscalls, SyncPreadWithBogusPointerIsEfault)
+{
+    // The sync convention's heapSpan resolution: a destination window
+    // outside the personality heap completes with -EFAULT instead of
+    // writing out of bounds.
+    testutil::addProgram(
+        "efault-read",
+        [](rt::EmEnv &env) -> int {
+            int fd = env.open("/tmp/x",
+                              bfs::flags::CREAT | bfs::flags::RDWR);
+            if (fd < 0)
+                return 1;
+            if (env.write(fd, std::string("data")) != 4)
+                return 2;
+            rt::SyncSyscalls *sync = env.syncCalls();
+            int32_t heap_len = static_cast<int32_t>(sync->heapSize());
+            int64_t r = sync->call(sys::PREAD,
+                                   {fd, heap_len, 16, 0, 0, 0});
+            if (r != -EFAULT)
+                return 3;
+            r = sync->call(sys::PREAD,
+                           {fd, heap_len - 8, 4096, 0, 0, 0});
+            if (r != -EFAULT)
+                return 4;
+            env.close(fd);
+            return 0;
+        },
+        apps::RuntimeKind::EmSync);
+    Browsix bx;
+    testutil::stage(bx, "efault-read");
+    auto r = bx.runArgv({"/usr/bin/efault-read"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
 }

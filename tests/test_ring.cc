@@ -288,3 +288,145 @@ TEST(RingSyscalls, PointerArgsAndOutDataThroughTheRing)
     EXPECT_EQ(r.exitCode(), 0);
     EXPECT_GT(bx.kernel().stats().ringSyscallCount, 0u);
 }
+
+TEST(RingSyscalls, ZeroCopyPreadFillsGuestHeapInPlace)
+{
+    // The tentpole read path: pread through the ring resolves the guest
+    // destination up front and the backend fills it in place — byte-exact
+    // content in the guest heap, no intermediate bfs::Buffer bounce.
+    addProgram("ring-zerocopy", [](rt::EmEnv &env) -> int {
+        const std::string payload = "zero-copy straight into the heap";
+        int fd = env.open("/tmp/zc.txt",
+                          bfs::flags::CREAT | bfs::flags::RDWR);
+        if (fd < 0)
+            return 1;
+        if (env.write(fd, payload) !=
+            static_cast<int64_t>(payload.size()))
+            return 2;
+        bfs::Buffer buf;
+        if (env.pread(fd, buf, 64, 0) !=
+            static_cast<int64_t>(payload.size()))
+            return 3;
+        if (std::string(buf.begin(), buf.end()) != payload)
+            return 4;
+        // Offset read: the window starts mid-file.
+        if (env.pread(fd, buf, 64, 10) !=
+            static_cast<int64_t>(payload.size()) - 10)
+            return 5;
+        if (std::string(buf.begin(), buf.end()) != payload.substr(10))
+            return 6;
+        env.close(fd);
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-zerocopy");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-zerocopy"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.zeroCopyCompletions - before.zeroCopyCompletions, 2u)
+        << "both preads must complete through the in-place path";
+    EXPECT_EQ(after.copiedCompletions, before.copiedCompletions)
+        << "no syscall in this program may bounce an intermediate copy";
+}
+
+TEST(RingSyscalls, HostileSqeHeapOffsetsCompleteWithEfault)
+{
+    // A corrupt (or hostile) SQE whose pointer arguments fall outside
+    // the personality heap must be rejected at drain time with -EFAULT,
+    // not reach the kernel's heap-write (or string-scan) paths.
+    addProgram("ring-efault", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls *ring = env.ring();
+        rt::SyncSyscalls *sync = env.syncCalls();
+        if (!ring || !sync)
+            return 1;
+        int32_t heap_len = static_cast<int32_t>(sync->heapSize());
+
+        // pread destination starting at end-of-heap.
+        int fd = env.open("/tmp/ef.txt",
+                          bfs::flags::CREAT | bfs::flags::RDWR);
+        if (fd < 0)
+            return 2;
+        uint32_t s1 = ring->submit(sys::PREAD, {fd, heap_len, 16, 0, 0, 0});
+        // getcwd window that overruns the heap end.
+        uint32_t s2 =
+            ring->submit(sys::GETCWD, {heap_len - 8, 4096, 0, 0, 0, 0});
+        // stat with a negative path pointer.
+        sync->resetScratch();
+        uint32_t sp = sync->alloc(sys::STAT_BYTES);
+        uint32_t s3 = ring->submit(
+            sys::STAT, {-4, static_cast<int32_t>(sp), 0, 0, 0, 0});
+        ring->flush();
+        if (ring->wait(s1).r0 != -EFAULT)
+            return 3;
+        if (ring->wait(s2).r0 != -EFAULT)
+            return 4;
+        if (ring->wait(s3).r0 != -EFAULT)
+            return 5;
+        // readlink with bufsiz <= 0 must be the POSIX -EINVAL through
+        // the ring too, not an -EFAULT from the drain-time validator.
+        sync->resetScratch();
+        int32_t lp =
+            static_cast<int32_t>(sync->pushString("/tmp/ef.txt"));
+        uint32_t s4 = ring->submit(sys::READLINK, {lp, 16, -1, 0, 0, 0});
+        ring->flush();
+        if (ring->wait(s4).r0 != -EINVAL)
+            return 6;
+        // The ring stays usable after rejected entries.
+        if (ring->call(sys::GETPID, {}) != env.pid())
+            return 7;
+        env.close(fd);
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-efault");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-efault"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.ringEfaults - before.ringEfaults, 3u)
+        << "each hostile SQE must be counted as a drain-time EFAULT";
+}
+
+TEST(RingSyscalls, BatchedStatSweepCoalescesNotifies)
+{
+    // EmEnv::statBatch: a 32-path metadata sweep submits every SQE under
+    // one doorbell, so the kernel answers the whole sweep with one
+    // (coalesced) notify instead of one per stat — the batched coreutils
+    // hot-path contract.
+    addProgram("ring-statbatch", [](rt::EmEnv &env) -> int {
+        std::vector<std::string> paths;
+        for (int i = 0; i < 32; i++)
+            paths.push_back("/batch/f" + std::to_string(i));
+        paths.push_back("/batch/missing");
+        auto res = env.statBatch(paths);
+        if (res.size() != paths.size())
+            return 1;
+        for (int i = 0; i < 32; i++) {
+            if (res[i].err != 0 || res[i].st.size != 64 ||
+                !res[i].st.isFile())
+                return 2;
+        }
+        if (res[32].err != -ENOENT)
+            return 3;
+        return 0;
+    });
+    Browsix bx;
+    bx.rootFs().mkdirAll("/batch");
+    for (int i = 0; i < 32; i++)
+        bx.rootFs().writeFile("/batch/f" + std::to_string(i),
+                              std::string(64, 'x'));
+    stage(bx, "ring-statbatch");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-statbatch"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    uint64_t stats_made = after.ringSyscallCount - before.ringSyscallCount;
+    uint64_t notifies = after.ringNotifies - before.ringNotifies;
+    EXPECT_GE(stats_made, 33u);
+    EXPECT_LE(notifies, 8u)
+        << "a batched sweep must coalesce wakes, not pay one per stat";
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Warn-only bench-trajectory regression check.
+
+Compares the fs_micro/syscall_micro JSON a CI run just produced against
+the committed baseline (bench/baselines/, recorded from a full local run
+of the zero-copy data-plane PR). Lower-is-better metrics that regressed
+past the threshold emit GitHub warning annotations; the exit code is
+always 0 for now — per ROADMAP, the gate hardens once a few PRs of
+trajectory accumulate.
+
+Usage: check_trajectory.py <results-dir> <baseline-dir> [threshold]
+
+threshold is the allowed ratio current/baseline (default 2.5: smoke-tier
+numbers come from a single un-warmed iteration on shared CI runners, so
+only gross regressions are worth flagging).
+"""
+import json
+import os
+import sys
+
+BENCHES = ("fs_micro", "syscall_micro")
+
+# Throughput/latency metrics where a higher value is a regression. Ratio
+# metrics (notifies per call, messages per burst) are capped separately:
+# they are scheduling-dependent but bounded by the protocol, so a hard
+# ceiling beats a relative one.
+RATIO_CEILINGS = {
+    # The smoke tier stages a tiny tree (2 dirs x 8 files), so its
+    # per-directory chunks amortize less than the full run's 0.19.
+    "ls_batch_notifies_per_call": 0.7,
+    "writev_batch8_notifies_per_call": 0.25,
+}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::bench-trajectory: cannot read {path}: {e}")
+        return None
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    results_dir, baseline_dir = sys.argv[1], sys.argv[2]
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 2.5
+
+    warned = 0
+    compared = 0
+    for bench in BENCHES:
+        cur = load(os.path.join(results_dir, f"{bench}.json"))
+        base = load(os.path.join(baseline_dir, f"{bench}.json"))
+        if cur is None or base is None:
+            continue
+        for name, m in sorted(cur.items()):
+            value = m["value"]
+            if name in RATIO_CEILINGS:
+                compared += 1
+                ceiling = RATIO_CEILINGS[name]
+                if value > ceiling:
+                    warned += 1
+                    print(
+                        f"::warning::bench-trajectory {bench}/{name}: "
+                        f"{value:.3g} exceeds protocol ceiling {ceiling}"
+                    )
+                continue
+            b = base.get(name)
+            if b is None or b["value"] <= 0 or m.get("unit") == "ratio":
+                continue
+            compared += 1
+            ratio = value / b["value"]
+            if ratio > threshold:
+                warned += 1
+                print(
+                    f"::warning::bench-trajectory {bench}/{name}: "
+                    f"{value:.6g}{m.get('unit', '')} is {ratio:.2f}x the "
+                    f"baseline {b['value']:.6g} (threshold {threshold}x)"
+                )
+    print(
+        f"bench-trajectory: compared {compared} metrics, "
+        f"{warned} warning(s) (warn-only gate)"
+    )
+    return 0  # warn-only for now
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,6 +101,104 @@ preadSweep(size_t bytes, const std::string &label)
     recordMetric("fs_micro", "pread_zerocopy_" + label + "_us", zero_us);
 }
 
+/** Per-op µs for one pwrite size: the copying path models the
+ * pre-zero-copy kernel (argData materializes an intermediate bfs::Buffer
+ * from the guest window, then pwrite); the zero-copy path hands the
+ * window straight to pwriteFrom. */
+void
+pwriteSweep(size_t bytes, const std::string &label)
+{
+    auto mem = std::make_shared<bfs::InMemBackend>();
+    mem->writeFile("/blob", makeBlob(bytes, 0x5eed));
+    bfs::OpenFilePtr f;
+    mem->open("/blob", bfs::flags::RDWR, 0,
+              [&](int, bfs::OpenFilePtr file) { f = std::move(file); });
+
+    std::vector<uint8_t> src = makeBlob(bytes, 0xbeef);
+    const int iters =
+        smokeMode() ? 1 : static_cast<int>(std::max<size_t>(
+                              16, (8u << 20) / std::max<size_t>(bytes, 1)));
+
+    double copy_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            // What argData used to do: bounce the guest window through
+            // an intermediate Buffer before the backend write.
+            bfs::Buffer bounce(src.begin(), src.end());
+            f->pwrite(0, bounce.data(), bounce.size(), [](int, size_t) {});
+        }
+    });
+    double zero_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            f->pwriteFrom(0, bfs::ConstByteSpan{src.data(), bytes},
+                          [](int, size_t) {});
+        }
+    });
+    double copy_us = copy_ms * 1000.0 / iters;
+    double zero_us = zero_ms * 1000.0 / iters;
+    std::printf("%8s | %12.2f | %12.2f | %10.2fx\n", label.c_str(),
+                copy_us, zero_us, zero_us > 0 ? copy_us / zero_us : 0);
+    recordMetric("fs_micro", "pwrite_copy_" + label + "_us", copy_us);
+    recordMetric("fs_micro", "pwrite_zerocopy_" + label + "_us", zero_us);
+}
+
+/** Directory-listing data movement: getdents through the encoded-record
+ * bounce (Buffer + memcpy into the destination) vs getdentsInto encoding
+ * records straight into the caller's window. */
+void
+getdentsSweep()
+{
+    auto mem = std::make_shared<bfs::InMemBackend>();
+    const int kEntries = 256;
+    for (int i = 0; i < kEntries; i++)
+        mem->writeFile("/dir/entry-" + std::to_string(i) + ".dat", "x");
+    auto vfs = std::make_shared<bfs::Vfs>();
+    vfs->mount("/", mem);
+
+    const int iters = smokeMode() ? 1 : 2000;
+    std::vector<uint8_t> dest(16 * 1024);
+
+    double copy_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            kernel::DirFile dir(vfs.get(), "/dir");
+            for (;;) {
+                size_t got = 0;
+                dir.getdents(dest.size(),
+                             [&](int, bfs::BufferPtr data) {
+                                 if (data && !data->empty()) {
+                                     std::memcpy(dest.data(),
+                                                 data->data(),
+                                                 data->size());
+                                     got = data->size();
+                                 }
+                             });
+                if (got == 0)
+                    break;
+            }
+        }
+    });
+    double zero_ms = timeMs([&]() {
+        for (int i = 0; i < iters; i++) {
+            kernel::DirFile dir(vfs.get(), "/dir");
+            for (;;) {
+                size_t got = 0;
+                dir.getdentsInto(
+                    bfs::ByteSpan{dest.data(), dest.size()},
+                    [&](int, size_t n) { got = n; });
+                if (got == 0)
+                    break;
+            }
+        }
+    });
+    double copy_us = copy_ms * 1000.0 / iters;
+    double zero_us = zero_ms * 1000.0 / iters;
+    std::printf("\ngetdents (%d entries): bounce %0.2f us/listing, "
+                "zero-copy %0.2f us/listing (%0.2fx)\n",
+                kEntries, copy_us, zero_us,
+                zero_us > 0 ? copy_us / zero_us : 0);
+    recordMetric("fs_micro", "getdents_copy_us", copy_us);
+    recordMetric("fs_micro", "getdents_zerocopy_us", zero_us);
+}
+
 } // namespace
 
 int
@@ -169,8 +267,21 @@ main()
     preadSweep(4096, "4KiB");
     preadSweep(64 * 1024, "64KiB");
     preadSweep(1 << 20, "1MiB");
+
+    std::printf("\npwrite data movement: copying pipeline (intermediate "
+                "Buffer from the guest window) vs zero-copy pwriteFrom\n\n");
+    std::printf("%8s | %12s | %12s | %10s\n", "size", "copy us/op",
+                "zerocopy us", "speedup");
+    std::printf("---------+--------------+--------------+------------\n");
+    pwriteSweep(4096, "4KiB");
+    pwriteSweep(64 * 1024, "64KiB");
+    pwriteSweep(1 << 20, "1MiB");
+
+    getdentsSweep();
+
     std::printf("\nThe win scales with payload size: past 64 KiB the "
                 "intermediate buffer's\nallocate+copy dominates the "
-                "per-call cost the ring already amortized away.\n");
+                "per-call cost the ring already amortized away — now in "
+                "both directions, and for directory listings.\n");
     return 0;
 }

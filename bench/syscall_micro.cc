@@ -18,6 +18,7 @@
  * away (cphVB-style batched dispatch applied to the syscall transport).
  */
 #include <cstdio>
+#include <cstring>
 
 #include "bench/harness.h"
 
@@ -64,6 +65,49 @@ sysbenchRingMain(rt::EmEnv &env)
     return 0;
 }
 
+/** Gather writes through the ring; argv[1]=rounds, argv[2]=batch. Each
+ * round submits `batch` writev SQEs (4 iovs x 64 B each) under one
+ * doorbell and reaps them — the printf-heavy stdio pattern. */
+int
+sysbenchWritevMain(rt::EmEnv &env)
+{
+    int rounds =
+        env.argv().size() > 1 ? std::atoi(env.argv()[1].c_str()) : 0;
+    int batch = std::max(
+        1, env.argv().size() > 2 ? std::atoi(env.argv()[2].c_str()) : 1);
+    rt::RingSyscalls *ring = env.ring();
+    rt::SyncSyscalls *sync = env.syncCalls();
+    if (!ring || !sync)
+        return 2;
+    int fd = env.open("/tmp/wv.bin",
+                      bfs::flags::CREAT | bfs::flags::RDWR);
+    if (fd < 0)
+        return 3;
+    constexpr int kIovs = 4;
+    constexpr int32_t kIovLen = 64;
+    for (int r = 0; r < rounds; r++) {
+        sync->resetScratch();
+        std::vector<uint32_t> seqs;
+        for (int b = 0; b < batch; b++) {
+            std::vector<sys::IoVec> iovs;
+            for (int i = 0; i < kIovs; i++) {
+                uint32_t p = sync->alloc(kIovLen);
+                std::memset(sync->heapData() + p, 'a' + i, kIovLen);
+                iovs.push_back(
+                    sys::IoVec{static_cast<int32_t>(p), kIovLen});
+            }
+            seqs.push_back(ring->submitv(sys::WRITEV, fd, iovs));
+        }
+        ring->flush(); // one doorbell (at most) for the whole batch
+        for (uint32_t s : seqs) {
+            if (ring->wait(s).r0 != kIovs * kIovLen)
+                return 1;
+        }
+    }
+    env.close(fd);
+    return 0;
+}
+
 void
 registerSysbench()
 {
@@ -75,6 +119,8 @@ registerSysbench()
                               64, sysbenchMain, nullptr});
     reg.add(apps::ProgramSpec{"sysbench-ring", apps::RuntimeKind::EmRing,
                               64, sysbenchRingMain, nullptr});
+    reg.add(apps::ProgramSpec{"sysbench-writev", apps::RuntimeKind::EmRing,
+                              64, sysbenchWritevMain, nullptr});
 }
 
 /** Per-call microseconds: run with N calls and 0 calls, difference/N. */
@@ -113,6 +159,8 @@ main()
                           reg.bundleFor("sysbench-async"));
     bx.rootFs().writeFile("/usr/bin/sysbench-ring",
                           reg.bundleFor("sysbench-ring"));
+    bx.rootFs().writeFile("/usr/bin/sysbench-writev",
+                          reg.bundleFor("sysbench-writev"));
 
     // Direct call baseline: what a real getpid costs in-process.
     bfs::Stat st;
@@ -245,6 +293,56 @@ main()
                  serial_npo, "ratio");
     recordMetric("syscall_micro", "ls_batch_notifies_per_call", batch_npo,
                  "ratio");
+
+    // ---- vectored write traffic: writev SQEs, serial vs batch-8 ----
+    // Each writev is one ring entry carrying four spans; at batch 8 one
+    // doorbell and one wake cover eight gathers, and under the coalesced
+    // doorbell bursty rounds skip even the per-batch message.
+    const int kWvRounds = smokeMode() ? 20 : 300;
+    struct WvResult
+    {
+        double ms;
+        double notifies_per_call;
+        double messages_per_burst;
+    };
+    auto writevRun = [&](int batch) {
+        kernel::KernelStats before = bx.kernel().stats();
+        double ms = timeMs([&]() {
+            bx.runArgv({"/usr/bin/sysbench-writev",
+                        std::to_string(kWvRounds),
+                        std::to_string(batch)},
+                       120000);
+        });
+        kernel::KernelStats after = bx.kernel().stats();
+        double calls = static_cast<double>(after.ringSyscallCount -
+                                           before.ringSyscallCount);
+        double notifies = static_cast<double>(after.ringNotifies -
+                                              before.ringNotifies);
+        double doorbells = static_cast<double>(after.ringDoorbells -
+                                               before.ringDoorbells);
+        return WvResult{ms, calls > 0 ? notifies / calls : 0,
+                        doorbells / kWvRounds};
+    };
+    WvResult wv1 = writevRun(1);
+    WvResult wv8 = writevRun(8);
+    std::printf("\nvectored write traffic (writev, 4 iovs x 64 B, %d "
+                "rounds):\n\n",
+                kWvRounds);
+    std::printf("%-24s | %10s | %18s | %18s\n", "mode", "ms",
+                "notifies/ringcall", "messages/burst");
+    std::printf("-------------------------+------------+----------------"
+                "----+--------------------\n");
+    std::printf("%-24s | %10.2f | %18.3f | %18.3f\n", "serial (batch 1)",
+                wv1.ms, wv1.notifies_per_call, wv1.messages_per_burst);
+    std::printf("%-24s | %10.2f | %18.3f | %18.3f\n", "batch 8", wv8.ms,
+                wv8.notifies_per_call, wv8.messages_per_burst);
+    recordMetric("syscall_micro", "writev_batch1_notifies_per_call",
+                 wv1.notifies_per_call, "ratio");
+    recordMetric("syscall_micro", "writev_batch8_notifies_per_call",
+                 wv8.notifies_per_call, "ratio");
+    recordMetric("syscall_micro", "writev_batch8_ms", wv8.ms, "ms");
+    recordMetric("syscall_micro", "writev_batch8_messages_per_burst",
+                 wv8.messages_per_burst, "ratio");
     (void)sink;
     return 0;
 }

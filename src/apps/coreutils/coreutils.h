@@ -32,6 +32,15 @@ void registerCoreutils();
  */
 int elsMain(rt::EmEnv &env);
 
+/**
+ * `ecat` (em_cat.cc): cat compiled against the Emscripten ring runtime.
+ * Streams file -> stdout through the zero-copy vectored data plane: a
+ * window of pread SQEs per doorbell, one writev SQE per round.
+ * --serial = one read + one write round-trip per chunk (the A/B
+ * baseline). Registered as program "ecat" by registerAllPrograms().
+ */
+int ecatMain(rt::EmEnv &env);
+
 /** Figure 9 native baselines: direct VFS access, native SHA-1. */
 std::string nativeSha1sum(bfs::Vfs &vfs, const std::string &path);
 std::string nativeLs(bfs::Vfs &vfs, const std::string &path, bool longfmt);

@@ -23,21 +23,23 @@ namespace apps {
 
 namespace {
 
-/** One directory level: list, batch-lstat, print, recurse. */
+/** One directory level: list, batch-lstat, print, recurse. Output is
+ * collected as fragments and gathered by one writev sweep at the end
+ * (EmEnv::writev) — no giant concatenation, no ring entry per line. */
 int
 listDir(rt::EmEnv &env, const std::string &path, bool longfmt,
-        bool recursive, bool serial_stats, std::string &out)
+        bool recursive, bool serial_stats, std::vector<std::string> &out)
 {
     int fd = env.open(path, 0);
     if (fd < 0) {
-        out += "els: cannot access '" + path + "'\n";
+        out.push_back("els: cannot access '" + path + "'\n");
         return 2;
     }
     std::vector<sys::Dirent> entries;
     int rc = env.getdents(fd, entries);
     env.close(fd);
     if (rc != 0) {
-        out += "els: cannot list '" + path + "'\n";
+        out.push_back("els: cannot list '" + path + "'\n");
         return 2;
     }
 
@@ -70,13 +72,13 @@ listDir(rt::EmEnv &env, const std::string &path, bool longfmt,
     }
 
     if (recursive)
-        out += path + ":\n";
+        out.push_back(path + ":\n");
     std::vector<std::string> subdirs;
     for (size_t i = 0; i < names.size(); i++) {
         if (i < sts.size() && sts[i].err == 0 && sts[i].st.isDir())
             subdirs.push_back(full[i]);
         if (!longfmt) {
-            out += names[i] + "\n";
+            out.push_back(names[i] + "\n");
             continue;
         }
         std::ostringstream os;
@@ -88,13 +90,13 @@ listDir(rt::EmEnv &env, const std::string &path, bool longfmt,
                << "rw-r--r-- " << st.nlink << " " << st.size << " "
                << names[i] << "\n";
         }
-        out += os.str();
+        out.push_back(os.str());
     }
 
     int worst = 0;
     if (recursive) {
         for (const auto &d : subdirs) {
-            out += "\n";
+            out.push_back("\n");
             worst = std::max(
                 worst, listDir(env, d, longfmt, true, serial_stats, out));
         }
@@ -129,11 +131,11 @@ elsMain(rt::EmEnv &env)
         paths.push_back(env.getcwd());
 
     int worst = 0;
-    std::string out;
+    std::vector<std::string> out;
     for (const auto &p : paths)
         worst = std::max(
             worst, listDir(env, p, longfmt, recursive, serial_stats, out));
-    env.write(1, out);
+    env.writev(1, out);
     return worst;
 }
 

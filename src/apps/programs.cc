@@ -38,6 +38,11 @@ registerAllPrograms()
     // per directory chunk instead of one round-trip per entry).
     reg.add(ProgramSpec{"els", RuntimeKind::EmRing, 96, elsMain, nullptr});
 
+    // ecat: the data-plane hot path compiled for the ring convention —
+    // zero-copy pread windows in, one gather writev out per round.
+    reg.add(ProgramSpec{"ecat", RuntimeKind::EmRing, 72, ecatMain,
+                        nullptr});
+
     // pdflatex/bibtex exist in both compile modes; the filesystem stages
     // whichever variant the experiment wants (§3.2's sync-vs-async).
     reg.add(ProgramSpec{"pdflatex-sync", RuntimeKind::EmSync, 4200,

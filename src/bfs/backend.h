@@ -67,6 +67,19 @@ class OpenFile
     virtual void pwrite(uint64_t off, const uint8_t *data, size_t len,
                         SizeCb cb) = 0;
 
+    /**
+     * Zero-copy positional write: consume the caller-provided source
+     * window (for sync/ring syscalls it aliases the guest heap) and
+     * complete with the byte count. The caller guarantees the window
+     * outlives the callback, so the default simply forwards to pwrite —
+     * no intermediate Buffer is ever materialized on this path. Backends
+     * whose pwrite stashes the pointer past the callback must override.
+     */
+    virtual void pwriteFrom(uint64_t off, ConstByteSpan src, SizeCb cb)
+    {
+        pwrite(off, src.data, src.len, std::move(cb));
+    }
+
     virtual void fstat(StatCb cb) = 0;
 
     virtual void ftruncate(uint64_t size, ErrCb cb) = 0;

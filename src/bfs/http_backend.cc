@@ -209,6 +209,12 @@ class HttpOpenFile : public OpenFile
     }
 
     void
+    pwriteFrom(uint64_t, ConstByteSpan, SizeCb cb) override
+    {
+        cb(EROFS, 0); // never touch the source window of a read-only tree
+    }
+
+    void
     fstat(StatCb cb) override
     {
         Stat st;

@@ -71,6 +71,10 @@ class InMemBackend::MemOpenFile : public OpenFile
     void
     pwrite(uint64_t off, const uint8_t *data, size_t len, SizeCb cb) override
     {
+        if (off + len < off) { // end-offset wrap: never index with it
+            cb(EFBIG, 0);
+            return;
+        }
         Buffer &d = *node_->data;
         if (off + len > d.size())
             d.resize(off + len, 0);
@@ -78,6 +82,25 @@ class InMemBackend::MemOpenFile : public OpenFile
             std::memcpy(d.data() + off, data, len);
         node_->mtimeUs = jsvm::nowUs();
         cb(0, len);
+    }
+
+    void
+    pwriteFrom(uint64_t off, ConstByteSpan src, SizeCb cb) override
+    {
+        if (off + src.len < off) { // end-offset wrap: never index with it
+            cb(EFBIG, 0);
+            return;
+        }
+        // The source window (for syscalls: the guest heap) is consumed
+        // directly into the resident node data — the single necessary
+        // copy, with no intermediate Buffer on either side.
+        Buffer &d = *node_->data;
+        if (off + src.len > d.size())
+            d.resize(off + src.len, 0);
+        if (src.len > 0)
+            std::memcpy(d.data() + off, src.data, src.len);
+        node_->mtimeUs = jsvm::nowUs();
+        cb(0, src.len);
     }
 
     void fstat(StatCb cb) override { cb(0, node_->toStat()); }

@@ -171,14 +171,20 @@ OverlayBackend::copyUp(const std::string &path, ErrCb cb)
                                 cb(oerr);
                                 return;
                             }
-                            out->pwrite(0, data->data(), data->size(),
-                                        [this, cb, data](int werr, size_t) {
-                                            if (!werr) {
-                                                copyUps_++;
-                                                eagerBytes_ += data->size();
-                                            }
-                                            cb(werr);
-                                        });
+                            // The lower layer's bytes are already
+                            // resident in `data`; hand the window to the
+                            // upper layer's zero-copy write (the
+                            // callback keeps `data` alive past it).
+                            out->pwriteFrom(
+                                0,
+                                ConstByteSpan{data->data(), data->size()},
+                                [this, cb, data](int werr, size_t) {
+                                    if (!werr) {
+                                        copyUps_++;
+                                        eagerBytes_ += data->size();
+                                    }
+                                    cb(werr);
+                                });
                         });
                 });
             });

@@ -59,6 +59,19 @@ struct ByteSpan
     size_t len = 0;
 };
 
+/**
+ * A caller-owned source window for zero-copy writes (pwriteFrom): the
+ * backend reads at most `len` bytes at `data`. Same lifetime contract as
+ * ByteSpan — the caller guarantees the memory outlives the completion
+ * callback; for syscalls the window aliases the process's shared heap,
+ * which the kernel pins for the duration of the call.
+ */
+struct ConstByteSpan
+{
+    const uint8_t *data = nullptr;
+    size_t len = 0;
+};
+
 using ErrCb = std::function<void(int err)>;
 using StatCb = std::function<void(int err, const Stat &)>;
 using DataCb = std::function<void(int err, BufferPtr data)>;

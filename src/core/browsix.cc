@@ -140,6 +140,7 @@ Browsix::stageSystem(const BootConfig &cfg)
                                                   : "bibtex-emterp"));
     root.writeFile("/usr/bin/node", reg.bundleFor("node"));
     root.writeFile("/usr/bin/els", reg.bundleFor("els"));
+    root.writeFile("/usr/bin/ecat", reg.bundleFor("ecat"));
     root.writeFile("/usr/bin/meme-server", reg.bundleFor("meme-server"));
 
     // Utilities: small scripts run by the node interpreter via shebang,

@@ -57,6 +57,34 @@ RegularFile::write(bfs::Buffer data, bfs::SizeCb cb)
 }
 
 void
+RegularFile::writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb)
+{
+    // The caller pins the source window until the callback runs, so the
+    // backend consumes it directly — no intermediate Buffer even across
+    // the append-mode fstat hop.
+    if (append_) {
+        file_->fstat([this, src, cb](int err, const bfs::Stat &st) {
+            if (err) {
+                cb(err, 0);
+                return;
+            }
+            offset_ = st.size;
+            file_->pwriteFrom(offset_, src, [this, cb](int werr, size_t n) {
+                if (!werr)
+                    offset_ += n;
+                cb(werr, n);
+            });
+        });
+        return;
+    }
+    file_->pwriteFrom(offset_, src, [this, cb](int werr, size_t n) {
+        if (!werr)
+            offset_ += n;
+        cb(werr, n);
+    });
+}
+
+void
 RegularFile::pread(uint64_t off, size_t len, bfs::DataCb cb)
 {
     file_->pread(off, len, std::move(cb));
@@ -74,6 +102,12 @@ RegularFile::pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb)
     auto buf = std::make_shared<bfs::Buffer>(std::move(data));
     file_->pwrite(off, buf->data(), buf->size(),
                   [buf, cb](int err, size_t n) { cb(err, n); });
+}
+
+void
+RegularFile::pwriteFrom(uint64_t off, bfs::ConstByteSpan src, bfs::SizeCb cb)
+{
+    file_->pwriteFrom(off, src, std::move(cb));
 }
 
 void
@@ -125,34 +159,17 @@ RegularFile::seek(int64_t off, int whence, std::function<void(int64_t)> cb)
 }
 
 void
-DirFile::getdents(size_t max_bytes, bfs::DataCb cb)
+DirFile::withEntries(bfs::ErrCb fail, std::function<void()> serve)
 {
-    auto serve = [this, max_bytes, cb]() {
-        std::vector<sys::Dirent> batch;
-        size_t bytes = 0;
-        while (cursor_ < entries_.size()) {
-            const auto &e = entries_[cursor_];
-            size_t reclen = ((8 + 2 + 1 + e.name.size() + 1) + 3) & ~size_t{3};
-            if (bytes + reclen > max_bytes && !batch.empty())
-                break;
-            if (reclen > max_bytes) { // entry alone exceeds buffer
-                cb(EINVAL, nullptr);
-                return;
-            }
-            batch.push_back(e);
-            bytes += reclen;
-            cursor_++;
-        }
-        cb(0, std::make_shared<bfs::Buffer>(sys::encodeDirents(batch)));
-    };
     if (loaded_) {
         serve();
         return;
     }
-    vfs_->readdir(path_, [this, serve, cb](int err,
-                                           std::vector<bfs::DirEntry> es) {
+    vfs_->readdir(path_, [this, fail = std::move(fail),
+                          serve = std::move(serve)](
+                             int err, std::vector<bfs::DirEntry> es) {
         if (err) {
-            cb(err, nullptr);
+            fail(err);
             return;
         }
         entries_.clear();
@@ -164,6 +181,57 @@ DirFile::getdents(size_t max_bytes, bfs::DataCb cb)
                                            e.name});
         loaded_ = true;
         serve();
+    });
+}
+
+void
+DirFile::getdents(size_t max_bytes, bfs::DataCb cb)
+{
+    withEntries([cb](int err) { cb(err, nullptr); },
+                [this, max_bytes, cb]() {
+        std::vector<sys::Dirent> batch;
+        size_t bytes = 0;
+        while (cursor_ < entries_.size()) {
+            const auto &e = entries_[cursor_];
+            size_t reclen = sys::direntRecLen(e);
+            if (bytes + reclen > max_bytes && !batch.empty())
+                break;
+            if (reclen > max_bytes) { // entry alone exceeds buffer
+                cb(EINVAL, nullptr);
+                return;
+            }
+            batch.push_back(e);
+            bytes += reclen;
+            cursor_++;
+        }
+        cb(0, std::make_shared<bfs::Buffer>(sys::encodeDirents(batch)));
+    });
+}
+
+void
+DirFile::getdentsInto(bfs::ByteSpan dst, bfs::SizeCb cb)
+{
+    // Encode each record directly into the caller's window (for
+    // sync/ring syscalls: the guest heap) — the zero-copy successor to
+    // the getdents() bounce. Same cursor, same clamp semantics: serve as
+    // many whole records as fit, EINVAL when even one record cannot.
+    withEntries([cb](int err) { cb(err, 0); }, [this, dst, cb]() {
+        size_t bytes = 0;
+        while (cursor_ < entries_.size()) {
+            const sys::Dirent &e = entries_[cursor_];
+            size_t reclen = sys::direntRecLen(e);
+            if (bytes + reclen > dst.len) {
+                if (bytes == 0) {
+                    cb(EINVAL, 0); // one record alone exceeds the window
+                    return;
+                }
+                break;
+            }
+            sys::encodeDirentAt(e, dst.data + bytes);
+            bytes += reclen;
+            cursor_++;
+        }
+        cb(0, bytes);
     });
 }
 

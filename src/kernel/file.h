@@ -54,6 +54,22 @@ class KFile
     /** Sequential write; completes with the number of bytes written. */
     virtual void write(bfs::Buffer data, bfs::SizeCb cb) = 0;
 
+    /**
+     * Zero-copy sequential write: consume the caller-provided source
+     * window (for sync/ring syscalls it aliases the guest heap, pinned by
+     * the kernel for the duration of the call). The default bounces the
+     * window into a Buffer and calls write() — files whose storage the
+     * data must land in anyway (pipes, sinks) keep that single necessary
+     * copy, while regular files override to hand the window straight to
+     * the backend.
+     */
+    virtual void writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb)
+    {
+        write(src.len ? bfs::Buffer(src.data, src.data + src.len)
+                      : bfs::Buffer{},
+              std::move(cb));
+    }
+
     virtual void pread(uint64_t off, size_t len, bfs::DataCb cb)
     {
         (void)off;
@@ -73,6 +89,18 @@ class KFile
         (void)off;
         (void)data;
         cb(ESPIPE, 0);
+    }
+
+    /** Zero-copy positional write; same contract as writeFrom. The
+     * default routes through pwrite(), so non-seekable files keep their
+     * ESPIPE. */
+    virtual void pwriteFrom(uint64_t off, bfs::ConstByteSpan src,
+                            bfs::SizeCb cb)
+    {
+        pwrite(off,
+               src.len ? bfs::Buffer(src.data, src.data + src.len)
+                       : bfs::Buffer{},
+               std::move(cb));
     }
 
     virtual void fstat(bfs::StatCb cb)
@@ -97,7 +125,28 @@ class KFile
         cb(ENOTDIR, nullptr);
     }
 
+    /**
+     * Zero-copy getdents: encode dirent records directly into the
+     * caller-provided window (for sync/ring syscalls: the guest heap)
+     * and complete with the encoded byte count; 0 at end-of-directory.
+     * The default bounces through getdents() — directories override to
+     * skip the intermediate record buffer.
+     */
+    virtual void getdentsInto(bfs::ByteSpan dst, bfs::SizeCb cb)
+    {
+        getdents(dst.len, bfs::bounceIntoSpan(dst, std::move(cb)));
+    }
+
     virtual bool isTty() const { return false; }
+
+    /**
+     * True when this file's span operations (readInto/writeFrom/
+     * pwriteFrom/getdentsInto) move data through the caller's window
+     * directly, rather than via the base-class Buffer bounce. Syscall
+     * handlers pass this to completeFilled so the kernel's zero-copy vs
+     * copied counters report the path the data actually took.
+     */
+    virtual bool spanIoDirect() const { return false; }
 
     // --- descriptor reference counting ---
     void ref() { refs_++; }
@@ -128,13 +177,17 @@ class RegularFile : public KFile
     }
 
     const char *kind() const override { return "file"; }
+    bool spanIoDirect() const override { return true; }
 
     void read(size_t maxlen, bfs::DataCb cb) override;
     void readInto(bfs::ByteSpan dst, bfs::SizeCb cb) override;
     void write(bfs::Buffer data, bfs::SizeCb cb) override;
+    void writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb) override;
     void pread(uint64_t off, size_t len, bfs::DataCb cb) override;
     void preadInto(uint64_t off, bfs::ByteSpan dst, bfs::SizeCb cb) override;
     void pwrite(uint64_t off, bfs::Buffer data, bfs::SizeCb cb) override;
+    void pwriteFrom(uint64_t off, bfs::ConstByteSpan src,
+                    bfs::SizeCb cb) override;
     void fstat(bfs::StatCb cb) override;
     void seek(int64_t off, int whence,
               std::function<void(int64_t)> cb) override;
@@ -155,15 +208,20 @@ class DirFile : public KFile
     }
 
     const char *kind() const override { return "dir"; }
+    bool spanIoDirect() const override { return true; }
 
     void read(size_t, bfs::DataCb cb) override { cb(EISDIR, nullptr); }
     void write(bfs::Buffer, bfs::SizeCb cb) override { cb(EISDIR, 0); }
     void fstat(bfs::StatCb cb) override { vfs_->stat(path_, cb); }
     void getdents(size_t max_bytes, bfs::DataCb cb) override;
+    void getdentsInto(bfs::ByteSpan dst, bfs::SizeCb cb) override;
 
     const std::string &path() const { return path_; }
 
   private:
+    /** Load the entry list once, then run serve() against the cursor. */
+    void withEntries(bfs::ErrCb fail, std::function<void()> serve);
+
     bfs::Vfs *vfs_;
     std::string path_;
     bool loaded_ = false;

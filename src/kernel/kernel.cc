@@ -42,11 +42,22 @@ Kernel::allocPid()
     // bands) and wraps at kMaxPid. A pid still present in the table —
     // live or zombie — is skipped, so a long-lived session can never
     // hand out a duplicate.
-    for (int scanned = 0; scanned < kMaxPid; scanned++) {
-        int pid = nextPid_;
-        nextPid_ = nextPid_ >= kMaxPid ? 1 : nextPid_ + 1;
-        if (!tasks_.find(pid))
-            return pid;
+    int pid = nextPid_;
+    nextPid_ = nextPid_ >= kMaxPid ? 1 : nextPid_ + 1;
+    if (!tasks_.find(pid))
+        return pid; // fast path: the cursor pid is free
+    // Collision: the cursor landed on a live pid (wraparound under a
+    // well-populated table). Instead of probing one pid at a time,
+    // consult the per-band free-pid hints — amortized O(1) even when
+    // the table is nearly full.
+    int band = TaskTable::bandOf(pid);
+    for (int i = 0; i < TaskTable::kBands; i++) {
+        int b = (band + i) & (TaskTable::kBands - 1);
+        int p = tasks_.lowestFreeInBand(b, kMaxPid);
+        if (p > 0) {
+            nextPid_ = p >= kMaxPid ? 1 : p + 1;
+            return p;
+        }
     }
     return -EAGAIN; // kMaxPid live tasks: the table is genuinely full
 }
@@ -331,7 +342,7 @@ Kernel::doExit(Task &t, int status)
     for (auto &[fd, f] : t.files)
         f->unref();
     t.files.clear();
-    t.waitWaiters.clear();
+    t.clearWaitWaiters();
 
     if (t.worker) {
         t.worker->terminate();
@@ -377,28 +388,43 @@ Kernel::doExit(Task &t, int status)
 void
 Kernel::completeWaits(Task &parent)
 {
-    // Zombies are consulted in exit order (the parent's zombieFifo), not
-    // by scanning the children set: wait-any reaps FIFO across pid
-    // bands, and the walk is proportional to the zombie count, not the
-    // child count.
-    auto &waiters = parent.waitWaiters;
-    for (auto it = waiters.begin(); it != waiters.end();) {
+    // Zombies are consulted in exit order (the parent's zombieFifo), and
+    // each is matched against the earliest-registered waiter selecting
+    // it through the by-pid index — the wait-specific bucket for its own
+    // pid plus the wait-any (-1) bucket — so completion cost scales with
+    // the zombie count, not the waiter-list length.
+    for (;;) {
         int found = 0;
+        uint64_t seq = 0;
         for (int zombie : parent.zombieFifo) {
-            if (it->waitFor == -1 || it->waitFor == zombie) {
+            uint64_t best = UINT64_MAX;
+            auto consider = [&parent, &best](int key) {
+                auto it = parent.waitersByPid.find(key);
+                if (it != parent.waitersByPid.end() &&
+                    !it->second.empty())
+                    best = std::min(best, *it->second.begin());
+            };
+            consider(zombie);
+            consider(-1);
+            if (best != UINT64_MAX) {
                 found = zombie;
+                seq = best;
                 break;
             }
         }
-        if (found) {
-            auto done = std::move(it->done);
-            int status = task(found)->exitStatus;
-            it = waiters.erase(it);
-            reapTask(found); // also drops it from children + zombieFifo
-            done(found, status);
-        } else {
-            ++it;
-        }
+        if (!found)
+            return;
+        auto wit = parent.waitWaiters.find(seq);
+        auto done = std::move(wit->second.done);
+        int wait_for = wit->second.waitFor;
+        parent.waitWaiters.erase(wit);
+        auto bit = parent.waitersByPid.find(wait_for);
+        bit->second.erase(seq);
+        if (bit->second.empty())
+            parent.waitersByPid.erase(bit);
+        int status = task(found)->exitStatus;
+        reapTask(found); // also drops it from children + zombieFifo
+        done(found, status);
     }
 }
 
@@ -648,6 +674,7 @@ Kernel::onWorkerMessage(int pid, jsvm::Value msg)
         // Doorbell: the process published SQEs and rang once for the
         // whole batch (the CAS-guarded doorbell word suppresses
         // duplicates). One doorbell -> one drain pass.
+        stats_.ringDoorbells++;
         drainSyscallRing(pid);
         return;
     }
@@ -666,7 +693,19 @@ Kernel::ringNotify(Task &t)
 }
 
 void
-Kernel::drainSyscallRing(int pid)
+Kernel::scheduleRingDrain(int pid, int idle_grace)
+{
+    stats_.ringDrainsScheduled++;
+    browser_.mainLoop().post(
+        [this, pid, idle_grace, alive = std::weak_ptr<int>(aliveTag_)]() {
+            if (alive.expired())
+                return; // the kernel is gone; the loop task outlived it
+            drainSyscallRing(pid, idle_grace);
+        });
+}
+
+void
+Kernel::drainSyscallRing(int pid, int idle_grace)
 {
     Task *t = task(pid);
     if (!t || t->state == TaskState::Zombie || !t->ring.registered ||
@@ -680,8 +719,11 @@ Kernel::drainSyscallRing(int pid)
     jsvm::RingIndices sq(*heap, ring.sqHeadOff(), ring.sqTailOff(),
                          ring.entries());
 
-    // Clear the doorbell before reading the tail: entries published after
-    // this point are guaranteed a fresh doorbell message.
+    // Arm the coalescing word BEFORE clearing the doorbell: a producer
+    // always observes at least one of the two set, so whether it skips
+    // the message (drainPending armed) or its doorbell CAS fails, this
+    // pass — or the follow-up it schedules — sees its published tail.
+    jsvm::Atomics::store(*heap, ring.drainPendingOff(), 1);
     jsvm::Atomics::store(*heap, ring.doorbellOff(), 0);
     t->ring.draining = true;
     t->ring.deferredNotify = false;
@@ -704,7 +746,7 @@ Kernel::drainSyscallRing(int pid)
         // argument outside the personality heap means a corrupt (or
         // hostile) entry: complete it with -EFAULT at the boundary
         // instead of letting a handler reach heapWrite out of bounds.
-        if (!sys::sqeHeapArgsValid(e, heap->size())) {
+        if (!sys::sqeHeapArgsValid(e, *heap)) {
             stats_.ringEfaults++;
             ctx->completeErr(EFAULT);
             continue;
@@ -717,14 +759,36 @@ Kernel::drainSyscallRing(int pid)
             return;
     }
     t->ring.draining = false;
-    // Batches count consumed work: a doorbell that raced an earlier
-    // drain and found the SQ empty is not a batch.
-    if (consumed > 0)
+    if (consumed > 0) {
+        // Batches count consumed work: a doorbell that raced an earlier
+        // drain and found the SQ empty is not a batch. One notify per
+        // batch: wake the waiter for the completions that landed (and
+        // for any SQ slots a backpressure-parked producer is waiting on).
         stats_.ringBatchesDrained++;
-    // One notify per batch: wake the waiter if any completion landed, or
-    // if SQ slots were freed (a producer may be parked on backpressure).
-    if (consumed > 0 || t->ring.deferredNotify)
         ringNotify(*t);
+        // Adaptive doorbell coalescing: keep drainPending armed and
+        // queue a follow-up pass, so a bursty producer's next batch
+        // skips even the one message per batch. The pipeline winds down
+        // once a pass (plus its grace) finds the SQ empty.
+        scheduleRingDrain(pid, 1);
+        return;
+    }
+    if (t->ring.deferredNotify)
+        ringNotify(*t);
+    if (idle_grace > 0) {
+        // Linger armed for one more pass: the producer this pipeline is
+        // serving was woken a moment ago and its next batch is likely
+        // mid-publish — disarming now would cost it a doorbell message.
+        scheduleRingDrain(pid, idle_grace - 1);
+        return;
+    }
+    // Idle: disarm, then re-check the tail. A producer publishing
+    // between the loop's empty check and this store saw drainPending
+    // armed and skipped its doorbell message — it must not be stranded,
+    // so hand any late tail to a fresh pass (which re-arms).
+    jsvm::Atomics::store(*heap, ring.drainPendingOff(), 0);
+    if (!sq.empty())
+        scheduleRingDrain(pid, 0);
 }
 
 } // namespace kernel

@@ -192,9 +192,9 @@ sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
         ctx->complete(0, 0);
         return;
     }
-    t.waitWaiters.push_back(Task::WaitWaiter{
-        wait_pid,
-        [ctx](int pid, int status) { ctx->complete(pid, status); }});
+    t.addWaitWaiter(wait_pid, [ctx](int pid, int status) {
+        ctx->complete(pid, status);
+    });
 }
 
 void
@@ -399,7 +399,8 @@ sysRead(Kernel &, Task &t, SyscallCtxPtr ctx)
             // preadInto could lie about its count, and the runtime reads
             // exactly `n` bytes back out of the heap.
             ctx->completeFilled(
-                static_cast<int64_t>(std::min(n, dst.span.len)));
+                static_cast<int64_t>(std::min(n, dst.span.len)),
+                f->spanIoDirect());
         });
         return;
     }
@@ -421,6 +422,30 @@ sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(EBADF);
         return;
     }
+    if (ctx->isSync()) {
+        // Zero-copy: resolve the guest source window up front and let
+        // the file (ultimately the backend) consume it in place — the
+        // write-direction mirror of sysRead, with no intermediate
+        // argData Buffer. An out-of-heap window is EFAULT, matching the
+        // ring drain validator.
+        SyscallCtx::HeapConstSpan src = ctx->heapConstSpan(1, 2);
+        if (!src.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        f->writeFrom(src.span, [ctx, f, src](int err, size_t n) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            // Never report more than the window: the runtime believes
+            // exactly `n` bytes of its buffer were consumed.
+            ctx->completeFilled(
+                static_cast<int64_t>(std::min(n, src.span.len)),
+                f->spanIoDirect());
+        });
+        return;
+    }
     bfs::Buffer data = ctx->argData(1, 2);
     f->write(std::move(data), [ctx, f](int err, size_t n) {
         if (err) {
@@ -437,8 +462,12 @@ sysPread(Kernel &, Task &t, SyscallCtxPtr ctx)
     int fd = ctx->argInt(0);
     size_t len = static_cast<uint32_t>(
         ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1));
-    uint64_t off = static_cast<uint64_t>(
-        ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2));
+    double off_arg = ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2);
+    if (off_arg < 0) {
+        ctx->completeErr(EINVAL); // POSIX pread(2); see sysPwrite
+        return;
+    }
+    uint64_t off = static_cast<uint64_t>(off_arg);
     KFilePtr f = getFile(t, fd);
     if (!f) {
         ctx->completeErr(EBADF);
@@ -456,7 +485,8 @@ sysPread(Kernel &, Task &t, SyscallCtxPtr ctx)
                 return;
             }
             ctx->completeFilled(
-                static_cast<int64_t>(std::min(n, dst.span.len)));
+                static_cast<int64_t>(std::min(n, dst.span.len)),
+                f->spanIoDirect());
         });
         return;
     }
@@ -473,11 +503,35 @@ void
 sysPwrite(Kernel &, Task &t, SyscallCtxPtr ctx)
 {
     int fd = ctx->argInt(0);
-    uint64_t off = static_cast<uint64_t>(
-        ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2));
+    double off_arg = ctx->isSync() ? ctx->argNum(3) : ctx->argNum(2);
+    if (off_arg < 0) {
+        // POSIX EINVAL — and a safety boundary: a negative offset cast
+        // to uint64 would wrap backend `off + len` arithmetic and send
+        // a memcpy through a wild pointer.
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    uint64_t off = static_cast<uint64_t>(off_arg);
     KFilePtr f = getFile(t, fd);
     if (!f) {
         ctx->completeErr(EBADF);
+        return;
+    }
+    if (ctx->isSync()) {
+        SyscallCtx::HeapConstSpan src = ctx->heapConstSpan(1, 2);
+        if (!src.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        f->pwriteFrom(off, src.span, [ctx, f, src](int err, size_t n) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            ctx->completeFilled(
+                static_cast<int64_t>(std::min(n, src.span.len)),
+                f->spanIoDirect());
+        });
         return;
     }
     f->pwrite(off, ctx->argData(1, 2), [ctx, f](int err, size_t n) {
@@ -514,10 +568,24 @@ sysGetdents(Kernel &, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(EBADF);
         return;
     }
-    // Validate the guest window before doing the directory work; the
-    // encoded records are then copied in, clamped to the caller's length.
-    if (ctx->isSync() && !ctx->heapSpan(1, len).ok()) {
-        ctx->completeErr(EFAULT);
+    if (ctx->isSync()) {
+        // Zero-copy: the directory encodes its records straight into the
+        // guest window instead of the clamped bounce copy completeData
+        // used to make.
+        SyscallCtx::HeapSpan dst = ctx->heapSpan(1, len);
+        if (!dst.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        f->getdentsInto(dst.span, [ctx, f, dst](int err, size_t n) {
+            if (err) {
+                ctx->completeErr(err);
+                return;
+            }
+            ctx->completeFilled(
+                static_cast<int64_t>(std::min(n, dst.span.len)),
+                f->spanIoDirect());
+        });
         return;
     }
     f->getdents(len, [ctx, f](int err, bfs::BufferPtr data) {
@@ -525,8 +593,183 @@ sysGetdents(Kernel &, Task &t, SyscallCtxPtr ctx)
             ctx->completeErr(err);
             return;
         }
-        ctx->completeData(*data, 1, ctx->isSync() ? 2 : -1);
+        ctx->completeData(*data, 1, -1);
     });
+}
+
+// ---------- vectored I/O (readv/writev/preadv/pwritev) ----------
+
+/**
+ * Resolve the iovec-array argument (ptr at arg 1, count at arg 2; see
+ * sys::IoVec for the layout) into bounds-checked heap spans, merging
+ * adjacent iovs that are contiguous in the heap so the drive loop issues
+ * one backend call per contiguous run. Returns 0 and fills `out`, or the
+ * errno to complete with: EINVAL for a count outside [1, kIovMax],
+ * EFAULT for any byte — of the array or of an iov's span — outside the
+ * personality heap. Shared-heap conventions only.
+ */
+int
+resolveIovs(Task &t, const SyscallCtxPtr &ctx,
+            std::vector<bfs::ByteSpan> &out)
+{
+    if (!t.heap)
+        return EFAULT;
+    int32_t cnt = ctx->argInt(2);
+    if (cnt < 1 || cnt > sys::kIovMax)
+        return EINVAL;
+    size_t heap_len = t.heap->size();
+    size_t arr = static_cast<uint32_t>(ctx->argInt(1));
+    size_t arr_bytes = static_cast<size_t>(cnt) * sys::IOVEC_BYTES;
+    if (ctx->argInt(1) < 0 || arr > heap_len ||
+        arr_bytes > heap_len - arr)
+        return EFAULT;
+    uint8_t *heap = t.heap->data();
+    out.clear();
+    out.reserve(static_cast<size_t>(cnt));
+    for (int32_t i = 0; i < cnt; i++) {
+        sys::IoVec iov;
+        std::memcpy(&iov, heap + arr + i * sys::IOVEC_BYTES,
+                    sys::IOVEC_BYTES);
+        size_t off = static_cast<uint32_t>(iov.ptr);
+        size_t len = static_cast<uint32_t>(iov.len);
+        if (iov.ptr < 0 || iov.len < 0 || off > heap_len ||
+            len > heap_len - off)
+            return EFAULT;
+        if (len == 0)
+            continue; // zero-length iovs contribute nothing
+        uint8_t *data = heap + off;
+        if (!out.empty() && out.back().data + out.back().len == data)
+            out.back().len += len; // coalesce a contiguous run
+        else
+            out.push_back(bfs::ByteSpan{data, len});
+    }
+    return 0;
+}
+
+/**
+ * One in-flight vectored call: drives one zero-copy file operation per
+ * contiguous run, accumulating POSIX short-count semantics — a run that
+ * moves fewer bytes than its span (EOF, backend short count) or an error
+ * after partial progress completes with the bytes moved so far; an error
+ * on the first run is the call's error.
+ */
+struct VectoredIo : std::enable_shared_from_this<VectoredIo>
+{
+    SyscallCtxPtr ctx;
+    KFilePtr f;
+    jsvm::SabPtr heap; ///< pins the spans' backing memory
+    std::vector<bfs::ByteSpan> spans;
+    size_t i = 0;
+    uint64_t done = 0;
+    bool positional = false;
+    bool writing = false;
+    uint64_t off = 0;
+
+    void
+    step()
+    {
+        if (i >= spans.size()) {
+            ctx->completeFilled(static_cast<int64_t>(done),
+                                f->spanIoDirect());
+            return;
+        }
+        bfs::ByteSpan span = spans[i];
+        auto self = shared_from_this();
+        bfs::SizeCb finish = [self](int err, size_t n) {
+            bfs::ByteSpan cur = self->spans[self->i];
+            n = std::min(n, cur.len);
+            if (err) {
+                if (self->done > 0)
+                    self->ctx->completeFilled(
+                        static_cast<int64_t>(self->done),
+                        self->f->spanIoDirect());
+                else
+                    self->ctx->completeErr(err);
+                return;
+            }
+            self->done += n;
+            if (n < cur.len) { // short run ends the call
+                self->ctx->completeFilled(
+                    static_cast<int64_t>(self->done),
+                    self->f->spanIoDirect());
+                return;
+            }
+            self->i++;
+            self->step();
+        };
+        if (writing) {
+            bfs::ConstByteSpan src{span.data, span.len};
+            if (positional)
+                f->pwriteFrom(off + done, src, std::move(finish));
+            else
+                f->writeFrom(src, std::move(finish));
+        } else {
+            if (positional)
+                f->preadInto(off + done, span, std::move(finish));
+            else
+                f->readInto(span, std::move(finish));
+        }
+    }
+};
+
+void
+vectoredCommon(Task &t, SyscallCtxPtr ctx, bool positional, bool writing)
+{
+    if (!ctx->isSync()) {
+        // The iovec encoding is heap-offset based; the async convention
+        // has no personality heap for the entries to point into.
+        ctx->completeErr(ENOSYS);
+        return;
+    }
+    KFilePtr f = getFile(t, ctx->argInt(0));
+    if (!f) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    auto io = std::make_shared<VectoredIo>();
+    int rc = resolveIovs(t, ctx, io->spans);
+    if (rc) {
+        ctx->completeErr(rc);
+        return;
+    }
+    io->positional = positional;
+    io->writing = writing;
+    if (positional) {
+        double off_arg = ctx->argNum(3);
+        if (off_arg < 0) { // see sysPwrite: EINVAL before the cast wraps
+            ctx->completeErr(EINVAL);
+            return;
+        }
+        io->off = static_cast<uint64_t>(off_arg);
+    }
+    io->ctx = std::move(ctx);
+    io->f = std::move(f);
+    io->heap = t.heap;
+    io->step();
+}
+
+void
+sysReadv(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    vectoredCommon(t, std::move(ctx), false, false);
+}
+
+void
+sysWritev(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    vectoredCommon(t, std::move(ctx), false, true);
+}
+
+void
+sysPreadv(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    vectoredCommon(t, std::move(ctx), true, false);
+}
+
+void
+sysPwritev(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    vectoredCommon(t, std::move(ctx), true, true);
 }
 
 void
@@ -928,6 +1171,10 @@ handlerTable()
         {"write", sysWrite},
         {"pread", sysPread},
         {"pwrite", sysPwrite},
+        {"readv", sysReadv},
+        {"writev", sysWritev},
+        {"preadv", sysPreadv},
+        {"pwritev", sysPwritev},
         {"llseek", sysLlseek},
         {"getdents", sysGetdents},
         {"getdents64", sysGetdents},

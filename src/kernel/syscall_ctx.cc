@@ -148,6 +148,25 @@ SyscallCtx::heapSpan(size_t dst_ptr_idx, size_t len) const
     return out;
 }
 
+SyscallCtx::HeapConstSpan
+SyscallCtx::heapConstSpan(size_t ptr_idx, size_t len_idx) const
+{
+    HeapConstSpan out;
+    if (!isSync())
+        return out;
+    Task *t = taskOrNull();
+    if (!t || !t->heap)
+        return out;
+    size_t off = static_cast<uint32_t>(sargs_[ptr_idx]);
+    size_t len = static_cast<uint32_t>(sargs_[len_idx]);
+    if (off > t->heap->size() || len > t->heap->size() - off)
+        return out; // any byte outside the heap: EFAULT territory
+    out.heap = t->heap;
+    out.span.data = t->heap->data() + off;
+    out.span.len = len;
+    return out;
+}
+
 bool
 SyscallCtx::heapWrite(size_t off, const uint8_t *data, size_t len) const
 {
@@ -268,12 +287,15 @@ SyscallCtx::completeData(const bfs::Buffer &data, size_t dst_ptr_idx,
 }
 
 void
-SyscallCtx::completeFilled(int64_t n)
+SyscallCtx::completeFilled(int64_t n, bool zero_copy)
 {
     if (!isSync())
         jsvm::panic("completeFilled on async call " + name_);
     markCompleted();
-    kernel_.stats_.zeroCopyCompletions++;
+    if (zero_copy)
+        kernel_.stats_.zeroCopyCompletions++;
+    else
+        kernel_.stats_.copiedCompletions++;
     finishHeap(n, 0);
 }
 

@@ -86,6 +86,24 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
      */
     HeapSpan heapSpan(size_t dst_ptr_idx, size_t len) const;
 
+    /** The read-only counterpart for zero-copy writes: same pinning and
+     * bounds rules as HeapSpan, but the window is a source. */
+    struct HeapConstSpan
+    {
+        jsvm::SabPtr heap; ///< null when resolution failed (the EFAULT case)
+        bfs::ConstByteSpan span;
+        bool ok() const { return heap != nullptr; }
+    };
+
+    /**
+     * Resolve [sargs[ptr_idx], +sargs[len_idx]) as a guest *source*
+     * window, bounds-checked and SAB-pinned exactly like heapSpan. This
+     * is what makes the sync/ring write path zero-copy: sysWrite/
+     * sysPwrite hand span straight to writeFrom/pwriteFrom instead of
+     * materializing argData's intermediate Buffer.
+     */
+    HeapConstSpan heapConstSpan(size_t ptr_idx, size_t len_idx) const;
+
     // --- completion (exactly once) ---
     void complete(int64_t r0, int64_t r1 = 0);
     void completeErr(int err) { complete(-static_cast<int64_t>(err)); }
@@ -97,10 +115,14 @@ class SyscallCtx : public std::enable_shared_from_this<SyscallCtx>
      */
     void completeData(const bfs::Buffer &data, size_t dst_ptr_idx,
                       int len_idx = -1);
-    /** Sync/ring only: complete a call whose out-data was already written
-     * in place through a heapSpan() window — the no-copy successor to
-     * completeData on the zero-copy read path. */
-    void completeFilled(int64_t n);
+    /** Sync/ring only: complete a call whose data moved through a
+     * heapSpan()/heapConstSpan() window — out-data written in place
+     * (reads, getdents) or in-data consumed in place (writes). The
+     * no-copy successor to completeData in both directions. zero_copy
+     * feeds the zeroCopyCompletions/copiedCompletions counters; handlers
+     * pass KFile::spanIoDirect() so files whose span ops fall back to
+     * the Buffer bounce (pipes, sinks) are counted truthfully. */
+    void completeFilled(int64_t n, bool zero_copy = true);
     /** Deliver a string result (getcwd, readlink). */
     void completeStr(const std::string &s, size_t dst_ptr_idx,
                      size_t max_len_idx);

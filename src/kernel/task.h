@@ -7,12 +7,14 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "jsvm/sab.h"
@@ -78,7 +80,29 @@ struct Task
         int waitFor; // pid or -1 for any child
         std::function<void(int pid, int status)> done;
     };
-    std::vector<WaitWaiter> waitWaiters;
+    /// Waiters keyed by registration sequence (earliest-first priority
+    /// when several select the same zombie), with a by-awaited-pid index
+    /// (-1 = wait-any bucket) so completeWaits matches a zombie without
+    /// scanning the whole waiter list — shells running hundreds of jobs
+    /// keep wait4 completion O(log waiters) per exit.
+    std::map<uint64_t, WaitWaiter> waitWaiters;
+    std::unordered_map<int, std::set<uint64_t>> waitersByPid;
+    uint64_t nextWaiterSeq = 1;
+
+    /** Register a wait4 waiter in both structures. */
+    void addWaitWaiter(int wait_for,
+                       std::function<void(int pid, int status)> done)
+    {
+        uint64_t seq = nextWaiterSeq++;
+        waitWaiters.emplace(seq, WaitWaiter{wait_for, std::move(done)});
+        waitersByPid[wait_for].insert(seq);
+    }
+
+    void clearWaitWaiters()
+    {
+        waitWaiters.clear();
+        waitersByPid.clear();
+    }
 
     /// Root-task (ppid 0) exit notification for the embedder.
     std::function<void(int status)> onExit;

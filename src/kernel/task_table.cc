@@ -19,21 +19,42 @@ Task *
 TaskTable::insert(std::unique_ptr<Task> t)
 {
     Task *raw = t.get();
-    auto [it, fresh] =
-        bands_[bandOf(raw->pid)].emplace(raw->pid, std::move(t));
+    int band = bandOf(raw->pid);
+    auto [it, fresh] = bands_[band].emplace(raw->pid, std::move(t));
     if (!fresh)
         jsvm::panic("TaskTable: duplicate pid " +
                     std::to_string(raw->pid));
     size_++;
+    // Lazy hint advance: occupying the hinted slot pushes the hint to
+    // the band's next candidate; lowestFreeInBand re-probes from there.
+    if (raw->pid == freeHint_[band])
+        freeHint_[band] += kBands;
     return it->second.get();
 }
 
 bool
 TaskTable::erase(int pid)
 {
-    size_t n = bands_[bandOf(pid)].erase(pid);
+    int band = bandOf(pid);
+    size_t n = bands_[band].erase(pid);
     size_ -= n;
+    // A freed pid is a known-free candidate below (or at) the hint.
+    if (n > 0 && freeHint_[band] != 0 && pid < freeHint_[band])
+        freeHint_[band] = pid;
     return n > 0;
+}
+
+int
+TaskTable::lowestFreeInBand(int band, int max_pid)
+{
+    int p = freeHint_[band];
+    if (p == 0)
+        p = bandFloor(band);
+    const auto &m = bands_[band];
+    while (p <= max_pid && m.count(p))
+        p += kBands;
+    freeHint_[band] = p; // everything below was just probed occupied
+    return p <= max_pid ? p : -1;
 }
 
 std::vector<int>

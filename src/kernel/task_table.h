@@ -41,6 +41,20 @@ class TaskTable
 
     size_t size() const { return size_; }
 
+    /**
+     * Lowest free pid in a band (pids ≡ band mod kBands, within
+     * [1, max_pid]), or -1 when the band is full. Amortized O(1): each
+     * band keeps a free-pid hint — every band pid below it is occupied —
+     * that insert() advances lazily and erase() lowers, so allocation
+     * under a nearly full table stops probing pids one at a time.
+     * Returning a pid does NOT reserve it; the hint only advances once
+     * the pid is insert()ed.
+     */
+    int lowestFreeInBand(int band, int max_pid);
+
+    /** Test hook: the band's current free-pid hint. */
+    int freeHint(int band) const { return freeHint_[band]; }
+
     /** Visit every task, band by band (order within a band is
      * unspecified). The visitor must not insert or erase. */
     template <typename Fn>
@@ -64,8 +78,16 @@ class TaskTable
     std::vector<int> pids() const;
 
   private:
+    /** Smallest pid a band can hold: pids are ≥ 1, so band 0's first
+     * slot is kBands itself. */
+    static int bandFloor(int band) { return band == 0 ? kBands : band; }
+
     std::array<std::unordered_map<int, std::unique_ptr<Task>>, kBands>
         bands_;
+    /// Per-band free-pid hint: initialized lazily to the band floor (0
+    /// means "not yet initialized"). Invariant: every pid of the band
+    /// below the hint is occupied.
+    std::array<int, kBands> freeHint_{};
     size_t size_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/emscripten/em_runtime.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "jsvm/util.h"
@@ -175,6 +176,91 @@ int64_t
 EmEnv::write(int fd, const std::string &s)
 {
     return write(fd, s.data(), s.size());
+}
+
+int64_t
+EmEnv::writev(int fd, const std::vector<std::string> &parts)
+{
+    if (parts.empty())
+        return 0;
+    if (!usesSharedHeap()) {
+        std::string joined;
+        for (const auto &p : parts)
+            joined += p;
+        return write(fd, joined);
+    }
+    pollSignals();
+    // Chunked like statBatch: each writev call is capped both by the
+    // iovec limit and by a scratch-byte budget (the 1 MiB heap also
+    // holds the ring region), so arbitrarily long fragment lists — a
+    // whole `ls -lR` listing — gather safely.
+    const size_t kScratchBudget = 256 * 1024;
+    int64_t total = 0;
+    size_t i = 0;
+    while (i < parts.size()) {
+        // A single fragment that cannot fit a chunk streams through
+        // plain write() slices instead of tripping the scratch-overflow
+        // panic in alloc().
+        const std::string &head = parts[i];
+        if (head.size() + sys::IOVEC_BYTES > kScratchBudget) {
+            size_t done = 0;
+            while (done < head.size()) {
+                size_t n = std::min(kScratchBudget, head.size() - done);
+                int64_t r = write(fd, head.data() + done, n);
+                if (r < 0) {
+                    pollSignals();
+                    return total > 0 ? total : r;
+                }
+                total += r;
+                done += static_cast<size_t>(r);
+                if (r < static_cast<int64_t>(n)) {
+                    pollSignals();
+                    return total; // short write ends the gather
+                }
+            }
+            i++;
+            continue;
+        }
+        sync_->resetScratch();
+        std::vector<sys::IoVec> iovs;
+        size_t chunk_bytes = 0;
+        int64_t chunk_len = 0;
+        while (i < parts.size() &&
+               iovs.size() < static_cast<size_t>(sys::kIovMax)) {
+            const std::string &p = parts[i];
+            if (chunk_bytes + p.size() + sys::IOVEC_BYTES >
+                kScratchBudget)
+                break; // oversized head restarts via the slice path
+            uint32_t buf = sync_->alloc(p.size());
+            if (!p.empty())
+                std::memcpy(sync_->heapData() + buf, p.data(), p.size());
+            iovs.push_back(sys::IoVec{static_cast<int32_t>(buf),
+                                      static_cast<int32_t>(p.size())});
+            chunk_bytes += p.size() + sys::IOVEC_BYTES;
+            chunk_len += static_cast<int64_t>(p.size());
+            i++;
+        }
+        int64_t r;
+        if (ring_ && RingSyscalls::ringEligible(sys::WRITEV)) {
+            uint32_t seq = ring_->submitv(sys::WRITEV, fd, iovs);
+            ring_->flush();
+            r = ring_->wait(seq).r0;
+        } else {
+            uint32_t arr = sync_->pushIovArray(iovs);
+            r = sync_->call(sys::WRITEV,
+                            {fd, static_cast<int32_t>(arr),
+                             static_cast<int32_t>(iovs.size()), 0, 0, 0});
+        }
+        if (r < 0) {
+            pollSignals();
+            return total > 0 ? total : r; // POSIX short-count semantics
+        }
+        total += r;
+        if (r < chunk_len)
+            break; // short write ends the gather
+    }
+    pollSignals();
+    return total;
 }
 
 int64_t

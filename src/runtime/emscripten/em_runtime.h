@@ -76,6 +76,19 @@ class EmEnv
     int64_t read(int fd, bfs::Buffer &out, size_t n);
     int64_t write(int fd, const void *data, size_t n);
     int64_t write(int fd, const std::string &s);
+    /**
+     * Gather write — the stdio hot path for printf-heavy programs (els
+     * emits its whole listing through one of these): fragments are
+     * marshalled into the shared heap and each writev syscall covers a
+     * whole chunk of them, capped by the iovec limit and a scratch-byte
+     * budget. In Ring mode each chunk is a single SQE (one ring entry,
+     * one CQE) via RingSyscalls::submitv instead of one ring round-trip
+     * per fragment; Sync mode issues one call per chunk; the async
+     * convention (no shared heap for the iovec array to point into)
+     * falls back to concatenating into a single write. Returns the
+     * total bytes written (short-count on a partial chunk).
+     */
+    int64_t writev(int fd, const std::vector<std::string> &parts);
     int64_t pread(int fd, bfs::Buffer &out, size_t n, int64_t off);
     int64_t pwrite(int fd, const void *data, size_t n, int64_t off);
     int64_t llseek(int fd, int64_t off, int whence);

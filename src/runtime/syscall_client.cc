@@ -172,6 +172,17 @@ SyncSyscalls::pushString(const std::string &s)
 }
 
 uint32_t
+SyncSyscalls::pushIovArray(const std::vector<sys::IoVec> &iovs)
+{
+    uint32_t arr = alloc(iovs.size() * sys::IOVEC_BYTES);
+    for (size_t i = 0; i < iovs.size(); i++) {
+        std::memcpy(heap_->data() + arr + i * sys::IOVEC_BYTES, &iovs[i],
+                    sys::IOVEC_BYTES);
+    }
+    return arr;
+}
+
+uint32_t
 SyncSyscalls::alloc(size_t n)
 {
     size_t off = (scratchTop_ + 7) & ~size_t{7};
@@ -294,6 +305,12 @@ RingSyscalls::ringEligible(int trap)
       case sys::PREAD:
       case sys::PWRITE:
       case sys::WRITE:
+      // Vectored I/O batches like its scalar counterparts; readv stays
+      // ineligible for read's reason (an empty pipe needs the caller to
+      // act before the completion can land).
+      case sys::WRITEV:
+      case sys::PREADV:
+      case sys::PWRITEV:
         return true;
       default:
         // read (empty pipe), wait4, accept, connect, ... may need the
@@ -361,6 +378,19 @@ RingSyscalls::submit(int trap, std::array<int32_t, 6> args)
     return seq;
 }
 
+uint32_t
+RingSyscalls::submitv(int trap, int32_t fd,
+                      const std::vector<sys::IoVec> &iovs, int64_t off)
+{
+    // Marshal the iovec array into scratch; the spans it points at were
+    // already placed in the heap by the caller. One SQE then carries the
+    // whole gather/scatter list.
+    uint32_t arr = sync_.pushIovArray(iovs);
+    return submit(trap, {fd, static_cast<int32_t>(arr),
+                         static_cast<int32_t>(iovs.size()),
+                         static_cast<int32_t>(off), 0, 0});
+}
+
 void
 RingSyscalls::flush()
 {
@@ -370,11 +400,21 @@ RingSyscalls::flush()
     // a batch the kernel is mid-drain on.
     if (unflushed_ == 0)
         return;
+    unflushed_ = 0;
+    jsvm::SharedArrayBuffer &heap = sync_.heap();
+    // Adaptive coalescing: while the kernel has a drain pass scheduled
+    // (drainPending armed), the published tail will be observed without
+    // any message at all — the kernel only disarms after an empty pass
+    // re-checks the tail, so a submission that saw the word armed can
+    // never be stranded.
+    if (jsvm::Atomics::load(heap, layout_.drainPendingOff()) == 1) {
+        coalesced_++;
+        return;
+    }
     // Only the 0 -> 1 transition posts a message. A CAS failure means a
     // doorbell is already in flight, and the kernel clears the flag
     // before reading the tail — so it will see everything published up
     // to this point either way.
-    jsvm::SharedArrayBuffer &heap = sync_.heap();
     if (jsvm::Atomics::compareExchange(heap, layout_.doorbellOff(), 0, 1) ==
         0) {
         doorbells_++;
@@ -382,7 +422,6 @@ RingSyscalls::flush()
         msg.set("t", jsvm::Value("ring"));
         sync_.client().scope().postMessage(msg);
     }
-    unflushed_ = 0;
 }
 
 RingSyscalls::Completion

@@ -133,6 +133,10 @@ class SyncSyscalls
 
     // --- scratch marshalling helpers (reset per call by the caller) ---
     uint32_t pushString(const std::string &s);
+    /** Marshal a packed iovec array (sys::IoVec x iovs.size()) into
+     * scratch; returns its heap offset. Shared by RingSyscalls::submitv
+     * and EmEnv::writev's sync fallback. */
+    uint32_t pushIovArray(const std::vector<sys::IoVec> &iovs);
     uint32_t alloc(size_t n);
     void resetScratch() { scratchTop_ = scratchBase_; }
     /** Permanently carve n bytes out of the scratch region (8-aligned);
@@ -212,8 +216,25 @@ class RingSyscalls
      */
     uint32_t submit(int trap, std::array<int32_t, 6> args);
 
-    /** Ring the doorbell if submissions are pending and no doorbell is
-     * already in flight. */
+    /**
+     * Vectored submission: write `iovs` as a packed iovec array into the
+     * heap's scratch region (the caller owns resetScratch timing, as
+     * with every marshalling helper) and submit ONE gather/scatter SQE
+     * covering all of them — one ring entry, one CQE, many spans. trap
+     * must be one of READV/WRITEV/PREADV/PWRITEV; `off` is the file
+     * offset for the positional pair and ignored otherwise.
+     */
+    uint32_t submitv(int trap, int32_t fd,
+                     const std::vector<sys::IoVec> &iovs, int64_t off = 0);
+
+    /**
+     * Ring the doorbell if submissions are pending and no doorbell is
+     * already in flight. Adaptive coalescing: when the kernel has a
+     * drain pass scheduled (the drainPending header word), even the
+     * doorbell message is skipped — the scheduled drain will see the
+     * published tail — cutting bursty producers below one message per
+     * batch.
+     */
     void flush();
 
     /** Park until the completion for seq arrives; reaps the CQ. Throws
@@ -224,6 +245,9 @@ class RingSyscalls
     /** Submitted but not yet reaped. */
     uint32_t inflight() const { return inflight_; }
     uint64_t doorbellsRung() const { return doorbells_; }
+    /** Batches whose doorbell message was skipped because the kernel
+     * already had a drain scheduled (adaptive coalescing). */
+    uint64_t doorbellsCoalesced() const { return coalesced_; }
 
   private:
     void reap();
@@ -239,6 +263,7 @@ class RingSyscalls
     uint32_t inflight_ = 0;
     uint32_t unflushed_ = 0; // submitted since the last doorbell coverage
     uint64_t doorbells_ = 0;
+    uint64_t coalesced_ = 0;
     std::map<uint32_t, Completion> done_;
 };
 

@@ -40,8 +40,12 @@ trapTable()
         {WAIT4, "wait4"},
         {LLSEEK, "llseek"},
         {GETDENTS, "getdents"},
+        {READV, "readv"},
+        {WRITEV, "writev"},
         {PREAD, "pread"},
         {PWRITE, "pwrite"},
+        {PREADV, "preadv"},
+        {PWRITEV, "pwritev"},
         {GETCWD, "getcwd"},
         {STAT, "stat"},
         {LSTAT, "lstat"},
@@ -203,21 +207,35 @@ statFromValue(const jsvm::Value &v)
     return st;
 }
 
+size_t
+direntRecLen(const Dirent &e)
+{
+    // layout: ino u64, reclen u16, type u8, name..., NUL (4-aligned)
+    size_t base = 8 + 2 + 1 + e.name.size() + 1;
+    return (base + 3) & ~size_t{3};
+}
+
+size_t
+encodeDirentAt(const Dirent &e, uint8_t *dst)
+{
+    size_t reclen = direntRecLen(e);
+    std::memset(dst, 0, reclen);
+    put64(dst, e.ino);
+    uint16_t rl = static_cast<uint16_t>(reclen);
+    std::memcpy(dst + 8, &rl, 2);
+    dst[10] = e.type;
+    std::memcpy(dst + 11, e.name.data(), e.name.size());
+    return reclen;
+}
+
 std::vector<uint8_t>
 encodeDirents(const std::vector<Dirent> &entries)
 {
     std::vector<uint8_t> out;
     for (const auto &e : entries) {
-        // layout: ino u64, reclen u16, type u8, name..., NUL (4-aligned)
-        size_t base = 8 + 2 + 1 + e.name.size() + 1;
-        size_t reclen = (base + 3) & ~size_t{3};
         size_t off = out.size();
-        out.resize(off + reclen, 0);
-        put64(out.data() + off, e.ino);
-        uint16_t rl = static_cast<uint16_t>(reclen);
-        std::memcpy(out.data() + off + 8, &rl, 2);
-        out[off + 10] = e.type;
-        std::memcpy(out.data() + off + 11, e.name.data(), e.name.size());
+        out.resize(off + direntRecLen(e), 0);
+        encodeDirentAt(e, out.data() + off);
     }
     return out;
 }

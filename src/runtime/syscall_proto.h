@@ -56,6 +56,8 @@ enum Trap : int {
     WAIT4 = 114,
     LLSEEK = 140,
     GETDENTS = 141,
+    READV = 145,
+    WRITEV = 146,
     PREAD = 180,
     PWRITE = 181,
     GETCWD = 183,
@@ -64,6 +66,8 @@ enum Trap : int {
     FSTAT = 197,
     GETDENTS64 = 220,
     UTIMES = 271,
+    PREADV = 333,
+    PWRITEV = 334,
 
     // Browsix-specific
     SOCKET = 400,
@@ -78,6 +82,27 @@ enum Trap : int {
     PERSONALITY = 422,
     RING_PERSONALITY = 423, ///< register the io_uring-style ring region
 };
+
+/**
+ * Vectored I/O (readv/writev/preadv/pwritev, shared-heap conventions
+ * only): the SQE/sync pointer argument names an iovec array in the
+ * personality heap — `iovcnt` packed 8-byte entries, each two little-
+ * endian int32s {ptr, len} where ptr is itself a heap offset. One ring
+ * entry (one CQE, one wake) covers every span. Argument layout:
+ *   readv/writev:   (fd, iov_ptr, iovcnt)
+ *   preadv/pwritev: (fd, iov_ptr, iovcnt, off)
+ * iovcnt < 1 or > kIovMax is EINVAL from the handler; an iovec entry (or
+ * the array itself) outside the heap is -EFAULT at ring drain time
+ * (sqeHeapArgsValid) or from the handler for sync callers.
+ */
+struct IoVec
+{
+    int32_t ptr = 0; ///< heap offset of the span
+    int32_t len = 0;
+};
+
+constexpr size_t IOVEC_BYTES = 8;
+constexpr int32_t kIovMax = 1024; ///< Linux UIO_MAXIOV
 
 /** Human-readable syscall name (also the async message "name" field). */
 const char *trapName(int trap);
@@ -177,6 +202,13 @@ struct Dirent
     uint8_t type = DT_REG;
     std::string name;
 };
+
+/** Bytes one packed getdents64 record occupies (4-aligned). */
+size_t direntRecLen(const Dirent &e);
+
+/** Encode one record at dst — exactly direntRecLen(e) bytes, which the
+ * caller has already checked fit. Returns the record length. */
+size_t encodeDirentAt(const Dirent &e, uint8_t *dst);
 
 /** Pack dirents in getdents64 record format. */
 std::vector<uint8_t> encodeDirents(const std::vector<Dirent> &entries);

@@ -29,9 +29,37 @@ strOk(int32_t off, size_t heap)
 
 } // namespace
 
+namespace {
+
+/** Vectored traps: the iovec array must fit, and every entry's span must
+ * fit. Out-of-range counts pass untouched — the handler's EINVAL must
+ * not differ between the sync and ring conventions. */
 bool
-sqeHeapArgsValid(const Sqe &e, size_t heap_bytes)
+iovecArgsOk(const jsvm::SharedArrayBuffer &heap, int32_t arr, int32_t cnt)
 {
+    if (cnt < 1 || cnt > kIovMax)
+        return true; // handler territory: EINVAL, not EFAULT
+    size_t heap_bytes = heap.size();
+    if (!spanOk(arr, static_cast<int64_t>(cnt) * IOVEC_BYTES, heap_bytes))
+        return false;
+    for (int32_t i = 0; i < cnt; i++) {
+        IoVec iov;
+        std::memcpy(&iov,
+                    heap.data() + static_cast<uint32_t>(arr) +
+                        i * IOVEC_BYTES,
+                    IOVEC_BYTES);
+        if (!spanOk(iov.ptr, iov.len, heap_bytes))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sqeHeapArgsValid(const Sqe &e, const jsvm::SharedArrayBuffer &heap)
+{
+    const size_t heap_bytes = heap.size();
     const std::array<int32_t, 6> &a = e.args;
     switch (e.trap) {
       case READ:
@@ -41,6 +69,11 @@ sqeHeapArgsValid(const Sqe &e, size_t heap_bytes)
       case GETDENTS:
       case GETDENTS64:
         return spanOk(a[1], a[2], heap_bytes); // (fd, buf, len, ...)
+      case READV:
+      case WRITEV:
+      case PREADV:
+      case PWRITEV:
+        return iovecArgsOk(heap, a[1], a[2]); // (fd, iov, iovcnt, ...)
       case OPEN:
       case UNLINK:
       case CHDIR:

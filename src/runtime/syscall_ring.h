@@ -23,7 +23,14 @@
  *   +16  wait word the process parks here; the kernel stores 1 + notifies
  *   +20  doorbell  1 while a doorbell message is in flight (CAS-guarded so
  *                  a burst of submissions posts one message, not many)
- *   +24  (reserved to +32)
+ *   +24  drainPending  1 while the kernel has a drain pass scheduled
+ *                  (adaptive doorbell coalescing): producers that see it
+ *                  skip the doorbell message entirely — the scheduled
+ *                  drain will observe their published tail. Kernel-owned:
+ *                  armed before a drain starts, and only disarmed after a
+ *                  pass that found the SQ empty re-checks the tail (so a
+ *                  producer that skipped the message is never stranded).
+ *   +28  (reserved to +32)
  *   +32  SQ entries: entries × 32 B, each 8 × i32:
  *          [trap, seq, arg0..arg5]
  *   +32 + entries*32  CQ entries: entries × 16 B, each 4 × i32:
@@ -64,14 +71,17 @@ struct Cqe
 
 /**
  * True when every heap-offset argument carried by this SQE names memory
- * fully inside a personality heap of heap_bytes: (pointer, length)
- * out/in-buffers must fit end to end, string pointers must start in
- * bounds (the NUL scan itself is heap-clamped). The kernel checks this at
- * drain time so a corrupt or hostile SQE completes with -EFAULT instead
- * of reaching the heap-write path out of bounds. Traps without heap
- * arguments always validate.
+ * fully inside the personality heap: (pointer, length) out/in-buffers
+ * must fit end to end, string pointers must start in bounds (the NUL
+ * scan itself is heap-clamped), and for the vectored traps (readv/
+ * writev/preadv/pwritev) both the iovec array itself and every entry's
+ * (ptr, len) span must fit — which is why this takes the heap, not just
+ * its size: per-iov validation reads the entries. The kernel checks this
+ * at drain time so a corrupt or hostile SQE completes with -EFAULT
+ * instead of reaching the heap-write path out of bounds. Traps without
+ * heap arguments always validate.
  */
-bool sqeHeapArgsValid(const Sqe &e, size_t heap_bytes);
+bool sqeHeapArgsValid(const Sqe &e, const jsvm::SharedArrayBuffer &heap);
 
 /** Byte offsets of a ring region registered at `base` in a shared heap. */
 class RingLayout
@@ -104,6 +114,7 @@ class RingLayout
     size_t cqTailOff() const { return base_ + 12; }
     size_t waitOff() const { return base_ + 16; }
     size_t doorbellOff() const { return base_ + 20; }
+    size_t drainPendingOff() const { return base_ + 24; }
 
     size_t sqeOff(uint32_t slot) const
     {

@@ -990,6 +990,133 @@ TEST(PreadInto, OverlayCrossesLowerAndUpperLayers)
     EXPECT_EQ(std::string(buf, buf + n), "read-only");
 }
 
+TEST(PwriteFrom, InMemConsumesWindowInPlace)
+{
+    InMemBackend fs;
+    fs.writeFile("/f", std::string("0123456789"));
+    OpenFilePtr f;
+    fs.open("/f", flags::RDWR, 0,
+            [&](int, OpenFilePtr file) { f = std::move(file); });
+    ASSERT_TRUE(f);
+
+    // Overwrite the middle from a caller-owned window.
+    const uint8_t mid[] = {'X', 'Y', 'Z'};
+    int err = -1;
+    size_t n = 0;
+    f->pwriteFrom(3, ConstByteSpan{mid, 3}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 3u);
+    Buffer out;
+    ASSERT_EQ(fs.readFile("/f", out), 0);
+    EXPECT_EQ(std::string(out.begin(), out.end()), "012XYZ6789");
+
+    // Past EOF: the gap zero-fills, exactly like pwrite.
+    f->pwriteFrom(12, ConstByteSpan{mid, 3}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 3u);
+    ASSERT_EQ(fs.readFile("/f", out), 0);
+    ASSERT_EQ(out.size(), 15u);
+    EXPECT_EQ(out[10], 0);
+    EXPECT_EQ(out[11], 0);
+    EXPECT_EQ(std::string(out.begin() + 12, out.end()), "XYZ");
+
+    // Zero-length window (null data is legal): a no-op success.
+    f->pwriteFrom(0, ConstByteSpan{nullptr, 0}, [&](int e, size_t got) {
+        err = e;
+        n = got;
+    });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(PwriteFrom, DefaultForwardsToPwrite)
+{
+    // A backend that only implements pwrite still serves pwriteFrom via
+    // the base-class forward — the window's lifetime contract makes the
+    // raw-pointer handoff safe.
+    struct PlainF : OpenFile
+    {
+        Buffer data;
+        void pread(uint64_t, size_t, DataCb cb) override
+        {
+            cb(0, std::make_shared<Buffer>(data));
+        }
+        void
+        pwrite(uint64_t off, const uint8_t *d, size_t n,
+               SizeCb cb) override
+        {
+            if (off + n > data.size())
+                data.resize(off + n, 0);
+            if (n)
+                std::memcpy(data.data() + off, d, n);
+            cb(0, n);
+        }
+        void fstat(StatCb cb) override { cb(0, Stat{}); }
+        void ftruncate(uint64_t, ErrCb cb) override { cb(0); }
+    };
+    PlainF f;
+    const std::string payload = "forwarded";
+    int err = -1;
+    size_t n = 0;
+    f.pwriteFrom(2,
+                 ConstByteSpan{reinterpret_cast<const uint8_t *>(
+                                   payload.data()),
+                               payload.size()},
+                 [&](int e, size_t got) {
+                     err = e;
+                     n = got;
+                 });
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(n, payload.size());
+    EXPECT_EQ(std::string(f.data.begin() + 2, f.data.end()), payload);
+}
+
+TEST(PwriteFrom, OverlayCopyUpThenUpperServesWindowWrites)
+{
+    OverlayRig rig;
+    // Write-open a lower-only file: copy-up happens (itself via
+    // pwriteFrom into the upper layer), and the returned upper handle
+    // consumes caller windows directly.
+    OpenFilePtr rw;
+    rig.fs->open("/ro.txt", flags::RDWR, 0,
+                 [&](int, OpenFilePtr f) { rw = std::move(f); });
+    ASSERT_TRUE(rw);
+    EXPECT_EQ(rig.fs->copyUpCount(), 1u);
+    const uint8_t w[] = {'W', 'R', 'I', 'T'};
+    size_t n = 0;
+    rw->pwriteFrom(0, ConstByteSpan{w, 4}, [&](int, size_t got) { n = got; });
+    EXPECT_EQ(n, 4u);
+    std::string got;
+    EXPECT_EQ(readWhole(*rig.fs, "/ro.txt", got), 0);
+    EXPECT_EQ(got, "WRIT-only");
+    // The lower layer keeps the pristine bytes.
+    EXPECT_EQ(readWhole(*rig.lower, "/ro.txt", got), 0);
+    EXPECT_EQ(got, "read-only");
+}
+
+TEST(PwriteFrom, HttpBackendIsReadOnly)
+{
+    auto store = std::make_shared<HttpStore>();
+    store->put("/doc.txt", std::string("fetched"));
+    auto cache = std::make_shared<BrowserHttpCache>();
+    HttpBackend http(store, cache, nullptr, NetworkParams{});
+    OpenFilePtr f;
+    http.open("/doc.txt", flags::RDONLY, 0,
+              [&](int, OpenFilePtr file) { f = std::move(file); });
+    ASSERT_TRUE(f);
+    const uint8_t b = 'x';
+    int err = -1;
+    f->pwriteFrom(0, ConstByteSpan{&b, 1},
+                  [&](int e, size_t) { err = e; });
+    EXPECT_EQ(err, EROFS);
+}
+
 TEST(PreadInto, HttpBackendFillsFromFetchedBlob)
 {
     auto store = std::make_shared<HttpStore>();

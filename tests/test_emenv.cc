@@ -68,6 +68,23 @@ posixTestMain(rt::EmEnv &env)
             "pread at 6");
     t.check(env.read(fd, buf, 16) == 0, "cursor still at EOF");
 
+    // --- writev gather (iovec SQE / sync call under the shared-heap
+    // conventions; concatenated single write under async) ---
+    int vfd = env.open("/tmp/posix-writev.txt", CREAT | TRUNC | RDWR);
+    t.check(vfd >= 0, "open writev file");
+    std::vector<std::string> parts = {"alpha ", "", "beta ", "gamma"};
+    t.check(env.writev(vfd, parts) == 16, "writev total");
+    t.check(env.llseek(vfd, 0, 0) == 0, "llseek writev SET 0");
+    t.check(env.read(vfd, buf, 64) == 16 &&
+                std::string(buf.begin(), buf.end()) ==
+                    "alpha beta gamma",
+            "writev content in order");
+    // Hundreds of fragments exercise the chunking path end to end.
+    std::vector<std::string> many(300, "x");
+    t.check(env.writev(vfd, many) == 300, "writev 300 fragments");
+    t.check(env.writev(vfd, {}) == 0, "empty writev is a no-op");
+    t.check(env.close(vfd) == 0, "close writev file");
+
     // --- fstat / stat ---
     sys::StatX st;
     t.check(env.fstat(fd, st) == 0 && st.size == 11 && st.isFile(),

@@ -65,6 +65,84 @@ TEST(TaskTable, BandedLookupInsertErase)
     EXPECT_EQ(visited, (std::set<int>{1, 2, stride, 3 * stride + 1}));
 }
 
+TEST(TaskTable, FreePidHintProbesBandsInO1)
+{
+    TaskTable tbl;
+    const int stride = TaskTable::kBands;
+    // Band 1 fully packed for its first four slots: 1, 65, 129, 193.
+    for (int i = 0; i < 4; i++)
+        tbl.insert(makeTask(1 + i * stride));
+
+    // First probe walks the occupied prefix once and parks the hint past
+    // it; the next probe starts there directly.
+    EXPECT_EQ(tbl.lowestFreeInBand(1, 1 << 20), 1 + 4 * stride);
+    EXPECT_EQ(tbl.freeHint(1), 1 + 4 * stride);
+    tbl.insert(makeTask(1 + 4 * stride));
+    EXPECT_EQ(tbl.freeHint(1), 1 + 5 * stride)
+        << "occupying the hinted slot advances the hint lazily";
+
+    // Erasing below the hint lowers it: the freed pid is reissued first.
+    tbl.erase(1 + 2 * stride);
+    EXPECT_EQ(tbl.freeHint(1), 1 + 2 * stride);
+    EXPECT_EQ(tbl.lowestFreeInBand(1, 1 << 20), 1 + 2 * stride);
+
+    // A returned-but-never-inserted pid stays the hint (no reservation).
+    EXPECT_EQ(tbl.lowestFreeInBand(1, 1 << 20), 1 + 2 * stride);
+
+    // Band 0 has no pid 0: its floor is kBands itself.
+    EXPECT_EQ(tbl.lowestFreeInBand(0, 1 << 20), stride);
+
+    // A band saturated up to max_pid reports full; erase reopens it.
+    const int tiny_max = 2 * stride + 2;
+    TaskTable small;
+    small.insert(makeTask(2));
+    small.insert(makeTask(2 + stride));
+    small.insert(makeTask(2 + 2 * stride));
+    EXPECT_EQ(small.lowestFreeInBand(2, tiny_max), -1);
+    small.erase(2 + stride);
+    EXPECT_EQ(small.lowestFreeInBand(2, tiny_max), 2 + stride);
+}
+
+TEST(Process, PidHintSurvivesWraparoundCollisions)
+{
+    // Kernel-level leg of the hint: park the cursor on live pids across
+    // the wrap via setNextPid and verify allocation keeps handing out
+    // fresh pids without one-at-a-time probing artifacts (duplicates,
+    // EAGAIN on a mostly-empty table).
+    testutil::addParkProgram("hint-park");
+    Browsix bx;
+    testutil::stage(bx, "hint-park");
+    auto park_one = [&bx]() {
+        int got = 0;
+        bx.kernel().spawnRoot({"/usr/bin/hint-park"},
+                              bx.kernel().defaultEnv, "/", [](int) {},
+                              nullptr, nullptr,
+                              [&got](int pid) { got = pid; });
+        EXPECT_TRUE(bx.runUntil([&got]() { return got != 0; }, 30000));
+        return got;
+    };
+    std::set<int> seen;
+    for (int i = 0; i < 4; i++)
+        ASSERT_TRUE(seen.insert(park_one()).second);
+    int first = *seen.begin();
+    // Repeatedly aim the cursor at the same live pid: every allocation
+    // must come back unique, and ones after the first in the band jump
+    // straight from the hint instead of rescanning the occupied prefix.
+    for (int i = 0; i < 8; i++) {
+        bx.kernel().setNextPid(first);
+        ASSERT_TRUE(seen.insert(park_one()).second)
+            << "hint handed out a duplicate pid";
+    }
+    // Aim at the wrap boundary: the top pid allocates, then the cursor
+    // wraps onto the live low pids and the hint skips them too.
+    bx.kernel().setNextPid(kernel::Kernel::kMaxPid);
+    ASSERT_TRUE(seen.insert(park_one()).second);
+    ASSERT_TRUE(seen.insert(park_one()).second);
+    EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil(
+        [&bx]() { return bx.kernel().taskCount() == 0; }, 30000));
+}
+
 // ---------- LatencyHistogram (unit) ----------
 
 TEST(LatencyHistogram, BucketBoundaries)
@@ -893,6 +971,281 @@ TEST(Syscalls, ShortGuestBufferIsNeverOverrun)
     bx.fs().mount("/evil", evil);
     testutil::stage(bx, "clamp-read");
     auto r = bx.runArgv({"/usr/bin/clamp-read"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+namespace {
+
+/** A backend whose writes fail past byte 8 — drives the vectored
+ * partial-write short-count semantics. */
+class FailingTailWriteFs : public bfs::InMemBackend
+{
+  public:
+    void
+    open(const std::string &path, int oflags, uint32_t mode,
+         bfs::OpenCb cb) override
+    {
+        bfs::InMemBackend::open(
+            path, oflags, mode, [cb](int err, bfs::OpenFilePtr f) {
+                cb(err, err ? nullptr
+                            : std::make_shared<Wrap>(std::move(f)));
+            });
+    }
+
+  private:
+    struct Wrap : bfs::OpenFile
+    {
+        explicit Wrap(bfs::OpenFilePtr f) : inner(std::move(f)) {}
+
+        void
+        pread(uint64_t off, size_t len, bfs::DataCb cb) override
+        {
+            inner->pread(off, len, std::move(cb));
+        }
+        void
+        pwrite(uint64_t off, const uint8_t *d, size_t n,
+               bfs::SizeCb cb) override
+        {
+            // pwriteFrom's default routes here, so both write paths hit
+            // the fault injection: bytes [0, 8) succeed, a write landing
+            // at or past 8 fails, one straddling it short-writes.
+            if (off >= 8) {
+                cb(EIO, 0);
+                return;
+            }
+            size_t allowed = n;
+            if (off + n > 8)
+                allowed = static_cast<size_t>(8 - off);
+            inner->pwrite(off, d, allowed, std::move(cb));
+        }
+        void fstat(bfs::StatCb cb) override { inner->fstat(std::move(cb)); }
+        void
+        ftruncate(uint64_t s, bfs::ErrCb cb) override
+        {
+            inner->ftruncate(s, std::move(cb));
+        }
+
+        bfs::OpenFilePtr inner;
+    };
+};
+
+} // namespace
+
+TEST(Syscalls, VectoredIoShortCountsAndDegenerateIovs)
+{
+    // The sync-convention legs of readv/writev/preadv/pwritev: short
+    // counts at EOF, zero-length iovs, iovcnt bounds, out-of-heap iovs,
+    // and error-after-partial-progress reporting the bytes moved.
+    testutil::addProgram(
+        "vectored-sync",
+        [](rt::EmEnv &env) -> int {
+            rt::SyncSyscalls *sync = env.syncCalls();
+            int fd = env.open("/tmp/v.txt",
+                              bfs::flags::CREAT | bfs::flags::RDWR);
+            if (fd < 0)
+                return 1;
+
+            // writev of three fragments, the middle one zero-length.
+            sync->resetScratch();
+            uint32_t pa = sync->alloc(8);
+            std::memcpy(sync->heapData() + pa, "0123", 4);
+            uint32_t pz = sync->alloc(8); // zero-length iov's pointer
+            uint32_t pb = sync->alloc(8);
+            std::memcpy(sync->heapData() + pb, "456789", 6);
+            sys::IoVec iovs[3] = {
+                {static_cast<int32_t>(pa), 4},
+                {static_cast<int32_t>(pz), 0},
+                {static_cast<int32_t>(pb), 6}};
+            uint32_t arr = sync->alloc(sizeof(iovs));
+            std::memcpy(sync->heapData() + arr, iovs, sizeof(iovs));
+            int64_t r = sync->call(
+                sys::WRITEV,
+                {fd, static_cast<int32_t>(arr), 3, 0, 0, 0});
+            if (r != 10)
+                return 2;
+
+            // readv into two non-adjacent 8-byte windows: 10 bytes of
+            // file fill the first fully and the second halfway; the
+            // sentinel tail must stay untouched.
+            sync->resetScratch();
+            uint32_t r1 = sync->alloc(8);
+            sync->alloc(16); // gap defeats contiguous-run merging
+            uint32_t r2 = sync->alloc(8);
+            std::memset(sync->heapData() + r1, '#', 8);
+            std::memset(sync->heapData() + r2, '#', 8);
+            sys::IoVec riovs[2] = {{static_cast<int32_t>(r1), 8},
+                                   {static_cast<int32_t>(r2), 8}};
+            arr = sync->alloc(sizeof(riovs));
+            std::memcpy(sync->heapData() + arr, riovs, sizeof(riovs));
+            r = sync->call(sys::PREADV,
+                           {fd, static_cast<int32_t>(arr), 2, 0, 0, 0});
+            if (r != 10)
+                return 3;
+            if (std::memcmp(sync->heapData() + r1, "01234567", 8) != 0)
+                return 4;
+            if (std::memcmp(sync->heapData() + r2, "89", 2) != 0)
+                return 5;
+            for (int i = 2; i < 8; i++) {
+                if (sync->heapData()[r2 + i] != '#')
+                    return 6; // short run wrote past its count
+            }
+
+            // preadv entirely past EOF: 0, not an error.
+            r = sync->call(sys::PREADV,
+                           {fd, static_cast<int32_t>(arr), 2, 100, 0, 0});
+            if (r != 0)
+                return 7;
+
+            // Degenerate counts: 0 and > IOV_MAX are EINVAL.
+            r = sync->call(sys::WRITEV,
+                           {fd, static_cast<int32_t>(arr), 0, 0, 0, 0});
+            if (r != -EINVAL)
+                return 8;
+            r = sync->call(
+                sys::WRITEV,
+                {fd, static_cast<int32_t>(arr), sys::kIovMax + 1, 0, 0, 0});
+            if (r != -EINVAL)
+                return 9;
+
+            // Out-of-heap: the array itself, then an entry's span.
+            int32_t heap_len = static_cast<int32_t>(sync->heapSize());
+            r = sync->call(sys::WRITEV, {fd, heap_len, 2, 0, 0, 0});
+            if (r != -EFAULT)
+                return 10;
+            sys::IoVec bad[2] = {{static_cast<int32_t>(pa), 4},
+                                 {heap_len - 2, 16}};
+            arr = sync->alloc(sizeof(bad));
+            std::memcpy(sync->heapData() + arr, bad, sizeof(bad));
+            r = sync->call(sys::WRITEV,
+                           {fd, static_cast<int32_t>(arr), 2, 0, 0, 0});
+            if (r != -EFAULT)
+                return 11;
+
+            // Scalar sync write now shares the window rules: a bogus
+            // source pointer is EFAULT, not a silent clamp.
+            r = sync->call(sys::WRITE, {fd, heap_len, 8, 0, 0, 0});
+            if (r != -EFAULT)
+                return 12;
+            // Negative offsets are EINVAL before any uint64 cast can
+            // wrap backend arithmetic (pwrite and pread alike).
+            r = sync->call(sys::PWRITE,
+                           {fd, static_cast<int32_t>(pa), 4, -1, 0, 0});
+            if (r != -EINVAL)
+                return 16;
+            r = sync->call(sys::PREAD,
+                           {fd, static_cast<int32_t>(pa), 4, -1, 0, 0});
+            if (r != -EINVAL)
+                return 17;
+            env.close(fd);
+
+            // Partial-write short count: the backend faults past byte 8,
+            // so a 4+6-byte pwritev reports the 8 bytes that landed; a
+            // pwritev starting in the faulting region is a plain error.
+            int efd = env.open("/evil/w.txt",
+                               bfs::flags::CREAT | bfs::flags::RDWR);
+            if (efd < 0)
+                return 13;
+            sync->resetScratch();
+            uint32_t wa = sync->alloc(8);
+            std::memcpy(sync->heapData() + wa, "AAAA", 4);
+            sync->alloc(16);
+            uint32_t wb = sync->alloc(8);
+            std::memcpy(sync->heapData() + wb, "BBBBBB", 6);
+            sys::IoVec wiovs[2] = {{static_cast<int32_t>(wa), 4},
+                                   {static_cast<int32_t>(wb), 6}};
+            arr = sync->alloc(sizeof(wiovs));
+            std::memcpy(sync->heapData() + arr, wiovs, sizeof(wiovs));
+            r = sync->call(sys::PWRITEV,
+                           {efd, static_cast<int32_t>(arr), 2, 0, 0, 0});
+            if (r != 8)
+                return 14; // 4 + first 4 of the second run, then EIO
+            r = sync->call(sys::PWRITEV,
+                           {efd, static_cast<int32_t>(arr), 2, 9, 0, 0});
+            if (r != -EIO)
+                return 15; // error with no progress is the error itself
+            env.close(efd);
+            return 0;
+        },
+        apps::RuntimeKind::EmSync);
+    Browsix bx;
+    bx.fs().mount("/evil", std::make_shared<FailingTailWriteFs>());
+    testutil::stage(bx, "vectored-sync");
+    auto r = bx.runArgv({"/usr/bin/vectored-sync"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+}
+
+TEST(Syscalls, GetdentsEncodesIntoGuestWindow)
+{
+    // The zero-copy getdents leg: records land in the guest window with
+    // correct framing, a window too small for one record is EINVAL, and
+    // nothing past the returned byte count is touched.
+    testutil::addProgram(
+        "getdents-into",
+        [](rt::EmEnv &env) -> int {
+            if (env.mkdir("/tmp/d") != 0 ||
+                env.mkdir("/tmp/d/sub") != 0)
+                return 1;
+            int wfd = env.open("/tmp/d/file-with-a-longish-name",
+                               bfs::flags::CREAT | bfs::flags::WRONLY);
+            if (wfd < 0)
+                return 2;
+            env.close(wfd);
+            int fd = env.open("/tmp/d", 0);
+            if (fd < 0)
+                return 3;
+
+            rt::SyncSyscalls *sync = env.syncCalls();
+            sync->resetScratch();
+            uint32_t buf = sync->alloc(256);
+            std::memset(sync->heapData() + buf, '#', 256);
+            int64_t r = sync->call(
+                sys::GETDENTS64,
+                {fd, static_cast<int32_t>(buf), 256, 0, 0, 0});
+            if (r <= 0)
+                return 4;
+            auto ents = sys::decodeDirents(sync->heapData() + buf,
+                                           static_cast<size_t>(r));
+            // ".", "..", "sub", and the long file name — all framed.
+            if (ents.size() != 4)
+                return 5;
+            bool saw_sub = false, saw_file = false;
+            for (const auto &e : ents) {
+                if (e.name == "sub" && e.type == sys::DT_DIR)
+                    saw_sub = true;
+                if (e.name == "file-with-a-longish-name" &&
+                    e.type == sys::DT_REG)
+                    saw_file = true;
+            }
+            if (!saw_sub || !saw_file)
+                return 6;
+            for (int64_t i = r; i < 256; i++) {
+                if (sync->heapData()[buf + i] != '#')
+                    return 7; // wrote past the reported count
+            }
+            // End of directory: 0.
+            r = sync->call(sys::GETDENTS64,
+                           {fd, static_cast<int32_t>(buf), 256, 0, 0, 0});
+            if (r != 0)
+                return 8;
+            env.close(fd);
+
+            // A window smaller than even the "." record is EINVAL.
+            fd = env.open("/tmp/d", 0);
+            if (fd < 0)
+                return 9;
+            r = sync->call(sys::GETDENTS64,
+                           {fd, static_cast<int32_t>(buf), 12, 0, 0, 0});
+            if (r != -EINVAL)
+                return 10;
+            env.close(fd);
+            return 0;
+        },
+        apps::RuntimeKind::EmSync);
+    Browsix bx;
+    testutil::stage(bx, "getdents-into");
+    auto r = bx.runArgv({"/usr/bin/getdents-into"});
     EXPECT_TRUE(r.ok);
     EXPECT_EQ(r.exitCode(), 0);
 }

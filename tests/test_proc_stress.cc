@@ -13,6 +13,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -328,10 +329,15 @@ TEST(ProcStress, WaitAnyRacesWaitSpecific)
 
     // wait-specific(c2) registered before wait-any.
     std::vector<std::pair<int, int>> specific, any;
-    parent->waitWaiters.push_back(kernel::Task::WaitWaiter{
-        c2, [&](int pid, int st) { specific.emplace_back(pid, st); }});
-    parent->waitWaiters.push_back(kernel::Task::WaitWaiter{
-        -1, [&](int pid, int st) { any.emplace_back(pid, st); }});
+    parent->addWaitWaiter(
+        c2, [&](int pid, int st) { specific.emplace_back(pid, st); });
+    parent->addWaitWaiter(
+        -1, [&](int pid, int st) { any.emplace_back(pid, st); });
+    // The by-pid index mirrors the waiter list: one bucket per awaited
+    // pid plus the wait-any (-1) bucket.
+    EXPECT_EQ(parent->waitWaiters.size(), 2u);
+    EXPECT_EQ(parent->waitersByPid.count(c2), 1u);
+    EXPECT_EQ(parent->waitersByPid.count(-1), 1u);
 
     // c2 dies first: the specific waiter must win it; wait-any must keep
     // waiting even though a zombie existed momentarily.
@@ -345,6 +351,51 @@ TEST(ProcStress, WaitAnyRacesWaitSpecific)
     EXPECT_EQ(bx.kernel().kill(c1, sys::SIGKILL), 0);
     ASSERT_EQ(any.size(), 1u);
     EXPECT_EQ(any[0].first, c1);
+    EXPECT_TRUE(parent->waitWaiters.empty());
+    EXPECT_TRUE(parent->waitersByPid.empty())
+        << "a completed waiter must leave no stale index bucket";
+
+    // Index stress: many specific waiters registered out of pid order —
+    // each exit must route to exactly its own waiter via the index, and
+    // an interleaved wait-any (registered last) must only get the one
+    // exit nobody selected.
+    constexpr int kKids = 12;
+    std::vector<int> kids(kKids, 0);
+    for (int i = 0; i < kKids; i++) {
+        bx.kernel().doSpawn(parent, {"/usr/bin/stress-park"},
+                            bx.kernel().defaultEnv, "/", {},
+                            jsvm::Value::undefined(),
+                            [&kids, i](int pid) { kids[i] = pid; });
+    }
+    ASSERT_TRUE(bx.runUntil(
+        [&kids]() {
+            for (int p : kids)
+                if (p <= 0)
+                    return false;
+            return true;
+        },
+        30000));
+    std::map<int, int> routed; // awaited pid -> delivered pid
+    for (int i = kKids - 1; i >= 1; i--) { // skip kids[0]: wait-any's
+        int awaited = kids[i];
+        parent->addWaitWaiter(awaited, [&routed, awaited](int pid, int) {
+            routed[awaited] = pid;
+        });
+    }
+    any.clear();
+    parent->addWaitWaiter(
+        -1, [&](int pid, int st) { any.emplace_back(pid, st); });
+    for (int i = 0; i < kKids; i++)
+        EXPECT_EQ(bx.kernel().kill(kids[i], sys::SIGKILL), 0);
+    ASSERT_EQ(routed.size(), static_cast<size_t>(kKids - 1));
+    for (int i = 1; i < kKids; i++)
+        EXPECT_EQ(routed[kids[i]], kids[i])
+            << "waiter " << i << " got someone else's child";
+    ASSERT_EQ(any.size(), 1u);
+    EXPECT_EQ(any[0].first, kids[0])
+        << "wait-any must receive only the unselected exit";
+    EXPECT_TRUE(parent->waitWaiters.empty());
+    EXPECT_TRUE(parent->waitersByPid.empty());
 
     EXPECT_EQ(bx.kernel().kill(-1, sys::SIGKILL), 0);
     ASSERT_TRUE(bx.runUntil(

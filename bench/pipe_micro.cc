@@ -1,157 +1,492 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the pure substrate pieces:
- * pipe throughput vs buffer size (the §3.4/§6 backpressure machinery),
- * structured-clone cost, Int64 emulation vs native (the §5.2 meme
- * bottleneck), JS-semantics SHA-1 vs native (Figure 9's JS tax), and the
- * Emterpreter VM's interpretation rate (the §5.2 async-build tax).
+ * Pipe data-plane microbenchmarks.
+ *
+ * The headline measurement is the completion-deferral protocol on the
+ * syscall ring (the `cat | grep` shape from §4/§6): a ring-convention
+ * producer streams chunks into a pipe while a ring-convention consumer
+ * polls for readiness and reaps batched READ SQEs. Blocking calls park
+ * kernel-side (the SQE's ctx joins the pipe waiter list) and their CQEs
+ * land when the event arrives, so the pipeline never falls back to
+ * one-message-per-call — the A/B leg runs the identical byte stream
+ * through the per-call sync convention. Reported per leg: wall clock,
+ * Atomics notifies per ring call (the batching figure of merit),
+ * deferred completions, and the span-to-span zero-copy completions the
+ * pipe bridge produces. `read`/`write` latency percentiles go to the
+ * bench JSON via the kernel's per-syscall histograms.
+ *
+ * The rest are the pure substrate pieces the google-benchmark version
+ * of this file measured, ported to the harness JSON schema: pipe
+ * throughput vs buffer size (the §3.4/§6 backpressure machinery) plus
+ * the guest-heap span-to-span fast path, structured-clone cost, Int64
+ * emulation vs native (the §5.2 meme bottleneck), JS-semantics SHA-1 vs
+ * native (Figure 9's JS tax), and the Emterpreter VM's interpretation
+ * rate (the §5.2 async-build tax).
  */
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
 
 #include "apps/coreutils/sha1.h"
 #include "apps/tex/tex.h"
-#include "jsvm/value.h"
+#include "bench/harness.h"
 #include "kernel/pipe.h"
 #include "runtime/emvm/vm.h"
 #include "runtime/gopher/int64emu.h"
 
 using namespace browsix;
+using namespace browsix::bench;
 
-// ---------- pipes ----------
+namespace {
 
-static void
-BM_PipeTransfer(benchmark::State &state)
+// ---------------------------------------------------------------------
+// ring-pipelined producer/consumer (cat | grep shape)
+// ---------------------------------------------------------------------
+
+/** Producer: stream chunks to fd 1 as batched WRITE SQEs.
+ * argv: chunks, chunk_size, batch. */
+int
+pipeSrcMain(rt::EmEnv &env)
 {
-    size_t capacity = static_cast<size_t>(state.range(0));
-    size_t total = 1 << 20;
-    for (auto _ : state) {
-        kernel::Pipe pipe(capacity);
-        bfs::Buffer chunk(4096, 'x');
-        size_t written = 0, read = 0;
-        // Interleave writes and drains: with a small buffer this goes
-        // through the backpressure wait queues constantly.
-        while (read < total) {
-            if (written < total) {
-                pipe.write(chunk, [&](int, size_t n) { written += n; });
+    int chunks = std::atoi(env.argv()[1].c_str());
+    int csz = std::atoi(env.argv()[2].c_str());
+    int batch = std::max(1, std::atoi(env.argv()[3].c_str()));
+    rt::RingSyscalls *ring = env.ring();
+    rt::SyncSyscalls *sync = env.syncCalls();
+    if (!ring || !sync)
+        return 2;
+    int sent = 0;
+    std::vector<uint32_t> seqs;
+    while (sent < chunks) {
+        int k = std::min(batch, chunks - sent);
+        sync->resetScratch();
+        seqs.clear();
+        for (int j = 0; j < k; j++) {
+            uint32_t p = sync->alloc(static_cast<size_t>(csz));
+            std::memset(sync->heapData() + p, 'x',
+                        static_cast<size_t>(csz));
+            sync->heapData()[p + csz - 1] = '\n'; // line-oriented stream
+            seqs.push_back(ring->submit(
+                sys::WRITE,
+                {1, static_cast<int32_t>(p), csz, 0, 0, 0}));
+        }
+        ring->flush(); // one doorbell (at most) for the whole batch
+        for (uint32_t s : seqs) {
+            // A write against a full pipe parks kernel-side; its CQE
+            // arrives as a deferred completion once the reader drains.
+            if (ring->wait(s).r0 != csz)
+                return 1;
+        }
+        sent += k;
+    }
+    return 0;
+}
+
+/** Consumer: poll fd 0 for readiness, then reap a batch of READ SQEs —
+ * the grep half: scan every chunk for line ends. argv: expected_bytes,
+ * chunk_size, batch. */
+int
+pipeSinkMain(rt::EmEnv &env)
+{
+    long expected = std::atol(env.argv()[1].c_str());
+    int csz = std::atoi(env.argv()[2].c_str());
+    int batch = std::max(1, std::atoi(env.argv()[3].c_str()));
+    rt::RingSyscalls *ring = env.ring();
+    rt::SyncSyscalls *sync = env.syncCalls();
+    if (!ring || !sync)
+        return 2;
+    long got = 0, lines = 0;
+    bool eof = false;
+    std::vector<uint32_t> seqs, ptrs;
+    while (!eof) {
+        // One readiness SQE covers the whole next batch: it parks (one
+        // deferred CQE) only when the pipe is genuinely empty.
+        std::vector<rt::EmEnv::PollSpec> pfds(1);
+        pfds[0].fd = 0;
+        pfds[0].events = sys::POLLIN_;
+        if (env.poll(pfds) < 0)
+            return 3;
+        sync->resetScratch();
+        seqs.clear();
+        ptrs.clear();
+        for (int j = 0; j < batch; j++) {
+            uint32_t p = sync->alloc(static_cast<size_t>(csz));
+            ptrs.push_back(p);
+            seqs.push_back(ring->submit(
+                sys::READ, {0, static_cast<int32_t>(p), csz, 0, 0, 0}));
+        }
+        ring->flush();
+        for (size_t j = 0; j < seqs.size(); j++) {
+            rt::RingSyscalls::Completion c = ring->wait(seqs[j]);
+            if (c.r0 < 0)
+                return 4;
+            if (c.r0 == 0) {
+                eof = true;
+                continue;
             }
-            pipe.read(8192, [&](int, bfs::BufferPtr d) {
-                read += d->size();
-            });
+            got += c.r0;
+            const uint8_t *d = sync->heapData() + ptrs[j];
+            for (int32_t b = 0; b < c.r0; b++)
+                lines += d[b] == '\n';
         }
-        benchmark::DoNotOptimize(read);
     }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            total);
+    return got == expected && lines > 0 ? 0 : 5;
 }
-BENCHMARK(BM_PipeTransfer)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
-// ---------- structured clone ----------
-
-static void
-BM_StructuredClone(benchmark::State &state)
+/** Sync-fallback producer: one blocking write per chunk. */
+int
+pipeSrcSyncMain(rt::EmEnv &env)
 {
-    size_t bytes = static_cast<size_t>(state.range(0));
-    jsvm::Value msg = jsvm::Value::object();
-    msg.set("data", jsvm::Value::bytes(std::vector<uint8_t>(bytes, 7)));
-    msg.set("name", jsvm::Value("write"));
-    for (auto _ : state) {
-        jsvm::Value copy = msg.clone();
-        benchmark::DoNotOptimize(copy);
+    int chunks = std::atoi(env.argv()[1].c_str());
+    int csz = std::atoi(env.argv()[2].c_str());
+    std::string chunk(static_cast<size_t>(csz), 'x');
+    chunk.back() = '\n';
+    for (int i = 0; i < chunks; i++) {
+        if (env.write(1, chunk) != csz)
+            return 1;
     }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            bytes);
+    return 0;
 }
-BENCHMARK(BM_StructuredClone)->Arg(64)->Arg(4096)->Arg(65536);
 
-// ---------- int64 emulation ----------
-
-static void
-BM_Int64Native(benchmark::State &state)
+/** Sync-fallback consumer: one blocking read per chunk. */
+int
+pipeSinkSyncMain(rt::EmEnv &env)
 {
-    int64_t x = 0x12345678, y = 0x9abcdef0;
-    for (auto _ : state) {
-        for (int i = 0; i < 1000; i++) {
-            x = x * y + 12345;
-            y = y ^ (x >> 13);
+    long expected = std::atol(env.argv()[1].c_str());
+    int csz = std::atoi(env.argv()[2].c_str());
+    long got = 0, lines = 0;
+    for (;;) {
+        bfs::Buffer buf;
+        int64_t n = env.read(0, buf, static_cast<size_t>(csz));
+        if (n < 0)
+            return 4;
+        if (n == 0)
+            break;
+        got += n;
+        for (int64_t b = 0; b < n; b++)
+            lines += buf[static_cast<size_t>(b)] == '\n';
+    }
+    return got == expected && lines > 0 ? 0 : 5;
+}
+
+/** Plumbing: pipe2, spawn src | sink across it, reap both.
+ * argv: chunks, chunk_size, batch, src_exe, sink_exe. */
+int
+pipeDriverMain(rt::EmEnv &env)
+{
+    const std::vector<std::string> &argv = env.argv();
+    long total = std::atol(argv[1].c_str()) * std::atol(argv[2].c_str());
+    int fds[2];
+    if (env.pipe2(fds) != 0)
+        return 2;
+    int src = env.spawn({argv[4], argv[1], argv[2], argv[3]},
+                        {0, fds[1], 2});
+    int sink = env.spawn({argv[5], std::to_string(total), argv[2], argv[3]},
+                         {fds[0], 1, 2});
+    // Drop the driver's pipe ends so the sink sees EOF when src exits.
+    env.close(fds[0]);
+    env.close(fds[1]);
+    if (src < 0 || sink < 0)
+        return 3;
+    int st = 0;
+    if (env.waitpid(src, &st, 0) != src || sys::wexitstatus(st) != 0)
+        return 4;
+    if (env.waitpid(sink, &st, 0) != sink || sys::wexitstatus(st) != 0)
+        return 5;
+    return 0;
+}
+
+void
+registerPipeBench()
+{
+    apps::registerAllPrograms();
+    auto &reg = apps::ProgramRegistry::instance();
+    reg.add(apps::ProgramSpec{"pipebench-src", apps::RuntimeKind::EmRing,
+                              64, pipeSrcMain, nullptr});
+    reg.add(apps::ProgramSpec{"pipebench-sink", apps::RuntimeKind::EmRing,
+                              64, pipeSinkMain, nullptr});
+    reg.add(apps::ProgramSpec{"pipebench-src-sync",
+                              apps::RuntimeKind::EmSync, 64,
+                              pipeSrcSyncMain, nullptr});
+    reg.add(apps::ProgramSpec{"pipebench-sink-sync",
+                              apps::RuntimeKind::EmSync, 64,
+                              pipeSinkSyncMain, nullptr});
+    reg.add(apps::ProgramSpec{"pipebench-driver", apps::RuntimeKind::EmRing,
+                              64, pipeDriverMain, nullptr});
+    reg.add(apps::ProgramSpec{"pipebench-driver-sync",
+                              apps::RuntimeKind::EmSync, 64,
+                              pipeDriverMain, nullptr});
+}
+
+struct LegResult
+{
+    double ms = 0;
+    double calls = 0;
+    double notifies_per_call = 0;
+    double deferred = 0;
+    double zero_copy = 0;
+};
+
+LegResult
+runPipeline(Browsix &bx, const std::string &driver, int chunks, int csz,
+            int batch, const std::string &src, const std::string &sink)
+{
+    std::vector<std::string> argv = {driver,
+                                     std::to_string(chunks),
+                                     std::to_string(csz),
+                                     std::to_string(batch),
+                                     src,
+                                     sink};
+    const int reps = smokeMode() ? 1 : 3;
+    LegResult best;
+    best.ms = 1e18;
+    for (int rep = 0; rep < reps; rep++) {
+        kernel::KernelStats before = bx.kernel().stats();
+        RunResult r;
+        double ms = timeMs([&]() { r = bx.runArgv(argv, 120000); });
+        if (!r.ok || r.exitCode() != 0) {
+            std::fprintf(stderr, "pipe_micro: %s failed (rc=%d)\n",
+                         driver.c_str(), r.exitCode());
+            std::exit(1);
         }
-        benchmark::DoNotOptimize(x);
+        kernel::KernelStats after = bx.kernel().stats();
+        LegResult cur;
+        cur.ms = ms;
+        cur.calls = static_cast<double>(after.ringSyscallCount -
+                                        before.ringSyscallCount);
+        double notifies = static_cast<double>(after.ringNotifies -
+                                              before.ringNotifies);
+        cur.notifies_per_call =
+            cur.calls > 0 ? notifies / cur.calls : 0;
+        cur.deferred = static_cast<double>(after.ringDeferredCompletions -
+                                           before.ringDeferredCompletions);
+        cur.zero_copy = static_cast<double>(after.zeroCopyCompletions -
+                                            before.zeroCopyCompletions);
+        if (cur.ms < best.ms)
+            best = cur;
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    return best;
 }
-BENCHMARK(BM_Int64Native);
 
-static void
-BM_Int64Emulated(benchmark::State &state)
+/** Minimum wall-clock over `reps` runs of fn (1 in smoke mode). */
+double
+bestMs(int reps, const std::function<void()> &fn)
 {
-    rt::Int64 x(0x12345678), y(0x9abcdef0);
-    for (auto _ : state) {
-        for (int i = 0; i < 1000; i++) {
-            x = x * y + rt::Int64(12345);
-            y = y ^ (x >> 13);
+    if (smokeMode())
+        reps = 1;
+    double best = 1e18;
+    for (int i = 0; i < reps; i++)
+        best = std::min(best, timeMs(fn));
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    registerPipeBench();
+    BootConfig cfg;
+    cfg.profile = jsvm::BrowserProfile::chrome2016();
+    Browsix bx(cfg);
+    auto &reg = apps::ProgramRegistry::instance();
+    for (const char *p :
+         {"pipebench-src", "pipebench-sink", "pipebench-src-sync",
+          "pipebench-sink-sync", "pipebench-driver",
+          "pipebench-driver-sync"}) {
+        bx.rootFs().writeFile(std::string("/usr/bin/") + p,
+                              reg.bundleFor(p));
+    }
+
+    // ---- deferred-CQE pipeline vs per-call sync fallback ----
+    const int kChunks = smokeMode() ? 48 : 512;
+    const int kChunkBytes = 512;
+    const int kBatch = 8;
+    LegResult ring = runPipeline(bx, "/usr/bin/pipebench-driver", kChunks,
+                                 kChunkBytes, kBatch, "/usr/bin/pipebench-src",
+                                 "/usr/bin/pipebench-sink");
+    // Snapshot the data-plane latency histograms before the sync leg
+    // muddies them: every read/write so far went through the ring legs.
+    const kernel::KernelStats &st = bx.kernel().stats();
+    for (const char *name : {"read", "write", "poll"}) {
+        if (const kernel::LatencyHistogram *h = st.latency(name))
+            recordHistogram("pipe_micro", std::string("ring_") + name, *h);
+    }
+    LegResult sync = runPipeline(
+        bx, "/usr/bin/pipebench-driver-sync", kChunks, kChunkBytes, kBatch,
+        "/usr/bin/pipebench-src-sync", "/usr/bin/pipebench-sink-sync");
+
+    std::printf("deferred-CQE pipeline (%d x %d B chunks, batch %d):\n\n",
+                kChunks, kChunkBytes, kBatch);
+    std::printf("%-26s | %10s | %10s | %18s | %10s | %10s\n", "leg", "ms",
+                "ringcalls", "notifies/ringcall", "deferred", "zerocopy");
+    std::printf("---------------------------+------------+------------+--"
+                "------------------+------------+------------\n");
+    std::printf("%-26s | %10.2f | %10.0f | %18.3f | %10.0f | %10.0f\n",
+                "ring (deferral protocol)", ring.ms, ring.calls,
+                ring.notifies_per_call, ring.deferred, ring.zero_copy);
+    std::printf("%-26s | %10.2f | %10.0f | %18.3f | %10.0f | %10.0f\n",
+                "sync fallback", sync.ms, sync.calls,
+                sync.notifies_per_call, sync.deferred, sync.zero_copy);
+    std::printf("\nring vs sync wall clock: %.2fx\n",
+                ring.ms > 0 ? sync.ms / ring.ms : 0);
+
+    recordMetric("pipe_micro", "pipeline_ring_ms", ring.ms, "ms");
+    recordMetric("pipe_micro", "pipeline_sync_ms", sync.ms, "ms");
+    recordMetric("pipe_micro", "pipeline_ring_notifies_per_call",
+                 ring.notifies_per_call, "ratio");
+    recordMetric("pipe_micro", "pipeline_ring_deferred_completions",
+                 ring.deferred, "calls");
+    recordMetric("pipe_micro", "pipeline_ring_zero_copy_completions",
+                 ring.zero_copy, "calls");
+    recordMetric("pipe_micro", "pipeline_sync_over_ring_speedup",
+                 ring.ms > 0 ? sync.ms / ring.ms : 0, "ratio");
+
+    // ---- in-kernel pipe throughput vs buffer size ----
+    const size_t kTotal = smokeMode() ? (1u << 16) : (1u << 20);
+    for (size_t capacity : {size_t(4096), size_t(65536), size_t(1) << 20}) {
+        double ms = bestMs(3, [&]() {
+            kernel::Pipe pipe(capacity);
+            bfs::Buffer chunk(4096, 'x');
+            size_t written = 0, read = 0;
+            // Interleave writes and drains: with a small buffer this
+            // goes through the backpressure wait queues constantly.
+            while (read < kTotal) {
+                if (written < kTotal) {
+                    pipe.write(chunk,
+                               [&](int, size_t n) { written += n; });
+                }
+                pipe.read(8192, [&](int, bfs::BufferPtr d) {
+                    read += d->size();
+                });
+            }
+        });
+        double mbps = kTotal / 1e6 / (ms / 1000.0);
+        std::printf("pipe transfer, %7zu B buffer: %8.1f MB/s\n", capacity,
+                    mbps);
+        recordMetric("pipe_micro",
+                     "pipe_transfer_cap" + std::to_string(capacity) +
+                         "_mbps",
+                     mbps, "MB/s");
+    }
+
+    // ---- span-to-span fast path (guest heap -> guest heap) ----
+    {
+        kernel::Pipe pipe(4096);
+        std::vector<uint8_t> dst(4096), src(4096, 'y');
+        size_t moved = 0;
+        const size_t kSpanTotal = smokeMode() ? (1u << 18) : (1u << 22);
+        double ms = bestMs(3, [&]() {
+            moved = 0;
+            while (moved < kSpanTotal) {
+                // Reader parks first, so the write lands span-to-span
+                // (one memcpy, no deque Buffer).
+                pipe.readInto(bfs::ByteSpan{dst.data(), dst.size()},
+                              [&](int, size_t n) { moved += n; });
+                pipe.writeFrom(
+                    bfs::ConstByteSpan{src.data(), src.size()},
+                    [](int, size_t) {});
+            }
+        });
+        double mbps = kSpanTotal / 1e6 / (ms / 1000.0);
+        std::printf("pipe span-to-span:            %8.1f MB/s "
+                    "(%llu B moved without a deque Buffer)\n",
+                    mbps,
+                    static_cast<unsigned long long>(pipe.spanToSpanBytes()));
+        if (pipe.spanToSpanBytes() == 0) {
+            std::fprintf(stderr,
+                         "pipe_micro: span-to-span path never taken\n");
+            return 1;
         }
-        benchmark::DoNotOptimize(x);
+        recordMetric("pipe_micro", "pipe_span_to_span_mbps", mbps, "MB/s");
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_Int64Emulated);
 
-static void
-BM_Int64EmulatedDiv(benchmark::State &state)
-{
-    rt::Int64 x(987654321012345ll), y(12345);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(x / y);
+    // ---- structured clone ----
+    for (size_t bytes : {size_t(64), size_t(4096), size_t(65536)}) {
+        jsvm::Value msg = jsvm::Value::object();
+        msg.set("data",
+                jsvm::Value::bytes(std::vector<uint8_t>(bytes, 7)));
+        msg.set("name", jsvm::Value("write"));
+        const int kClones = smokeMode() ? 200 : 5000;
+        volatile size_t sink = 0;
+        double ms = bestMs(3, [&]() {
+            for (int i = 0; i < kClones; i++) {
+                jsvm::Value copy = msg.clone();
+                sink += copy.type() == jsvm::Value::Type::Object;
+            }
+        });
+        recordMetric("pipe_micro",
+                     "structured_clone_" + std::to_string(bytes) + "b_us",
+                     ms * 1000.0 / kClones, "us");
+        (void)sink;
     }
-}
-BENCHMARK(BM_Int64EmulatedDiv);
 
-// ---------- SHA-1 ----------
-
-static void
-BM_Sha1Native(benchmark::State &state)
-{
-    std::vector<uint8_t> data(65536, 0xAB);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(apps::sha1Native(data));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            data.size());
-}
-BENCHMARK(BM_Sha1Native);
-
-static void
-BM_Sha1JsSemantics(benchmark::State &state)
-{
-    std::vector<uint8_t> data(65536, 0xAB);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(apps::sha1Js(data));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            data.size());
-}
-BENCHMARK(BM_Sha1JsSemantics);
-
-// ---------- Emterpreter VM ----------
-
-static void
-BM_TypesetNative(benchmark::State &state)
-{
-    for (auto _ : state)
-        benchmark::DoNotOptimize(apps::typesetNative(7, 100000));
-    state.SetItemsProcessed(state.iterations() * 100000);
-}
-BENCHMARK(BM_TypesetNative);
-
-static void
-BM_TypesetEmterpreted(benchmark::State &state)
-{
-    const emvm::Image &img = apps::typesetImage();
-    for (auto _ : state) {
-        emvm::Vm vm(img);
-        vm.start("typeset", {7, 100000});
-        vm.run();
-        benchmark::DoNotOptimize(vm.exitCode());
+    // ---- int64 emulation vs native ----
+    {
+        const int kRounds = smokeMode() ? 2000 : 200000;
+        int64_t nx = 0x12345678, ny = 0x9abcdef0;
+        double native_ms = bestMs(3, [&]() {
+            for (int i = 0; i < kRounds; i++) {
+                nx = nx * ny + 12345;
+                ny = ny ^ (nx >> 13);
+            }
+        });
+        rt::Int64 ex(0x12345678), ey(0x9abcdef0);
+        double emu_ms = bestMs(3, [&]() {
+            for (int i = 0; i < kRounds; i++) {
+                ex = ex * ey + rt::Int64(12345);
+                ey = ey ^ (ex >> 13);
+            }
+        });
+        double slowdown = native_ms > 0 ? emu_ms / native_ms : 0;
+        std::printf("int64 emulation slowdown:     %8.1fx\n", slowdown);
+        recordMetric("pipe_micro", "int64_emulation_slowdown", slowdown,
+                     "ratio");
+        if (nx == 42 && ex.low() == 43)
+            std::printf("(unreachable)\n"); // keep the loops live
     }
-    state.SetItemsProcessed(state.iterations() * 100000);
-}
-BENCHMARK(BM_TypesetEmterpreted);
 
-BENCHMARK_MAIN();
+    // ---- SHA-1: native vs JS semantics ----
+    {
+        std::vector<uint8_t> data(65536, 0xAB);
+        const int kHashes = smokeMode() ? 4 : 64;
+        volatile uint32_t sink = 0;
+        double native_ms = bestMs(3, [&]() {
+            for (int i = 0; i < kHashes; i++)
+                sink += apps::sha1Native(data)[0];
+        });
+        double js_ms = bestMs(3, [&]() {
+            for (int i = 0; i < kHashes; i++)
+                sink += apps::sha1Js(data)[0];
+        });
+        double native_mbps =
+            kHashes * data.size() / 1e6 / (native_ms / 1000.0);
+        double js_mbps = kHashes * data.size() / 1e6 / (js_ms / 1000.0);
+        std::printf("sha1 native: %.1f MB/s, JS semantics: %.1f MB/s\n",
+                    native_mbps, js_mbps);
+        recordMetric("pipe_micro", "sha1_native_mbps", native_mbps,
+                     "MB/s");
+        recordMetric("pipe_micro", "sha1_js_mbps", js_mbps, "MB/s");
+        (void)sink;
+    }
+
+    // ---- Emterpreter VM interpretation rate ----
+    {
+        const int kIters = smokeMode() ? 5000 : 100000;
+        volatile int64_t sink = 0;
+        double native_ms =
+            bestMs(3, [&]() { sink += apps::typesetNative(7, kIters); });
+        const emvm::Image &img = apps::typesetImage();
+        double vm_ms = bestMs(3, [&]() {
+            emvm::Vm vm(img);
+            vm.start("typeset", {7, kIters});
+            vm.run();
+            sink += vm.exitCode();
+        });
+        recordMetric("pipe_micro", "typeset_native_mops",
+                     kIters / 1000.0 / native_ms, "Mops/s");
+        recordMetric("pipe_micro", "typeset_emterpreted_mops",
+                     kIters / 1000.0 / vm_ms, "Mops/s");
+        (void)sink;
+    }
+    return 0;
+}

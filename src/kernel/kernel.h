@@ -59,6 +59,12 @@ struct KernelStats
     /// outside the personality heap (completed with -EFAULT, never
     /// dispatched to a handler).
     uint64_t ringEfaults = 0;
+    /// Completion-deferral protocol: CQEs pushed outside a drain pass.
+    /// The SQE's trap would have blocked (read on an empty pipe, accept
+    /// with no pending connection, poll with nothing ready), so the
+    /// completion parked against a pipe/socket waiter list and landed
+    /// when the event arrived, paying its own notify.
+    uint64_t ringDeferredCompletions = 0;
     /// Read-path data movement: completions whose out-data the backend
     /// wrote directly into the guest heap through a heapSpan window
     /// (zero-copy), vs completions that bounced an intermediate

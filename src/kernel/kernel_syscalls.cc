@@ -413,8 +413,24 @@ sysRead(Kernel &, Task &t, SyscallCtxPtr ctx)
     });
 }
 
+/**
+ * POSIX: a write that fails with EPIPE also raises SIGPIPE in the
+ * writer. Delivery goes through the regular signal path — SIG_IGN
+ * leaves the plain EPIPE return, a handler runs it, and the default
+ * disposition terminates the process. The task is re-looked-up by pid:
+ * for a parked (deferred-CQE) writer the EPIPE may arrive from another
+ * process's close long after the handler's Task& went stale.
+ */
 void
-sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
+raiseSigpipe(Kernel &k, int pid)
+{
+    Task *t = k.task(pid);
+    if (t && t->state != TaskState::Zombie)
+        k.deliverSignal(*t, sys::SIGPIPE);
+}
+
+void
+sysWrite(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
     int fd = ctx->argInt(0);
     KFilePtr f = getFile(t, fd);
@@ -422,6 +438,7 @@ sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(EBADF);
         return;
     }
+    int pid = t.pid;
     if (ctx->isSync()) {
         // Zero-copy: resolve the guest source window up front and let
         // the file (ultimately the backend) consume it in place — the
@@ -433,9 +450,11 @@ sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
             ctx->completeErr(EFAULT);
             return;
         }
-        f->writeFrom(src.span, [ctx, f, src](int err, size_t n) {
+        f->writeFrom(src.span, [&k, pid, ctx, f, src](int err, size_t n) {
             if (err) {
                 ctx->completeErr(err);
+                if (err == EPIPE)
+                    raiseSigpipe(k, pid);
                 return;
             }
             // Never report more than the window: the runtime believes
@@ -447,9 +466,11 @@ sysWrite(Kernel &, Task &t, SyscallCtxPtr ctx)
         return;
     }
     bfs::Buffer data = ctx->argData(1, 2);
-    f->write(std::move(data), [ctx, f](int err, size_t n) {
+    f->write(std::move(data), [&k, pid, ctx, f](int err, size_t n) {
         if (err) {
             ctx->completeErr(err);
+            if (err == EPIPE)
+                raiseSigpipe(k, pid);
             return;
         }
         ctx->complete(static_cast<int64_t>(n));
@@ -657,6 +678,8 @@ struct VectoredIo : std::enable_shared_from_this<VectoredIo>
 {
     SyscallCtxPtr ctx;
     KFilePtr f;
+    Kernel *k = nullptr; ///< for SIGPIPE on EPIPE write completions
+    int pid = 0;
     jsvm::SabPtr heap; ///< pins the spans' backing memory
     std::vector<bfs::ByteSpan> spans;
     size_t i = 0;
@@ -683,8 +706,13 @@ struct VectoredIo : std::enable_shared_from_this<VectoredIo>
                     self->ctx->completeFilled(
                         static_cast<int64_t>(self->done),
                         self->f->spanIoDirect());
-                else
+                else {
                     self->ctx->completeErr(err);
+                    // A call that *completes* EPIPE raises SIGPIPE;
+                    // partial progress returns the short count instead.
+                    if (self->writing && err == EPIPE && self->k)
+                        raiseSigpipe(*self->k, self->pid);
+                }
                 return;
             }
             self->done += n;
@@ -713,7 +741,8 @@ struct VectoredIo : std::enable_shared_from_this<VectoredIo>
 };
 
 void
-vectoredCommon(Task &t, SyscallCtxPtr ctx, bool positional, bool writing)
+vectoredCommon(Kernel &k, Task &t, SyscallCtxPtr ctx, bool positional,
+               bool writing)
 {
     if (!ctx->isSync()) {
         // The iovec encoding is heap-offset based; the async convention
@@ -744,32 +773,34 @@ vectoredCommon(Task &t, SyscallCtxPtr ctx, bool positional, bool writing)
     }
     io->ctx = std::move(ctx);
     io->f = std::move(f);
+    io->k = &k;
+    io->pid = t.pid;
     io->heap = t.heap;
     io->step();
 }
 
 void
-sysReadv(Kernel &, Task &t, SyscallCtxPtr ctx)
+sysReadv(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    vectoredCommon(t, std::move(ctx), false, false);
+    vectoredCommon(k, t, std::move(ctx), false, false);
 }
 
 void
-sysWritev(Kernel &, Task &t, SyscallCtxPtr ctx)
+sysWritev(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    vectoredCommon(t, std::move(ctx), false, true);
+    vectoredCommon(k, t, std::move(ctx), false, true);
 }
 
 void
-sysPreadv(Kernel &, Task &t, SyscallCtxPtr ctx)
+sysPreadv(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    vectoredCommon(t, std::move(ctx), true, false);
+    vectoredCommon(k, t, std::move(ctx), true, false);
 }
 
 void
-sysPwritev(Kernel &, Task &t, SyscallCtxPtr ctx)
+sysPwritev(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    vectoredCommon(t, std::move(ctx), true, true);
+    vectoredCommon(k, t, std::move(ctx), true, true);
 }
 
 void
@@ -1147,6 +1178,142 @@ sysGetsockname(Kernel &, Task &t, SyscallCtxPtr ctx)
     ctx->complete(sock->port());
 }
 
+// ---------- poll (readiness over the deferral protocol) ----------
+
+/** Readiness mask for one polled descriptor. POLLHUP/POLLERR report
+ * regardless of the requested events, POSIX-style. Descriptor kinds
+ * without a wait condition (regular files, ttys, /dev/null) are always
+ * ready for whatever was asked. */
+int16_t
+pollRevents(KFile *f, int16_t events)
+{
+    int16_t r = 0;
+    if (auto *pe = dynamic_cast<PipeEndFile *>(f)) {
+        PipePtr p = pe->pipe();
+        if (pe->isReader()) {
+            if ((events & sys::POLLIN_) &&
+                (p->buffered() > 0 || p->writerClosed()))
+                r |= sys::POLLIN_;
+            if (p->writerClosed())
+                r |= sys::POLLHUP_;
+        } else {
+            if ((events & sys::POLLOUT_) &&
+                p->buffered() < p->capacity())
+                r |= sys::POLLOUT_;
+            if (p->readerClosed())
+                r |= sys::POLLERR_;
+        }
+        return r;
+    }
+    if (auto *sock = dynamic_cast<SocketFile *>(f)) {
+        if ((events & sys::POLLIN_) && sock->readable())
+            r |= sys::POLLIN_;
+        if ((events & sys::POLLOUT_) && sock->writable())
+            r |= sys::POLLOUT_;
+        return r;
+    }
+    return events & (sys::POLLIN_ | sys::POLLOUT_);
+}
+
+/**
+ * The poll-shaped readiness trap (shared-heap conventions only): one
+ * SQE covers the whole fd set. Records are re-read from the guest
+ * window on every evaluation — the set lives in the caller's heap for
+ * the life of the call. When nothing is ready the completion parks
+ * against every polled pipe/socket's one-shot readiness watcher; the
+ * first event re-evaluates and pushes the deferred CQE (ready count in
+ * r0, revents written in place). A spurious wake — the watcher fired
+ * but another poller consumed the event first — re-arms the watchers,
+ * so a parked poll is never stranded.
+ */
+void
+sysPoll(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    if (!ctx->isSync()) {
+        ctx->completeErr(ENOSYS); // record layout needs the shared heap
+        return;
+    }
+    int32_t nfds = ctx->argInt(1);
+    if (nfds < 1 || nfds > sys::kPollMaxFds) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    SyscallCtx::HeapSpan recs = ctx->heapSpan(
+        0, static_cast<size_t>(nfds) * sys::POLLFD_BYTES);
+    if (!recs.ok()) {
+        ctx->completeErr(EFAULT);
+        return;
+    }
+    int pid = t.pid;
+
+    // Evaluate the whole set: write revents in place, complete with the
+    // ready count when any descriptor is ready. Returns true when the
+    // call is finished (completed, or its task died — the parked SQE
+    // dies with it; finishRing no-ops on a dead task).
+    auto attempt = [&k, pid, ctx, recs, nfds]() -> bool {
+        Task *t2 = k.task(pid);
+        if (!t2 || t2->state == TaskState::Zombie)
+            return true;
+        int ready = 0;
+        for (int32_t i = 0; i < nfds; i++) {
+            uint8_t *rec = recs.span.data + i * sys::POLLFD_BYTES;
+            sys::PollFd p;
+            std::memcpy(&p, rec, sys::POLLFD_BYTES);
+            KFilePtr f = getFile(*t2, p.fd);
+            p.revents =
+                f ? pollRevents(f.get(), p.events) : sys::POLLNVAL_;
+            std::memcpy(rec, &p, sys::POLLFD_BYTES);
+            if (p.revents)
+                ready++;
+        }
+        if (ready == 0)
+            return false;
+        ctx->complete(ready);
+        return true;
+    };
+    if (attempt())
+        return;
+
+    // Park: one-shot watchers on every waitable descriptor, sharing one
+    // wake that re-evaluates the set. registerAll is self-referential
+    // (the jsvm closure-pump idiom) so a spurious wake can re-arm.
+    auto registerAll = std::make_shared<std::function<void()>>();
+    auto wake = [ctx, attempt, registerAll]() {
+        if (ctx->completed())
+            return;
+        if (!attempt())
+            (*registerAll)();
+    };
+    *registerAll = [&k, pid, recs, nfds, wake]() {
+        Task *t2 = k.task(pid);
+        if (!t2 || t2->state == TaskState::Zombie)
+            return;
+        for (int32_t i = 0; i < nfds; i++) {
+            sys::PollFd p;
+            std::memcpy(&p, recs.span.data + i * sys::POLLFD_BYTES,
+                        sys::POLLFD_BYTES);
+            KFilePtr f = getFile(*t2, p.fd);
+            if (!f)
+                continue;
+            if (auto *pe = dynamic_cast<PipeEndFile *>(f.get())) {
+                // Readers watch readability even when events omit
+                // POLLIN (the HUP wake); writers mirror with POLLERR.
+                if (pe->isReader())
+                    pe->pipe()->watchReadable(wake);
+                else
+                    pe->pipe()->watchWritable(wake);
+            } else if (auto *sock =
+                           dynamic_cast<SocketFile *>(f.get())) {
+                if (p.events & sys::POLLOUT_)
+                    sock->watchWritable(wake);
+                if ((p.events & sys::POLLIN_) || !(p.events & sys::POLLOUT_))
+                    sock->watchReadable(wake);
+            }
+        }
+    };
+    (*registerAll)();
+}
+
 const std::map<std::string, Handler> &
 handlerTable()
 {
@@ -1200,6 +1367,7 @@ handlerTable()
         {"accept", sysAccept},
         {"connect", sysConnect},
         {"getsockname", sysGetsockname},
+        {"poll", sysPoll},
     };
     return table;
 }

@@ -23,6 +23,50 @@ SocketFile::write(bfs::Buffer data, bfs::SizeCb cb)
     tx_->write(std::move(data), std::move(cb));
 }
 
+void
+SocketFile::readInto(bfs::ByteSpan dst, bfs::SizeCb cb)
+{
+    if (state_ != State::Connected) {
+        cb(ENOTCONN, 0);
+        return;
+    }
+    rx_->readInto(dst, std::move(cb));
+}
+
+void
+SocketFile::writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb)
+{
+    if (state_ != State::Connected) {
+        cb(ENOTCONN, 0);
+        return;
+    }
+    tx_->writeFrom(src, std::move(cb));
+}
+
+void
+SocketFile::watchReadable(std::function<void()> fn)
+{
+    if (readable()) {
+        fn();
+        return;
+    }
+    if (state_ == State::Connected) {
+        rx_->watchReadable(std::move(fn));
+        return;
+    }
+    readyWatchers_.push_back(std::move(fn)); // Listening: fires on enqueue
+}
+
+void
+SocketFile::watchWritable(std::function<void()> fn)
+{
+    if (writable()) {
+        fn();
+        return;
+    }
+    tx_->watchWritable(std::move(fn)); // only Connected can be unwritable
+}
+
 int
 SocketFile::bind(int port)
 {
@@ -57,6 +101,12 @@ SocketFile::enqueueConnection(SocketFilePtr peer)
     if (static_cast<int>(pending_.size()) >= backlog_)
         return ECONNREFUSED;
     pending_.push_back(std::move(peer));
+    if (!readyWatchers_.empty()) {
+        std::vector<std::function<void()>> fns;
+        fns.swap(readyWatchers_);
+        for (auto &fn : fns)
+            fn();
+    }
     return 0;
 }
 
@@ -99,11 +149,19 @@ SocketFile::onLastClose()
         acceptWaiters_.pop_front();
         cb(EBADF, nullptr);
     }
-    // Pending (never-accepted) peers see EOF when their pipes collapse.
-    for (auto &peer : pending_) {
-        (void)peer; // peers' pipes are dropped with the queue
+    // Collapse never-accepted peers' streams (ECONNRESET-style): the
+    // listener's side of each pipe pair is gone, so the peer's reads
+    // must wake with EOF and its writes must fail with EPIPE. Dropping
+    // the queue without closing the pipe ends left a guest parked in
+    // read() on such a peer hung forever.
+    while (!pending_.empty()) {
+        SocketFilePtr peer = std::move(pending_.front());
+        pending_.pop_front();
+        if (peer && peer->state_ == State::Connected) {
+            peer->rx_->closeReader(); // EPIPEs the far side's writes
+            peer->tx_->closeWriter(); // wakes its parked reads with EOF
+        }
     }
-    pending_.clear();
     state_ = State::Unbound;
 }
 

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "kernel/pipe.h"
 
@@ -36,6 +37,12 @@ class SocketFile : public KFile
     // --- stream I/O (Connected only) ---
     void read(size_t maxlen, bfs::DataCb cb) override;
     void write(bfs::Buffer data, bfs::SizeCb cb) override;
+    void readInto(bfs::ByteSpan dst, bfs::SizeCb cb) override;
+    void writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb) override;
+
+    /** Connected sockets forward span ops to their Pipes, which move
+     * data through the caller's window directly. */
+    bool spanIoDirect() const override { return true; }
 
     // --- state transitions, driven by the kernel's syscall handlers ---
     int bind(int port);
@@ -55,6 +62,37 @@ class SocketFile : public KFile
 
     bool hasPendingConnections() const { return !pending_.empty(); }
 
+    /**
+     * POLLIN-shaped readiness: a Listening socket is readable when a
+     * connection awaits accept; a Connected socket when its receive
+     * stream is. Every other state reads as ready so a poll never parks
+     * against a descriptor whose wait could not end.
+     */
+    bool readable() const
+    {
+        if (state_ == State::Listening)
+            return !pending_.empty();
+        if (state_ == State::Connected)
+            return rx_->readable();
+        return true;
+    }
+
+    /** POLLOUT-shaped readiness (Connected: transmit stream has room). */
+    bool writable() const
+    {
+        if (state_ == State::Connected)
+            return tx_->writable();
+        return true;
+    }
+
+    /**
+     * One-shot readiness watchers (the poll trap's parking hook); same
+     * contract as Pipe's — fires immediately when already ready,
+     * otherwise on the transition, and may fire spuriously late.
+     */
+    void watchReadable(std::function<void()> fn);
+    void watchWritable(std::function<void()> fn);
+
   protected:
     void onLastClose() override;
 
@@ -67,6 +105,7 @@ class SocketFile : public KFile
     PipePtr rx_, tx_;
     std::deque<SocketFilePtr> pending_;
     std::deque<std::function<void(int, SocketFilePtr)>> acceptWaiters_;
+    std::vector<std::function<void()>> readyWatchers_;
 };
 
 } // namespace kernel

@@ -54,6 +54,13 @@ struct Task
     /// (see runtime/syscall_ring.h). `draining` and `deferredNotify` are
     /// kernel-side batch state: completions that land while the kernel is
     /// draining this task's SQ coalesce into one end-of-batch notify.
+    ///
+    /// Parked (deferred-CQE) SQEs have no representation here: the
+    /// in-flight call IS its SyscallCtx, held alive by whatever waiter
+    /// list it parked on (pipe read queue, socket accept queue, poll
+    /// watchers). On task exit the file teardown collapses those lists,
+    /// each parked ctx completes, and finishRing drops the late CQE on
+    /// the floor because the task is gone — nothing to unwind by hand.
     struct RingState
     {
         bool registered = false;

@@ -640,6 +640,88 @@ EmEnv::dup2(int oldfd, int newfd)
 }
 
 int
+EmEnv::socket()
+{
+    return static_cast<int>(invoke(sys::SOCKET, {}, {}).r0);
+}
+
+int
+EmEnv::bind(int fd, int port)
+{
+    return static_cast<int>(
+        invoke(sys::BIND, {jsvm::Value(fd), jsvm::Value(port)}, {fd, port})
+            .r0);
+}
+
+int
+EmEnv::listen(int fd, int backlog)
+{
+    return static_cast<int>(invoke(sys::LISTEN,
+                                   {jsvm::Value(fd), jsvm::Value(backlog)},
+                                   {fd, backlog})
+                                .r0);
+}
+
+int
+EmEnv::accept(int fd, int *remote_port)
+{
+    CallResult r = invoke(sys::ACCEPT, {jsvm::Value(fd)}, {fd});
+    if (r.r0 >= 0 && remote_port)
+        *remote_port = static_cast<int>(r.r1);
+    return static_cast<int>(r.r0);
+}
+
+int
+EmEnv::connect(int fd, int port)
+{
+    return static_cast<int>(invoke(sys::CONNECT,
+                                   {jsvm::Value(fd), jsvm::Value(port)},
+                                   {fd, port})
+                                .r0);
+}
+
+int
+EmEnv::getsockname(int fd)
+{
+    return static_cast<int>(
+        invoke(sys::GETSOCKNAME, {jsvm::Value(fd)}, {fd}).r0);
+}
+
+int
+EmEnv::poll(std::vector<PollSpec> &fds)
+{
+    if (!usesSharedHeap())
+        return -ENOSYS; // no personality heap for the record array
+    if (fds.empty() ||
+        fds.size() > static_cast<size_t>(sys::kPollMaxFds))
+        return -EINVAL;
+    pollSignals();
+    sync_->resetScratch();
+    uint32_t arr = sync_->alloc(fds.size() * sys::POLLFD_BYTES);
+    for (size_t i = 0; i < fds.size(); i++) {
+        sys::PollFd p;
+        p.fd = fds[i].fd;
+        p.events = fds[i].events;
+        p.revents = 0;
+        std::memcpy(sync_->heapData() + arr + i * sys::POLLFD_BYTES, &p,
+                    sys::POLLFD_BYTES);
+    }
+    // One call covers the whole set; in Ring mode this is one SQE whose
+    // CQE is deferred until a descriptor turns ready.
+    int64_t r = heapCall(sys::POLL,
+                         {static_cast<int32_t>(arr),
+                          static_cast<int32_t>(fds.size()), 0, 0, 0, 0});
+    for (size_t i = 0; i < fds.size(); i++) {
+        sys::PollFd p;
+        std::memcpy(&p, sync_->heapData() + arr + i * sys::POLLFD_BYTES,
+                    sys::POLLFD_BYTES);
+        fds[i].revents = p.revents;
+    }
+    pollSignals();
+    return static_cast<int>(r);
+}
+
+int
 EmEnv::spawn(const std::vector<std::string> &argv,
              const std::vector<int> &fds)
 {

@@ -136,6 +136,38 @@ class EmEnv
     int dup(int fd);
     int dup2(int oldfd, int newfd);
 
+    // --- sockets / readiness ---
+    int socket();
+    int bind(int fd, int port);
+    int listen(int fd, int backlog);
+    /**
+     * Accept one connection; blocks until a peer connects. Ring-eligible:
+     * with no pending connection the SQE parks kernel-side and the CQE
+     * arrives with the connection (the deferral protocol). Returns the
+     * connected fd; *remote_port (if non-null) gets the peer's port.
+     */
+    int accept(int fd, int *remote_port = nullptr);
+    int connect(int fd, int port);
+    /** Returns the bound port (>= 0) or -errno. */
+    int getsockname(int fd);
+
+    /** One descriptor's poll interest/result (mirrors sys::PollFd). */
+    struct PollSpec
+    {
+        int fd = -1;
+        int16_t events = 0;  ///< requested: sys::POLLIN_ / POLLOUT_
+        int16_t revents = 0; ///< granted: may add POLLERR_/POLLHUP_/POLLNVAL_
+    };
+
+    /**
+     * Readiness wait over a descriptor set — one syscall, one SQE in Ring
+     * mode, no timeout (blocks until something is ready). Returns the
+     * number of ready descriptors (> 0) or -errno; revents is updated in
+     * place for every entry. Requires the shared-heap personality
+     * (-ENOSYS under the async convention).
+     */
+    int poll(std::vector<PollSpec> &fds);
+
     // --- processes & signals ---
     int spawn(const std::vector<std::string> &argv,
               const std::vector<int> &fds = {0, 1, 2});

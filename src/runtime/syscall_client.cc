@@ -305,18 +305,29 @@ RingSyscalls::ringEligible(int trap)
       case sys::PREAD:
       case sys::PWRITE:
       case sys::WRITE:
-      // Vectored I/O batches like its scalar counterparts; readv stays
-      // ineligible for read's reason (an empty pipe needs the caller to
-      // act before the completion can land).
+      // Vectored I/O batches like its scalar counterparts.
       case sys::WRITEV:
       case sys::PREADV:
       case sys::PWRITEV:
+      // Blocking traps ride the completion-deferral protocol: when the
+      // drained SQE would block (read/readv on an empty pipe, accept
+      // with no pending connection, poll with nothing ready) the kernel
+      // parks the completion against the pipe/socket waiter list and
+      // pushes the CQE — with its own notify — when the event arrives.
+      // The parked SQE keeps its CQ reservation (in-flight slot), so
+      // the late CQE always has room; submitting a blocking trap and
+      // then more work behind it is fine, because the kernel drains and
+      // dispatches the rest of the batch without waiting on it.
+      case sys::READ:
+      case sys::READV:
+      case sys::ACCEPT:
+      case sys::POLL:
         return true;
       default:
-        // read (empty pipe), wait4, accept, connect, ... may need the
-        // caller to act (consume data, reap a child) before completing —
-        // batching those can deadlock; they keep the per-call sync
-        // convention.
+        // wait4, connect, fork, ... still complete through per-call
+        // conventions: their completions need kernel-side state (child
+        // reaping, peer rendezvous) that has no waiter list to park
+        // against yet.
         return false;
     }
 }

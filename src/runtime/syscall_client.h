@@ -15,8 +15,11 @@
  *    with the kernel ("personality"), calls that block in Atomics.wait.
  *  - RingSyscalls: the io_uring-style batched convention — SQ/CQ rings
  *    inside the same shared heap; one doorbell message and one Atomics
- *    wake per batch instead of per call. Calls that may block
- *    indefinitely fall back to SyncSyscalls per call.
+ *    wake per batch instead of per call. Blocking traps (read on an
+ *    empty pipe, accept, poll) ride the kernel's completion-deferral
+ *    protocol: their CQE is parked kernel-side and pushed when the
+ *    event arrives, so they cost a ring slot while parked instead of a
+ *    per-call sync round trip.
  */
 #pragma once
 
@@ -174,11 +177,12 @@ class SyncSyscalls
  *   auto r = ring.wait(s0);
  *
  * or per call via call(), which transparently falls back to the sync
- * convention for traps whose completion may require the caller itself to
- * act first (read on an empty pipe, wait4, accept, ...) — batching those
- * behind a parked app thread could deadlock. Ring-eligible completions
- * may still land late (see ringEligible); they just occupy an in-flight
- * slot until they do.
+ * convention for the few traps still outside the deferral protocol
+ * (wait4, connect, fork — completions tied to kernel state with no
+ * waiter list to park against). Blocking ring-eligible traps (read,
+ * readv, accept, poll) park kernel-side and their CQE lands whenever
+ * the event arrives; a parked or late completion just occupies its
+ * in-flight slot (and CQ reservation) until it does.
  *
  * Single-threaded like the rest of the runtime facades: all methods must
  * run on the process's app thread.
@@ -198,8 +202,10 @@ class RingSyscalls
         int32_t r1 = 0;
     };
 
-    /** True when trap is safe to batch: its completion never depends on
-     * a further action by the submitting thread. */
+    /** True when trap is safe to batch: its completion either never
+     * depends on a further action by the submitting thread, or defers
+     * through a kernel-side waiter list (read/readv/accept/poll) so
+     * another process's action can land the CQE. */
     static bool ringEligible(int trap);
 
     /**

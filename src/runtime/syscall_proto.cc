@@ -39,6 +39,7 @@ trapTable()
         {READLINK, "readlink"},
         {WAIT4, "wait4"},
         {LLSEEK, "llseek"},
+        {POLL, "poll"},
         {GETDENTS, "getdents"},
         {READV, "readv"},
         {WRITEV, "writev"},

@@ -55,6 +55,7 @@ enum Trap : int {
     READLINK = 85,
     WAIT4 = 114,
     LLSEEK = 140,
+    POLL = 168,
     GETDENTS = 141,
     READV = 145,
     WRITEV = 146,
@@ -103,6 +104,37 @@ struct IoVec
 
 constexpr size_t IOVEC_BYTES = 8;
 constexpr int32_t kIovMax = 1024; ///< Linux UIO_MAXIOV
+
+/**
+ * The poll readiness trap (shared-heap conventions only): the pointer
+ * argument names an array of `nfds` packed 8-byte PollFd records in the
+ * personality heap, each {int32 fd, int16 events, int16 revents} in
+ * little-endian order (Linux struct pollfd). Argument layout:
+ *   poll: (fds_ptr, nfds)
+ * The kernel writes each record's revents in place and the call (CQE r0
+ * for ring callers) carries the count of ready descriptors. When nothing
+ * is ready the SQE parks against every polled object's readiness watcher
+ * and the CQE is deferred until one fires — one SQE, one wake, however
+ * many descriptors. nfds < 1 or > kPollMaxFds is EINVAL from the
+ * handler; a record array outside the heap is -EFAULT at ring drain time
+ * (sqeHeapArgsValid) or from the handler for sync callers.
+ */
+struct PollFd
+{
+    int32_t fd = 0;
+    int16_t events = 0;
+    int16_t revents = 0;
+};
+
+constexpr size_t POLLFD_BYTES = 8;
+constexpr int32_t kPollMaxFds = 64;
+
+/// poll event bits (Linux values).
+constexpr int16_t POLLIN_ = 0x001;
+constexpr int16_t POLLOUT_ = 0x004;
+constexpr int16_t POLLERR_ = 0x008;
+constexpr int16_t POLLHUP_ = 0x010;
+constexpr int16_t POLLNVAL_ = 0x020;
 
 /** Human-readable syscall name (also the async message "name" field). */
 const char *trapName(int trap);

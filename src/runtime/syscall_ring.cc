@@ -101,6 +101,14 @@ sqeHeapArgsValid(const Sqe &e, const jsvm::SharedArrayBuffer &heap)
         return spanOk(a[1], STAT_BYTES, heap_bytes); // (fd, statbuf)
       case PIPE2:
         return spanOk(a[0], 8, heap_bytes); // two int32 fds
+      case POLL:
+        // nfds out of [1, kPollMaxFds] passes untouched: the handler
+        // returns EINVAL before resolving the window, and the errno must
+        // not differ between the sync and ring conventions.
+        if (a[1] < 1 || a[1] > kPollMaxFds)
+            return true;
+        return spanOk(a[0], static_cast<int64_t>(a[1]) * POLLFD_BYTES,
+                      heap_bytes); // (fds_ptr, nfds)
       default:
         return true; // integer-only argument lists
     }

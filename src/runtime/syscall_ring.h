@@ -39,6 +39,15 @@
  * head/tail are free-running counters managed by jsvm::RingIndices; both
  * queues hold `entries` slots (a power of two). The runtime caps in-flight
  * calls at `entries`, so the CQ can never overflow a conforming producer.
+ *
+ * Completion deferral: a drained SQE whose trap would block (read on an
+ * empty pipe, accept with no pending connection, poll with nothing
+ * ready) does NOT produce a CQE in the same drain pass. The kernel
+ * parks the completion against the pipe/socket waiter list and pushes
+ * the CQE — with its own Atomics notify — when the event arrives. The
+ * in-flight cap above is what makes this safe: a parked SQE keeps its
+ * CQ reservation, so however late the completion lands there is a slot
+ * for it, and the producer's reap loop picks it up whenever it runs.
  */
 #pragma once
 

@@ -426,6 +426,76 @@ TEST(Pipe, EpipeDeliveryOrderIsFifo)
     EXPECT_EQ(order.back(), 3);
 }
 
+TEST(Pipe, ReentrantWriteCompletionSurvivesWaiterChurn)
+{
+    // Regression (PR 6): pump() used to hold a reference to the front
+    // write waiter across its completion callback; a callback that
+    // reenters write() grows the waiter deque under pump's feet and the
+    // old reference could dangle (ASan caught it through exactly this
+    // shape). Chained completions must stay safe and lose no bytes.
+    Pipe p(4);
+    size_t written = 0, completions = 0;
+    std::function<void(int, size_t)> chain = [&](int e, size_t n) {
+        ASSERT_EQ(e, 0);
+        written += n;
+        completions++;
+        if (completions <= 6) {
+            // Each finished write immediately parks two more oversize
+            // writes (6 > capacity 4, so they can never complete
+            // inline): the deque grows mid-pump, every time.
+            p.write(toBuf("123456"), chain);
+            p.write(toBuf("abcdef"), chain);
+        }
+    };
+    p.write(toBuf("seed-data!"), chain); // 10 bytes: parks immediately
+    size_t read_bytes = 0;
+    int guard = 0;
+    while ((p.buffered() > 0 || completions < 13) && guard++ < 1000) {
+        p.read(3, [&](int err, bfs::BufferPtr d) {
+            ASSERT_EQ(err, 0);
+            read_bytes += d->size();
+        });
+    }
+    EXPECT_EQ(completions, 13u) << "1 seed + 6 rounds x 2 chained";
+    EXPECT_EQ(written, 82u) << "10 + 12 x 6 bytes, none lost";
+    EXPECT_EQ(read_bytes, 82u);
+    EXPECT_EQ(p.bytesTransferred(), 82u);
+    EXPECT_EQ(p.backpressureStalls(), 13u)
+        << "every oversize write must round-trip the stall queue";
+}
+
+TEST(Pipe, SpanToSpanTransferSkipsTheDeque)
+{
+    // The zero-copy leg of the deferred-CQE protocol: a parked
+    // span-shaped reader (its window pinned by a ring READ) is served
+    // straight from a span-shaped writer's window — one memcpy, no
+    // transit through the pipe's own deque.
+    Pipe p;
+    uint8_t dst[8] = {0};
+    int rerr = -1;
+    size_t rn = 99;
+    p.readInto(bfs::ByteSpan{dst, sizeof(dst)}, [&](int e, size_t n) {
+        rerr = e;
+        rn = n;
+    });
+    EXPECT_EQ(rn, 99u) << "empty pipe: the window parks";
+    const uint8_t src[8] = {'z', 'e', 'r', 'o', 'c', 'o', 'p', 'y'};
+    int werr = -1;
+    size_t wn = 0;
+    p.writeFrom(bfs::ConstByteSpan{src, sizeof(src)}, [&](int e, size_t n) {
+        werr = e;
+        wn = n;
+    });
+    EXPECT_EQ(rerr, 0);
+    EXPECT_EQ(rn, 8u);
+    EXPECT_EQ(werr, 0);
+    EXPECT_EQ(wn, 8u);
+    EXPECT_EQ(std::memcmp(dst, src, 8), 0) << "byte-exact, in place";
+    EXPECT_EQ(p.spanToSpanBytes(), 8u) << "counted as window-to-window";
+    EXPECT_EQ(p.buffered(), 0u) << "nothing transited the deque";
+    EXPECT_EQ(p.bytesTransferred(), 8u);
+}
+
 TEST(PipeEnd, RefcountedCloseDrivesEof)
 {
     auto p = std::make_shared<Pipe>();
@@ -470,6 +540,36 @@ TEST(Socket, BacklogLimitRefuses)
     };
     EXPECT_EQ(listener.enqueueConnection(mk()), 0);
     EXPECT_EQ(listener.enqueueConnection(mk()), ECONNREFUSED);
+}
+
+TEST(Socket, ListenerCloseCollapsesNeverAcceptedPeers)
+{
+    // Regression (PR 6): closing a listening socket dropped its pending
+    // (never-accepted) connections without collapsing their pipe ends —
+    // a client parked reading its side of the rendezvous hung forever.
+    // The close must EOF the client's reads and EPIPE its writes.
+    auto listener = std::make_shared<SocketFile>();
+    EXPECT_EQ(listener->bind(100), 0);
+    EXPECT_EQ(listener->listen(4), 0);
+    auto to_server = std::make_shared<Pipe>();
+    auto to_client = std::make_shared<Pipe>();
+    auto server_end = std::make_shared<SocketFile>();
+    server_end->establish(to_server, to_client, 100, 5000);
+    EXPECT_EQ(listener->enqueueConnection(server_end), 0);
+    auto client = std::make_shared<SocketFile>();
+    client->establish(to_client, to_server, 5000, 100);
+    bool eof = false;
+    client->read(16, [&](int err, bfs::BufferPtr d) {
+        EXPECT_EQ(err, 0);
+        eof = d && d->empty();
+    });
+    EXPECT_FALSE(eof) << "nothing written yet: the read parks";
+    listener->unref(); // last close; the connection was never accepted
+    EXPECT_TRUE(eof)
+        << "collapse must wake the parked reader with a clean EOF";
+    int werr = -1;
+    client->write(toBuf("x"), [&](int e, size_t) { werr = e; });
+    EXPECT_EQ(werr, EPIPE) << "the far side is gone for good";
 }
 
 TEST(Socket, IoRequiresConnection)
@@ -635,6 +735,59 @@ TEST(Signals, DeliveredCountIncrements)
     bx.kernel().kill(pid, sys::SIGKILL);
     EXPECT_EQ(bx.kernel().stats().signalsDelivered, before + 1);
     bx.runUntil([&]() { return bx.kernel().taskCount() == 0; }, 5000);
+}
+
+TEST(Signals, EpipeWriteDeliversSigpipe)
+{
+    // POSIX: a write that fails with EPIPE also raises SIGPIPE. The
+    // kernel write path must route the failure through the signal
+    // machinery — under the default disposition that kills the writer.
+    testutil::addProgram(
+        "sigpipe-default",
+        [](rt::EmEnv &env) -> int {
+            int fds[2];
+            if (env.pipe2(fds) != 0)
+                return 1;
+            env.close(fds[0]);
+            env.write(fds[1], std::string("doomed"));
+            return 0; // unreachable: SIGPIPE terminates first
+        },
+        apps::RuntimeKind::EmRing);
+    Browsix bx;
+    testutil::stage(bx, "sigpipe-default");
+    auto r = bx.runArgv({"/usr/bin/sigpipe-default"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(sys::wtermsig(r.status), sys::SIGPIPE)
+        << "default disposition: the EPIPE write kills the process";
+}
+
+TEST(Signals, IgnoredSigpipeLeavesPlainEpipe)
+{
+    // With SIGPIPE ignored (how every networked program survives a peer
+    // hangup), the same write must come back as a plain -EPIPE return.
+    testutil::addProgram(
+        "sigpipe-ignored",
+        [](rt::EmEnv &env) -> int {
+            rt::blockingCall(
+                env.client(), "sigaction",
+                {jsvm::Value(sys::SIGPIPE),
+                 jsvm::Value(
+                     static_cast<int>(sys::SigDisposition::Ignore))});
+            int fds[2];
+            if (env.pipe2(fds) != 0)
+                return 1;
+            env.close(fds[0]);
+            if (env.write(fds[1], std::string("quiet")) != -EPIPE)
+                return 2;
+            return 0;
+        },
+        apps::RuntimeKind::EmRing);
+    Browsix bx;
+    testutil::stage(bx, "sigpipe-ignored");
+    auto r = bx.runArgv({"/usr/bin/sigpipe-ignored"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0)
+        << "Ignore disposition: EPIPE only, no termination";
 }
 
 // ---------- sockets (full stack) ----------

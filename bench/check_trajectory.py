@@ -34,6 +34,10 @@ RATIO_CEILINGS = {
     # notify per two ring calls. The full run sits near 0.43, the smoke
     # tier near 0.2.
     "pipeline_ring_notifies_per_call": 0.5,
+    # The server-shaped leg (parked accepts -> epoll interest list ->
+    # kernel-side sendfile) holds the same line: full run near 0.29,
+    # smoke tier near 0.42.
+    "server_ring_notifies_per_call": 0.5,
 }
 
 

@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include <map>
+
 #include "apps/coreutils/sha1.h"
 #include "apps/tex/tex.h"
 #include "bench/harness.h"
@@ -195,6 +197,247 @@ pipeDriverMain(rt::EmEnv &env)
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// epoll+sendfile server (accept -> interest list -> kernel-side move)
+// ---------------------------------------------------------------------
+
+/** Server: batched ACCEPT SQEs park on the listener, accepted fds join
+ * an epoll interest list, and sendfile moves the payload file into each
+ * connection kernel-side — no guest-heap bounce on the data plane.
+ * argv: port, nconns, payload_bytes. */
+int
+serverMain(rt::EmEnv &env)
+{
+    int port = std::atoi(env.argv()[1].c_str());
+    int nconns = std::atoi(env.argv()[2].c_str());
+    long payload = std::atol(env.argv()[3].c_str());
+    rt::RingSyscalls *ring = env.ring();
+    rt::SyncSyscalls *sync = env.syncCalls();
+    if (!ring || !sync)
+        return 2;
+    int f = env.open("/tmp/srv_payload",
+                     bfs::flags::CREAT | bfs::flags::RDWR);
+    if (f < 0)
+        return 3;
+    // Batched payload writes: one doorbell covers the whole file.
+    {
+        sync->resetScratch();
+        std::vector<std::pair<uint32_t, int32_t>> ws;
+        for (long w = 0; w < payload; w += 4096) {
+            int32_t n = static_cast<int32_t>(
+                payload - w < 4096 ? payload - w : 4096);
+            uint32_t p = sync->alloc(static_cast<size_t>(n));
+            std::memset(sync->heapData() + p, 'y',
+                        static_cast<size_t>(n));
+            sync->heapData()[p + n - 1] = '\n';
+            ws.emplace_back(
+                ring->submit(sys::WRITE,
+                             {f, static_cast<int32_t>(p), n, 0, 0, 0}),
+                n);
+        }
+        ring->flush();
+        for (auto &w : ws) {
+            if (ring->wait(w.first).r0 != w.second)
+                return 4;
+        }
+    }
+    int s = env.socket();
+    if (s < 0 || env.bind(s, port) != 0 || env.listen(s, nconns) != 0)
+        return 5;
+    int ep = env.epollCreate();
+    if (ep < 0)
+        return 6;
+    // All accepts up front, one doorbell: every SQE parks on the
+    // listener's rendezvous and its deferred CQE carries a connection.
+    std::vector<uint32_t> seqs;
+    for (int i = 0; i < nconns; i++)
+        seqs.push_back(ring->submit(sys::ACCEPT, {s, 0, 0, 0, 0, 0}));
+    ring->flush();
+    env.write(1, "ready\n"); // the driver may spawn clients now
+    std::map<int, long> sent;
+    std::vector<int> conns;
+    for (uint32_t q : seqs) {
+        int c = static_cast<int>(ring->wait(q).r0);
+        if (c < 0)
+            return 7;
+        conns.push_back(c);
+        sent[c] = 0;
+    }
+    // The interest list is edited in one batch too: EPOLL_CTL is
+    // integer-only, so nothing needs the scratch region.
+    seqs.clear();
+    for (int c : conns)
+        seqs.push_back(ring->submit(
+            sys::EPOLL_CTL,
+            {ep, sys::EPOLL_CTL_ADD_, c, sys::POLLOUT_, 0, 0}));
+    ring->flush();
+    for (uint32_t q : seqs) {
+        if (ring->wait(q).r0 != 0)
+            return 8;
+    }
+    int open_conns = nconns;
+    std::vector<rt::EmEnv::PollSpec> evs(static_cast<size_t>(nconns));
+    while (open_conns > 0) {
+        int n = env.epollWait(ep, evs);
+        if (n < 0)
+            return 9;
+        // One SENDFILE SQE per ready connection, one doorbell for the
+        // round. When a connection's pipe fills, that SQE parks and
+        // re-drives off the client's drain cycles (deferred CQE).
+        std::vector<std::pair<int, uint32_t>> sf;
+        for (int j = 0; j < n; j++) {
+            int c = evs[j].fd;
+            if (!(evs[j].revents & sys::POLLOUT_))
+                return 10;
+            sf.emplace_back(
+                c, ring->submit(
+                       sys::SENDFILE,
+                       {c, f, static_cast<int32_t>(sent[c]),
+                        static_cast<int32_t>(payload - sent[c]), 0, 0}));
+        }
+        ring->flush();
+        std::vector<int> finished;
+        for (auto &e : sf) {
+            int64_t moved = ring->wait(e.second).r0;
+            if (moved < 0)
+                return 11;
+            sent[e.first] += moved;
+            if (sent[e.first] >= payload)
+                finished.push_back(e.first);
+        }
+        seqs.clear();
+        for (int c : finished) {
+            seqs.push_back(ring->submit(
+                sys::EPOLL_CTL, {ep, sys::EPOLL_CTL_DEL_, c, 0, 0, 0}));
+            seqs.push_back(ring->submit(sys::CLOSE, {c, 0, 0, 0, 0, 0}));
+            open_conns--;
+        }
+        ring->flush();
+        for (uint32_t q : seqs) {
+            if (ring->wait(q).r0 != 0)
+                return 12;
+        }
+    }
+    env.close(ep);
+    env.close(s);
+    env.close(f);
+    return 0;
+}
+
+/** Client: ring CONNECT (parks until the listener takes it), then the
+ * consumer shape over the socket — poll for readability, reap batched
+ * READ SQEs until EOF. argv: port, expected_bytes, chunk, batch. */
+int
+clientMain(rt::EmEnv &env)
+{
+    int port = std::atoi(env.argv()[1].c_str());
+    long expected = std::atol(env.argv()[2].c_str());
+    int csz = std::atoi(env.argv()[3].c_str());
+    int batch = std::max(1, std::atoi(env.argv()[4].c_str()));
+    rt::RingSyscalls *ring = env.ring();
+    rt::SyncSyscalls *sync = env.syncCalls();
+    if (!ring || !sync)
+        return 2;
+    int s = env.socket();
+    if (s < 0)
+        return 3;
+    if (env.connect(s, port) != 0)
+        return 4;
+    long got = 0, lines = 0;
+    std::vector<uint32_t> seqs, ptrs;
+    std::vector<rt::EmEnv::PollSpec> pfds(1);
+    while (got < expected) {
+        pfds[0].fd = s;
+        pfds[0].events = sys::POLLIN_;
+        if (env.poll(pfds) < 0)
+            return 5;
+        // Only submit reads the remaining byte count can satisfy: a
+        // speculative read past the payload would park until the
+        // server's close and pay a needless deferred wake.
+        long want = (expected - got + csz - 1) / csz;
+        int k = want < batch ? static_cast<int>(want) : batch;
+        sync->resetScratch();
+        seqs.clear();
+        ptrs.clear();
+        for (int j = 0; j < k; j++) {
+            uint32_t p = sync->alloc(static_cast<size_t>(csz));
+            ptrs.push_back(p);
+            seqs.push_back(ring->submit(
+                sys::READ, {s, static_cast<int32_t>(p), csz, 0, 0, 0}));
+        }
+        ring->flush();
+        bool eof = false;
+        for (size_t j = 0; j < seqs.size(); j++) {
+            rt::RingSyscalls::Completion c = ring->wait(seqs[j]);
+            if (c.r0 < 0)
+                return 6;
+            if (c.r0 == 0) {
+                eof = true;
+                continue;
+            }
+            got += c.r0;
+            const uint8_t *d = sync->heapData() + ptrs[j];
+            for (int32_t b = 0; b < c.r0; b++)
+                lines += d[b] == '\n';
+        }
+        if (eof)
+            break;
+    }
+    if (got != expected || lines <= 0)
+        return 7;
+    // EOF confirmation: poll wakes on the server's close, then a single
+    // read observes 0.
+    pfds[0].fd = s;
+    pfds[0].events = sys::POLLIN_;
+    if (env.poll(pfds) < 0)
+        return 8;
+    bfs::Buffer b;
+    if (env.read(s, b, 1) != 0)
+        return 9;
+    env.close(s);
+    return 0;
+}
+
+/** Plumbing: spawn the server, wait for its listen announcement over a
+ * pipe, fan out clients, reap everything.
+ * argv: port, nconns, payload_bytes, chunk, batch. */
+int
+serverDriverMain(rt::EmEnv &env)
+{
+    const std::vector<std::string> &argv = env.argv();
+    int nconns = std::atoi(argv[2].c_str());
+    int p[2];
+    if (env.pipe2(p) != 0)
+        return 2;
+    int srv = env.spawn(
+        {"/usr/bin/srvbench-server", argv[1], argv[2], argv[3]},
+        {0, p[1], 2});
+    if (srv < 0)
+        return 3;
+    env.close(p[1]);
+    bfs::Buffer b;
+    if (env.read(p[0], b, 6) <= 0) // blocks until "ready\n"
+        return 4;
+    env.close(p[0]);
+    std::vector<int> clients;
+    for (int i = 0; i < nconns; i++) {
+        int c = env.spawn({"/usr/bin/srvbench-client", argv[1], argv[3],
+                           argv[4], argv[5]},
+                          {0, 1, 2});
+        if (c < 0)
+            return 5;
+        clients.push_back(c);
+    }
+    int st = 0;
+    for (int c : clients) {
+        if (env.waitpid(c, &st, 0) != c || sys::wexitstatus(st) != 0)
+            return 6;
+    }
+    if (env.waitpid(srv, &st, 0) != srv || sys::wexitstatus(st) != 0)
+        return 7;
+    return 0;
+}
+
 void
 registerPipeBench()
 {
@@ -215,6 +458,12 @@ registerPipeBench()
     reg.add(apps::ProgramSpec{"pipebench-driver-sync",
                               apps::RuntimeKind::EmSync, 64,
                               pipeDriverMain, nullptr});
+    reg.add(apps::ProgramSpec{"srvbench-server", apps::RuntimeKind::EmRing,
+                              64, serverMain, nullptr});
+    reg.add(apps::ProgramSpec{"srvbench-client", apps::RuntimeKind::EmRing,
+                              64, clientMain, nullptr});
+    reg.add(apps::ProgramSpec{"srvbench-driver", apps::RuntimeKind::EmRing,
+                              64, serverDriverMain, nullptr});
 }
 
 struct LegResult
@@ -292,7 +541,8 @@ main()
     for (const char *p :
          {"pipebench-src", "pipebench-sink", "pipebench-src-sync",
           "pipebench-sink-sync", "pipebench-driver",
-          "pipebench-driver-sync"}) {
+          "pipebench-driver-sync", "srvbench-server", "srvbench-client",
+          "srvbench-driver"}) {
         bx.rootFs().writeFile(std::string("/usr/bin/") + p,
                               reg.bundleFor(p));
     }
@@ -304,10 +554,62 @@ main()
     LegResult ring = runPipeline(bx, "/usr/bin/pipebench-driver", kChunks,
                                  kChunkBytes, kBatch, "/usr/bin/pipebench-src",
                                  "/usr/bin/pipebench-sink");
+    // ---- epoll+sendfile server leg: accept, connect, epoll_wait and
+    // sendfile all complete through deferred CQEs ----
+    const int kConns = 4;
+    const long kPayload = smokeMode() ? 24 * 1024 : 96 * 1024;
+    {
+        kernel::KernelStats before = bx.kernel().stats();
+        RunResult r;
+        double ms = timeMs([&]() {
+            r = bx.runArgv({"/usr/bin/srvbench-driver", "9000",
+                            std::to_string(kConns),
+                            std::to_string(kPayload), "1024", "8"},
+                           120000);
+        });
+        if (!r.ok || r.exitCode() != 0) {
+            std::fprintf(stderr,
+                         "pipe_micro: server leg failed (rc=%d)\n",
+                         r.exitCode());
+            return 1;
+        }
+        kernel::KernelStats after = bx.kernel().stats();
+        double calls = static_cast<double>(after.ringSyscallCount -
+                                           before.ringSyscallCount);
+        double notifies = static_cast<double>(after.ringNotifies -
+                                              before.ringNotifies);
+        double per_call = calls > 0 ? notifies / calls : 0;
+        double deferred =
+            static_cast<double>(after.ringDeferredCompletions -
+                                before.ringDeferredCompletions);
+        double sf_bytes = static_cast<double>(after.sendfileBytes -
+                                              before.sendfileBytes);
+        double parked =
+            static_cast<double>((after.connectsParked -
+                                 before.connectsParked) +
+                                (after.epollWaitsParked -
+                                 before.epollWaitsParked));
+        std::printf("\nepoll+sendfile server (%d conns x %ld B): "
+                    "%.2f ms, %.0f ring calls, %.3f notifies/ringcall, "
+                    "%.0f deferred, %.0f parked, %.0f sendfile bytes\n",
+                    kConns, kPayload, ms, calls, per_call, deferred,
+                    parked, sf_bytes);
+        recordMetric("pipe_micro", "server_ring_ms", ms, "ms");
+        recordMetric("pipe_micro", "server_ring_notifies_per_call",
+                     per_call, "ratio");
+        recordMetric("pipe_micro", "server_ring_deferred_completions",
+                     deferred, "calls");
+        recordMetric("pipe_micro", "server_blocking_parks", parked,
+                     "calls");
+        recordMetric("pipe_micro", "server_sendfile_bytes", sf_bytes,
+                     "bytes");
+    }
+
     // Snapshot the data-plane latency histograms before the sync leg
     // muddies them: every read/write so far went through the ring legs.
     const kernel::KernelStats &st = bx.kernel().stats();
-    for (const char *name : {"read", "write", "poll"}) {
+    for (const char *name :
+         {"read", "write", "poll", "epoll_wait", "sendfile"}) {
         if (const kernel::LatencyHistogram *h = st.latency(name))
             recordHistogram("pipe_micro", std::string("ring_") + name, *h);
     }

@@ -1,0 +1,35 @@
+#include "kernel/epoll.h"
+
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace kernel {
+
+int
+EpollFile::ctl(int op, int fd, int32_t events)
+{
+    switch (op) {
+      case sys::EPOLL_CTL_ADD_:
+        if (interest_.count(fd))
+            return EEXIST;
+        interest_[fd] = events;
+        return 0;
+      case sys::EPOLL_CTL_MOD_: {
+        auto it = interest_.find(fd);
+        if (it == interest_.end())
+            return ENOENT;
+        it->second = events;
+        return 0;
+      }
+      case sys::EPOLL_CTL_DEL_:
+        if (!interest_.count(fd))
+            return ENOENT;
+        interest_.erase(fd);
+        return 0;
+      default:
+        return EINVAL;
+    }
+}
+
+} // namespace kernel
+} // namespace browsix

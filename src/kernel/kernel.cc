@@ -518,6 +518,16 @@ Kernel::deliverSignal(Task &t, int sig)
         t.worker->postMessage(msg);
 }
 
+namespace {
+/** Client-side port allocator shared by both connect entry points. */
+int
+nextEphemeralPort()
+{
+    static int ephemeral = 49152;
+    return ephemeral++;
+}
+} // namespace
+
 int
 Kernel::doConnect(Task *, SocketFile &client, int port)
 {
@@ -528,9 +538,7 @@ Kernel::doConnect(Task *, SocketFile &client, int port)
 
     auto to_server = std::make_shared<Pipe>();
     auto to_client = std::make_shared<Pipe>();
-
-    static int ephemeral = 49152;
-    int client_port = ephemeral++;
+    int client_port = nextEphemeralPort();
 
     auto server_end = std::make_shared<SocketFile>();
     server_end->establish(to_server, to_client, port, client_port);
@@ -541,6 +549,40 @@ Kernel::doConnect(Task *, SocketFile &client, int port)
 
     client.establish(to_client, to_server, client_port, port);
     return 0;
+}
+
+bool
+Kernel::connectOrPark(SocketFilePtr client, int port,
+                      std::function<void(int err)> done)
+{
+    auto it = ports_.find(port);
+    if (it == ports_.end()) {
+        // No listener at all: refuse immediately, matching doConnect.
+        // Only a live-but-saturated listener is worth waiting on.
+        done(ECONNREFUSED);
+        return false;
+    }
+    SocketFile *listener = it->second;
+
+    auto to_server = std::make_shared<Pipe>();
+    auto to_client = std::make_shared<Pipe>();
+    int client_port = nextEphemeralPort();
+
+    auto server_end = std::make_shared<SocketFile>();
+    server_end->establish(to_server, to_client, port, client_port);
+
+    // Establish the client half up front: once a parked rendezvous is
+    // promoted the server may accept and write before the client's
+    // deferred completion runs, and both stream ends must exist by then.
+    // On a parked-then-refused connect the listener collapses the peer's
+    // streams, so this end reads EOF / EPIPEs like a reset connection.
+    client->establish(to_client, to_server, client_port, port);
+
+    bool parked = listener->enqueueConnectionOrPark(std::move(server_end),
+                                                    std::move(done));
+    if (parked)
+        stats_.connectsParked++;
+    return parked;
 }
 
 void

@@ -65,6 +65,18 @@ struct KernelStats
     /// completion parked against a pipe/socket waiter list and landed
     /// when the event arrived, paying its own notify.
     uint64_t ringDeferredCompletions = 0;
+    /// Deferral-protocol coverage beyond pipe reads: wait4 calls parked
+    /// against the process table's wait-waiter list (completed later by
+    /// completeWaits), connect calls parked on a full listener backlog
+    /// (completed when accept frees a slot, or ECONNREFUSED when the
+    /// listener closes), and epoll_wait calls parked against their
+    /// registered interest list's readiness watchers.
+    uint64_t wait4Parked = 0;
+    uint64_t connectsParked = 0;
+    uint64_t epollWaitsParked = 0;
+    /// Bytes sendfile moved file→pipe/socket entirely kernel-side (no
+    /// guest-heap bounce: preadInto a staging window, writeFrom it out).
+    uint64_t sendfileBytes = 0;
     /// Read-path data movement: completions whose out-data the backend
     /// wrote directly into the guest heap through a heapSpan window
     /// (zero-copy), vs completions that bounced an intermediate
@@ -172,6 +184,10 @@ class Kernel
     }
 
     const KernelStats &stats() const { return stats_; }
+    /** Mutable counters for the syscall handlers (kernel_syscalls.cc),
+     * which live outside the class and record deferral-protocol events
+     * (wait4Parked, epollWaitsParked, sendfileBytes, ...). */
+    KernelStats &statsMut() { return stats_; }
 
     /// Pid allocation wraps past this; the allocator then skips pids
     /// still present in the table (Linux's PID_MAX_LIMIT).
@@ -219,6 +235,16 @@ class Kernel
      * and for completions that land outside a drain. */
     void ringNotify(Task &t);
     int doConnect(Task *client_task, SocketFile &client, int port);
+    /**
+     * Deferral-protocol connect: like doConnect, but when the listener's
+     * backlog is full the rendezvous parks on the socket and `done` fires
+     * later — with 0 when accept frees a slot (the client endpoint is
+     * established by then), or ECONNREFUSED when the listener closes.
+     * Immediate outcomes run `done` before returning. Returns true when
+     * the completion parked.
+     */
+    bool connectOrPark(SocketFilePtr client, int port,
+                       std::function<void(int err)> done);
     void notifyListen(int port, SocketFile *listener);
     void completeWaits(Task &parent);
     void reapTask(int pid);

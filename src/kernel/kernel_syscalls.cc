@@ -14,6 +14,7 @@
 
 #include "bfs/path.h"
 #include "jsvm/util.h"
+#include "kernel/epoll.h"
 #include "kernel/kernel.h"
 #include "kernel/syscall_ctx.h"
 #include "runtime/syscall_ring.h"
@@ -157,9 +158,25 @@ sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
     // The wait status is returned in ret1 under both conventions (§3.3:
     // wait4 "returns immediately if the specified child has already
-    // exited, or the WNOHANG option is specified").
+    // exited, or the WNOHANG option is specified"). Shared-heap callers
+    // may additionally pass a status pointer at arg 1 (0 discards): the
+    // status int is written into the guest window in place, so a ring
+    // wait4's deferred CQE — pushed from completeWaits when the child
+    // exits — carries everything the caller needs in r0 alone.
     int wait_pid = ctx->argInt(0);
     int options = ctx->isSync() ? ctx->argInt(2) : ctx->argInt(1);
+
+    std::function<void(int)> put_status = [](int) {};
+    if (ctx->isSync() && ctx->argInt(1) != 0) {
+        SyscallCtx::HeapSpan win = ctx->heapSpan(1, 4);
+        if (!win.ok()) {
+            ctx->completeErr(EFAULT);
+            return;
+        }
+        put_status = [win](int status) {
+            std::memcpy(win.span.data, &status, 4);
+        };
+    }
 
     // Existing zombies are reaped in exit order (the parent's
     // zombieFifo), not pid order — deterministic FIFO across pid bands.
@@ -173,6 +190,7 @@ sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
     if (found) {
         int status = k.task(found)->exitStatus;
         k.reapTask(found); // also drops it from children + zombieFifo
+        put_status(status);
         ctx->complete(found, status);
         return;
     }
@@ -192,7 +210,9 @@ sysWait4(Kernel &k, Task &t, SyscallCtxPtr ctx)
         ctx->complete(0, 0);
         return;
     }
-    t.addWaitWaiter(wait_pid, [ctx](int pid, int status) {
+    k.statsMut().wait4Parked++;
+    t.addWaitWaiter(wait_pid, [ctx, put_status](int pid, int status) {
+        put_status(status);
         ctx->complete(pid, status);
     });
 }
@@ -1154,17 +1174,22 @@ sysAccept(Kernel &k, Task &t, SyscallCtxPtr ctx)
 void
 sysConnect(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    auto file = getFile(t, ctx->argInt(0));
-    auto *sock = dynamic_cast<SocketFile *>(file.get());
+    auto sock =
+        std::dynamic_pointer_cast<SocketFile>(getFile(t, ctx->argInt(0)));
     if (!sock) {
         ctx->completeErr(ENOTSOCK);
         return;
     }
-    int rc = k.doConnect(&t, *sock, ctx->argInt(1));
-    if (rc)
-        ctx->completeErr(rc);
-    else
-        ctx->complete(0);
+    // The rendezvous may park (live listener, backlog full) — the
+    // completion then rides the deferral protocol and lands when accept
+    // frees a slot (0) or the listener closes (ECONNREFUSED). Immediate
+    // outcomes run the callback before connectOrPark returns.
+    k.connectOrPark(std::move(sock), ctx->argInt(1), [ctx](int err) {
+        if (err)
+            ctx->completeErr(err);
+        else
+            ctx->complete(0);
+    });
 }
 
 void
@@ -1314,6 +1339,259 @@ sysPoll(Kernel &k, Task &t, SyscallCtxPtr ctx)
     (*registerAll)();
 }
 
+// ---------- epoll (stateful readiness over the deferral protocol) ----------
+
+void
+sysEpollCreate(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    int fd = t.allocFd();
+    t.files[fd] = std::make_shared<EpollFile>();
+    ctx->complete(fd);
+}
+
+void
+sysEpollCtl(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    auto *ep = dynamic_cast<EpollFile *>(getFile(t, ctx->argInt(0)).get());
+    if (!ep) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    int op = ctx->argInt(1);
+    int fd = ctx->argInt(2);
+    if (op == sys::EPOLL_CTL_ADD_ && !getFile(t, fd)) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    int rc = ep->ctl(op, fd, ctx->argInt(3));
+    if (rc)
+        ctx->completeErr(rc);
+    else
+        ctx->complete(0);
+}
+
+/**
+ * epoll_wait over the kernel-side interest list (shared-heap conventions
+ * only): (epfd, events_ptr, maxevents). Unlike poll, nothing is
+ * re-marshalled per call — the registered set lives in the EpollFile and
+ * only ready EpollEvent records travel back through the guest window.
+ * Readiness is level-triggered; when nothing is ready the completion
+ * parks against every registered object's one-shot watcher (same
+ * re-arming shape as sysPoll's) and the CQE is deferred. A registered fd
+ * that has since been closed reports POLLERR_|POLLHUP_ — the descriptor
+ * table has no close-time back-pointers to epoll sets, so the caller
+ * prunes it with EPOLL_CTL_DEL_.
+ */
+void
+sysEpollWait(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    if (!ctx->isSync()) {
+        ctx->completeErr(ENOSYS); // record layout needs the shared heap
+        return;
+    }
+    int32_t maxevents = ctx->argInt(2);
+    if (maxevents < 1 || maxevents > sys::kEpollMaxEvents) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    auto ep =
+        std::dynamic_pointer_cast<EpollFile>(getFile(t, ctx->argInt(0)));
+    if (!ep) {
+        ctx->completeErr(EINVAL);
+        return;
+    }
+    SyscallCtx::HeapSpan recs = ctx->heapSpan(
+        1, static_cast<size_t>(maxevents) * sys::EPOLL_EVENT_BYTES);
+    if (!recs.ok()) {
+        ctx->completeErr(EFAULT);
+        return;
+    }
+    int pid = t.pid;
+
+    // Evaluate the interest list: write ready records, complete with the
+    // count. Returns true when the call is finished (completed, or its
+    // task died — finishRing no-ops on a dead task).
+    auto attempt = [&k, pid, ctx, ep, recs, maxevents]() -> bool {
+        Task *t2 = k.task(pid);
+        if (!t2 || t2->state == TaskState::Zombie)
+            return true;
+        int32_t ready = 0;
+        for (const auto &[fd, mask] : ep->interest()) {
+            if (ready >= maxevents)
+                break;
+            KFilePtr f = getFile(*t2, fd);
+            int16_t r =
+                f ? pollRevents(f.get(), static_cast<int16_t>(mask))
+                  : static_cast<int16_t>(sys::POLLERR_ | sys::POLLHUP_);
+            if (!r)
+                continue;
+            sys::EpollEvent ev;
+            ev.events = r;
+            ev.fd = fd;
+            std::memcpy(recs.span.data + ready * sys::EPOLL_EVENT_BYTES,
+                        &ev, sys::EPOLL_EVENT_BYTES);
+            ready++;
+        }
+        if (ready == 0)
+            return false;
+        ctx->complete(ready);
+        return true;
+    };
+    if (attempt())
+        return;
+
+    k.statsMut().epollWaitsParked++;
+    auto registerAll = std::make_shared<std::function<void()>>();
+    auto wake = [ctx, attempt, registerAll]() {
+        if (ctx->completed())
+            return;
+        if (!attempt())
+            (*registerAll)();
+    };
+    *registerAll = [&k, pid, ep, wake]() {
+        Task *t2 = k.task(pid);
+        if (!t2 || t2->state == TaskState::Zombie)
+            return;
+        for (const auto &[fd, mask] : ep->interest()) {
+            KFilePtr f = getFile(*t2, fd);
+            if (!f)
+                continue;
+            if (auto *pe = dynamic_cast<PipeEndFile *>(f.get())) {
+                // Readers watch readability even when the mask omits
+                // POLLIN (the HUP wake); writers mirror with POLLERR.
+                if (pe->isReader())
+                    pe->pipe()->watchReadable(wake);
+                else
+                    pe->pipe()->watchWritable(wake);
+            } else if (auto *sock = dynamic_cast<SocketFile *>(f.get())) {
+                if (mask & sys::POLLOUT_)
+                    sock->watchWritable(wake);
+                if ((mask & sys::POLLIN_) || !(mask & sys::POLLOUT_))
+                    sock->watchReadable(wake);
+            }
+        }
+    };
+    (*registerAll)();
+}
+
+// ---------- sendfile (file → pipe/socket, kernel-side) ----------
+
+/**
+ * One in-flight sendfile: drives preadInto → writeFrom through a kernel
+ * staging buffer in 64KiB chunks, so the payload never touches the guest
+ * heap — the capstone of the deferral protocol, since a full pipe parks
+ * the writeFrom kernel-side and the CQE arrives deferred. A short or
+ * empty read is EOF (complete with the bytes moved so far); an error
+ * after partial progress is a short count; an error on zero progress is
+ * the call's error, with EPIPE raising SIGPIPE like a plain write.
+ */
+struct SendfileIo : std::enable_shared_from_this<SendfileIo>
+{
+    static constexpr size_t kChunk = 64 * 1024;
+
+    SyscallCtxPtr ctx;
+    KFilePtr in, out;
+    Kernel *k = nullptr;
+    int pid = 0;
+    uint64_t off = 0;
+    uint64_t count = 0;
+    uint64_t done = 0;
+    bfs::Buffer staging;
+
+    void
+    step()
+    {
+        uint64_t left = count - done;
+        if (left == 0) {
+            finish();
+            return;
+        }
+        size_t chunk =
+            static_cast<size_t>(std::min<uint64_t>(left, kChunk));
+        staging.resize(chunk);
+        auto self = shared_from_this();
+        in->preadInto(
+            off + done, bfs::ByteSpan{staging.data(), chunk},
+            [self, chunk](int err, size_t got) {
+                got = std::min(got, chunk);
+                if (err) {
+                    if (self->done > 0)
+                        self->finish();
+                    else
+                        self->ctx->completeErr(err);
+                    return;
+                }
+                if (got == 0) { // EOF: the short count callers loop on
+                    self->finish();
+                    return;
+                }
+                bool eof = got < chunk;
+                self->out->writeFrom(
+                    bfs::ConstByteSpan{self->staging.data(), got},
+                    [self, got, eof](int werr, size_t n) {
+                        n = std::min(n, got);
+                        if (werr) {
+                            if (self->done > 0)
+                                self->finish();
+                            else {
+                                self->ctx->completeErr(werr);
+                                if (werr == EPIPE && self->k)
+                                    raiseSigpipe(*self->k, self->pid);
+                            }
+                            return;
+                        }
+                        self->done += n;
+                        if (eof || n < got) {
+                            self->finish();
+                            return;
+                        }
+                        self->step();
+                    });
+            });
+    }
+
+    void
+    finish()
+    {
+        if (k)
+            k->statsMut().sendfileBytes += done;
+        ctx->complete(static_cast<int64_t>(done));
+    }
+};
+
+void
+sysSendfile(Kernel &k, Task &t, SyscallCtxPtr ctx)
+{
+    // (out_fd, in_fd, off, count): all-integer arguments, so the trap
+    // works identically under every convention and needs no pointer
+    // validation at ring drain time.
+    KFilePtr out = getFile(t, ctx->argInt(0));
+    KFilePtr in = getFile(t, ctx->argInt(1));
+    if (!out || !in) {
+        ctx->completeErr(EBADF);
+        return;
+    }
+    double off_arg = ctx->argNum(2);
+    int64_t cnt = static_cast<int64_t>(ctx->argNum(3));
+    if (off_arg < 0 || cnt < 0) {
+        ctx->completeErr(EINVAL); // see sysPwrite: reject before the cast
+        return;
+    }
+    if (cnt == 0) {
+        ctx->complete(0);
+        return;
+    }
+    auto io = std::make_shared<SendfileIo>();
+    io->ctx = std::move(ctx);
+    io->in = std::move(in);
+    io->out = std::move(out);
+    io->k = &k;
+    io->pid = t.pid;
+    io->off = static_cast<uint64_t>(off_arg);
+    io->count = static_cast<uint64_t>(cnt);
+    io->step();
+}
+
 const std::map<std::string, Handler> &
 handlerTable()
 {
@@ -1368,6 +1646,10 @@ handlerTable()
         {"connect", sysConnect},
         {"getsockname", sysGetsockname},
         {"poll", sysPoll},
+        {"epoll_create", sysEpollCreate},
+        {"epoll_ctl", sysEpollCtl},
+        {"epoll_wait", sysEpollWait},
+        {"sendfile", sysSendfile},
     };
     return table;
 }

@@ -110,6 +110,34 @@ SocketFile::enqueueConnection(SocketFilePtr peer)
     return 0;
 }
 
+bool
+SocketFile::enqueueConnectionOrPark(SocketFilePtr peer,
+                                    std::function<void(int err)> done)
+{
+    if (state_ != State::Listening) {
+        done(ECONNREFUSED);
+        return false;
+    }
+    if (!acceptWaiters_.empty() ||
+        static_cast<int>(pending_.size()) < backlog_) {
+        done(enqueueConnection(std::move(peer)));
+        return false;
+    }
+    connectWaiters_.push_back({std::move(peer), std::move(done)});
+    return true;
+}
+
+void
+SocketFile::promoteConnectWaiter()
+{
+    if (connectWaiters_.empty())
+        return;
+    ConnectWaiter w = std::move(connectWaiters_.front());
+    connectWaiters_.pop_front();
+    int rc = enqueueConnection(std::move(w.peer));
+    w.done(rc);
+}
+
 void
 SocketFile::accept(std::function<void(int err, SocketFilePtr)> cb)
 {
@@ -120,6 +148,7 @@ SocketFile::accept(std::function<void(int err, SocketFilePtr)> cb)
     if (!pending_.empty()) {
         SocketFilePtr peer = std::move(pending_.front());
         pending_.pop_front();
+        promoteConnectWaiter();
         cb(0, std::move(peer));
         return;
     }
@@ -148,6 +177,18 @@ SocketFile::onLastClose()
         auto cb = std::move(acceptWaiters_.front());
         acceptWaiters_.pop_front();
         cb(EBADF, nullptr);
+    }
+    // Parked connects can never be promoted now: refuse them, collapsing
+    // each waiting peer's streams the same way as the never-accepted
+    // pending_ connections below.
+    while (!connectWaiters_.empty()) {
+        ConnectWaiter w = std::move(connectWaiters_.front());
+        connectWaiters_.pop_front();
+        if (w.peer && w.peer->state_ == State::Connected) {
+            w.peer->rx_->closeReader();
+            w.peer->tx_->closeWriter();
+        }
+        w.done(ECONNREFUSED);
     }
     // Collapse never-accepted peers' streams (ECONNRESET-style): the
     // listener's side of each pipe pair is gone, so the peer's reads

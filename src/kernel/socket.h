@@ -54,6 +54,18 @@ class SocketFile : public KFile
      */
     int enqueueConnection(SocketFilePtr peer);
 
+    /**
+     * Connect-side rendezvous with parking (the deferral protocol's
+     * connect hook): enqueue `peer` immediately when an accept is waiting
+     * or the backlog has room — done(0) fires before this returns — and
+     * otherwise park peer+done until accept frees a backlog slot
+     * (done(0), the deferred CQE) or the listener closes
+     * (done(ECONNREFUSED), the peer's streams collapsed). Returns true
+     * when the completion parked.
+     */
+    bool enqueueConnectionOrPark(SocketFilePtr peer,
+                                 std::function<void(int err)> done);
+
     /** Accept a connection: immediately if one is pending, else queued. */
     void accept(std::function<void(int err, SocketFilePtr)> cb);
 
@@ -97,6 +109,16 @@ class SocketFile : public KFile
     void onLastClose() override;
 
   private:
+    struct ConnectWaiter
+    {
+        SocketFilePtr peer;
+        std::function<void(int)> done;
+    };
+
+    /** A backlog slot freed: move the oldest parked connect into
+     * pending_ and complete it. */
+    void promoteConnectWaiter();
+
     State state_ = State::Unbound;
     int port_ = 0;
     int remotePort_ = 0;
@@ -105,6 +127,7 @@ class SocketFile : public KFile
     PipePtr rx_, tx_;
     std::deque<SocketFilePtr> pending_;
     std::deque<std::function<void(int, SocketFilePtr)>> acceptWaiters_;
+    std::deque<ConnectWaiter> connectWaiters_;
     std::vector<std::function<void()>> readyWatchers_;
 };
 

@@ -688,6 +688,68 @@ EmEnv::getsockname(int fd)
 }
 
 int
+EmEnv::epollCreate()
+{
+    if (!usesSharedHeap())
+        return -ENOSYS; // epoll_wait's record window needs the heap
+    return static_cast<int>(heapCall(sys::EPOLL_CREATE, {}));
+}
+
+int
+EmEnv::epollCtl(int epfd, int op, int fd, int32_t events)
+{
+    if (!usesSharedHeap())
+        return -ENOSYS;
+    return static_cast<int>(
+        heapCall(sys::EPOLL_CTL, {epfd, op, fd, events, 0, 0}));
+}
+
+int
+EmEnv::epollWait(int epfd, std::vector<PollSpec> &out)
+{
+    if (!usesSharedHeap())
+        return -ENOSYS;
+    if (out.empty() ||
+        out.size() > static_cast<size_t>(sys::kEpollMaxEvents))
+        return -EINVAL;
+    pollSignals();
+    sync_->resetScratch();
+    uint32_t arr = sync_->alloc(out.size() * sys::EPOLL_EVENT_BYTES);
+    // Nothing to marshal in: the interest list lives kernel-side and
+    // only the ready records come back. In Ring mode this is one SQE
+    // whose CQE is deferred until something in the list is ready.
+    int64_t r = heapCall(sys::EPOLL_WAIT,
+                         {epfd, static_cast<int32_t>(arr),
+                          static_cast<int32_t>(out.size()), 0, 0, 0});
+    int n = static_cast<int>(r);
+    for (int i = 0; i < n && i < static_cast<int>(out.size()); i++) {
+        sys::EpollEvent ev;
+        std::memcpy(&ev,
+                    sync_->heapData() + arr + i * sys::EPOLL_EVENT_BYTES,
+                    sys::EPOLL_EVENT_BYTES);
+        out[i].fd = ev.fd;
+        out[i].events = static_cast<int16_t>(ev.events);
+        out[i].revents = static_cast<int16_t>(ev.events);
+    }
+    pollSignals();
+    return n;
+}
+
+int64_t
+EmEnv::sendfile(int out_fd, int in_fd, int64_t off, int64_t count)
+{
+    // All-integer arguments: works under every convention, and the data
+    // plane never touches this process's heap at all.
+    return invoke(sys::SENDFILE,
+                  {jsvm::Value(out_fd), jsvm::Value(in_fd),
+                   jsvm::Value(static_cast<double>(off)),
+                   jsvm::Value(static_cast<double>(count))},
+                  {out_fd, in_fd, static_cast<int32_t>(off),
+                   static_cast<int32_t>(count)})
+        .r0;
+}
+
+int
 EmEnv::poll(std::vector<PollSpec> &fds)
 {
     if (!usesSharedHeap())
@@ -752,6 +814,22 @@ EmEnv::spawn(const std::vector<std::string> &argv,
 int
 EmEnv::waitpid(int pid, int *status, int options)
 {
+    if (usesSharedHeap()) {
+        // Ring-native wait4: (pid, status_ptr, options) with a 4-byte
+        // status window in scratch the kernel fills in place — the
+        // deferred CQE from completeWaits then carries the reaped pid in
+        // r0 and nothing else needs to travel.
+        pollSignals();
+        sync_->resetScratch();
+        uint32_t stat_ptr = status ? sync_->alloc(4) : 0;
+        int64_t r = heapCall(
+            sys::WAIT4,
+            {pid, static_cast<int32_t>(stat_ptr), options, 0, 0, 0});
+        if (r > 0 && status)
+            std::memcpy(status, sync_->heapData() + stat_ptr, 4);
+        pollSignals();
+        return static_cast<int>(r);
+    }
     CallResult r = blockingCall(
         *client_, "wait4", {jsvm::Value(pid), jsvm::Value(options)});
     pollSignals();

@@ -168,6 +168,28 @@ class EmEnv
      */
     int poll(std::vector<PollSpec> &fds);
 
+    /**
+     * Stateful readiness: a kernel-side registered interest list. Create
+     * an epoll descriptor, edit its set with ctl (op is one of
+     * sys::EPOLL_CTL_ADD_/MOD_/DEL_; events uses the POLL*_ bits), then
+     * wait — only ready (events, fd) pairs travel back, nothing is
+     * re-marshalled per call. epollWait blocks level-triggered (one SQE
+     * in Ring mode, parked kernel-side until something is ready) and
+     * fills `out` with up to its existing size() records, returning the
+     * ready count (> 0) or -errno. Requires the shared-heap personality
+     * (-ENOSYS under the async convention).
+     */
+    int epollCreate();
+    int epollCtl(int epfd, int op, int fd, int32_t events);
+    int epollWait(int epfd, std::vector<PollSpec> &out);
+
+    /**
+     * Move up to `count` bytes from in_fd at `off` into out_fd entirely
+     * kernel-side (file → pipe/socket with no guest-heap bounce).
+     * Returns bytes moved — short at EOF — or -errno.
+     */
+    int64_t sendfile(int out_fd, int in_fd, int64_t off, int64_t count);
+
     // --- processes & signals ---
     int spawn(const std::vector<std::string> &argv,
               const std::vector<int> &fds = {0, 1, 2});

@@ -322,12 +322,22 @@ RingSyscalls::ringEligible(int trap)
       case sys::READV:
       case sys::ACCEPT:
       case sys::POLL:
+      // The process table (wait-waiter list), the socket rendezvous
+      // (connect waiters on a full backlog), and the epoll interest
+      // list give the same park-and-complete shape to process and
+      // readiness waits; sendfile is all-integer arguments and at most
+      // blocks in its kernel-side writeFrom, which parks like WRITE.
+      case sys::WAIT4:
+      case sys::CONNECT:
+      case sys::EPOLL_CREATE:
+      case sys::EPOLL_CTL:
+      case sys::EPOLL_WAIT:
+      case sys::SENDFILE:
         return true;
       default:
-        // wait4, connect, fork, ... still complete through per-call
-        // conventions: their completions need kernel-side state (child
-        // reaping, peer rendezvous) that has no waiter list to park
-        // against yet.
+        // Only fork still completes through a per-call convention: its
+        // reply carries a structured-clone state snapshot that cannot
+        // ride a 16-byte CQE.
         return false;
     }
 }

@@ -16,10 +16,11 @@
  *  - RingSyscalls: the io_uring-style batched convention — SQ/CQ rings
  *    inside the same shared heap; one doorbell message and one Atomics
  *    wake per batch instead of per call. Blocking traps (read on an
- *    empty pipe, accept, poll) ride the kernel's completion-deferral
- *    protocol: their CQE is parked kernel-side and pushed when the
- *    event arrives, so they cost a ring slot while parked instead of a
- *    per-call sync round trip.
+ *    empty pipe, accept, poll/epoll_wait, wait4, connect, a sendfile
+ *    into a full pipe) ride the kernel's completion-deferral protocol:
+ *    their CQE is parked kernel-side and pushed when the event arrives,
+ *    so they cost a ring slot while parked instead of a per-call sync
+ *    round trip. See docs/ARCHITECTURE.md for the protocol.
  */
 #pragma once
 
@@ -177,12 +178,12 @@ class SyncSyscalls
  *   auto r = ring.wait(s0);
  *
  * or per call via call(), which transparently falls back to the sync
- * convention for the few traps still outside the deferral protocol
- * (wait4, connect, fork — completions tied to kernel state with no
- * waiter list to park against). Blocking ring-eligible traps (read,
- * readv, accept, poll) park kernel-side and their CQE lands whenever
- * the event arrives; a parked or late completion just occupies its
- * in-flight slot (and CQ reservation) until it does.
+ * convention for the one trap still outside the deferral protocol
+ * (fork — its reply carries a state snapshot no 16-byte CQE can hold).
+ * Blocking ring-eligible traps (read, readv, accept, poll, epoll_wait,
+ * wait4, connect, sendfile) park kernel-side and their CQE lands
+ * whenever the event arrives; a parked or late completion just occupies
+ * its in-flight slot (and CQ reservation) until it does.
  *
  * Single-threaded like the rest of the runtime facades: all methods must
  * run on the process's app thread.
@@ -204,8 +205,9 @@ class RingSyscalls
 
     /** True when trap is safe to batch: its completion either never
      * depends on a further action by the submitting thread, or defers
-     * through a kernel-side waiter list (read/readv/accept/poll) so
-     * another process's action can land the CQE. */
+     * through a kernel-side waiter list (read/readv/accept/poll,
+     * epoll_wait, wait4, connect, sendfile) so another process's action
+     * can land the CQE. */
     static bool ringEligible(int trap);
 
     /**

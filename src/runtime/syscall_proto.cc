@@ -45,6 +45,10 @@ trapTable()
         {WRITEV, "writev"},
         {PREAD, "pread"},
         {PWRITE, "pwrite"},
+        {SENDFILE, "sendfile"},
+        {EPOLL_CREATE, "epoll_create"},
+        {EPOLL_CTL, "epoll_ctl"},
+        {EPOLL_WAIT, "epoll_wait"},
         {PREADV, "preadv"},
         {PWRITEV, "pwritev"},
         {GETCWD, "getcwd"},

@@ -62,10 +62,14 @@ enum Trap : int {
     PREAD = 180,
     PWRITE = 181,
     GETCWD = 183,
+    SENDFILE = 187,
     STAT = 195,
     LSTAT = 196,
     FSTAT = 197,
     GETDENTS64 = 220,
+    EPOLL_CREATE = 254,
+    EPOLL_CTL = 255,
+    EPOLL_WAIT = 256,
     UTIMES = 271,
     PREADV = 333,
     PWRITEV = 334,
@@ -135,6 +139,36 @@ constexpr int16_t POLLOUT_ = 0x004;
 constexpr int16_t POLLERR_ = 0x008;
 constexpr int16_t POLLHUP_ = 0x010;
 constexpr int16_t POLLNVAL_ = 0x020;
+
+/**
+ * Stateful readiness (shared-heap conventions only). Unlike poll, the
+ * interest set lives kernel-side: `epoll_create()` allocates an epoll
+ * object as a descriptor, `epoll_ctl(epfd, op, fd, events)` edits its
+ * registered interest list (all-integer arguments — no heap pointers),
+ * and `epoll_wait(epfd, events_ptr, maxevents)` writes up to `maxevents`
+ * packed 8-byte EpollEvent records {int32 events, int32 fd} into the
+ * personality heap and completes (CQE r0 for ring callers) with the
+ * ready count. Readiness is level-triggered: when nothing in the
+ * interest list is ready, the SQE parks against each object's one-shot
+ * readiness watcher (re-armed on spurious wakes) and the CQE is
+ * deferred. Event bits reuse the POLL*_ values above. maxevents < 1 or
+ * > kEpollMaxEvents is EINVAL from the handler; a record window outside
+ * the heap is -EFAULT at ring drain time (sqeHeapArgsValid) or from the
+ * handler for sync callers.
+ */
+struct EpollEvent
+{
+    int32_t events = 0;
+    int32_t fd = 0;
+};
+
+constexpr size_t EPOLL_EVENT_BYTES = 8;
+constexpr int32_t kEpollMaxEvents = 64;
+
+/// epoll_ctl op values (Linux).
+constexpr int EPOLL_CTL_ADD_ = 1;
+constexpr int EPOLL_CTL_DEL_ = 2;
+constexpr int EPOLL_CTL_MOD_ = 3;
 
 /** Human-readable syscall name (also the async message "name" field). */
 const char *trapName(int trap);

@@ -109,8 +109,20 @@ sqeHeapArgsValid(const Sqe &e, const jsvm::SharedArrayBuffer &heap)
             return true;
         return spanOk(a[0], static_cast<int64_t>(a[1]) * POLLFD_BYTES,
                       heap_bytes); // (fds_ptr, nfds)
+      case EPOLL_WAIT:
+        // maxevents out of [1, kEpollMaxEvents] passes untouched for the
+        // same EINVAL-parity reason as POLL's nfds.
+        if (a[2] < 1 || a[2] > kEpollMaxEvents)
+            return true;
+        return spanOk(a[1], static_cast<int64_t>(a[2]) * EPOLL_EVENT_BYTES,
+                      heap_bytes); // (epfd, events_ptr, maxevents)
+      case WAIT4:
+        // (pid, status_ptr, options): a null status pointer is valid —
+        // the caller just discards the wait status.
+        return a[1] == 0 || spanOk(a[1], 4, heap_bytes);
       default:
-        return true; // integer-only argument lists
+        return true; // integer-only argument lists (incl. sendfile,
+                      // epoll_create, epoll_ctl)
     }
 }
 

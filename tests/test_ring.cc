@@ -11,6 +11,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "apps/registry.h"
 #include "core/browsix.h"
 #include "jsvm/test_clock.h"
@@ -926,5 +928,313 @@ TEST(RingSyscalls, AcceptDefersUntilConnectArrives)
     EXPECT_GE(after.ringDeferredCompletions - before.ringDeferredCompletions,
               1u)
         << "the parked ACCEPT's CQE must land outside a drain pass";
+    EXPECT_EQ(after.ringCqOverflows, 0u);
+}
+
+TEST(RingSyscalls, Wait4ParksOnProcessTableAndSigkillCompletesIt)
+{
+    // A WAIT4 SQE for a live child drains, finds no zombie and parks on
+    // the process table's wait-waiter list. When the host SIGKILLs the
+    // child, completeWaits pushes the deferred CQE and writes the wait
+    // status into the guest heap window in place — no sync fallback.
+    jsvm::TestClock clock;
+    addProgram("wait-sleeper", [](rt::EmEnv &env) -> int {
+        bfs::Buffer b;
+        env.read(0, b, 1); // fd 0 is a pipe whose writer never comes
+        return 0;          // unreachable: SIGKILL ends the process
+    });
+    addProgram("wait-parent", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls *ring = env.ring();
+        rt::SyncSyscalls *sync = env.syncCalls();
+        if (!ring || !sync)
+            return 1;
+        int fds[2];
+        if (env.pipe2(fds) != 0)
+            return 2;
+        int child = env.spawn({"/usr/bin/wait-sleeper"}, {fds[0], 1, 2});
+        if (child < 0)
+            return 3;
+        sync->resetScratch();
+        uint32_t sp = sync->alloc(4);
+        uint32_t seq = ring->submit(
+            sys::WAIT4, {child, static_cast<int32_t>(sp), 0, 0, 0, 0});
+        ring->flush(); // drained; the child is alive -> parks
+        env.write(1, "child=" + std::to_string(child) + "\n");
+        rt::RingSyscalls::Completion c = ring->wait(seq);
+        if (c.r0 != child)
+            return 4;
+        int status = 0;
+        std::memcpy(&status, sync->heapData() + sp, 4);
+        if (sys::wtermsig(status) != sys::SIGKILL)
+            return 5;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "wait-parent");
+    stage(bx, "wait-sleeper");
+    auto before = bx.kernel().stats();
+    std::string out;
+    bool exited = false;
+    int status = 0;
+    bx.kernel().spawnRoot(
+        {"/usr/bin/wait-parent"}, bx.kernel().defaultEnv, "/",
+        [&](int st) {
+            status = st;
+            exited = true;
+        },
+        [&](const bfs::Buffer &d) { out.append(d.begin(), d.end()); },
+        nullptr, [&](int) {});
+    ASSERT_TRUE(bx.runUntil(
+        [&]() { return out.find('\n') != std::string::npos; }, 10000));
+    size_t at = out.find("child=");
+    ASSERT_NE(at, std::string::npos);
+    int child_pid = std::atoi(out.c_str() + at + 6);
+    ASSERT_GT(child_pid, 0);
+    ASSERT_TRUE(bx.runUntil(
+        [&]() {
+            return bx.kernel().stats().wait4Parked > before.wait4Parked;
+        },
+        10000))
+        << "the WAIT4 SQE must park on the wait-waiter list";
+    EXPECT_EQ(bx.kernel().kill(child_pid, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited; }, 10000));
+    EXPECT_EQ(sys::wexitstatus(status), 0)
+        << "parent must see the child's pid and SIGKILL termsig";
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.wait4Parked - before.wait4Parked, 1u);
+    EXPECT_GE(after.ringDeferredCompletions - before.ringDeferredCompletions,
+              1u)
+        << "the parked WAIT4's CQE must land outside a drain pass";
+    EXPECT_EQ(after.ringCqOverflows, 0u);
+}
+
+TEST(RingSyscalls, ConnectParkedOnFullBacklogRefusedWhenListenerDies)
+{
+    // connect against a full backlog parks on the listener's rendezvous.
+    // When the listener's process is SIGKILLed, teardown closes the
+    // listening socket, which refuses every parked connect: the deferred
+    // CQE carries -ECONNREFUSED and the client exits cleanly.
+    jsvm::TestClock clock;
+    addProgram("refuse-server", [](rt::EmEnv &env) -> int {
+        int s = env.socket();
+        if (s < 0)
+            return 1;
+        if (env.bind(s, 8081) != 0)
+            return 2;
+        if (env.listen(s, 1) != 0)
+            return 3;
+        env.write(1, "srvup\n");
+        int fds[2];
+        if (env.pipe2(fds) != 0)
+            return 4;
+        bfs::Buffer b;
+        env.read(fds[0], b, 1); // parks forever; SIGKILL tears down
+        return 0;               // unreachable
+    });
+    addProgram("refuse-client", [](rt::EmEnv &env) -> int {
+        int s = env.socket();
+        if (s < 0)
+            return 1;
+        // Backlog already holds the host's connection, so this CONNECT
+        // SQE parks until the listener dies.
+        int rc = env.connect(s, 8081);
+        return rc == -ECONNREFUSED ? 0 : 2;
+    });
+    Browsix bx;
+    stage(bx, "refuse-server");
+    stage(bx, "refuse-client");
+    auto before = bx.kernel().stats();
+    std::string out;
+    bool srv_exited = false, cli_exited = false;
+    int srv_pid = 0, cli_status = -1;
+    bx.kernel().spawnRoot(
+        {"/usr/bin/refuse-server"}, bx.kernel().defaultEnv, "/",
+        [&](int) { srv_exited = true; },
+        [&](const bfs::Buffer &d) { out.append(d.begin(), d.end()); },
+        nullptr, [&](int p) { srv_pid = p; });
+    ASSERT_TRUE(bx.runUntil(
+        [&]() { return out.find("srvup") != std::string::npos; }, 10000));
+    // Fill the backlog (1) with a host connection nobody accepts.
+    std::shared_ptr<kernel::Kernel::HostConn> conn;
+    bx.kernel().connect(
+        8081, [](const bfs::Buffer &) {}, nullptr,
+        [&](int err, std::shared_ptr<kernel::Kernel::HostConn> c) {
+            ASSERT_EQ(err, 0);
+            conn = std::move(c);
+        });
+    ASSERT_TRUE(bx.runUntil([&]() { return conn != nullptr; }, 10000));
+    bx.kernel().spawnRoot(
+        {"/usr/bin/refuse-client"}, bx.kernel().defaultEnv, "/",
+        [&](int st) {
+            cli_status = st;
+            cli_exited = true;
+        },
+        [](const bfs::Buffer &) {}, nullptr, [&](int) {});
+    ASSERT_TRUE(bx.runUntil(
+        [&]() {
+            return bx.kernel().stats().connectsParked > before.connectsParked;
+        },
+        10000))
+        << "the client's CONNECT must park on the full backlog";
+    EXPECT_FALSE(cli_exited);
+    EXPECT_EQ(bx.kernel().kill(srv_pid, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil([&]() { return srv_exited && cli_exited; },
+                            10000));
+    EXPECT_EQ(sys::wexitstatus(cli_status), 0)
+        << "parked connect must complete with -ECONNREFUSED, not hang";
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.connectsParked - before.connectsParked, 1u);
+    EXPECT_GE(after.ringDeferredCompletions - before.ringDeferredCompletions,
+              1u)
+        << "the refused CONNECT's CQE must land outside a drain pass";
+    EXPECT_EQ(after.ringCqOverflows, 0u);
+}
+
+TEST(RingSyscalls, EpollInterestListSurvivesParkAndClosedFd)
+{
+    // epoll: the interest list lives kernel-side; epoll_wait re-checks it
+    // level-triggered, parks (one SQE) when nothing is ready, and reports
+    // a closed-but-still-registered descriptor as POLLERR|POLLHUP instead
+    // of parking forever — the caller prunes it with EPOLL_CTL_DEL.
+    jsvm::TestClock clock;
+    addProgram("epoll-writer", [](rt::EmEnv &env) -> int {
+        return env.write(0, std::string("x")) == 1 ? 0 : 1;
+    });
+    addProgram("epoll-prog", [](rt::EmEnv &env) -> int {
+        int ep = env.epollCreate();
+        if (ep < 0)
+            return 1;
+        int fds[2];
+        if (env.pipe2(fds) != 0)
+            return 2;
+        if (env.epollCtl(ep, sys::EPOLL_CTL_ADD_, fds[0], sys::POLLIN_) != 0)
+            return 3;
+        // ctl edge cases: duplicate ADD, MOD of an unregistered fd, ADD
+        // of a descriptor that does not exist, ctl on a non-epoll fd.
+        if (env.epollCtl(ep, sys::EPOLL_CTL_ADD_, fds[0], sys::POLLIN_) !=
+            -EEXIST)
+            return 4;
+        if (env.epollCtl(ep, sys::EPOLL_CTL_MOD_, 99, sys::POLLIN_) !=
+            -ENOENT)
+            return 5;
+        if (env.epollCtl(ep, sys::EPOLL_CTL_ADD_, 99, sys::POLLIN_) !=
+            -EBADF)
+            return 6;
+        if (env.epollCtl(fds[0], sys::EPOLL_CTL_ADD_, ep, 0) != -EINVAL)
+            return 7;
+        // Immediate leg: buffered bytes mean the wait completes in-drain.
+        if (env.write(fds[1], std::string("hi")) != 2)
+            return 8;
+        std::vector<rt::EmEnv::PollSpec> evs(4);
+        if (env.epollWait(ep, evs) != 1)
+            return 9;
+        if (evs[0].fd != fds[0] || !(evs[0].revents & sys::POLLIN_))
+            return 10;
+        bfs::Buffer drain;
+        if (env.read(fds[0], drain, 16) != 2)
+            return 11;
+        // Parked leg: the pipe is empty again; the wait parks against the
+        // registered set's readiness watchers until the writer fires.
+        int child = env.spawn({"/usr/bin/epoll-writer"}, {fds[1], 1, 2});
+        if (child < 0)
+            return 12;
+        if (env.epollWait(ep, evs) != 1)
+            return 13;
+        if (evs[0].fd != fds[0] || !(evs[0].revents & sys::POLLIN_))
+            return 14;
+        if (env.read(fds[0], drain, 16) != 1)
+            return 15;
+        int status = 0;
+        if (env.waitpid(child, &status, 0) != child)
+            return 16;
+        // Closed-registered-fd leg: the interest list still names fds[0]
+        // after close; the wait reports it ERR|HUP rather than parking.
+        env.close(fds[0]);
+        if (env.epollWait(ep, evs) != 1)
+            return 17;
+        if (evs[0].fd != fds[0])
+            return 18;
+        if (evs[0].revents != (sys::POLLERR_ | sys::POLLHUP_))
+            return 19;
+        if (env.epollCtl(ep, sys::EPOLL_CTL_DEL_, fds[0], 0) != 0)
+            return 20;
+        env.close(fds[1]);
+        env.close(ep);
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "epoll-prog");
+    stage(bx, "epoll-writer");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/epoll-prog"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_GE(after.epollWaitsParked - before.epollWaitsParked, 1u);
+    EXPECT_GE(after.ringDeferredCompletions - before.ringDeferredCompletions,
+              1u)
+        << "the parked epoll_wait's CQE must land outside a drain pass";
+    EXPECT_EQ(after.ringCqOverflows, 0u);
+}
+
+TEST(RingSyscalls, SendfileMovesKernelSideAndShortCountsAtEof)
+{
+    // sendfile moves file bytes into a pipe entirely kernel-side. The
+    // count is an upper bound: a read past EOF short-counts to the bytes
+    // actually present; an offset at/past EOF moves zero.
+    addProgram("sendfile-prog", [](rt::EmEnv &env) -> int {
+        const std::string payload = "sendfile!!"; // 10 bytes
+        int fd = env.open("/tmp/sf.txt",
+                          bfs::flags::CREAT | bfs::flags::RDWR);
+        if (fd < 0)
+            return 1;
+        if (env.write(fd, payload) != 10)
+            return 2;
+        int fds[2];
+        if (env.pipe2(fds) != 0)
+            return 3;
+        // EOF short count: ask for 64, the file holds 10.
+        if (env.sendfile(fds[1], fd, 0, 64) != 10)
+            return 4;
+        bfs::Buffer buf;
+        if (env.read(fds[0], buf, 64) != 10)
+            return 5;
+        if (std::string(buf.begin(), buf.end()) != payload)
+            return 6;
+        // Offset past EOF moves nothing (0, not an error).
+        if (env.sendfile(fds[1], fd, 100, 16) != 0)
+            return 7;
+        // Mid-file offset short-counts to the tail.
+        if (env.sendfile(fds[1], fd, 4, 64) != 6)
+            return 8;
+        if (env.read(fds[0], buf, 64) != 6)
+            return 9;
+        if (std::string(buf.begin(), buf.end()) != payload.substr(4))
+            return 10;
+        if (env.sendfile(fds[1], 99, 0, 8) != -EBADF)
+            return 11;
+        if (env.sendfile(fds[1], fd, -1, 8) != -EINVAL)
+            return 12;
+        if (env.sendfile(fds[1], fd, 0, -8) != -EINVAL)
+            return 13;
+        // The source must be seekable: a pipe end is ESPIPE.
+        if (env.sendfile(fds[1], fds[0], 0, 8) != -ESPIPE)
+            return 14;
+        if (env.sendfile(fds[1], fd, 0, 0) != 0)
+            return 15;
+        env.close(fds[0]);
+        env.close(fds[1]);
+        env.close(fd);
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "sendfile-prog");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/sendfile-prog"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_EQ(after.sendfileBytes - before.sendfileBytes, 16u)
+        << "10 bytes from offset 0 plus 6 from offset 4, nothing else";
     EXPECT_EQ(after.ringCqOverflows, 0u);
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker (stdlib only).
+
+Walks every tracked *.md file in the repo and fails on dead *relative*
+links: a target file that does not exist, or a `#fragment` that names
+no heading in the target document. External schemes (http/https/mailto)
+are out of scope — CI must stay hermetic — as is anything inside a
+fenced code block.
+
+Anchors are matched against GitHub's heading slugs: lowercase, spaces
+to hyphens, punctuation dropped (hyphens/underscores kept), duplicate
+slugs suffixed -1, -2, ...
+
+Usage: check_md_links.py [root]   # exit 1 on any dead link
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "node_modules"}
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def strip_fences(lines):
+    """Yield (lineno, line) outside fenced code blocks."""
+    fence = None
+    for i, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line)
+        if m:
+            if fence is None:
+                fence = m.group(1)
+            elif m.group(1) == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield i, line
+
+
+def slugify(text):
+    # Inline code/links render to their text before slugging.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    for _, line in strip_fences(lines):
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = slugify(m.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    rel = os.path.relpath(path, root)
+    for lineno, line in strip_fences(lines):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target) or target.startswith("//"):
+                continue
+            target, _, frag = target.partition("#")
+            if target:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+            else:
+                dest = path  # same-file anchor
+            if not os.path.exists(dest):
+                errors.append(
+                    f"{rel}:{lineno}: dead link `{m.group(1)}` "
+                    f"({os.path.relpath(dest, root)} does not exist)")
+                continue
+            if frag and dest.endswith(".md"):
+                if frag.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: dead anchor `#{frag}` "
+                        f"(no such heading in "
+                        f"{os.path.relpath(dest, root)})")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for e in errors:
+        print(f"::error::md-links: {e}")
+    print(f"md-links: checked {checked} file(s), {len(errors)} dead link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

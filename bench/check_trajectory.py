@@ -1,24 +1,30 @@
 #!/usr/bin/env python3
 """Failing bench-trajectory regression gate.
 
-Compares the fs_micro/syscall_micro/pipe_micro JSON a CI run just
-produced against the committed baseline (bench/baselines/, recorded from
-smoke-tier runs). Lower-is-better metrics that regressed past the
+Compares the fs_micro/syscall_micro/pipe_micro/proc_micro JSON a CI run
+just produced against the committed baseline (bench/baselines/, recorded
+from smoke-tier runs). Lower-is-better metrics that regressed past the
 threshold emit GitHub error annotations and fail the job; protocol-bound
 ratio metrics (Atomics notifies per ring call) are checked against hard
-ceilings instead of a relative threshold.
+ceilings instead of a relative threshold, and the scheduler's
+10k-live-guest latency/thread metrics (flat proc_*_p99_us keys, emitted
+only by full-tier proc_micro runs — the CI stress job) are gated against
+absolute ceilings whenever present.
 
 Usage: check_trajectory.py <results-dir> <baseline-dir> [threshold]
+                           [--only bench[,bench...]]
 
 threshold is the allowed ratio current/baseline (default 4.0: smoke-tier
 numbers come from a single un-warmed iteration on shared CI runners, so
-only order-of-magnitude regressions are worth failing on).
+only order-of-magnitude regressions are worth failing on). --only
+restricts the gate to the named benches — the CI stress job uses it to
+gate just its full-tier proc_micro results.
 """
 import json
 import os
 import sys
 
-BENCHES = ("fs_micro", "syscall_micro", "pipe_micro")
+BENCHES = ("fs_micro", "syscall_micro", "pipe_micro", "proc_micro")
 
 # Throughput/latency metrics where a higher value is a regression. Ratio
 # metrics (notifies per call, messages per burst) are capped separately:
@@ -40,6 +46,20 @@ RATIO_CEILINGS = {
     "server_ring_notifies_per_call": 0.5,
 }
 
+# Absolute ceilings for the worker-pool scheduler's headline numbers,
+# recorded only by full-tier proc_micro runs at 10k live guests (smoke
+# never reaches that scale, so these keys are simply absent there). The
+# measured Release-build values are ~210us / ~25us / ~160us and 3
+# threads; ceilings carry ~50x headroom for shared CI runners while
+# still catching a return to thread-per-process (which would blow
+# host_threads by 3 orders of magnitude and the p99s with it).
+ABS_CEILINGS = {
+    "proc_spawn_p99_us": 10000,
+    "proc_wait4_p99_us": 2000,
+    "proc_kill_p99_us": 10000,
+    "host_threads": 64,
+}
+
 
 def load(path):
     try:
@@ -52,15 +72,25 @@ def load(path):
 
 
 def main():
-    if len(sys.argv) < 3:
+    argv = list(sys.argv[1:])
+    benches = BENCHES
+    if "--only" in argv:
+        i = argv.index("--only")
+        benches = tuple(argv[i + 1].split(","))
+        del argv[i : i + 2]
+        unknown = [b for b in benches if b not in BENCHES]
+        if unknown:
+            print(f"::error::bench-trajectory: unknown bench {unknown}")
+            return 2
+    if len(argv) < 2:
         print(__doc__)
         return 2
-    results_dir, baseline_dir = sys.argv[1], sys.argv[2]
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 4.0
+    results_dir, baseline_dir = argv[0], argv[1]
+    threshold = float(argv[2]) if len(argv) > 2 else 4.0
 
     failed = 0
     compared = 0
-    for bench in BENCHES:
+    for bench in benches:
         cur = load(os.path.join(results_dir, f"{bench}.json"))
         base = load(os.path.join(baseline_dir, f"{bench}.json"))
         if cur is None or base is None:
@@ -78,12 +108,32 @@ def main():
                         f"{value:.3g} exceeds protocol ceiling {ceiling}"
                     )
                 continue
+            if name in ABS_CEILINGS:
+                compared += 1
+                ceiling = ABS_CEILINGS[name]
+                if value > ceiling:
+                    failed += 1
+                    print(
+                        f"::error::bench-trajectory {bench}/{name}: "
+                        f"{value:.6g}{m.get('unit', '')} exceeds absolute "
+                        f"ceiling {ceiling}"
+                    )
+                continue
             b = base.get(name)
             if b is None or b["value"] <= 0 or m.get("unit") == "ratio":
                 continue
-            # Histogram percentile rows are microsecond-scale and come
-            # from one un-warmed iteration: informational, not gated.
-            if name.rsplit(".", 1)[-1] in ("p50", "p99", "mean", "max"):
+            # Histogram rows are informational, not gated: percentiles
+            # are microsecond-scale from one un-warmed iteration, and
+            # .count is workload size, which legitimately differs between
+            # the smoke and full tiers (the stress job gates full-tier
+            # results against this same smoke baseline).
+            if name.rsplit(".", 1)[-1] in (
+                "p50",
+                "p99",
+                "mean",
+                "max",
+                "count",
+            ):
                 continue
             compared += 1
             ratio = value / b["value"]

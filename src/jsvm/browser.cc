@@ -15,6 +15,20 @@ Browser::~Browser()
     terminateAll();
 }
 
+void
+Browser::setExecutor(std::shared_ptr<WorkerExecutor> exec)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    executor_ = std::move(exec);
+}
+
+std::shared_ptr<WorkerExecutor>
+Browser::executor() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return executor_;
+}
+
 std::shared_ptr<Worker>
 Browser::createWorker(const std::string &url, Worker::Main main)
 {

@@ -32,6 +32,15 @@ class Browser
     BlobRegistry &blobs() { return blobs_; }
 
     /**
+     * Install the worker-pool executor. Workers created while one is set
+     * run in pooled mode (see worker.h); set before the first createWorker.
+     * Workers capture the shared_ptr at start, so the executor outlives
+     * every worker scheduled on it.
+     */
+    void setExecutor(std::shared_ptr<WorkerExecutor> exec);
+    std::shared_ptr<WorkerExecutor> executor() const;
+
+    /**
      * Construct a Worker from a blob: URL (charging spawn + parse costs).
      *
      * @param url blob URL of the worker script (the executable's bytes).
@@ -55,7 +64,8 @@ class Browser
     EventLoop mainLoop_;
     BlobRegistry blobs_;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
+    std::shared_ptr<WorkerExecutor> executor_;
     uint64_t nextWorkerId_ = 1;
     std::vector<std::weak_ptr<Worker>> workers_;
 };

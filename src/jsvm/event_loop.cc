@@ -26,26 +26,41 @@ EventLoop::current()
 }
 
 void
+EventLoop::setWakeHook(Task hook)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    wakeHook_ = std::move(hook);
+}
+
+void
 EventLoop::post(Task t)
 {
+    Task hook;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         queue_.push_back(std::move(t));
+        hook = wakeHook_;
     }
     cv_.notify_all();
+    if (hook)
+        hook();
 }
 
 uint64_t
 EventLoop::setTimeout(Task t, int64_t delay_us)
 {
     uint64_t id;
+    Task hook;
     {
         std::lock_guard<std::mutex> lk(mutex_);
         id = nextTimerId_++;
         timers_[id] = Timer{nowUs() + (delay_us < 0 ? 0 : delay_us),
                             std::move(t)};
+        hook = wakeHook_;
     }
     cv_.notify_all();
+    if (hook)
+        hook();
     return id;
 }
 

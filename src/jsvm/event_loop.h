@@ -30,6 +30,13 @@ class EventLoop
     /** Enqueue a task; thread-safe. */
     void post(Task t);
 
+    /**
+     * Install a hook invoked (outside the loop lock) whenever a task or
+     * timer is posted. The pooled worker scheduler uses this to re-enqueue
+     * a parked worker when work arrives for its loop.
+     */
+    void setWakeHook(Task hook);
+
     /** Schedule a task after delay_us microseconds; returns a timer id. */
     uint64_t setTimeout(Task t, int64_t delay_us);
 
@@ -86,6 +93,7 @@ class EventLoop
     std::map<uint64_t, Timer> timers_; // id -> timer; ids are monotonic
     uint64_t nextTimerId_ = 1;
     bool stopped_ = false;
+    Task wakeHook_;
 };
 
 } // namespace jsvm

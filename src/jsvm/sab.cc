@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "jsvm/fiber.h"
 #include "jsvm/util.h"
 
 namespace browsix {
@@ -141,7 +142,15 @@ Atomics::wait(SharedArrayBuffer &sab, size_t byte_off, int32_t expected,
     if (token && token->interrupted())
         return WaitResult::Interrupted;
 
+    // A fiber waiter parks (costing zero threads) instead of blocking the
+    // host thread; notify()/interrupt wake it through the parker protocol.
+    Fiber *fiber = Fiber::current();
+    if (fiber && timeout_us >= 0)
+        panic("Atomics::wait: finite timeouts are unsupported in fiber "
+              "context (no caller needs them; add timer plumbing first)");
+
     SharedArrayBuffer::Waiter w{byte_off};
+    w.fiber = fiber;
     sab.waiters_.push_back(&w);
 
     uint64_t waker_id = 0;
@@ -149,6 +158,8 @@ Atomics::wait(SharedArrayBuffer &sab, size_t byte_off, int32_t expected,
         waker_id = token->addWaker([&sab, &w]() {
             std::lock_guard<std::mutex> lk2(sab.mutex_);
             w.interrupted = true;
+            if (w.fiber)
+                w.fiber->wake();
             sab.cv_.notify_all();
         });
     }
@@ -174,7 +185,11 @@ Atomics::wait(SharedArrayBuffer &sab, size_t byte_off, int32_t expected,
             result = WaitResult::Interrupted;
             break;
         }
-        if (deadline >= 0) {
+        if (fiber) {
+            lk.unlock();
+            Fiber::park();
+            lk.lock();
+        } else if (deadline >= 0) {
             int64_t now = nowUs();
             if (now >= deadline) {
                 result = WaitResult::TimedOut;
@@ -199,6 +214,8 @@ Atomics::notify(SharedArrayBuffer &sab, size_t byte_off, int count)
             break;
         if (w->offset == byte_off && !w->woken) {
             w->woken = true;
+            if (w->fiber)
+                w->fiber->wake();
             woken++;
         }
     }

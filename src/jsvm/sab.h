@@ -23,6 +23,8 @@
 namespace browsix {
 namespace jsvm {
 
+class Fiber;
+
 /**
  * Cooperative cancellation token owned by each Worker.
  *
@@ -93,6 +95,7 @@ class SharedArrayBuffer
         size_t offset;
         bool woken = false;
         bool interrupted = false;
+        Fiber *fiber = nullptr; ///< set when the waiter is a parked fiber
     };
 
     size_t bytes_;

@@ -50,6 +50,18 @@ WorkerScope::costs() const
 }
 
 void
+WorkerScope::startGuest(std::function<void()> fn)
+{
+    worker_.startGuest(std::move(fn));
+}
+
+bool
+WorkerScope::pooled() const
+{
+    return worker_.pooled();
+}
+
+void
 WorkerScope::atExit(std::function<void()> fn)
 {
     std::lock_guard<std::mutex> lk(worker_.mutex_);
@@ -66,13 +78,26 @@ Worker::Worker(Browser &browser, uint64_t id,
 void
 Worker::start()
 {
+    scope_ = std::make_unique<WorkerScope>(*this);
+    if (auto exec = browser_.executor()) {
+        pooled_ = true;
+        executor_ = std::move(exec);
+        std::weak_ptr<Worker> wself = weak_from_this();
+        loop_.setWakeHook([wself]() {
+            if (auto s = wself.lock())
+                s->signalWork();
+        });
+        // The bootstrap (script evaluation) runs in the first step; spawn
+        // is a queue push, not a thread launch.
+        signalWork();
+        return;
+    }
     auto self = shared_from_this();
     thread_ = std::thread([self]() {
-        WorkerScope scope(*self);
         // Script evaluation: parse cost was charged by the creator; the
         // bootstrap installs onmessage and returns.
         if (self->main_)
-            self->main_(scope, self->script_);
+            self->main_(*self->scope_, self->script_);
         self->loop_.run();
         // Loop stopped (terminate): unwind worker-local threads.
         std::vector<std::function<void()>> fns;
@@ -85,9 +110,264 @@ Worker::start()
     });
 }
 
+void
+Worker::startGuest(std::function<void()> fn)
+{
+    if (!pooled_) {
+        auto th = std::make_shared<std::thread>();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            // Register the join before the thread exists so a racing
+            // teardown can never miss it (the old pattern — spawn first,
+            // register after — left a window where the guest thread
+            // outlived the scope it captured).
+            atExit_.push_back([th]() {
+                if (th->joinable())
+                    th->join();
+            });
+        }
+        *th = std::thread([fn = std::move(fn)]() {
+            try {
+                fn();
+            } catch (const WorkerTerminated &) {
+            }
+        });
+        return;
+    }
+    std::weak_ptr<Worker> wself = weak_from_this();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (terminated_)
+            return; // dropped, like a queued-but-killed guest
+        uint64_t fid = nextFiberId_++;
+        auto g = std::make_shared<GuestFiber>();
+        g->id = fid;
+        g->fiber = std::make_unique<Fiber>(
+            std::move(fn), [wself, fid]() {
+                if (auto s = wself.lock())
+                    s->fiberWoken(fid);
+            });
+        fibers_.push_back(std::move(g));
+    }
+    signalWork();
+}
+
+void
+Worker::fiberWoken(uint64_t fiber_id)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto &g : fibers_) {
+            if (g->id == fiber_id) {
+                g->runnable = true;
+                break;
+            }
+        }
+    }
+    signalWork();
+}
+
+void
+Worker::signalWork()
+{
+    if (!pooled_)
+        return; // legacy: the dedicated thread's loop cv does the waking
+    auto self = weak_from_this().lock();
+    if (!self)
+        return; // destructor context: ~Worker unwinds inline
+    for (;;) {
+        SchedState s = schedState_.load(std::memory_order_seq_cst);
+        if (s == SchedState::Queued || s == SchedState::Dirty)
+            return;
+        if (s == SchedState::Idle) {
+            SchedState e = SchedState::Idle;
+            if (schedState_.compare_exchange_strong(
+                    e, SchedState::Queued, std::memory_order_seq_cst)) {
+                executor_->enqueue(std::move(self));
+                return;
+            }
+            continue;
+        }
+        // Running: coalesce into a dirty flag; finishStep re-enqueues.
+        SchedState e = SchedState::Running;
+        if (schedState_.compare_exchange_strong(e, SchedState::Dirty,
+                                                std::memory_order_seq_cst))
+            return;
+    }
+}
+
+void
+Worker::step()
+{
+    {
+        SchedState e = SchedState::Queued;
+        schedState_.compare_exchange_strong(e, SchedState::Running,
+                                            std::memory_order_seq_cst);
+    }
+    if (terminated()) {
+        teardownFibers();
+    } else {
+        if (!booted_) {
+            booted_ = true;
+            if (main_)
+                main_(*scope_, script_);
+        }
+        loop_.pump();
+        resumeRunnableFibers();
+    }
+    finishStep();
+}
+
+void
+Worker::resumeRunnableFibers()
+{
+    std::vector<std::shared_ptr<GuestFiber>> run;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto &g : fibers_)
+            if (g->runnable)
+                run.push_back(g);
+    }
+    for (auto &g : run) {
+        if (terminated())
+            return; // mid-step terminate: the teardown step unwinds
+        bool fin = g->fiber->resume();
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (fin) {
+            for (auto it = fibers_.begin(); it != fibers_.end(); ++it) {
+                if (it->get() == g.get()) {
+                    fibers_.erase(it);
+                    break;
+                }
+            }
+        } else if (g->fiber->wantsPark()) {
+            // Commit under the mutex: a racing wake() either beats the CAS
+            // (fiber stays runnable) or blocks in fiberWoken until the
+            // runnable=false store below is visible. No lost wakeups.
+            if (g->fiber->commitPark())
+                g->runnable = false;
+        }
+        // else: cooperative yield — stays runnable, next step resumes it.
+    }
+}
+
+void
+Worker::teardownFibers()
+{
+    if (tornDown_)
+        return;
+    // Unwind every live guest: the interrupt token has been tripped, so
+    // each resumed fiber throws WorkerTerminated at its blocking site. A
+    // fiber that never started (spawned then killed before its first
+    // quantum) is dropped without running.
+    for (int pass = 0;; pass++) {
+        std::vector<std::shared_ptr<GuestFiber>> live;
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            live = fibers_;
+        }
+        if (live.empty())
+            break;
+        if (pass > 1024)
+            panic("Worker: guest fibers failed to unwind on terminate");
+        for (auto &g : live) {
+            if (!g->fiber->finished() && g->fiber->started()) {
+                g->fiber->wake();
+                g->fiber->resume();
+            }
+        }
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto it = fibers_.begin(); it != fibers_.end();) {
+            if ((*it)->fiber->finished() || !(*it)->fiber->started())
+                it = fibers_.erase(it);
+            else
+                ++it;
+        }
+    }
+    std::vector<std::function<void()>> fns;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        fns.swap(atExit_);
+    }
+    for (auto &fn : fns)
+        fn();
+    tornDown_ = true;
+}
+
+bool
+Worker::hasPendingWork()
+{
+    if (terminated())
+        return !tornDown_;
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto &g : fibers_)
+        if (g->runnable)
+            return true;
+    return false;
+}
+
+void
+Worker::finishStep()
+{
+    bool more = hasPendingWork();
+    for (;;) {
+        SchedState s = schedState_.load(std::memory_order_seq_cst);
+        if (s == SchedState::Dirty) {
+            schedState_.store(SchedState::Queued, std::memory_order_seq_cst);
+            executor_->enqueue(shared_from_this());
+            return;
+        }
+        if (s == SchedState::Running) {
+            if (more) {
+                schedState_.store(SchedState::Queued,
+                                  std::memory_order_seq_cst);
+                executor_->enqueue(shared_from_this());
+                return;
+            }
+            SchedState e = SchedState::Running;
+            if (schedState_.compare_exchange_strong(
+                    e, SchedState::Idle, std::memory_order_seq_cst)) {
+                // Going idle with a pending loop timer: ask the executor
+                // to bring us back when it is due.
+                if (!terminated()) {
+                    int64_t due = loop_.nextTimerDueUs();
+                    if (due >= 0)
+                        executor_->scheduleTimer(shared_from_this(), due);
+                }
+                return;
+            }
+            continue; // raced to Dirty
+        }
+        return; // shouldn't happen; be defensive
+    }
+}
+
+Worker::RunPhase
+Worker::runPhase() const
+{
+    if (!pooled_)
+        return RunPhase::Dedicated;
+    switch (schedState_.load(std::memory_order_seq_cst)) {
+    case SchedState::Running:
+    case SchedState::Dirty:
+        return RunPhase::Running;
+    case SchedState::Queued:
+        return RunPhase::Queued;
+    case SchedState::Idle:
+    default:
+        return RunPhase::Parked;
+    }
+}
+
 Worker::~Worker()
 {
     terminate();
+    if (pooled_ && !tornDown_) {
+        // No other reference exists (we are the destructor), so no pool
+        // thread can be stepping this worker: unwind inline.
+        schedState_.store(SchedState::Running, std::memory_order_seq_cst);
+        teardownFibers();
+    }
 }
 
 void
@@ -130,6 +410,12 @@ Worker::terminate()
     }
     token_.interrupt();
     loop_.stop();
+    if (pooled_) {
+        // Non-blocking: enqueue a final step so a pool thread unwinds the
+        // fibers (throwing WorkerTerminated at their park sites).
+        signalWork();
+        return;
+    }
     if (thread_.joinable()) {
         if (thread_.get_id() == std::this_thread::get_id())
             panic("Worker::terminate called from the worker's own thread");

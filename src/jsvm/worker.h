@@ -5,9 +5,23 @@
  * Workers share nothing with the main context (except SharedArrayBuffers)
  * and communicate only via postMessage, whose payloads are structured-clone
  * copied. Browsix builds Unix processes on top of these (§3.3).
+ *
+ * Two execution modes:
+ *
+ *  - Legacy (no executor installed on the Browser): each worker owns a
+ *    dedicated host thread running its event loop, and each guest
+ *    execution context (startGuest) is another host thread. Simple, but
+ *    two threads per process caps the system near 1k live guests.
+ *
+ *  - Pooled (Browser::setExecutor): the worker is a run-queue item. A
+ *    fixed pool of host threads (kernel::Scheduler) pops workers and calls
+ *    step(), which pumps the worker's event loop and resumes its guest
+ *    fibers. Parked guests cost zero threads; their wake event re-enqueues
+ *    the worker. This is what takes the process table to 10k+ live.
  */
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +30,7 @@
 #include <vector>
 
 #include "jsvm/event_loop.h"
+#include "jsvm/fiber.h"
 #include "jsvm/sab.h"
 #include "jsvm/value.h"
 
@@ -27,11 +42,31 @@ class Worker;
 class CostModel;
 
 /**
+ * Where pooled workers get their host-thread time. Implemented by the
+ * kernel's Scheduler; declared here so jsvm stays independent of kernel.
+ */
+class WorkerExecutor
+{
+  public:
+    virtual ~WorkerExecutor() = default;
+
+    /** Hand the worker a step of execution; must not run it inline unless
+     * the executor has shut down. Callable from any thread. */
+    virtual void enqueue(std::shared_ptr<Worker> w) = 0;
+
+    /** Re-enqueue the worker once nowUs() reaches due_us (worker-loop
+     * timers). Callable from any thread. */
+    virtual void scheduleTimer(std::shared_ptr<Worker> w, int64_t due_us) = 0;
+};
+
+/**
  * The worker-global scope: what code running inside the worker sees.
  *
  * Mirrors DedicatedWorkerGlobalScope: postMessage back to the parent,
  * an onmessage handler, and (our addition) the interrupt token that
- * Worker::terminate() trips so blocked threads can unwind.
+ * Worker::terminate() trips so blocked guests can unwind. Owned by the
+ * Worker itself (not a stack frame), so guest contexts can never outlive
+ * it.
  */
 class WorkerScope
 {
@@ -48,8 +83,20 @@ class WorkerScope
     InterruptToken &token();
     const CostModel &costs() const;
 
-    /** Run fn on the worker thread after the loop stops (e.g. join app
-     * threads the language runtime started). */
+    /**
+     * Launch a guest execution context running fn: a fiber multiplexed on
+     * the worker pool in pooled mode, a dedicated host thread (joined at
+     * exit) in legacy mode. fn may block in Atomics::wait, blockingCall,
+     * and channel waits; on termination those sites throw WorkerTerminated
+     * to unwind it.
+     */
+    void startGuest(std::function<void()> fn);
+
+    /** True when this worker multiplexes guests on the shared pool. */
+    bool pooled() const;
+
+    /** Run fn after the loop stops (e.g. join app threads the language
+     * runtime started). */
     void atExit(std::function<void()> fn);
 
   private:
@@ -76,11 +123,39 @@ class Worker : public std::enable_shared_from_this<Worker>
 
     /**
      * Immediately terminate the worker, like Worker.terminate(): wakes any
-     * Atomics.wait, stops the loop, joins the thread. Idempotent.
+     * Atomics.wait and stops the loop. Legacy mode joins the dedicated
+     * thread; pooled mode re-enqueues the worker so a pool thread unwinds
+     * its fibers (a queued-but-never-run guest is simply dropped).
+     * Idempotent.
      */
     void terminate();
 
     bool terminated() const;
+
+    /**
+     * Pooled mode: run one scheduling quantum on the calling thread —
+     * bootstrap on first call, pump the event loop, resume each runnable
+     * fiber once, then either re-enqueue (more work / signalled during the
+     * step) or go idle. Called only by the executor, never concurrently.
+     */
+    void step();
+
+    /**
+     * Mark the worker runnable and enqueue it if it is idle; coalesces
+     * into a dirty flag if a step is in flight. Thread-safe.
+     */
+    void signalWork();
+
+    /** Scheduling phase for introspection (kernel run states). */
+    enum class RunPhase {
+        Dedicated, ///< legacy mode: guest owns host threads
+        Running,   ///< a pool thread is stepping it right now
+        Queued,    ///< in the run queue waiting for a pool thread
+        Parked     ///< idle: every guest is parked, no pending work
+    };
+    RunPhase runPhase() const;
+
+    bool pooled() const { return pooled_; }
 
     InterruptToken &token() { return token_; }
     uint64_t id() const { return id_; }
@@ -92,6 +167,28 @@ class Worker : public std::enable_shared_from_this<Worker>
     Worker(Browser &browser, uint64_t id,
            std::shared_ptr<const std::vector<uint8_t>> script, Main main);
     void start();
+    void startGuest(std::function<void()> fn);
+    void fiberWoken(uint64_t fiber_id);
+    void resumeRunnableFibers();
+    void teardownFibers();
+    void finishStep();
+    bool hasPendingWork();
+
+    /// One guest execution context in pooled mode.
+    struct GuestFiber
+    {
+        uint64_t id = 0;
+        bool runnable = true; ///< guarded by Worker::mutex_
+        std::unique_ptr<Fiber> fiber;
+    };
+
+    /// Pooled scheduling state; transitions are lock-free CAS.
+    enum class SchedState : int {
+        Idle,    ///< not queued, not running
+        Queued,  ///< in the executor's run queue
+        Running, ///< step() in flight on a pool thread
+        Dirty    ///< step() in flight AND new work arrived: re-queue after
+    };
 
     Browser &browser_;
     uint64_t id_;
@@ -100,10 +197,19 @@ class Worker : public std::enable_shared_from_this<Worker>
 
     EventLoop loop_;
     InterruptToken token_;
-    std::thread thread_;
+    std::thread thread_;                 // legacy mode only
+    std::unique_ptr<WorkerScope> scope_; // worker-owned: outlives all guests
+
+    bool pooled_ = false;
+    std::shared_ptr<WorkerExecutor> executor_;
+    std::atomic<SchedState> schedState_{SchedState::Idle};
+    bool booted_ = false;   // step-thread only
+    bool tornDown_ = false; // step-thread only
 
     mutable std::mutex mutex_;
     bool terminated_ = false;
+    uint64_t nextFiberId_ = 1;
+    std::vector<std::shared_ptr<GuestFiber>> fibers_;
     std::function<void(Value)> parentHandler_;
     std::function<void(Value)> workerHandler_;
     std::vector<std::function<void()>> atExit_;

@@ -1,6 +1,8 @@
 #include "kernel/kernel.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "bfs/path.h"
 #include "jsvm/util.h"
@@ -11,8 +13,12 @@ namespace browsix {
 namespace kernel {
 
 Kernel::Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs)
-    : browser_(browser), vfs_(std::move(vfs))
+    : browser_(browser), vfs_(std::move(vfs)),
+      sched_(std::make_shared<Scheduler>())
 {
+    // Every worker this browser creates from now on is a run-queue item
+    // on the shared pool — processes stop costing host threads.
+    browser_.setExecutor(sched_);
 }
 
 Kernel::~Kernel()
@@ -21,6 +27,38 @@ Kernel::~Kernel()
         if (t.worker)
             t.worker->terminate();
     });
+    // Drain the pool before the Tasks (and their workers) are destroyed:
+    // shutdown steps every queued worker so terminated guests unwind.
+    sched_->shutdown();
+    browser_.setExecutor(nullptr);
+}
+
+void
+Kernel::setPoolThreads(unsigned threads)
+{
+    if (taskCount() != 0)
+        jsvm::panic("Kernel.setPoolThreads: processes already running");
+    sched_->shutdown();
+    sched_ = std::make_shared<Scheduler>(threads);
+    browser_.setExecutor(sched_);
+}
+
+RunState
+Kernel::runState(int pid)
+{
+    Task *t = task(pid);
+    if (!t || t->state == TaskState::Zombie || !t->worker)
+        return RunState::Zombie;
+    switch (t->worker->runPhase()) {
+      case jsvm::Worker::RunPhase::Queued:
+        return RunState::Runnable;
+      case jsvm::Worker::RunPhase::Parked:
+        return RunState::Parked;
+      case jsvm::Worker::RunPhase::Running:
+      case jsvm::Worker::RunPhase::Dedicated:
+        break;
+    }
+    return RunState::Running;
 }
 
 Task *
@@ -133,17 +171,32 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
                 SpawnCb cb, ExitCb root_exit)
 {
     int ppid = parent ? parent->pid : 0;
+    // NPROC quota (charged up front, released on any failure path): a
+    // child joins its parent's tenant counter; a root process starts a
+    // fresh one. Checking before the async executable resolution keeps a
+    // fork bomb from queueing unbounded spawn work.
+    std::shared_ptr<int> nproc = parent ? parent->nproc : nullptr;
+    if (nproc && *nproc >= nprocLimit_) {
+        for (auto &[fd, f] : fds)
+            f->unref();
+        cb(-EAGAIN);
+        return;
+    }
+    if (!nproc)
+        nproc = std::make_shared<int>(0);
+    ++*nproc;
     resolveExecutable(
         std::move(argv), cwd, 0,
-        [this, ppid, env = std::move(env), cwd, fds = std::move(fds),
-         snapshot = std::move(snapshot), cb = std::move(cb),
-         root_exit = std::move(root_exit)](
+        [this, ppid, nproc, env = std::move(env), cwd,
+         fds = std::move(fds), snapshot = std::move(snapshot),
+         cb = std::move(cb), root_exit = std::move(root_exit)](
             int err, bfs::BufferPtr code,
             std::vector<std::string> final_argv) mutable {
             if (err) {
                 // Inherited descriptors were pre-referenced by the caller.
                 for (auto &[fd, f] : fds)
                     f->unref();
+                --*nproc;
                 cb(-err);
                 return;
             }
@@ -154,6 +207,7 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
             if (pid < 0) {
                 for (auto &[fd, f] : fds)
                     f->unref();
+                --*nproc;
                 cb(pid);
                 return;
             }
@@ -172,6 +226,7 @@ Kernel::doSpawn(Task *parent, std::vector<std::string> argv,
             t->execPath = final_argv.empty() ? "" : final_argv[0];
             t->state = TaskState::Running;
             t->onExit = std::move(root_exit);
+            t->nproc = std::move(nproc);
 
             worker->setOnMessage([this, pid](jsvm::Value msg) {
                 onWorkerMessage(pid, std::move(msg));
@@ -268,9 +323,16 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     auto code = browser_.blobs().resolve(parent.blobUrl);
     if (!code)
         return -ENOENT;
+    // NPROC quota: the forked child shares the parent's tenant counter.
+    // This is the fork-bomb fence — `while(1) fork()` hits -EAGAIN once
+    // its tree holds nprocLimit_ live processes.
+    if (parent.nproc && *parent.nproc >= nprocLimit_)
+        return -EAGAIN;
     int pid = allocPid();
     if (pid < 0)
         return pid;
+    if (parent.nproc)
+        ++*parent.nproc;
     // Workers cannot be cloned (§3.3): boot a fresh worker from the same
     // executable and hand it the serialized memory + program counter.
     // The child gets its own blob URL: revocation at its exit/exec must
@@ -289,6 +351,7 @@ Kernel::doFork(Task &parent, jsvm::Value snapshot)
     t->execPath = parent.execPath;
     t->state = TaskState::Running;
     t->sigDisp = parent.sigDisp;
+    t->nproc = parent.nproc;
 
     // Children inherit the descriptor table (§3.6): same file objects,
     // reference counts bumped.
@@ -434,6 +497,8 @@ Kernel::reapTask(int pid)
     Task *t = task(pid);
     if (!t)
         return;
+    if (t->nproc)
+        --*t->nproc; // release the tenant's NPROC charge
     if (t->ppid != 0) {
         if (Task *parent = task(t->ppid)) {
             parent->children.erase(pid);
@@ -672,12 +737,22 @@ void
 Kernel::system(const std::string &cmd, ExitCb on_exit, OutputCb out,
                OutputCb err)
 {
-    spawnRoot({"/bin/sh", "-c", cmd}, defaultEnv, "/", std::move(on_exit),
-              std::move(out), std::move(err), [](int rc) {
-                  if (rc < 0)
-                      jsvm::panic("kernel.system: cannot spawn /bin/sh: " +
-                                  std::to_string(rc));
-              });
+    // A missing or unreadable /bin/sh is an embedder-visible error, not a
+    // kernel bug: surface the negative errno through on_exit (once — the
+    // shared slot is cleared so a spawn failure can't double-fire it).
+    auto exit_cb = std::make_shared<ExitCb>(std::move(on_exit));
+    spawnRoot(
+        {"/bin/sh", "-c", cmd}, defaultEnv, "/",
+        [exit_cb](int status) {
+            if (auto cb = std::exchange(*exit_cb, nullptr))
+                cb(status);
+        },
+        std::move(out), std::move(err),
+        [exit_cb](int rc) {
+            if (rc < 0)
+                if (auto cb = std::exchange(*exit_cb, nullptr))
+                    cb(rc);
+        });
 }
 
 void
@@ -807,6 +882,7 @@ Kernel::drainSyscallRing(int pid, int idle_grace)
         // batch: wake the waiter for the completions that landed (and
         // for any SQ slots a backpressure-parked producer is waiting on).
         stats_.ringBatchesDrained++;
+        t->ring.idleHintPasses = 0;
         ringNotify(*t);
         // Adaptive doorbell coalescing: keep drainPending armed and
         // queue a follow-up pass, so a bursty producer's next batch
@@ -824,6 +900,25 @@ Kernel::drainSyscallRing(int pid, int idle_grace)
         scheduleRingDrain(pid, idle_grace - 1);
         return;
     }
+    // More-coming hint: the producer declared a wait-then-submit burst in
+    // flight, so stay armed through the gap where it is reaping the last
+    // completion and publishing the next batch — its whole burst then
+    // rides one doorbell message. The hint is advisory: a liveness cap
+    // bounds how many consecutive empty passes it can buy, so a producer
+    // that died (or forgot to clear it) cannot pin the pipeline.
+    constexpr int kIdleHintCap = 64;
+    if (jsvm::Atomics::load(*heap, ring.moreHintOff()) == 1 &&
+        t->ring.idleHintPasses < kIdleHintCap) {
+        t->ring.idleHintPasses++;
+        // Give the producer (a pool thread) the CPU before the next
+        // pass: on a loaded host the re-posting main loop would
+        // otherwise spin through the whole cap before the producer got
+        // a slice to publish its next batch.
+        std::this_thread::yield();
+        scheduleRingDrain(pid, 0);
+        return;
+    }
+    t->ring.idleHintPasses = 0;
     // Idle: disarm, then re-check the tail. A producer publishing
     // between the loop's empty check and this store saw drainPending
     // armed and skipped its doorbell message — it must not be stranded,

@@ -22,6 +22,7 @@
 #include "bfs/vfs.h"
 #include "jsvm/browser.h"
 #include "kernel/latency_histogram.h"
+#include "kernel/scheduler.h"
 #include "kernel/socket.h"
 #include "kernel/task.h"
 #include "kernel/task_table.h"
@@ -31,6 +32,17 @@ namespace kernel {
 
 class SyscallCtx;
 using SyscallCtxPtr = std::shared_ptr<SyscallCtx>;
+
+/**
+ * A process's run state, decoupled from host threads (ROADMAP item 1):
+ * a parked process holds no thread, just a queue-able worker.
+ */
+enum class RunState {
+    Runnable, ///< in the run queue, waiting for a pool thread
+    Running,  ///< a pool thread is executing it right now
+    Parked,   ///< blocked (syscall wait, channel, timer): costs no thread
+    Zombie    ///< exited, awaiting reap
+};
 
 /** Experiment counters, one per interesting kernel event. Read-only for
  * embedders via Kernel::stats(). */
@@ -175,6 +187,28 @@ class Kernel
     Task *task(int pid);
     std::vector<int> pids() const;
 
+    /** The run state of pid (ESRCH-gone pids read as Zombie). */
+    RunState runState(int pid);
+
+    /** The worker-pool run queue driving every process. */
+    Scheduler &scheduler() { return *sched_; }
+
+    /**
+     * Test hook: replace the pool with one of `threads` threads. Must be
+     * called before the first spawn (pool threads start lazily on the
+     * first enqueue, so the swap is cheap until then).
+     */
+    void setPoolThreads(unsigned threads);
+
+    /**
+     * Per-tenant process quota, RLIMIT_NPROC-shaped: every root process
+     * and its descendants share one live-process budget; spawn/fork past
+     * it fails with -EAGAIN. This is what contains a fork bomb to its own
+     * process tree instead of exhausting the pid table.
+     */
+    void setNprocLimit(int limit) { nprocLimit_ = limit < 1 ? 1 : limit; }
+    int nprocLimit() const { return nprocLimit_; }
+
     /** Visit every task band by band — the only sanctioned whole-table
      * walk (shutdown, broadcast). fn must not spawn or reap. */
     template <typename Fn>
@@ -289,6 +323,10 @@ class Kernel
     bfs::VfsPtr vfs_;
     Bootstrapper bootstrapper_;
     KernelStats stats_;
+    /// The worker pool every process runs on (installed as the Browser's
+    /// executor in the ctor, so workers are pooled from birth).
+    std::shared_ptr<Scheduler> sched_;
+    int nprocLimit_ = 4096;
     /// Liveness tag for loop tasks the kernel posts to itself (scheduled
     /// ring drains): a task whose weak_ptr expired outlived the kernel
     /// and must do nothing.

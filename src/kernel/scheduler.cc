@@ -1,0 +1,156 @@
+#include "kernel/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "jsvm/util.h"
+
+namespace browsix {
+namespace kernel {
+
+Scheduler::Scheduler(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads < 2)
+            threads = 2;
+    }
+    poolSize_ = threads;
+}
+
+Scheduler::~Scheduler()
+{
+    shutdown();
+}
+
+void
+Scheduler::startThreadsLocked()
+{
+    started_ = true;
+    threads_.reserve(poolSize_);
+    for (unsigned i = 0; i < poolSize_; i++)
+        threads_.emplace_back([this]() { threadMain(); });
+}
+
+void
+Scheduler::enqueue(std::shared_ptr<jsvm::Worker> w)
+{
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        if (!shutdownDone_) {
+            if (!started_)
+                startThreadsLocked();
+            queue_.push_back(std::move(w));
+            lk.unlock();
+            cv_.notify_one();
+            return;
+        }
+    }
+    // Pool retired: run the step on the caller so late-terminated workers
+    // still unwind their guests instead of leaking suspended fibers.
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    w->step();
+}
+
+void
+Scheduler::scheduleTimer(std::shared_ptr<jsvm::Worker> w, int64_t due_us)
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!shutdownDone_) {
+            timers_.push_back(PendingTimer{due_us, w});
+            cv_.notify_one();
+            return;
+        }
+    }
+    // Retired pool: no thread will ever fire the timer; step the worker
+    // once now so its loop can promote whatever became due.
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    w->step();
+}
+
+int64_t
+Scheduler::promoteDueTimersLocked(int64_t now)
+{
+    int64_t next = -1;
+    for (auto it = timers_.begin(); it != timers_.end();) {
+        if (it->due_us <= now) {
+            if (auto w = it->worker.lock())
+                queue_.push_back(std::move(w));
+            it = timers_.erase(it);
+        } else {
+            if (next < 0 || it->due_us < next)
+                next = it->due_us;
+            ++it;
+        }
+    }
+    return next;
+}
+
+void
+Scheduler::threadMain()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        int64_t next_due = promoteDueTimersLocked(jsvm::nowUs());
+        if (stopping_)
+            return;
+        if (queue_.empty()) {
+            if (next_due < 0) {
+                cv_.wait(lk);
+            } else {
+                // Bounded wait: under a TestClock, virtual time advances
+                // without real time passing, so poll rather than oversleep.
+                int64_t delta = next_due - jsvm::nowUs();
+                delta = std::min<int64_t>(std::max<int64_t>(delta, 0), 50000);
+                cv_.wait_for(lk, std::chrono::microseconds(delta + 1));
+            }
+            continue;
+        }
+        auto w = std::move(queue_.front());
+        queue_.pop_front();
+        lk.unlock();
+        steps_.fetch_add(1, std::memory_order_relaxed);
+        w->step();
+        w.reset();
+        lk.lock();
+    }
+}
+
+void
+Scheduler::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (shutdownDone_ && threads_.empty())
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    std::deque<std::shared_ptr<jsvm::Worker>> drain;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        threads_.clear();
+        drain.swap(queue_);
+        timers_.clear();
+        shutdownDone_ = true;
+    }
+    // Final inline steps: every queued worker gets its quantum so
+    // terminated guests unwind before the scheduler goes away.
+    for (auto &w : drain) {
+        steps_.fetch_add(1, std::memory_order_relaxed);
+        w->step();
+    }
+}
+
+size_t
+Scheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return queue_.size();
+}
+
+} // namespace kernel
+} // namespace browsix

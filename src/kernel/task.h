@@ -68,6 +68,10 @@ struct Task
         int32_t entries = 0;
         bool draining = false;
         bool deferredNotify = false;
+        /// Consecutive empty drain passes kept alive only by the
+        /// producer's more-coming hint; capped so a producer that dies
+        /// (or lies) mid-burst cannot pin the drain pipeline forever.
+        int idleHintPasses = 0;
     };
     RingState ring;
 
@@ -113,6 +117,11 @@ struct Task
 
     /// Root-task (ppid 0) exit notification for the embedder.
     std::function<void(int status)> onExit;
+
+    /// Live-process counter shared by this task's whole tenant tree (the
+    /// root process and every descendant). Charged at spawn/fork against
+    /// the kernel's NPROC limit, released at reap — the fork-bomb fence.
+    std::shared_ptr<int> nproc;
 
     /** Lowest unused descriptor number. */
     int allocFd() const

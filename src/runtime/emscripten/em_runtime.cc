@@ -195,6 +195,11 @@ EmEnv::writev(int fd, const std::vector<std::string> &parts)
     // holds the ring region), so arbitrarily long fragment lists — a
     // whole `ls -lR` listing — gather safely.
     const size_t kScratchBudget = 256 * 1024;
+    // Multi-chunk gathers are wait-then-submit bursts (one writev per
+    // chunk): the hint keeps the kernel's drain pipeline armed between
+    // chunks so only the first pays a doorbell message. Guard-scoped:
+    // a short write or error return mid-gather must still clear it.
+    HintScope hint(ring_.get());
     int64_t total = 0;
     size_t i = 0;
     while (i < parts.size()) {
@@ -370,6 +375,10 @@ EmEnv::statBatch(const std::vector<std::string> &paths, bool follow)
     // capacity and by a scratch-byte budget (the 1 MiB heap also holds
     // the ring region itself).
     const size_t kScratchBudget = 256 * 1024;
+    // A multi-chunk batch is a wait-then-submit burst: declare it, so the
+    // kernel's drain pipeline stays armed across the reap gap between
+    // chunks and every chunk after the first skips its doorbell message.
+    HintScope hint(ring_.get());
     size_t i = 0;
     while (i < paths.size()) {
         sync_->resetScratch();
@@ -925,34 +934,29 @@ EmscriptenRuntime::boot(jsvm::WorkerScope &scope,
 {
     client->onInit([&scope, client, program = std::move(program), mode,
                     emterpreter](const InitInfo &) {
-        auto thread = std::make_shared<std::thread>(
-            [&scope, client, program, mode, emterpreter]() {
-                try {
-                    auto env = std::make_shared<EmEnv>(client, mode,
-                                                       emterpreter,
-                                                       scope.costs());
-                    // Route kernel signal messages into the program's
-                    // pending queue; handlers run at syscall boundaries
-                    // (§4.2: signals arrive over the same message
-                    // interface as system calls).
-                    std::weak_ptr<EmEnv> weak = env;
-                    client->scope().loop().post([client, weak]() {
-                        client->onSignal([weak](int sig) {
-                            if (auto e = weak.lock())
-                                e->queueSignal(sig);
-                        });
+        // The program runs as a guest context owned by the worker (a
+        // pooled fiber, or a legacy thread joined at exit) — it can never
+        // outlive the scope it captures.
+        scope.startGuest([&scope, client, program, mode, emterpreter]() {
+            try {
+                auto env = std::make_shared<EmEnv>(client, mode, emterpreter,
+                                                   scope.costs());
+                // Route kernel signal messages into the program's
+                // pending queue; handlers run at syscall boundaries
+                // (§4.2: signals arrive over the same message
+                // interface as system calls).
+                std::weak_ptr<EmEnv> weak = env;
+                client->scope().loop().post([client, weak]() {
+                    client->onSignal([weak](int sig) {
+                        if (auto e = weak.lock())
+                            e->queueSignal(sig);
                     });
-                    int code = program(*env);
-                    client->post("exit", {jsvm::Value(code)});
-                } catch (ExitRequested &e) {
-                    client->post("exit", {jsvm::Value(e.code)});
-                } catch (jsvm::WorkerTerminated &) {
-                    // killed: unwind silently
-                }
-            });
-        scope.atExit([thread]() {
-            if (thread->joinable())
-                thread->join();
+                });
+                int code = program(*env);
+                client->post("exit", {jsvm::Value(code)});
+            } catch (ExitRequested &e) {
+                client->post("exit", {jsvm::Value(e.code)});
+            }
         });
     });
 }
@@ -1052,51 +1056,44 @@ EmVmHost::boot(jsvm::WorkerScope &scope,
 {
     client->onInit([&scope, client,
                     image = std::move(image)](const InitInfo &init) {
-        auto thread = std::make_shared<std::thread>([&scope, client, image,
-                                                     init]() {
-            try {
-                emvm::Vm vm(image);
-                bool resumed = false;
-                if (!init.snapshot.empty() &&
-                    init.snapshot.size() > 8 &&
-                    std::memcmp(init.snapshot.data(), "BSXSNAP1", 8) == 0) {
-                    if (!emvm::Vm::restore(image, init.snapshot, vm)) {
-                        client->post("exit", {jsvm::Value(125)});
-                        return;
-                    }
-                    vm.resume(0); // we are the fork child
-                    resumed = true;
-                }
-                if (!resumed && !vm.start("main", {})) {
-                    client->post("exit", {jsvm::Value(127)});
+        // Guest context owned by the worker (fiber or joined thread); the
+        // old detached-thread-capturing-&scope pattern could use the scope
+        // after it died when a teardown raced the guest's exit.
+        scope.startGuest([&scope, client, image, init]() {
+            emvm::Vm vm(image);
+            bool resumed = false;
+            if (!init.snapshot.empty() && init.snapshot.size() > 8 &&
+                std::memcmp(init.snapshot.data(), "BSXSNAP1", 8) == 0) {
+                if (!emvm::Vm::restore(image, init.snapshot, vm)) {
+                    client->post("exit", {jsvm::Value(125)});
                     return;
                 }
-                bool exited = false;
-                int exit_code = 0;
-                for (;;) {
-                    emvm::RunState st = vm.run(&scope.token());
-                    if (st == emvm::RunState::Done) {
-                        exit_code = static_cast<int>(vm.exitCode());
-                        break;
-                    }
-                    if (st == emvm::RunState::Trapped) {
-                        exit_code = 139; // "segfault"
-                        break;
-                    }
-                    int64_t r = vmSyscall(*client, vm, vm.pendingTrap(),
-                                          vm.pendingArgs(), exited,
-                                          exit_code);
-                    if (exited)
-                        break;
-                    vm.resume(r);
-                }
-                client->post("exit", {jsvm::Value(exit_code)});
-            } catch (jsvm::WorkerTerminated &) {
+                vm.resume(0); // we are the fork child
+                resumed = true;
             }
-        });
-        scope.atExit([thread]() {
-            if (thread->joinable())
-                thread->join();
+            if (!resumed && !vm.start("main", {})) {
+                client->post("exit", {jsvm::Value(127)});
+                return;
+            }
+            bool exited = false;
+            int exit_code = 0;
+            for (;;) {
+                emvm::RunState st = vm.run(&scope.token());
+                if (st == emvm::RunState::Done) {
+                    exit_code = static_cast<int>(vm.exitCode());
+                    break;
+                }
+                if (st == emvm::RunState::Trapped) {
+                    exit_code = 139; // "segfault"
+                    break;
+                }
+                int64_t r = vmSyscall(*client, vm, vm.pendingTrap(),
+                                      vm.pendingArgs(), exited, exit_code);
+                if (exited)
+                    break;
+                vm.resume(r);
+            }
+            client->post("exit", {jsvm::Value(exit_code)});
         });
     });
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "jsvm/fiber.h"
 #include "jsvm/util.h"
 
 namespace browsix {
@@ -255,6 +256,9 @@ Vm::run(jsvm::InterruptToken *token)
             check = 0;
             if (token && token->interrupted())
                 throw jsvm::WorkerTerminated{};
+            // Pooled execution: give the scheduler a time-slice boundary so
+            // a compute-bound guest cannot monopolize a pool thread.
+            jsvm::Fiber::maybeYield();
         }
         Frame &fr = frames_.back();
         const Function &fn = image_.functions[fr.fn];

@@ -20,17 +20,14 @@ GoEnv::token()
 void
 GoEnv::go(std::function<void()> fn)
 {
-    auto t = std::make_shared<std::thread>([fn = std::move(fn)]() {
+    scope_.startGuest([fn = std::move(fn)]() {
         try {
             fn();
-        } catch (jsvm::WorkerTerminated &) {
         } catch (GoExit &) {
             // os.Exit from a non-main goroutine: swallowed here; the main
             // goroutine owns process exit.
         }
     });
-    std::lock_guard<std::mutex> lk(threadsMutex_);
-    goroutines_.push_back(std::move(t));
 }
 
 CallResult
@@ -195,32 +192,18 @@ GoRuntime::boot(jsvm::WorkerScope &scope,
     client->onInit([&scope, client,
                     program = std::move(program)](const InitInfo &) {
         auto env = std::make_shared<GoEnv>(client, scope);
-        auto main_goroutine = std::make_shared<std::thread>(
-            [client, env, program]() {
-                int code = 0;
-                try {
-                    program(*env);
-                } catch (GoExit &e) {
-                    code = e.code;
-                } catch (jsvm::WorkerTerminated &) {
-                    return;
-                }
-                // §4.3: "an explicit call to the exit system call when the
-                // main function exits".
-                client->post("exit", {jsvm::Value(code)});
-            });
-        scope.atExit([env, main_goroutine]() {
-            if (main_goroutine->joinable())
-                main_goroutine->join();
-            std::vector<std::shared_ptr<std::thread>> gs;
-            {
-                std::lock_guard<std::mutex> lk(env->threadsMutex_);
-                gs = env->goroutines_;
+        // The main goroutine is a guest context (fiber or thread; see
+        // WorkerScope::startGuest) that owns process exit.
+        scope.startGuest([client, env, program]() {
+            int code = 0;
+            try {
+                program(*env);
+            } catch (GoExit &e) {
+                code = e.code;
             }
-            for (auto &g : gs) {
-                if (g->joinable())
-                    g->join();
-            }
+            // §4.3: "an explicit call to the exit system call when the
+            // main function exits".
+            client->post("exit", {jsvm::Value(code)});
         });
     });
 }

@@ -15,14 +15,13 @@
  */
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "jsvm/fiber.h"
 #include "runtime/gopher/int64emu.h"
 #include "runtime/syscall_client.h"
 
@@ -53,7 +52,7 @@ class Chan
         if (closed_)
             return; // send on closed channel: dropped (Go would panic)
         q_.push_back(std::move(v));
-        cv_.notify_all();
+        cv_.notifyAll();
     }
 
     /** Returns false when the channel is closed and drained. */
@@ -66,7 +65,7 @@ class Chan
             return false;
         out = std::move(q_.front());
         q_.pop_front();
-        cv_.notify_all();
+        cv_.notifyAll();
         return true;
     }
 
@@ -75,7 +74,7 @@ class Chan
     {
         std::lock_guard<std::mutex> lk(m_);
         closed_ = true;
-        cv_.notify_all();
+        cv_.notifyAll();
     }
 
   private:
@@ -83,7 +82,12 @@ class Chan
     void
     waitOn(std::unique_lock<std::mutex> &lk, Pred pred)
     {
-        uint64_t waker = token_->addWaker([this]() { cv_.notify_all(); });
+        uint64_t waker = token_->addWaker([this]() {
+            // A goroutine may be a pooled fiber: notifyAll (under the
+            // channel mutex) wakes thread and fiber waiters alike.
+            std::lock_guard<std::mutex> lk2(m_);
+            cv_.notifyAll();
+        });
         cv_.wait(lk, [&]() { return pred() || token_->interrupted(); });
         lk.unlock();
         token_->removeWaker(waker);
@@ -95,7 +99,7 @@ class Chan
     jsvm::InterruptToken *token_;
     size_t capacity_;
     std::mutex m_;
-    std::condition_variable cv_;
+    jsvm::FiberCv cv_;
     std::deque<T> q_;
     bool closed_ = false;
 };
@@ -113,7 +117,8 @@ class GoEnv
     int pid() const { return init_.pid; }
     jsvm::InterruptToken *token();
 
-    /** Spawn a goroutine (tracked; joined when the worker dies). */
+    /** Spawn a goroutine: a guest context on the worker (a pooled fiber,
+     * or a dedicated thread joined when the worker dies). */
     void go(std::function<void()> fn);
 
     /** syscall.RawSyscall: suspend this goroutine until the reply. */
@@ -143,9 +148,6 @@ class GoEnv
     std::shared_ptr<SyscallClient> client_;
     jsvm::WorkerScope &scope_;
     InitInfo init_;
-
-    std::mutex threadsMutex_;
-    std::vector<std::shared_ptr<std::thread>> goroutines_;
 
     friend class GoRuntime;
 };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "jsvm/fiber.h"
 #include "jsvm/util.h"
 
 namespace browsix {
@@ -111,6 +112,38 @@ CallResult
 blockingCall(SyscallClient &client, const std::string &name,
              jsvm::Value::Array args)
 {
+    if (jsvm::Fiber *f = jsvm::Fiber::current()) {
+        // Pooled mode: fiber execution is serialized with the worker
+        // loop's tasks (both run inside Worker::step), so the call can be
+        // issued directly; the reply callback runs on a later loop pump
+        // and wakes the parked fiber.
+        jsvm::InterruptToken &token = client.scope().token();
+        struct State
+        {
+            bool done = false;
+            CallResult result;
+        };
+        auto st = std::make_shared<State>();
+        uint64_t waker = token.addWaker([f]() { f->wake(); });
+        client.call(name, std::move(args),
+                    [st, f](int64_t r0, int64_t r1, jsvm::Value data) {
+                        st->result.r0 = r0;
+                        st->result.r1 = r1;
+                        st->result.data = std::move(data);
+                        st->done = true;
+                        f->wake();
+                    });
+        while (!st->done) {
+            if (token.interrupted()) {
+                token.removeWaker(waker);
+                throw jsvm::WorkerTerminated{};
+            }
+            jsvm::Fiber::park();
+        }
+        token.removeWaker(waker);
+        return st->result;
+    }
+
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
@@ -443,6 +476,13 @@ RingSyscalls::flush()
         msg.set("t", jsvm::Value("ring"));
         sync_.client().scope().postMessage(msg);
     }
+}
+
+void
+RingSyscalls::hintMore(bool more)
+{
+    jsvm::Atomics::store(sync_.heap(), layout_.moreHintOff(),
+                         more ? 1 : 0);
 }
 
 RingSyscalls::Completion

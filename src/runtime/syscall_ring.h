@@ -30,7 +30,13 @@
  *                  armed before a drain starts, and only disarmed after a
  *                  pass that found the SQ empty re-checks the tail (so a
  *                  producer that skipped the message is never stranded).
- *   +28  (reserved to +32)
+ *   +28  moreHint  1 while the producer is mid-burst ("more SQEs coming
+ *                  shortly"): the kernel's drain pipeline stays armed
+ *                  through empty passes instead of disarming, so the rest
+ *                  of the burst rides the already-scheduled drains and
+ *                  pays zero doorbell messages. Process-owned; advisory —
+ *                  the kernel caps consecutive idle-with-hint passes so a
+ *                  producer that dies mid-burst cannot pin the pipeline.
  *   +32  SQ entries: entries × 32 B, each 8 × i32:
  *          [trap, seq, arg0..arg5]
  *   +32 + entries*32  CQ entries: entries × 16 B, each 4 × i32:
@@ -124,6 +130,7 @@ class RingLayout
     size_t waitOff() const { return base_ + 16; }
     size_t doorbellOff() const { return base_ + 20; }
     size_t drainPendingOff() const { return base_ + 24; }
+    size_t moreHintOff() const { return base_ + 28; }
 
     size_t sqeOff(uint32_t slot) const
     {

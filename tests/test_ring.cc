@@ -618,6 +618,52 @@ TEST(RingSyscalls, CoalescedDoorbellSkipsMessagesAcrossBursts)
     EXPECT_LT(notifies, calls / 2);
 }
 
+TEST(RingSyscalls, MoreComingHintDropsDoorbellsForWaitThenSubmitBursts)
+{
+    // The producer-side "more coming" hint: a strict wait-then-submit
+    // loop (submit one, flush, wait — the worst case for coalescing,
+    // since the SQ is empty whenever the producer is parked) declares
+    // the burst via hintMore(true). The kernel's drain pipeline then
+    // stays armed through the gaps where the producer is reaping, so
+    // every flush after the first finds drainPending set and skips its
+    // doorbell message. Without the hint each round would re-ring once
+    // the pipeline's one-pass grace expired.
+    jsvm::TestClock clock;
+    constexpr int kRounds = 32;
+    addProgram("ring-morehint", [](rt::EmEnv &env) -> int {
+        rt::RingSyscalls *ring = env.ring();
+        if (!ring)
+            return 1;
+        rt::HintScope hint(ring);
+        for (int i = 0; i < kRounds; i++) {
+            uint32_t seq = ring->submit(sys::GETPID, {});
+            ring->flush();
+            if (ring->wait(seq).r0 != env.pid())
+                return 2;
+        }
+        // The message-count drop is the whole point: one doorbell buys
+        // the entire burst (a small allowance for a pipeline wind-down
+        // losing a race with the next round's flush).
+        if (ring->doorbellsRung() > 3)
+            return 3;
+        if (ring->doorbellsCoalesced() < kRounds - 4)
+            return 4;
+        return 0;
+    });
+    Browsix bx;
+    stage(bx, "ring-morehint");
+    auto before = bx.kernel().stats();
+    auto r = bx.runArgv({"/usr/bin/ring-morehint"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.exitCode(), 0);
+    auto after = bx.kernel().stats();
+    EXPECT_EQ(after.ringSyscallCount - before.ringSyscallCount,
+              static_cast<uint64_t>(kRounds))
+        << "every round must still complete through the ring";
+    EXPECT_LE(after.ringDoorbells - before.ringDoorbells, 3u)
+        << "the hint must absorb the per-round doorbell messages";
+}
+
 TEST(RingSyscalls, BatchedStatSweepCoalescesNotifies)
 {
     // EmEnv::statBatch: a 32-path metadata sweep submits every SQE under

@@ -115,17 +115,17 @@ Worker::startGuest(std::function<void()> fn)
 {
     if (!pooled_) {
         auto th = std::make_shared<std::thread>();
-        {
-            std::lock_guard<std::mutex> lk(mutex_);
-            // Register the join before the thread exists so a racing
-            // teardown can never miss it (the old pattern — spawn first,
-            // register after — left a window where the guest thread
-            // outlived the scope it captured).
-            atExit_.push_back([th]() {
-                if (th->joinable())
-                    th->join();
-            });
-        }
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (terminated_)
+            return; // dropped, like a queued-but-killed guest
+        // Register the join and launch in ONE critical section: teardown
+        // swaps atExit_ under mutex_, so it either sees nothing (guest
+        // dropped above) or a registered join whose handle was already
+        // assigned — never a half-constructed thread it fails to join.
+        atExit_.push_back([th]() {
+            if (th->joinable())
+                th->join();
+        });
         *th = std::thread([fn = std::move(fn)]() {
             try {
                 fn();
@@ -201,8 +201,16 @@ Worker::step()
 {
     {
         SchedState e = SchedState::Queued;
-        schedState_.compare_exchange_strong(e, SchedState::Running,
-                                            std::memory_order_seq_cst);
+        if (!schedState_.compare_exchange_strong(e, SchedState::Running,
+                                                 std::memory_order_seq_cst)) {
+            // Not ours to run. Every queue entry corresponds to exactly
+            // one Idle->Queued (signalWork) or ->Queued (finishStep)
+            // transition, so a failed CAS means another thread owns the
+            // quantum right now; proceeding would resume the same fiber
+            // on two host stacks. Any work that arrived meanwhile is
+            // covered by that step's dirty-flag re-enqueue.
+            return;
+        }
     }
     if (terminated()) {
         teardownFibers();
@@ -338,7 +346,23 @@ Worker::finishStep()
             }
             continue; // raced to Dirty
         }
-        return; // shouldn't happen; be defensive
+        if (s == SchedState::Idle) {
+            // Unreachable in the pool protocol (step() holds Running for
+            // the whole quantum), but never strand runnable work behind a
+            // silent return: requeue through the normal wake path.
+            if (!more)
+                return;
+            SchedState e = SchedState::Idle;
+            if (schedState_.compare_exchange_strong(
+                    e, SchedState::Queued, std::memory_order_seq_cst)) {
+                executor_->enqueue(shared_from_this());
+                return;
+            }
+            continue; // a racing signalWork queued us; done
+        }
+        // Queued while a step is in flight means the single-entry
+        // invariant broke — another thread may already be stepping us.
+        panic("Worker::finishStep: Queued observed during a step");
     }
 }
 

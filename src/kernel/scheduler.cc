@@ -63,20 +63,23 @@ Scheduler::scheduleTimer(std::shared_ptr<jsvm::Worker> w, int64_t due_us)
             return;
         }
     }
-    // Retired pool: no thread will ever fire the timer; step the worker
-    // once now so its loop can promote whatever became due.
-    steps_.fetch_add(1, std::memory_order_relaxed);
-    w->step();
+    // Retired pool: no thread will ever sleep on this deadline. Wake the
+    // worker now if it is already due (signalWork routes back through
+    // enqueue, which runs the step inline after shutdown); a future
+    // deadline is dropped — terminate() drives the final unwind step.
+    if (due_us <= jsvm::nowUs())
+        w->signalWork();
 }
 
 int64_t
-Scheduler::promoteDueTimersLocked(int64_t now)
+Scheduler::promoteDueTimersLocked(
+    int64_t now, std::vector<std::shared_ptr<jsvm::Worker>> &due)
 {
     int64_t next = -1;
     for (auto it = timers_.begin(); it != timers_.end();) {
         if (it->due_us <= now) {
             if (auto w = it->worker.lock())
-                queue_.push_back(std::move(w));
+                due.push_back(std::move(w));
             it = timers_.erase(it);
         } else {
             if (next < 0 || it->due_us < next)
@@ -90,9 +93,23 @@ Scheduler::promoteDueTimersLocked(int64_t now)
 void
 Scheduler::threadMain()
 {
+    std::vector<std::shared_ptr<jsvm::Worker>> due;
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
-        int64_t next_due = promoteDueTimersLocked(jsvm::nowUs());
+        int64_t next_due = promoteDueTimersLocked(jsvm::nowUs(), due);
+        if (!due.empty()) {
+            // Wake due workers through signalWork, never a raw queue push:
+            // its Idle->Queued CAS dedupes against concurrent wakes, so a
+            // worker can never hold two queue entries (two pool threads
+            // would then step the same fibers concurrently). signalWork
+            // re-enters enqueue(), so the mutex must be dropped first.
+            lk.unlock();
+            for (auto &w : due)
+                w->signalWork();
+            due.clear();
+            lk.lock();
+            continue;
+        }
         if (stopping_)
             return;
         if (queue_.empty()) {

@@ -61,9 +61,13 @@ class Scheduler final : public jsvm::WorkerExecutor
   private:
     void threadMain();
     void startThreadsLocked();
-    // Move due timers onto the run queue; returns the next pending due
-    // time (us) or -1. Caller holds mutex_.
-    int64_t promoteDueTimersLocked(int64_t now);
+    // Collect workers whose timers are due into `due`; returns the next
+    // pending due time (us) or -1. Caller holds mutex_ and must drop it
+    // before waking the collected workers via Worker::signalWork (whose
+    // Idle->Queued CAS dedupes — a raw queue_ push could double-queue a
+    // worker and let two pool threads step it concurrently).
+    int64_t promoteDueTimersLocked(int64_t now,
+                                   std::vector<std::shared_ptr<jsvm::Worker>> &due);
 
     struct PendingTimer
     {

@@ -9,9 +9,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.h"
@@ -211,6 +213,68 @@ TEST(Scheduler, NprocQuotaReturnsEagainAndRecoversAfterReap)
     EXPECT_TRUE(r.ok);
     EXPECT_EQ(r.exitCode(), 0);
     EXPECT_EQ(bx.kernel().taskCount(), 0u);
+}
+
+TEST(Scheduler, TimerParkedWorkerRewakesThroughTheDedupedWakePath)
+{
+    // A pooled worker that goes Idle with a pending loop timer is brought
+    // back by the scheduler's timer rail. Regression: timer promotion
+    // used to push the worker onto the run queue directly, skipping
+    // signalWork's Idle->Queued CAS — a wake landing in the same window
+    // (Atomics::notify of a parked guest, or any signalWork) could then
+    // double-queue the worker and two pool threads would resume the same
+    // guest fiber at once. Race hundreds of 1ms promotions against a
+    // notify/signalWork hammer so TSan (and step()'s ownership CAS)
+    // catch any return of the raw push.
+    jsvm::Browser browser;
+    auto sched = std::make_shared<kernel::Scheduler>(2);
+    browser.setExecutor(sched);
+    std::string url = browser.blobs().createObjectUrl({'x'});
+    auto sab = std::make_shared<jsvm::SharedArrayBuffer>(16);
+    std::atomic<int> rounds{0};
+    std::atomic<int> timer_fired{0};
+    auto w = browser.createWorker(url, [&](jsvm::WorkerScope &scope, auto) {
+        // Rail 1: a self-re-arming 1ms loop timer, so nearly every step
+        // parks the worker with a pending deadline (finishStep ->
+        // scheduleTimer -> promoteDueTimersLocked, over and over).
+        auto rearm = std::make_shared<std::function<void()>>();
+        jsvm::EventLoop *loop = &scope.loop();
+        *rearm = [rearm, loop, &timer_fired]() {
+            timer_fired++;
+            loop->setTimeout(*rearm, 1000);
+        };
+        loop->setTimeout(*rearm, 1000);
+        // Rail 2: a guest fiber parking in Atomics::wait each round; the
+        // main-thread notify makes it runnable — and signals the worker —
+        // right as a timer promotion may be in flight.
+        jsvm::InterruptToken *token = &scope.token();
+        scope.startGuest([sab, token, &rounds]() {
+            for (;;) {
+                if (jsvm::Atomics::wait(*sab, 0, 0, -1, token) !=
+                    jsvm::WaitResult::Ok)
+                    return; // interrupted: terminate() is unwinding us
+                rounds++;
+            }
+        });
+    });
+    ASSERT_TRUE(w->pooled());
+    const int kRounds = 300;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while ((rounds < kRounds || timer_fired < 20) &&
+           std::chrono::steady_clock::now() < deadline) {
+        jsvm::Atomics::notify(*sab, 0);
+        w->signalWork();
+        std::this_thread::yield();
+    }
+    EXPECT_GE(rounds.load(), kRounds) << "parked guest stopped being rewoken";
+    EXPECT_GE(timer_fired.load(), 20) << "scheduler timer rail never fired";
+    w->terminate();
+    // Retire the pool from this thread (the Kernel does the same in its
+    // destructor): without it, a pool thread can drop the last Worker ref
+    // — and with it the last Scheduler ref — and ~Scheduler would then
+    // join the pool from inside one of its own threads.
+    sched->shutdown();
 }
 
 TEST(Scheduler, KernelSystemSurfacesSpawnFailureInsteadOfPanicking)

@@ -24,7 +24,13 @@ import json
 import os
 import sys
 
-BENCHES = ("fs_micro", "syscall_micro", "pipe_micro", "proc_micro")
+BENCHES = (
+    "fs_micro",
+    "syscall_micro",
+    "pipe_micro",
+    "proc_micro",
+    "http_serve",
+)
 
 # Throughput/latency metrics where a higher value is a regression. Ratio
 # metrics (notifies per call, messages per burst) are capped separately:
@@ -44,6 +50,11 @@ RATIO_CEILINGS = {
     # kernel-side sendfile) holds the same line: full run near 0.29,
     # smoke tier near 0.42.
     "server_ring_notifies_per_call": 0.5,
+    # Connection-scale serving (http_serve): one epoll wake plus one
+    # batched read/writev pair per request leaves the smoke tier near
+    # 4.7 notifies per request; a per-connection or per-call notify
+    # pattern would push this past the tens.
+    "http_notifies_per_request": 8.0,
 }
 
 # Absolute ceilings for the worker-pool scheduler's headline numbers,
@@ -58,6 +69,32 @@ ABS_CEILINGS = {
     "proc_wait4_p99_us": 2000,
     "proc_kill_p99_us": 10000,
     "host_threads": 64,
+    # http_serve end-to-end request latency at the smoke tier (64
+    # concurrent simulated connections): measured ~56ms p99 (dominated
+    # by the connect-burst accept ramp); the ceiling catches a return
+    # to per-request round-trips or a serving-loop stall.
+    "http_p99_us": 2000000,
+}
+
+# Absolute ceilings for specific latency-histogram percentile rows —
+# the promoted subset of the otherwise-informational "<prefix>.p50/.p99"
+# rows (see the suffix skip below). Values carry ~50-100x headroom over
+# the smoke-tier measurements so shared-runner jitter never trips them,
+# while a protocol regression (a parked CQE charged to the syscall, a
+# drain pass gone quadratic) still lands well past the line.
+PCTL_CEILINGS = {
+    # pipe_micro per-syscall dispatch->completion latency (smoke: p99s
+    # of 3us read / 466us write / 4.6ms poll).
+    "ring_read.p99": 50000,
+    "ring_write.p99": 50000,
+    "ring_poll.p99": 500000,
+    "ring_epoll_wait.p99": 500000,
+    "ring_sendfile.p99": 50000,
+    # Ring drain-pass shape (http_serve): SQEs per productive pass is
+    # bounded by per-ring capacity (64) times the handful of live rings
+    # a pass may cover; pass wall time p99 measured ~tens of us.
+    "ring_batch_depth.p99": 512,
+    "ring_drain.p99": 100000,
 }
 
 
@@ -117,6 +154,17 @@ def main():
                         f"::error::bench-trajectory {bench}/{name}: "
                         f"{value:.6g}{m.get('unit', '')} exceeds absolute "
                         f"ceiling {ceiling}"
+                    )
+                continue
+            if name in PCTL_CEILINGS:
+                compared += 1
+                ceiling = PCTL_CEILINGS[name]
+                if value > ceiling:
+                    failed += 1
+                    print(
+                        f"::error::bench-trajectory {bench}/{name}: "
+                        f"{value:.6g}{m.get('unit', '')} exceeds "
+                        f"percentile ceiling {ceiling}"
                     )
                 continue
             b = base.get(name)

@@ -1,0 +1,307 @@
+#include "apps/httpd/httpd.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "apps/meme/server.h"
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace apps {
+
+// ---------------------------------------------------------------------------
+// EmHttpTransport
+// ---------------------------------------------------------------------------
+
+int64_t
+EmHttpTransport::read(int fd, bfs::Buffer &out, size_t maxlen)
+{
+    bfs::Buffer tmp;
+    int64_t n = env_.read(fd, tmp, maxlen);
+    if (n > 0)
+        out.insert(out.end(), tmp.begin(), tmp.end());
+    return n;
+}
+
+int64_t
+EmHttpTransport::writev(int fd, const std::vector<bfs::Buffer> &bufs)
+{
+    std::vector<std::string> parts;
+    parts.reserve(bufs.size());
+    for (const auto &b : bufs)
+        parts.emplace_back(b.begin(), b.end());
+    return env_.writev(fd, parts);
+}
+
+int
+EmHttpTransport::shutdownWrite(int fd)
+{
+    return env_.shutdown(fd, sys::SHUT_WR_);
+}
+
+int
+EmHttpTransport::close(int fd)
+{
+    return env_.close(fd);
+}
+
+int64_t
+EmHttpTransport::fileSize(const std::string &path)
+{
+    sys::StatX st;
+    int rc = env_.stat(path, st);
+    return rc < 0 ? rc : static_cast<int64_t>(st.size);
+}
+
+int64_t
+EmHttpTransport::sendFile(int fd, const std::string &path, size_t len)
+{
+    int in = env_.open(path, 0);
+    if (in < 0)
+        return in;
+    int64_t sent = 0;
+    while (sent < static_cast<int64_t>(len)) {
+        int64_t r = env_.sendfile(fd, in, sent,
+                                  static_cast<int64_t>(len) - sent);
+        if (r < 0) {
+            env_.close(in);
+            return r;
+        }
+        if (r == 0)
+            break; // EOF: file shorter than advertised
+        sent += r;
+    }
+    env_.close(in);
+    return sent;
+}
+
+int
+EmHttpTransport::accept(int listener_fd)
+{
+    // Only called after the listener reported POLLIN, so the backlog is
+    // non-empty and the blocking accept returns without parking.
+    return env_.accept(listener_fd);
+}
+
+int
+EmHttpTransport::epollCreate()
+{
+    return env_.epollCreate();
+}
+
+int
+EmHttpTransport::epollCtl(int epfd, int op, int fd, int events)
+{
+    return env_.epollCtl(epfd, op, fd, events);
+}
+
+int
+EmHttpTransport::epollWait(int epfd, std::vector<Event> &out,
+                           size_t maxevents)
+{
+    std::vector<rt::EmEnv::PollSpec> specs(maxevents);
+    int n = env_.epollWait(epfd, specs);
+    out.clear();
+    for (int i = 0; i < n && i < static_cast<int>(maxevents); i++)
+        out.push_back(Event{specs[static_cast<size_t>(i)].fd,
+                            specs[static_cast<size_t>(i)].revents});
+    return n;
+}
+
+void
+EmHttpTransport::readBatch(const std::vector<int> &fds, size_t maxlen,
+                           std::vector<bfs::Buffer> &outs,
+                           std::vector<int64_t> &ns)
+{
+    rt::RingSyscalls *ring = env_.ring();
+    rt::SyncSyscalls *sync = env_.syncCalls();
+    if (!ring || !sync) {
+        net::HttpEventTransport::readBatch(fds, maxlen, outs, ns);
+        return;
+    }
+    outs.assign(fds.size(), {});
+    ns.assign(fds.size(), 0);
+    // The read buffers live in the shared heap's scratch region (~1 MiB);
+    // chunk the batch so one pass never outgrows it or the SQ.
+    constexpr size_t kScratchBudget = 512 * 1024;
+    size_t per = std::min<size_t>(ring->capacity(),
+                                  kScratchBudget / std::max<size_t>(1, maxlen));
+    per = std::max<size_t>(1, per);
+    std::vector<uint32_t> ptrs, seqs;
+    for (size_t base = 0; base < fds.size(); base += per) {
+        size_t count = std::min(per, fds.size() - base);
+        sync->resetScratch();
+        ptrs.clear();
+        seqs.clear();
+        // Every ready connection's READ rides one SQ batch: a single
+        // doorbell (often zero, when the kernel's drain is already
+        // scheduled) covers the whole pass.
+        for (size_t i = 0; i < count; i++) {
+            ptrs.push_back(sync->alloc(maxlen));
+            seqs.push_back(ring->submit(
+                sys::READ,
+                {fds[base + i], static_cast<int32_t>(ptrs[i]),
+                 static_cast<int32_t>(maxlen), 0, 0, 0}));
+        }
+        ring->flush();
+        for (size_t i = 0; i < count; i++) {
+            rt::RingSyscalls::Completion c = ring->wait(seqs[i]);
+            ns[base + i] = c.r0;
+            if (c.r0 > 0)
+                outs[base + i].assign(
+                    sync->heapData() + ptrs[i],
+                    sync->heapData() + ptrs[i] + c.r0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GoHttpTransport
+// ---------------------------------------------------------------------------
+
+int64_t
+GoHttpTransport::read(int fd, bfs::Buffer &out, size_t maxlen)
+{
+    bfs::Buffer tmp;
+    int64_t n = env_.read(fd, tmp, maxlen);
+    if (n > 0)
+        out.insert(out.end(), tmp.begin(), tmp.end());
+    return n;
+}
+
+int64_t
+GoHttpTransport::writev(int fd, const std::vector<bfs::Buffer> &bufs)
+{
+    size_t total = 0;
+    for (const auto &b : bufs)
+        total += b.size();
+    std::string all;
+    all.reserve(total);
+    for (const auto &b : bufs)
+        all.append(b.begin(), b.end());
+    return env_.write(fd, all);
+}
+
+int
+GoHttpTransport::shutdownWrite(int fd)
+{
+    return env_.shutdown(fd, sys::SHUT_WR_);
+}
+
+int
+GoHttpTransport::close(int fd)
+{
+    return env_.close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// meme-httpd
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int64_t
+readWholeFile(rt::EmEnv &env, const std::string &path, bfs::Buffer &out)
+{
+    int fd = env.open(path, 0);
+    if (fd < 0)
+        return fd;
+    out.clear();
+    for (;;) {
+        bfs::Buffer chunk;
+        int64_t n = env.read(fd, chunk, 64 * 1024);
+        if (n < 0) {
+            env.close(fd);
+            return n;
+        }
+        if (n == 0)
+            break;
+        out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    env.close(fd);
+    return static_cast<int64_t>(out.size());
+}
+
+void
+loadTemplates(rt::EmEnv &env, MemeTemplates &templates)
+{
+    int dfd = env.open("/memes", 0);
+    if (dfd < 0)
+        return;
+    std::vector<sys::Dirent> ents;
+    int rc = env.getdents(dfd, ents);
+    env.close(dfd);
+    if (rc != 0)
+        return;
+    for (const auto &e : ents) {
+        const std::string &fname = e.name;
+        if (fname.size() < 5 || fname.substr(fname.size() - 5) != ".bimg")
+            continue;
+        bfs::Buffer data;
+        if (readWholeFile(env, "/memes/" + fname, data) < 0)
+            continue;
+        Image img;
+        if (!decodeBimg(data, img))
+            continue;
+        templates.images[fname.substr(0, fname.size() - 5)] =
+            std::move(img);
+    }
+}
+
+} // namespace
+
+int
+memeHttpdMain(rt::EmEnv &env)
+{
+    MemeTemplates templates;
+    loadTemplates(env, templates);
+
+    int port = 8080;
+    int backlog = 64;
+    uint64_t max_requests = 0;
+    const auto &args = env.argv();
+    if (args.size() > 1)
+        port = std::atoi(args[1].c_str());
+    if (args.size() > 2)
+        backlog = std::atoi(args[2].c_str());
+    if (args.size() > 3)
+        max_requests = std::strtoull(args[3].c_str(), nullptr, 10);
+
+    int fd = env.socket();
+    if (fd < 0)
+        return 1;
+    if (env.bind(fd, port) < 0)
+        return 1;
+    if (env.listen(fd, backlog) < 0)
+        return 1;
+
+    EmHttpTransport transport(env);
+    net::HttpServerOptions opts;
+    opts.maxRequests = max_requests;
+    net::HttpServer server(
+        transport,
+        [&templates](const net::HttpRequest &req) {
+            auto [path, query] = net::splitTarget(req.target);
+            if (path.rfind("/memes/", 0) == 0 &&
+                path.find("..") == std::string::npos) {
+                // Static template art: the body never enters this
+                // process — HttpServer streams it via sendfile.
+                net::HttpResponse resp;
+                resp.headers["content-type"] = "application/octet-stream";
+                resp.bodyFile = path;
+                return resp;
+            }
+            net::HttpResponse resp =
+                handleMemeRequest<int64_t>(templates, req);
+            if (query.count("chunked"))
+                resp.headers["transfer-encoding"] = "chunked";
+            return resp;
+        },
+        opts);
+    int rc = server.run(fd);
+    env.close(fd);
+    return rc < 0 ? 1 : 0;
+}
+
+} // namespace apps
+} // namespace browsix

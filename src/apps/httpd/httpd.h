@@ -1,0 +1,89 @@
+/**
+ * @file
+ * meme-httpd: the meme service re-hosted on net::HttpServer's ring-native
+ * serving path — one Emscripten/ring process, one epoll loop, every
+ * connection multiplexed through batched SQEs (§5.2 scaled from
+ * request/response to connection-scale serving).
+ *
+ * Two HttpTransport bindings live here, one per runtime family:
+ *
+ *  - EmHttpTransport (HttpEventTransport): the EmEnv ring binding used by
+ *    HttpServer::run. Readiness comes from epoll, reads from every ready
+ *    connection are submitted as one READ-SQE batch under a single
+ *    doorbell, responses go out as gather writev SQEs, and static bodies
+ *    stream kernel-side via sendfile.
+ *
+ *  - GoHttpTransport: the blocking GoEnv binding used by serveConn in the
+ *    goroutine-per-connection meme-server (apps/meme/server.cc) — the
+ *    paper's unmodified-Go shape, now with keep-alive and pipelining via
+ *    the shared server loop.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/http_server.h"
+#include "runtime/emscripten/em_runtime.h"
+#include "runtime/gopher/go_runtime.h"
+
+namespace browsix {
+namespace apps {
+
+/** net::HttpEventTransport over an EmEnv (Sync or Ring mode; Ring gets
+ * the batched read path). All calls must run on the program thread. */
+class EmHttpTransport : public net::HttpEventTransport
+{
+  public:
+    explicit EmHttpTransport(rt::EmEnv &env) : env_(env) {}
+
+    int64_t read(int fd, bfs::Buffer &out, size_t maxlen) override;
+    int64_t writev(int fd, const std::vector<bfs::Buffer> &bufs) override;
+    int shutdownWrite(int fd) override;
+    int close(int fd) override;
+    int64_t fileSize(const std::string &path) override;
+    int64_t sendFile(int fd, const std::string &path, size_t len) override;
+
+    int accept(int listener_fd) override;
+    int epollCreate() override;
+    int epollCtl(int epfd, int op, int fd, int events) override;
+    int epollWait(int epfd, std::vector<Event> &out,
+                  size_t maxevents) override;
+    void readBatch(const std::vector<int> &fds, size_t maxlen,
+                   std::vector<bfs::Buffer> &outs,
+                   std::vector<int64_t> &ns) override;
+
+  private:
+    rt::EmEnv &env_;
+};
+
+/** Blocking net::HttpTransport over a GoEnv — drives serveConn from one
+ * goroutine per connection. */
+class GoHttpTransport : public net::HttpTransport
+{
+  public:
+    explicit GoHttpTransport(rt::GoEnv &env) : env_(env) {}
+
+    int64_t read(int fd, bfs::Buffer &out, size_t maxlen) override;
+    int64_t writev(int fd, const std::vector<bfs::Buffer> &bufs) override;
+    int shutdownWrite(int fd) override;
+    int close(int fd) override;
+
+  private:
+    rt::GoEnv &env_;
+};
+
+/**
+ * The meme HTTP daemon (registered as "meme-httpd", RuntimeKind::EmRing):
+ * serves the /api/images and /api/meme routes plus /memes/<name>.bimg
+ * static files (sendfile) through HttpServer::run.
+ *
+ *   argv: meme-httpd [port=8080] [backlog=64] [max_requests=0]
+ *
+ * max_requests > 0 makes the daemon drain and exit after serving that
+ * many requests — how bench/http_serve.cc bounds a run.
+ */
+int memeHttpdMain(rt::EmEnv &env);
+
+} // namespace apps
+} // namespace browsix

@@ -1,6 +1,8 @@
 #include "apps/meme/server.h"
 
+#include "apps/httpd/httpd.h"
 #include "apps/meme/png.h"
+#include "net/http_server.h"
 
 namespace browsix {
 namespace apps {
@@ -139,33 +141,18 @@ memeServerMain(rt::GoEnv &env)
             env.logf("[srv] accepted fd=" + std::to_string(conn));
         if (conn < 0)
             break;
-        // One goroutine per connection, Go-style.
-        env.go([&env, conn, templates, trace]() {
-            net::HttpParser parser(net::HttpParser::Mode::Request);
-            for (;;) {
-                bfs::Buffer chunk;
-                int64_t n = env.read(conn, chunk, 64 * 1024);
-                if (trace)
-                    env.logf("[srv] fd=" + std::to_string(conn) +
-                             " read n=" + std::to_string(n));
-                if (n <= 0)
-                    break;
-                if (!parser.feed(chunk))
-                    break;
-                if (parser.done()) {
-                    // GopherJS build: int64 arithmetic is emulated.
-                    net::HttpResponse resp = handleMemeRequest<rt::Int64>(
-                        *templates, parser.request());
-                    resp.headers["connection"] = "close";
-                    auto bytes = net::serializeResponse(resp);
-                    int64_t wn = env.write(conn, bytes.data(), bytes.size());
-                    if (trace)
-                        env.logf("[srv] fd=" + std::to_string(conn) +
-                                 " wrote n=" + std::to_string(wn));
-                    break;
-                }
-            }
-            env.close(conn);
+        // One goroutine per connection, Go-style; each drives the shared
+        // net::HttpServer loop (keep-alive, pipelining, graceful close)
+        // over the blocking Gopher transport. GopherJS build: int64
+        // arithmetic is emulated, hence the rt::Int64 handler.
+        env.go([&env, conn, templates]() {
+            GoHttpTransport transport(env);
+            net::HttpServer server(
+                transport,
+                [templates](const net::HttpRequest &req) {
+                    return handleMemeRequest<rt::Int64>(*templates, req);
+                });
+            server.serveConn(conn); // closes conn
         });
     }
 }

@@ -7,6 +7,7 @@
 #include "apps/registry.h"
 
 #include "apps/coreutils/coreutils.h"
+#include "apps/httpd/httpd.h"
 #include "apps/make/make.h"
 #include "apps/meme/server.h"
 #include "apps/shell/shell.h"
@@ -62,6 +63,12 @@ registerAllPrograms()
     // The GopherJS-compiled meme server (§5.1.1).
     reg.add(ProgramSpec{"meme-server", RuntimeKind::Gopher, 3100, nullptr,
                         memeServerMain});
+
+    // meme-httpd: the same meme service compiled for the ring convention
+    // and served off one epoll loop (net::HttpServer::run) — the
+    // connection-scale serving path measured by bench/http_serve.
+    reg.add(ProgramSpec{"meme-httpd", RuntimeKind::EmRing, 3400,
+                        memeHttpdMain, nullptr});
 }
 
 } // namespace apps

@@ -107,7 +107,12 @@ Browsix::Browsix(BootConfig cfg)
     if (cfg.memeAssets)
         apps::stageMemeAssets(*root_);
 
-    kernel_ = std::make_unique<kernel::Kernel>(*browser_, vfs_);
+    net::NetBackendPtr net;
+    if (cfg.simNet)
+        net = std::make_shared<net::SimBackend>(&browser_->mainLoop(),
+                                                cfg.simNetLink);
+    kernel_ = std::make_unique<kernel::Kernel>(*browser_, vfs_,
+                                               std::move(net));
     kernel_->setBootstrapper(makeBootstrapper());
 }
 
@@ -142,6 +147,7 @@ Browsix::stageSystem(const BootConfig &cfg)
     root.writeFile("/usr/bin/els", reg.bundleFor("els"));
     root.writeFile("/usr/bin/ecat", reg.bundleFor("ecat"));
     root.writeFile("/usr/bin/meme-server", reg.bundleFor("meme-server"));
+    root.writeFile("/usr/bin/meme-httpd", reg.bundleFor("meme-httpd"));
 
     // Utilities: small scripts run by the node interpreter via shebang,
     // just as the paper stages them.

@@ -24,6 +24,7 @@
 #include "jsvm/browser.h"
 #include "kernel/kernel.h"
 #include "net/http.h"
+#include "net/netsim.h"
 
 namespace browsix {
 
@@ -50,6 +51,13 @@ struct BootConfig
 
     /// Stage the meme server's template images at /memes.
     bool memeAssets = false;
+
+    /// Boot the kernel over net::SimBackend: every socket connection's
+    /// bytes traverse a simNetLink-shaped simulated link in both
+    /// directions (latency + bandwidth), instead of the zero-cost
+    /// in-kernel loopback. The connection-scale HTTP bench uses this.
+    bool simNet = false;
+    net::LinkParams simNetLink = net::LinkParams::localhost();
 };
 
 /** Result of a synchronous Browsix::run. */

@@ -12,9 +12,12 @@
 namespace browsix {
 namespace kernel {
 
-Kernel::Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs)
+Kernel::Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs,
+               net::NetBackendPtr net)
     : browser_(browser), vfs_(std::move(vfs)),
-      sched_(std::make_shared<Scheduler>())
+      sched_(std::make_shared<Scheduler>()),
+      net_(net ? std::move(net)
+               : std::make_shared<net::LoopbackBackend>())
 {
     // Every worker this browser creates from now on is a run-queue item
     // on the shared pool — processes stop costing host threads.
@@ -399,7 +402,7 @@ Kernel::doExit(Task &t, int status)
     for (auto &[fd, f] : t.files) {
         if (auto *sock = dynamic_cast<SocketFile *>(f.get())) {
             if (sock->state() == SocketFile::State::Listening)
-                ports_.erase(sock->port());
+                net_->dropListener(sock->port());
         }
     }
     for (auto &[fd, f] : t.files)
@@ -583,100 +586,43 @@ Kernel::deliverSignal(Task &t, int sig)
         t.worker->postMessage(msg);
 }
 
-namespace {
-/** Client-side port allocator shared by both connect entry points. */
-int
-nextEphemeralPort()
-{
-    static int ephemeral = 49152;
-    return ephemeral++;
-}
-} // namespace
+// The connect/listen surface below delegates to the NetBackend, which
+// owns the port namespace, the rendezvous, and the per-connection byte
+// streams (Pipe pairs for loopback, shaped links for netsim).
 
 int
 Kernel::doConnect(Task *, SocketFile &client, int port)
 {
-    auto it = ports_.find(port);
-    if (it == ports_.end())
-        return ECONNREFUSED;
-    SocketFile *listener = it->second;
-
-    auto to_server = std::make_shared<Pipe>();
-    auto to_client = std::make_shared<Pipe>();
-    int client_port = nextEphemeralPort();
-
-    auto server_end = std::make_shared<SocketFile>();
-    server_end->establish(to_server, to_client, port, client_port);
-
-    int rc = listener->enqueueConnection(server_end);
-    if (rc != 0)
-        return rc;
-
-    client.establish(to_client, to_server, client_port, port);
-    return 0;
+    return net_->connect(client, port);
 }
 
 bool
 Kernel::connectOrPark(SocketFilePtr client, int port,
                       std::function<void(int err)> done)
 {
-    auto it = ports_.find(port);
-    if (it == ports_.end()) {
-        // No listener at all: refuse immediately, matching doConnect.
-        // Only a live-but-saturated listener is worth waiting on.
-        done(ECONNREFUSED);
-        return false;
-    }
-    SocketFile *listener = it->second;
-
-    auto to_server = std::make_shared<Pipe>();
-    auto to_client = std::make_shared<Pipe>();
-    int client_port = nextEphemeralPort();
-
-    auto server_end = std::make_shared<SocketFile>();
-    server_end->establish(to_server, to_client, port, client_port);
-
-    // Establish the client half up front: once a parked rendezvous is
-    // promoted the server may accept and write before the client's
-    // deferred completion runs, and both stream ends must exist by then.
-    // On a parked-then-refused connect the listener collapses the peer's
-    // streams, so this end reads EOF / EPIPEs like a reset connection.
-    client->establish(to_client, to_server, client_port, port);
-
-    bool parked = listener->enqueueConnectionOrPark(std::move(server_end),
-                                                    std::move(done));
+    bool parked = net_->connectOrPark(std::move(client), port,
+                                      std::move(done));
     if (parked)
         stats_.connectsParked++;
     return parked;
 }
 
 void
-Kernel::notifyListen(int port, SocketFile *listener)
+Kernel::notifyListen(int port, SocketFilePtr listener)
 {
-    ports_[port] = listener;
-    auto range = listenWatchers_.equal_range(port);
-    std::vector<std::function<void()>> cbs;
-    for (auto it = range.first; it != range.second; ++it)
-        cbs.push_back(it->second);
-    listenWatchers_.erase(range.first, range.second);
-    for (auto &cb : cbs)
-        cb();
+    net_->addListener(port, std::move(listener));
 }
 
 void
 Kernel::onPortListen(int port, std::function<void()> cb)
 {
-    if (ports_.count(port)) {
-        cb();
-        return;
-    }
-    listenWatchers_.emplace(port, std::move(cb));
+    net_->onPortListen(port, std::move(cb));
 }
 
 bool
 Kernel::portListening(int port) const
 {
-    return ports_.count(port) > 0;
+    return net_->portListening(port);
 }
 
 void
@@ -845,6 +791,7 @@ Kernel::drainSyscallRing(int pid, int idle_grace)
     t->ring.draining = true;
     t->ring.deferredNotify = false;
 
+    int64_t pass_start_us = jsvm::nowUs();
     size_t consumed = 0;
     while (!sq.empty()) {
         sys::Sqe e = ring.readSqe(*heap, sq.slot(sq.head()));
@@ -882,6 +829,9 @@ Kernel::drainSyscallRing(int pid, int idle_grace)
         // batch: wake the waiter for the completions that landed (and
         // for any SQ slots a backpressure-parked producer is waiting on).
         stats_.ringBatchesDrained++;
+        stats_.ringBatchDepth.record(consumed);
+        stats_.ringDrainUs.record(
+            static_cast<uint64_t>(jsvm::nowUs() - pass_start_us));
         t->ring.idleHintPasses = 0;
         ringNotify(*t);
         // Adaptive doorbell coalescing: keep drainPending armed and

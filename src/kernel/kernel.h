@@ -26,6 +26,7 @@
 #include "kernel/socket.h"
 #include "kernel/task.h"
 #include "kernel/task_table.h"
+#include "net/net_backend.h"
 
 namespace browsix {
 namespace kernel {
@@ -99,6 +100,13 @@ struct KernelStats
     uint64_t signalsDelivered = 0;
     uint64_t processesSpawned = 0;
 
+    /// Ring drain-pass shape: SQEs consumed per productive pass (the
+    /// batching the one-notify-per-batch design amortizes against) and
+    /// how long each pass took, wall-clock µs. Both feed the bench
+    /// trajectory gates alongside the per-syscall histograms.
+    LatencyHistogram ringBatchDepth;
+    LatencyHistogram ringDrainUs;
+
     /// Per-syscall dispatch→completion latency, log2-bucketed in µs.
     /// Keyed by syscall name; only calls actually observed appear. Calls
     /// that never complete (exit, a read parked when its process dies)
@@ -126,7 +134,13 @@ class Kernel
     using ExitCb = std::function<void(int status)>;
     using SpawnCb = std::function<void(int err_or_pid)>;
 
-    Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs);
+    /**
+     * `net` selects the connection transport every socket on this kernel
+     * uses (port namespace + per-connection byte streams); nullptr means
+     * the in-kernel LoopbackBackend — the classic Browsix behavior.
+     */
+    Kernel(jsvm::Browser &browser, bfs::VfsPtr vfs,
+           net::NetBackendPtr net = nullptr);
     ~Kernel();
 
     void setBootstrapper(Bootstrapper b) { bootstrapper_ = std::move(b); }
@@ -279,7 +293,7 @@ class Kernel
      */
     bool connectOrPark(SocketFilePtr client, int port,
                        std::function<void(int err)> done);
-    void notifyListen(int port, SocketFile *listener);
+    void notifyListen(int port, SocketFilePtr listener);
     void completeWaits(Task &parent);
     void reapTask(int pid);
     /**
@@ -301,7 +315,8 @@ class Kernel
         stats_.syscallLatencyUs[name].record(us);
     }
 
-    std::map<int, SocketFile *> &ports() { return ports_; }
+    /** The connection transport behind every socket on this kernel. */
+    net::NetBackend &net() { return *net_; }
 
   private:
     void onWorkerMessage(int pid, jsvm::Value msg);
@@ -338,8 +353,8 @@ class Kernel
     /// value; 423 = RING_PERSONALITY is the current ceiling).
     static constexpr int kTrapHistSlots = 512;
     std::array<LatencyHistogram *, kTrapHistSlots> trapHist_{};
-    std::map<int, SocketFile *> ports_; // bound port -> listening socket
-    std::multimap<int, std::function<void()>> listenWatchers_;
+    /// Connection transport: port namespace, rendezvous, byte streams.
+    net::NetBackendPtr net_;
 
     friend class SyscallCtx;
 };

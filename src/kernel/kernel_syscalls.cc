@@ -1106,14 +1106,9 @@ sysBind(Kernel &k, Task &t, SyscallCtxPtr ctx)
         ctx->completeErr(ENOTSOCK);
         return;
     }
-    int port = ctx->argInt(1);
-    if (port == 0) { // ephemeral
-        static int next = 32768;
-        while (k.ports().count(next))
-            next++;
-        port = next++;
-    } else if (k.ports().count(port)) {
-        ctx->completeErr(EADDRINUSE);
+    int port = k.net().allocBindPort(ctx->argInt(1));
+    if (port < 0) {
+        ctx->completeErr(-port);
         return;
     }
     int rc = sock->bind(port);
@@ -1126,13 +1121,13 @@ sysBind(Kernel &k, Task &t, SyscallCtxPtr ctx)
 void
 sysListen(Kernel &k, Task &t, SyscallCtxPtr ctx)
 {
-    auto file = getFile(t, ctx->argInt(0));
-    auto *sock = dynamic_cast<SocketFile *>(file.get());
+    auto sock =
+        std::dynamic_pointer_cast<SocketFile>(getFile(t, ctx->argInt(0)));
     if (!sock) {
         ctx->completeErr(ENOTSOCK);
         return;
     }
-    if (k.ports().count(sock->port())) {
+    if (k.net().portListening(sock->port())) {
         ctx->completeErr(EADDRINUSE);
         return;
     }
@@ -1143,7 +1138,8 @@ sysListen(Kernel &k, Task &t, SyscallCtxPtr ctx)
     }
     // Socket notification (§4.1): tell the web application the server is
     // ready, so it need not poll.
-    k.notifyListen(sock->port(), sock);
+    int port = sock->port();
+    k.notifyListen(port, std::move(sock));
     ctx->complete(0);
 }
 
@@ -1201,6 +1197,21 @@ sysGetsockname(Kernel &, Task &t, SyscallCtxPtr ctx)
         return;
     }
     ctx->complete(sock->port());
+}
+
+void
+sysShutdown(Kernel &, Task &t, SyscallCtxPtr ctx)
+{
+    auto *sock = dynamic_cast<SocketFile *>(getFile(t, ctx->argInt(0)).get());
+    if (!sock) {
+        ctx->completeErr(ENOTSOCK);
+        return;
+    }
+    int rc = sock->shutdown(ctx->argInt(1));
+    if (rc)
+        ctx->completeErr(rc);
+    else
+        ctx->complete(0);
 }
 
 // ---------- poll (readiness over the deferral protocol) ----------
@@ -1645,6 +1656,7 @@ handlerTable()
         {"accept", sysAccept},
         {"connect", sysConnect},
         {"getsockname", sysGetsockname},
+        {"shutdown", sysShutdown},
         {"poll", sysPoll},
         {"epoll_create", sysEpollCreate},
         {"epoll_ctl", sysEpollCtl},

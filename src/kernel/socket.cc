@@ -10,6 +10,10 @@ SocketFile::read(size_t maxlen, bfs::DataCb cb)
         cb(ENOTCONN, nullptr);
         return;
     }
+    if (shutRd_) {
+        cb(0, std::make_shared<bfs::Buffer>()); // EOF after SHUT_RD
+        return;
+    }
     rx_->read(maxlen, std::move(cb));
 }
 
@@ -18,6 +22,10 @@ SocketFile::write(bfs::Buffer data, bfs::SizeCb cb)
 {
     if (state_ != State::Connected) {
         cb(ENOTCONN, 0);
+        return;
+    }
+    if (shutWr_) {
+        cb(EPIPE, 0); // POSIX: write after SHUT_WR is EPIPE, not EBADF
         return;
     }
     tx_->write(std::move(data), std::move(cb));
@@ -30,6 +38,10 @@ SocketFile::readInto(bfs::ByteSpan dst, bfs::SizeCb cb)
         cb(ENOTCONN, 0);
         return;
     }
+    if (shutRd_) {
+        cb(0, 0); // EOF after SHUT_RD
+        return;
+    }
     rx_->readInto(dst, std::move(cb));
 }
 
@@ -40,7 +52,30 @@ SocketFile::writeFrom(bfs::ConstByteSpan src, bfs::SizeCb cb)
         cb(ENOTCONN, 0);
         return;
     }
+    if (shutWr_) {
+        cb(EPIPE, 0);
+        return;
+    }
     tx_->writeFrom(src, std::move(cb));
+}
+
+int
+SocketFile::shutdown(int how)
+{
+    constexpr int kShutRd = 0, kShutWr = 1, kShutRdWr = 2;
+    if (state_ != State::Connected)
+        return ENOTCONN;
+    if (how != kShutRd && how != kShutWr && how != kShutRdWr)
+        return EINVAL;
+    if (how == kShutRd || how == kShutRdWr) {
+        shutRd_ = true;
+        rx_->closeReader();
+    }
+    if (how == kShutWr || how == kShutRdWr) {
+        shutWr_ = true;
+        tx_->closeWriter(); // FIN: the peer drains, then reads EOF
+    }
+    return 0;
 }
 
 void

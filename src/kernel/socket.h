@@ -44,6 +44,18 @@ class SocketFile : public KFile
      * data through the caller's window directly. */
     bool spanIoDirect() const override { return true; }
 
+    /**
+     * shutdown(2) half-close. SHUT_WR closes the transmit stream's
+     * write side — a FIN: the peer drains whatever is buffered (or in
+     * flight on a shaped link) and then reads EOF — while this side can
+     * keep reading; further local writes fail EPIPE (the socket tracks
+     * this itself — the underlying Pipe would answer EBADF for its own
+     * closed writer). SHUT_RD makes local reads return EOF immediately
+     * and collapses the receive stream. Returns 0, ENOTCONN, or EINVAL
+     * for an unknown `how`.
+     */
+    int shutdown(int how);
+
     // --- state transitions, driven by the kernel's syscall handlers ---
     int bind(int port);
     int listen(int backlog);
@@ -85,7 +97,7 @@ class SocketFile : public KFile
         if (state_ == State::Listening)
             return !pending_.empty();
         if (state_ == State::Connected)
-            return rx_->readable();
+            return shutRd_ || rx_->readable();
         return true;
     }
 
@@ -123,6 +135,7 @@ class SocketFile : public KFile
     int port_ = 0;
     int remotePort_ = 0;
     int backlog_ = 8;
+    bool shutRd_ = false, shutWr_ = false;
 
     PipePtr rx_, tx_;
     std::deque<SocketFilePtr> pending_;

@@ -171,6 +171,10 @@ HttpParser::finishHeaders()
         state_ = State::Error;
         return;
     }
+    if (maxBodyBytes_ && bodyRemaining_ > maxBodyBytes_) {
+        state_ = State::Error;
+        return;
+    }
     state_ = bodyRemaining_ == 0 ? State::Done : State::Body;
 }
 
@@ -207,6 +211,7 @@ HttpParser::feed(const uint8_t *data, size_t len)
                 goto out;
             if (line.empty())
                 continue; // tolerate leading blank lines
+            headerBytes_ += line.size() + 2;
             if (!parseStartLine(line)) {
                 state_ = State::Error;
                 return false;
@@ -218,6 +223,11 @@ HttpParser::feed(const uint8_t *data, size_t len)
             std::string line;
             if (!takeLine(line))
                 goto out;
+            headerBytes_ += line.size() + 2;
+            if (headerBytes_ > maxHeaderBytes_) {
+                state_ = State::Error;
+                return false;
+            }
             if (line.empty()) {
                 finishHeaders();
                 if (state_ == State::Error)
@@ -247,10 +257,22 @@ HttpParser::feed(const uint8_t *data, size_t len)
             std::string line;
             if (!takeLine(line))
                 goto out;
-            try {
-                chunkRemaining_ = static_cast<size_t>(
-                    std::stoull(trim(line), nullptr, 16));
-            } catch (...) {
+            std::string sz = trim(line);
+            // Chunk extensions (";name=value") are allowed but ignored.
+            auto semi = sz.find(';');
+            if (semi != std::string::npos)
+                sz = trim(sz.substr(0, semi));
+            // Strict hex: stoull would accept "10junk" or "  -1".
+            if (sz.empty() || sz.size() > 16 ||
+                sz.find_first_not_of("0123456789abcdefABCDEF") !=
+                    std::string::npos) {
+                state_ = State::Error;
+                return false;
+            }
+            chunkRemaining_ =
+                static_cast<size_t>(std::stoull(sz, nullptr, 16));
+            if (maxBodyBytes_ &&
+                body.size() + chunkRemaining_ > maxBodyBytes_) {
                 state_ = State::Error;
                 return false;
             }
@@ -265,19 +287,18 @@ HttpParser::feed(const uint8_t *data, size_t len)
                         buf_.begin() + pos + n);
             pos += n;
             chunkRemaining_ -= n;
-            if (chunkRemaining_ == 0) {
-                // consume the CRLF after the chunk
-                if (buf_.size() - pos >= 2) {
-                    pos += 2;
-                    state_ = State::ChunkSize;
-                    break;
-                }
-                // wait for the CRLF
-                chunkRemaining_ = 0;
-                if (buf_.size() - pos < 2)
-                    goto out;
+            if (chunkRemaining_ > 0)
+                goto out; // mid-chunk, need more data
+            // The chunk's terminating CRLF must follow its data.
+            if (buf_.size() - pos < 2)
+                goto out; // re-enters here (chunkRemaining_ == 0)
+            if (buf_[pos] != '\r' || buf_[pos + 1] != '\n') {
+                state_ = State::Error;
+                return false;
             }
-            goto out;
+            pos += 2;
+            state_ = State::ChunkSize;
+            break;
           }
           case State::ChunkTrailer: {
             std::string line;
@@ -298,6 +319,13 @@ HttpParser::feed(const uint8_t *data, size_t len)
     }
 out:
     buf_.erase(buf_.begin(), buf_.begin() + pos);
+    // A header section that still has no complete line past the cap can
+    // only grow — fail it now instead of buffering without bound.
+    if ((state_ == State::StartLine || state_ == State::Headers) &&
+        headerBytes_ + buf_.size() > maxHeaderBytes_) {
+        state_ = State::Error;
+        return false;
+    }
     return true;
 }
 
@@ -308,12 +336,18 @@ HttpParser::reset()
     lineBuf_.clear();
     bodyRemaining_ = 0;
     chunkRemaining_ = 0;
+    headerBytes_ = 0;
     chunked_ = false;
     req_ = HttpRequest{};
     resp_ = HttpResponse{};
-    // Pipelined bytes begin the next message.
-    buf_ = std::move(trailing_);
+    buf_.clear();
+    // Pipelined bytes begin the next message — re-parse them now, so a
+    // complete back-to-back message is done() without waiting for more
+    // bytes that may never arrive.
+    std::vector<uint8_t> pending = std::move(trailing_);
     trailing_.clear();
+    if (!pending.empty())
+        feed(pending.data(), pending.size());
 }
 
 std::string

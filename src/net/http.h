@@ -39,6 +39,14 @@ struct HttpResponse
     std::map<std::string, std::string> headers; // lower-cased names
     std::vector<uint8_t> body;
 
+    /**
+     * When set (and body empty), the body is this Browsix file, streamed
+     * by net::HttpServer straight from the filesystem to the connection
+     * (kernel-side sendfile on ring transports) — the handler never
+     * touches the bytes. Ignored by plain serializeResponse.
+     */
+    std::string bodyFile;
+
     std::string header(const std::string &name, const std::string &dflt = "")
         const;
 };
@@ -73,6 +81,23 @@ class HttpParser
     bool done() const { return state_ == State::Done; }
     bool failed() const { return state_ == State::Error; }
 
+    /**
+     * True when no message is in progress: nothing fed since the last
+     * reset(). An EOF observed while !idle() && !done() is a truncated
+     * message (the peer died mid-request/response).
+     */
+    bool idle() const
+    {
+        return state_ == State::StartLine && buf_.empty();
+    }
+
+    /** Cap on start-line + header bytes (per message). Default 64 KiB;
+     * exceeding it is a parse error. */
+    void setMaxHeaderBytes(size_t n) { maxHeaderBytes_ = n; }
+    /** Cap on declared/accumulated body bytes. 0 = unlimited. A
+     * Content-Length or chunk total past it is a parse error. */
+    void setMaxBodyBytes(size_t n) { maxBodyBytes_ = n; }
+
     /** Valid once done() (mode Request). */
     const HttpRequest &request() const { return req_; }
     /** Valid once done() (mode Response). */
@@ -98,6 +123,9 @@ class HttpParser
     std::vector<uint8_t> buf_;
     size_t bodyRemaining_ = 0;
     size_t chunkRemaining_ = 0;
+    size_t headerBytes_ = 0;
+    size_t maxHeaderBytes_ = 64 * 1024;
+    size_t maxBodyBytes_ = 0;
     bool chunked_ = false;
     HttpRequest req_;
     HttpResponse resp_;

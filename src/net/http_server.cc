@@ -1,0 +1,248 @@
+#include "net/http_server.h"
+
+#include "runtime/syscall_proto.h"
+
+namespace browsix {
+namespace net {
+
+namespace {
+
+HttpResponse
+errorResponse(int status, const char *reason, bool close)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.reason = reason;
+    std::string text = std::to_string(status) + " " + reason + "\n";
+    resp.body.assign(text.begin(), text.end());
+    resp.headers["content-type"] = "text/plain";
+    if (close)
+        resp.headers["connection"] = "close";
+    return resp;
+}
+
+} // namespace
+
+void
+HttpServer::flush(int fd, std::vector<bfs::Buffer> &out)
+{
+    if (out.empty())
+        return;
+    transport_.writev(fd, out);
+    out.clear();
+}
+
+bool
+HttpServer::respond(Conn &c, std::vector<bfs::Buffer> &out, bool pipelined)
+{
+    const HttpRequest &req = c.parser.request();
+    stats_.requests++;
+    if (c.requests > 0)
+        stats_.keepAliveReuses++;
+    if (pipelined)
+        stats_.pipelinedRequests++;
+    c.requests++;
+
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; either side of
+    // the default is overridden by an explicit Connection header.
+    bool want_close =
+        !opts_.keepAlive || req.header("connection") == "close" ||
+        (req.version == "HTTP/1.0" &&
+         req.header("connection") != "keep-alive");
+
+    HttpResponse resp = handler_(req);
+    if (want_close)
+        resp.headers["connection"] = "close";
+
+    if (!resp.bodyFile.empty() && resp.body.empty()) {
+        // sendfile path: headers first (with the file's length), then
+        // the body streams file→socket without entering this process.
+        int64_t len = transport_.fileSize(resp.bodyFile);
+        if (len < 0) {
+            out.push_back(
+                serializeResponse(errorResponse(404, "Not Found",
+                                                want_close)));
+            stats_.bytesOut += out.back().size();
+            return !want_close;
+        }
+        resp.headers["content-length"] = std::to_string(len);
+        out.push_back(serializeResponse(resp));
+        stats_.bytesOut += out.back().size();
+        flush(c.fd, out);
+        int64_t sent = transport_.sendFile(c.fd, resp.bodyFile,
+                                           static_cast<size_t>(len));
+        if (sent < 0)
+            return false; // mid-stream failure: only option is to close
+        stats_.sendfileBodies++;
+        stats_.bytesOut += static_cast<uint64_t>(sent);
+        return !want_close;
+    }
+
+    bool chunked =
+        resp.header("transfer-encoding").find("chunked") !=
+        std::string::npos;
+    out.push_back(chunked ? serializeResponseChunked(resp)
+                          : serializeResponse(resp));
+    if (chunked)
+        stats_.chunkedBodies++;
+    stats_.bytesOut += out.back().size();
+    return !want_close;
+}
+
+bool
+HttpServer::onBytes(Conn &c, const uint8_t *data, size_t len,
+                    std::vector<bfs::Buffer> &out)
+{
+    if (c.closing)
+        return true; // FIN already sent: discard until the peer's EOF
+
+    bool ok = c.parser.feed(data, len);
+    bool pipelined = false;
+    while (ok && c.parser.done()) {
+        if (!respond(c, out, pipelined))
+            return false;
+        pipelined = true;
+        c.parser.reset(); // re-parses pipelined trailing bytes
+        ok = !c.parser.failed();
+    }
+    if (!ok) {
+        stats_.parseErrors++;
+        out.push_back(
+            serializeResponse(errorResponse(400, "Bad Request", true)));
+        stats_.bytesOut += out.back().size();
+        return false;
+    }
+    return true;
+}
+
+void
+HttpServer::serveConn(int fd)
+{
+    stats_.connections++;
+    Conn c;
+    c.fd = fd;
+    c.parser.setMaxHeaderBytes(opts_.maxHeaderBytes);
+    c.parser.setMaxBodyBytes(opts_.maxBodyBytes);
+    bfs::Buffer chunk;
+    std::vector<bfs::Buffer> out;
+    for (;;) {
+        chunk.clear();
+        int64_t n = transport_.read(fd, chunk, opts_.readChunk);
+        if (n < 0)
+            break;
+        if (n == 0) {
+            if (!c.parser.idle() && !c.parser.done())
+                stats_.truncated++;
+            break;
+        }
+        out.clear();
+        bool keep = onBytes(c, chunk.data(), static_cast<size_t>(n), out);
+        flush(fd, out);
+        if (!keep)
+            break;
+    }
+    // Graceful teardown: FIN our side, then drain whatever the peer had
+    // in flight so its writes don't die EPIPE, and only then close.
+    transport_.shutdownWrite(fd);
+    for (;;) {
+        chunk.clear();
+        if (transport_.read(fd, chunk, opts_.readChunk) <= 0)
+            break;
+    }
+    transport_.close(fd);
+}
+
+int
+HttpServer::run(int listener_fd)
+{
+    auto *ev = dynamic_cast<HttpEventTransport *>(&transport_);
+    if (!ev)
+        return -ENOTSUP;
+    int ep = ev->epollCreate();
+    if (ep < 0)
+        return ep;
+    int rc = ev->epollCtl(ep, sys::EPOLL_CTL_ADD_, listener_fd,
+                          sys::POLLIN_);
+    if (rc < 0)
+        return rc;
+
+    std::map<int, Conn> conns;
+    bool draining = false;
+    std::vector<HttpEventTransport::Event> events;
+    std::vector<int> ready;
+    std::vector<bfs::Buffer> chunks;
+    std::vector<int64_t> ns;
+    std::vector<bfs::Buffer> out;
+
+    while (!(draining && conns.empty())) {
+        int n = ev->epollWait(ep, events, sys::kEpollMaxEvents);
+        if (n < 0)
+            return n;
+        ready.clear();
+        for (int i = 0; i < n; i++) {
+            const auto &e = events[static_cast<size_t>(i)];
+            if (e.fd == listener_fd) {
+                // One accept per listener event: level-triggered epoll
+                // re-reports the listener while the backlog is non-empty,
+                // so the queue drains one connection per loop pass
+                // without parking a flotilla of ACCEPT SQEs.
+                if (draining)
+                    continue;
+                int cfd = ev->accept(listener_fd);
+                if (cfd < 0)
+                    continue;
+                stats_.connections++;
+                Conn c;
+                c.fd = cfd;
+                c.parser.setMaxHeaderBytes(opts_.maxHeaderBytes);
+                c.parser.setMaxBodyBytes(opts_.maxBodyBytes);
+                conns.emplace(cfd, std::move(c));
+                ev->epollCtl(ep, sys::EPOLL_CTL_ADD_, cfd, sys::POLLIN_);
+            } else if (conns.count(e.fd)) {
+                ready.push_back(e.fd);
+            }
+        }
+        if (!ready.empty()) {
+            // All ready connections read in one batched pass (one
+            // doorbell on ring transports), then each one's responses
+            // coalesce into a single writev.
+            ev->readBatch(ready, opts_.readChunk, chunks, ns);
+            for (size_t i = 0; i < ready.size(); i++) {
+                auto it = conns.find(ready[i]);
+                if (it == conns.end())
+                    continue;
+                Conn &c = it->second;
+                int64_t r = ns[i];
+                if (r > 0) {
+                    out.clear();
+                    bool keep = onBytes(c, chunks[i].data(),
+                                        static_cast<size_t>(r), out);
+                    flush(c.fd, out);
+                    if (!keep && !c.closing) {
+                        // Server-initiated close is graceful too: FIN,
+                        // keep reading until the peer's EOF below.
+                        transport_.shutdownWrite(c.fd);
+                        c.closing = true;
+                    }
+                    continue;
+                }
+                if (r == 0 && !c.closing && !c.parser.idle() &&
+                    !c.parser.done())
+                    stats_.truncated++;
+                ev->epollCtl(ep, sys::EPOLL_CTL_DEL_, c.fd, 0);
+                transport_.close(c.fd);
+                conns.erase(it);
+            }
+        }
+        if (!draining && opts_.maxRequests &&
+            stats_.requests >= opts_.maxRequests) {
+            draining = true;
+            ev->epollCtl(ep, sys::EPOLL_CTL_DEL_, listener_fd, 0);
+        }
+    }
+    transport_.close(ep);
+    return 0;
+}
+
+} // namespace net
+} // namespace browsix

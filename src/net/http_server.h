@@ -1,0 +1,184 @@
+/**
+ * @file
+ * net::HttpServer — the connection-handling loop behind every in-Browsix
+ * HTTP server, built on HttpParser.
+ *
+ * Guest servers used to hand-roll their socket loops (read, scan for
+ * "\r\n\r\n", write, close). This class owns that loop once: keep-alive
+ * connection reuse, pipelined requests (several requests in one read),
+ * Content-Length and chunked responses, sendfile-backed static bodies,
+ * hostile-input rejection (400 on malformed framing, header/body caps),
+ * and graceful teardown (FIN via shutdown(2), then drain to EOF).
+ *
+ * The server is transport-agnostic: HttpTransport abstracts the five
+ * byte-level operations, so the same loop runs over a Gopher runtime's
+ * blocking syscalls (goroutine-per-connection, serveConn), an EmEnv
+ * ring (epoll + batched readv/writev/sendfile SQEs, run), or an
+ * in-memory fake in unit tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bfs/types.h"
+#include "net/http.h"
+
+namespace browsix {
+namespace net {
+
+/** Byte-level connection ops an HttpServer drives. Negative returns are
+ * -errno; read() returning 0 is EOF. */
+class HttpTransport
+{
+  public:
+    virtual ~HttpTransport() = default;
+
+    /** Read up to maxlen bytes into out (appended). 0 = EOF. */
+    virtual int64_t read(int fd, bfs::Buffer &out, size_t maxlen) = 0;
+    /** Write every buffer, in order, fully. Returns bytes written. */
+    virtual int64_t writev(int fd, const std::vector<bfs::Buffer> &bufs) = 0;
+    /** Half-close: FIN the write side (shutdown(2) SHUT_WR). */
+    virtual int shutdownWrite(int fd) = 0;
+    virtual int close(int fd) = 0;
+
+    /** Size of a file a response names via bodyFile; -errno/-1 when it
+     * cannot be served that way (the server then answers 404). */
+    virtual int64_t fileSize(const std::string &path)
+    {
+        (void)path;
+        return -1;
+    }
+    /** Stream the file to the connection (kernel-side sendfile on ring
+     * transports). Returns bytes sent or -errno. */
+    virtual int64_t sendFile(int fd, const std::string &path, size_t len)
+    {
+        (void)fd;
+        (void)path;
+        (void)len;
+        return -ENOSYS;
+    }
+};
+
+/**
+ * Readiness-driven transport for HttpServer::run: one event loop serves
+ * every connection. The listener itself sits in the epoll interest set
+ * (accept one per listener-POLLIN event; level-triggered epoll
+ * re-reports the rest), so thousands of idle connections cost nothing.
+ */
+class HttpEventTransport : public HttpTransport
+{
+  public:
+    struct Event
+    {
+        int fd = -1;
+        int events = 0;
+    };
+
+    /** Accept one pending connection; -errno (e.g. -EAGAIN) when none. */
+    virtual int accept(int listener_fd) = 0;
+    virtual int epollCreate() = 0;
+    virtual int epollCtl(int epfd, int op, int fd, int events) = 0;
+    virtual int epollWait(int epfd, std::vector<Event> &out,
+                          size_t maxevents) = 0;
+
+    /**
+     * Read from many ready connections in one pass. Ring transports
+     * submit one READ SQE per fd and flush the whole batch under a
+     * single doorbell; the default is a serial fallback.
+     */
+    virtual void readBatch(const std::vector<int> &fds, size_t maxlen,
+                           std::vector<bfs::Buffer> &outs,
+                           std::vector<int64_t> &ns)
+    {
+        outs.assign(fds.size(), {});
+        ns.assign(fds.size(), 0);
+        for (size_t i = 0; i < fds.size(); i++)
+            ns[i] = read(fds[i], outs[i], maxlen);
+    }
+};
+
+struct HttpServerOptions
+{
+    bool keepAlive = true;
+    size_t maxHeaderBytes = 64 * 1024;
+    size_t maxBodyBytes = 4 * 1024 * 1024;
+    size_t readChunk = 16 * 1024;
+    /** run() only: stop accepting after this many requests served and
+     * drain live connections; 0 = serve forever. */
+    uint64_t maxRequests = 0;
+};
+
+struct HttpServerStats
+{
+    uint64_t connections = 0;
+    uint64_t requests = 0;
+    /// Requests beyond the first on their connection (keep-alive wins).
+    uint64_t keepAliveReuses = 0;
+    /// Requests completed by bytes already buffered with an earlier
+    /// request (back-to-back in one read).
+    uint64_t pipelinedRequests = 0;
+    uint64_t parseErrors = 0;
+    /// Connections that hit EOF mid-message (peer died mid-request).
+    uint64_t truncated = 0;
+    uint64_t bytesOut = 0;
+    uint64_t sendfileBodies = 0;
+    uint64_t chunkedBodies = 0;
+};
+
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer(HttpTransport &transport, Handler handler,
+               HttpServerOptions opts = {})
+        : transport_(transport), handler_(std::move(handler)), opts_(opts)
+    {
+    }
+
+    /**
+     * Serve one connection to completion, blocking-call style — the
+     * goroutine-per-connection shape. Closes fd before returning
+     * (graceful: FIN first, then drain the peer's remaining bytes).
+     */
+    void serveConn(int fd);
+
+    /**
+     * Serve every connection off one epoll loop — the ring-native
+     * shape. Requires an HttpEventTransport (-ENOTSUP otherwise).
+     * Returns 0 after opts.maxRequests requests have been served and
+     * every live connection has wound down.
+     */
+    int run(int listener_fd);
+
+    const HttpServerStats &stats() const { return stats_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        HttpParser parser{HttpParser::Mode::Request};
+        uint64_t requests = 0;
+        bool closing = false; ///< FIN sent; discard reads until EOF
+    };
+
+    /** Feed bytes; serialize responses for every completed request into
+     * out. Returns false when the connection must close (after out is
+     * flushed). */
+    bool onBytes(Conn &c, const uint8_t *data, size_t len,
+                 std::vector<bfs::Buffer> &out);
+    bool respond(Conn &c, std::vector<bfs::Buffer> &out, bool pipelined);
+    void flush(int fd, std::vector<bfs::Buffer> &out);
+
+    HttpTransport &transport_;
+    Handler handler_;
+    HttpServerOptions opts_;
+    HttpServerStats stats_;
+};
+
+} // namespace net
+} // namespace browsix

@@ -1,0 +1,130 @@
+#include "net/net_backend.h"
+
+namespace browsix {
+namespace net {
+
+using kernel::SocketFile;
+using kernel::SocketFilePtr;
+
+void
+NetBackend::addListener(int port, SocketFilePtr l)
+{
+    listeners_[port] = std::move(l);
+    auto range = listenWatchers_.equal_range(port);
+    std::vector<std::function<void()>> fns;
+    for (auto it = range.first; it != range.second; ++it)
+        fns.push_back(std::move(it->second));
+    listenWatchers_.erase(range.first, range.second);
+    for (auto &fn : fns)
+        fn();
+}
+
+SocketFilePtr
+NetBackend::listener(int port)
+{
+    auto it = listeners_.find(port);
+    if (it == listeners_.end())
+        return nullptr;
+    if (it->second->state() != SocketFile::State::Listening) {
+        listeners_.erase(it);
+        return nullptr;
+    }
+    return it->second;
+}
+
+bool
+NetBackend::portListening(int port) const
+{
+    auto it = listeners_.find(port);
+    return it != listeners_.end() &&
+           it->second->state() == SocketFile::State::Listening;
+}
+
+void
+NetBackend::onPortListen(int port, std::function<void()> cb)
+{
+    if (portListening(port)) {
+        cb();
+        return;
+    }
+    listenWatchers_.emplace(port, std::move(cb));
+}
+
+int
+NetBackend::allocBindPort(int requested)
+{
+    if (requested != 0)
+        return portListening(requested) ? -EADDRINUSE : requested;
+    while (portListening(nextBind_))
+        nextBind_++;
+    return nextBind_++;
+}
+
+namespace {
+
+/** Unwind a connection that never reached its far endpoint: close all
+ * four ends so shaped links (which hold the staging pipes) tear down. */
+void
+collapseConnection(ConnectionStreams &cs)
+{
+    for (EndpointStreams *end : {&cs.client, &cs.server}) {
+        end->rx->closeReader();
+        end->rx->closeWriter();
+        end->tx->closeReader();
+        end->tx->closeWriter();
+    }
+}
+
+} // namespace
+
+int
+NetBackend::connect(SocketFile &client, int port)
+{
+    SocketFilePtr l = listener(port);
+    if (!l)
+        return ECONNREFUSED;
+    int client_port = allocEphemeralPort();
+    ConnectionStreams cs = makeConnection();
+    auto server_end = std::make_shared<SocketFile>();
+    server_end->establish(cs.server.rx, cs.server.tx, port, client_port);
+    int rc = l->enqueueConnection(server_end);
+    if (rc) {
+        collapseConnection(cs);
+        return rc;
+    }
+    client.establish(cs.client.rx, cs.client.tx, client_port, port);
+    return 0;
+}
+
+bool
+NetBackend::connectOrPark(SocketFilePtr client, int port,
+                          std::function<void(int err)> done)
+{
+    SocketFilePtr l = listener(port);
+    if (!l) {
+        done(ECONNREFUSED);
+        return false;
+    }
+    int client_port = allocEphemeralPort();
+    ConnectionStreams cs = makeConnection();
+    auto server_end = std::make_shared<SocketFile>();
+    server_end->establish(cs.server.rx, cs.server.tx, port, client_port);
+    // Establish the client half before the rendezvous: a parked connect
+    // must already be Connected when accept later promotes it, and on
+    // refusal the listener collapses the server half's streams, which
+    // the established client half observes as EOF/EPIPE.
+    client->establish(cs.client.rx, cs.client.tx, client_port, port);
+    return l->enqueueConnectionOrPark(std::move(server_end),
+                                      std::move(done));
+}
+
+ConnectionStreams
+LoopbackBackend::makeConnection()
+{
+    auto to_server = std::make_shared<kernel::Pipe>();
+    auto to_client = std::make_shared<kernel::Pipe>();
+    return {{to_client, to_server}, {to_server, to_client}};
+}
+
+} // namespace net
+} // namespace browsix

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The connection-transport contract behind Browsix sockets.
+ *
+ * `kernel/socket.cc` keeps the SOCK_STREAM state machine (bind/listen/
+ * accept/connect, §3.5) but no longer owns how bytes travel between the
+ * two endpoints of a connection: that is a NetBackend. The backend owns
+ * the port namespace (bound port → listening socket), the listen
+ * notifications (§4.1), the accept/connect rendezvous — including the
+ * deferral-protocol parking used by ring-native connect — and, per
+ * connection, the per-direction byte streams both endpoints are
+ * established over.
+ *
+ * Two implementations ship today, mirroring friscy's pluggable
+ * network_rpc_host shape:
+ *
+ *  - LoopbackBackend: the in-kernel path — one Pipe pair per
+ *    connection, both endpoints touch the same two Pipes. Zero added
+ *    latency; this is what every Browsix kernel booted without a
+ *    backend argument gets, and is byte-for-byte the pre-refactor
+ *    behavior.
+ *
+ *  - net::SimBackend (netsim.h): every direction's bytes traverse a
+ *    latency/bandwidth-shaped simulated link (LinkParams) before
+ *    becoming readable at the far end — the connection-scale serving
+ *    benchmarks drive 1k+ concurrent shaped connections through it.
+ *
+ * Threading: backends run on the kernel's main loop, like every other
+ * kernel subsystem — no locks.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "kernel/socket.h"
+
+namespace browsix {
+namespace net {
+
+/** One endpoint's view of a connection: rx is read from, tx written to. */
+struct EndpointStreams
+{
+    kernel::PipePtr rx, tx;
+};
+
+/** Both endpoints' stream pairs for one new connection. */
+struct ConnectionStreams
+{
+    EndpointStreams client, server;
+};
+
+class NetBackend
+{
+  public:
+    virtual ~NetBackend() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Build the transport for one new connection: the four stream ends
+     * both SocketFiles are established over. For loopback the client's
+     * tx IS the server's rx (one shared Pipe per direction); a shaped
+     * backend interposes links, so the pairs are distinct Pipes.
+     */
+    virtual ConnectionStreams makeConnection() = 0;
+
+    // ----- port namespace -----
+
+    /** Publish a listener and fire any onPortListen watchers. */
+    void addListener(int port, kernel::SocketFilePtr listener);
+
+    /** Remove a listener (owner exited or closed the socket). */
+    void dropListener(int port) { listeners_.erase(port); }
+
+    /**
+     * The live listener on `port`, or nullptr. Entries whose socket has
+     * left the Listening state (fd closed without the owner exiting)
+     * are dropped lazily here, so a connect to a closed-but-once-bound
+     * port refuses instead of touching a dead socket.
+     */
+    kernel::SocketFilePtr listener(int port);
+
+    bool portListening(int port) const;
+
+    /** §4.1 socket notification: cb fires when `port` gains a listener
+     * (immediately if it already has one). */
+    void onPortListen(int port, std::function<void()> cb);
+
+    /** Client-side port for a new connection's near end. */
+    int allocEphemeralPort() { return nextEphemeral_++; }
+
+    /**
+     * Server-side bind port: `requested` itself when free, a scanned
+     * ephemeral when 0, or -EADDRINUSE when a listener already owns it.
+     */
+    int allocBindPort(int requested);
+
+    // ----- accept/connect rendezvous -----
+
+    /**
+     * Immediate connect (the host-API path): establish `client` against
+     * the listener on `port`. Returns 0 or ECONNREFUSED; on refusal all
+     * four stream ends of the would-be connection are collapsed so a
+     * shaped backend's links unwind too.
+     */
+    int connect(kernel::SocketFile &client, int port);
+
+    /**
+     * Deferral-protocol connect: like connect(), but when the
+     * listener's backlog is full the rendezvous parks and `done` fires
+     * later — 0 when accept frees a slot (the client endpoint is
+     * established before parking), ECONNREFUSED when the listener
+     * closes. Immediate outcomes run `done` before returning. Returns
+     * true when the completion parked.
+     */
+    bool connectOrPark(kernel::SocketFilePtr client, int port,
+                       std::function<void(int err)> done);
+
+  private:
+    std::map<int, kernel::SocketFilePtr> listeners_;
+    std::multimap<int, std::function<void()>> listenWatchers_;
+    int nextEphemeral_ = 49152;
+    int nextBind_ = 32768;
+};
+
+using NetBackendPtr = std::shared_ptr<NetBackend>;
+
+/** The in-kernel Pipe-pair transport (the pre-refactor behavior). */
+class LoopbackBackend : public NetBackend
+{
+  public:
+    const char *name() const override { return "loopback"; }
+    ConnectionStreams makeConnection() override;
+};
+
+} // namespace net
+} // namespace browsix

@@ -1,7 +1,122 @@
 #include "net/netsim.h"
 
+#include <algorithm>
+
+#include "jsvm/util.h"
+
 namespace browsix {
 namespace net {
+
+namespace {
+
+/**
+ * One direction of a simulated connection: drains the sender-side
+ * staging pipe and re-writes each chunk into the receiver-side pipe
+ * after link shaping. Self-owning — the pending read/timer callbacks
+ * hold the only shared_ptr, so a link lives exactly as long as bytes
+ * or a FIN are still in flight and tears down when both pipes are done.
+ */
+class SimLink : public std::enable_shared_from_this<SimLink>
+{
+  public:
+    static constexpr size_t kChunk = 16 * 1024;
+    static constexpr size_t kWindow = 256 * 1024;
+
+    SimLink(jsvm::EventLoop *loop, LinkParams link, kernel::PipePtr in,
+            kernel::PipePtr out, std::shared_ptr<SimBackend::Stats> stats)
+        : loop_(loop), link_(link), in_(std::move(in)),
+          out_(std::move(out)), stats_(std::move(stats))
+    {
+    }
+
+    void pump()
+    {
+        if (closed_ || reading_)
+            return;
+        if (inFlight_ >= kWindow) {
+            // Window full: the sender keeps stalling against the staging
+            // pipe; delivery completions below re-pump.
+            stalled_ = true;
+            return;
+        }
+        reading_ = true;
+        auto self = shared_from_this();
+        in_->read(kChunk, [self](int err, bfs::BufferPtr data) {
+            self->reading_ = false;
+            if (err || self->closed_)
+                return;
+            if (!data || data->empty()) {
+                self->sendFin();
+                return;
+            }
+            self->transmit(std::move(data));
+            self->pump();
+        });
+    }
+
+  private:
+    void transmit(bfs::BufferPtr data)
+    {
+        size_t bytes = data->size();
+        inFlight_ += bytes;
+        stats_->linkChunks++;
+        stats_->bytesShaped += bytes;
+        // Chunks serialize back-to-back at the link's bandwidth, then
+        // propagate for half an RTT. Departures are serialized through
+        // lastDepartureUs_ so a burst can't arrive all at once.
+        int64_t now = jsvm::nowUs();
+        int64_t serialize_us =
+            link_.bytesPerUs > 0
+                ? static_cast<int64_t>(bytes / link_.bytesPerUs)
+                : 0;
+        int64_t depart = std::max(now, lastDepartureUs_) + serialize_us;
+        lastDepartureUs_ = depart;
+        int64_t arrive = depart + link_.rttUs / 2;
+        auto self = shared_from_this();
+        loop_->setTimeout(
+            [self, data = std::move(data), bytes]() mutable {
+                if (self->closed_)
+                    return;
+                self->out_->write(std::move(*data), [self, bytes](int err,
+                                                                  size_t) {
+                    if (err) {
+                        // Receiver gone (EPIPE): propagate the reset back
+                        // so the sender's writes start failing too.
+                        self->closed_ = true;
+                        self->in_->closeReader();
+                        return;
+                    }
+                    self->inFlight_ -= bytes;
+                    if (self->stalled_) {
+                        self->stalled_ = false;
+                        self->pump();
+                    }
+                });
+            },
+            arrive - now);
+    }
+
+    void sendFin()
+    {
+        auto self = shared_from_this();
+        int64_t now = jsvm::nowUs();
+        int64_t arrive = std::max(now, lastDepartureUs_) + link_.rttUs / 2;
+        loop_->setTimeout([self]() { self->out_->closeWriter(); },
+                          arrive - now);
+    }
+
+    jsvm::EventLoop *loop_;
+    LinkParams link_;
+    kernel::PipePtr in_, out_;
+    std::shared_ptr<SimBackend::Stats> stats_;
+    int64_t lastDepartureUs_ = 0;
+    size_t inFlight_ = 0;
+    bool reading_ = false;
+    bool stalled_ = false;
+    bool closed_ = false;
+};
+
+} // namespace
 
 LinkParams
 LinkParams::ec2()
@@ -34,6 +149,23 @@ SimulatedRemoteServer::request(const HttpRequest &req, ResponseCb cb)
                 down_delay);
         },
         up_delay);
+}
+
+ConnectionStreams
+SimBackend::makeConnection()
+{
+    stats_->connections++;
+    // Four pipes: each direction has a sender-side staging pipe the link
+    // drains and a receiver-side pipe it delivers into.
+    auto c2s_stage = std::make_shared<kernel::Pipe>();
+    auto c2s_out = std::make_shared<kernel::Pipe>();
+    auto s2c_stage = std::make_shared<kernel::Pipe>();
+    auto s2c_out = std::make_shared<kernel::Pipe>();
+    std::make_shared<SimLink>(loop_, link_, c2s_stage, c2s_out, stats_)
+        ->pump();
+    std::make_shared<SimLink>(loop_, link_, s2c_stage, s2c_out, stats_)
+        ->pump();
+    return {{s2c_out, c2s_stage}, {c2s_out, s2c_stage}};
 }
 
 } // namespace net

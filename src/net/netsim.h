@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "jsvm/event_loop.h"
 #include "net/http.h"
+#include "net/net_backend.h"
 
 namespace browsix {
 namespace net {
@@ -64,6 +66,54 @@ class SimulatedRemoteServer
     LinkParams link_;
     Handler handler_;
     uint64_t requests_ = 0;
+};
+
+/**
+ * A NetBackend whose connections traverse simulated links: every byte a
+ * socket transmits crosses a LinkParams-shaped path (serialization at
+ * the link's bandwidth, then half an RTT of propagation) before it
+ * becomes readable at the far endpoint, in both directions.
+ *
+ * Implementation: each direction is a pair of Pipes bridged by a link
+ * pump — the sender's tx is a staging pipe the pump drains in ~16 KiB
+ * chunks, each chunk departing after the previous one finishes
+ * serializing (bandwidth) and arriving half an RTT later via an
+ * EventLoop timer, where it is written into the receiver's rx pipe.
+ * An in-flight byte window (~256 KiB) makes the sender observe
+ * backpressure. EOF propagates as a FIN: closing the staging pipe's
+ * write side schedules the far pipe's writer close one propagation
+ * delay later, so the receiver drains shaped bytes before EOF.
+ *
+ * Timers come from the supplied EventLoop, so under jsvm::TestClock the
+ * whole transport is deterministic virtual time; under the real clock
+ * it shapes wall-clock latency (the connection-scale bench uses small
+ * real-time parameters).
+ */
+class SimBackend : public NetBackend
+{
+  public:
+    struct Stats
+    {
+        uint64_t connections = 0;
+        uint64_t linkChunks = 0; ///< shaped transmissions (≤16 KiB each)
+        uint64_t bytesShaped = 0;
+    };
+
+    SimBackend(jsvm::EventLoop *loop, LinkParams link)
+        : loop_(loop), link_(link), stats_(std::make_shared<Stats>())
+    {
+    }
+
+    const char *name() const override { return "netsim"; }
+    ConnectionStreams makeConnection() override;
+
+    const Stats &stats() const { return *stats_; }
+    const LinkParams &link() const { return link_; }
+
+  private:
+    jsvm::EventLoop *loop_;
+    LinkParams link_;
+    std::shared_ptr<Stats> stats_; // shared with in-flight link pumps
 };
 
 } // namespace net

@@ -697,6 +697,15 @@ EmEnv::getsockname(int fd)
 }
 
 int
+EmEnv::shutdown(int fd, int how)
+{
+    return static_cast<int>(invoke(sys::SHUTDOWN,
+                                   {jsvm::Value(fd), jsvm::Value(how)},
+                                   {fd, how})
+                                .r0);
+}
+
+int
 EmEnv::epollCreate()
 {
     if (!usesSharedHeap())

@@ -150,6 +150,8 @@ class EmEnv
     int connect(int fd, int port);
     /** Returns the bound port (>= 0) or -errno. */
     int getsockname(int fd);
+    /** shutdown(2): how is sys::SHUT_RD_/SHUT_WR_/SHUT_RDWR_. */
+    int shutdown(int fd, int how);
 
     /** One descriptor's poll interest/result (mirrors sys::PollFd). */
     struct PollSpec

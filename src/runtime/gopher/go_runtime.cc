@@ -116,6 +116,13 @@ GoEnv::getsockname(int fd)
 }
 
 int
+GoEnv::shutdown(int fd, int how)
+{
+    return static_cast<int>(
+        rawSyscall("shutdown", {jsvm::Value(fd), jsvm::Value(how)}).r0);
+}
+
+int
 GoEnv::readFile(const std::string &path, bfs::Buffer &out)
 {
     CallResult o =

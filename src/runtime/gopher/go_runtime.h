@@ -133,6 +133,8 @@ class GoEnv
     int64_t write(int fd, const std::string &s);
     int close(int fd);
     int getsockname(int fd);
+    /** shutdown(2): how is sys::SHUT_RD_/SHUT_WR_/SHUT_RDWR_. */
+    int shutdown(int fd, int how);
 
     // --- os / io ---
     int readFile(const std::string &path, bfs::Buffer &out);

@@ -366,6 +366,15 @@ RingSyscalls::ringEligible(int trap)
       case sys::EPOLL_CTL:
       case sys::EPOLL_WAIT:
       case sys::SENDFILE:
+      // The rest of the socket-lifecycle family is integer-in/
+      // integer-out and completes immediately (bind/listen mutate
+      // kernel-side state, getsockname/shutdown read or flag it) — a
+      // ring-native server's whole setup and teardown batches.
+      case sys::SOCKET:
+      case sys::BIND:
+      case sys::LISTEN:
+      case sys::GETSOCKNAME:
+      case sys::SHUTDOWN:
         return true;
       default:
         // Only fork still completes through a per-call convention: its

@@ -63,6 +63,7 @@ trapTable()
         {ACCEPT, "accept"},
         {CONNECT, "connect"},
         {GETSOCKNAME, "getsockname"},
+        {SHUTDOWN, "shutdown"},
         {SPAWN, "spawn"},
         {READDIR, "readdir"},
         {SIGACTION, "sigaction"},

@@ -81,6 +81,7 @@ enum Trap : int {
     ACCEPT = 403,
     CONNECT = 404,
     GETSOCKNAME = 405,
+    SHUTDOWN = 406,
     SPAWN = 410,
     READDIR = 411, ///< convenience form: returns entry names (async only)
     SIGACTION = 420,
@@ -169,6 +170,11 @@ constexpr int32_t kEpollMaxEvents = 64;
 constexpr int EPOLL_CTL_ADD_ = 1;
 constexpr int EPOLL_CTL_DEL_ = 2;
 constexpr int EPOLL_CTL_MOD_ = 3;
+
+/// shutdown(2) `how` values (Linux).
+constexpr int SHUT_RD_ = 0;
+constexpr int SHUT_WR_ = 1;
+constexpr int SHUT_RDWR_ = 2;
 
 /** Human-readable syscall name (also the async message "name" field). */
 const char *trapName(int trap);

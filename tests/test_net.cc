@@ -1,0 +1,390 @@
+/**
+ * @file
+ * net::NetBackend tests: the port namespace and accept/connect
+ * rendezvous (loopback), shutdown(2) half-close semantics on connected
+ * sockets, SimBackend's shaped byte delivery under a virtual clock, and
+ * the end-to-end serving paths (meme-server over simNet, meme-httpd's
+ * ring-native epoll loop) through the public Browsix API.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/browsix.h"
+#include "jsvm/test_clock.h"
+#include "net/net_backend.h"
+#include "net/netsim.h"
+#include "runtime/syscall_proto.h"
+
+using namespace browsix;
+
+namespace {
+
+kernel::SocketFilePtr
+makeListener(net::NetBackend &backend, int port, int backlog = 8)
+{
+    auto sock = std::make_shared<kernel::SocketFile>();
+    EXPECT_EQ(sock->bind(port), 0);
+    EXPECT_EQ(sock->listen(backlog), 0);
+    backend.addListener(port, sock);
+    return sock;
+}
+
+/** Blocking-style read of whatever the socket has buffered. */
+std::string
+readSome(kernel::SocketFile &sock)
+{
+    std::string got;
+    sock.read(4096, [&](int err, bfs::BufferPtr data) {
+        if (err == 0 && data)
+            got.assign(data->begin(), data->end());
+    });
+    return got;
+}
+
+void
+writeAll(kernel::SocketFile &sock, const std::string &s, int *err_out = nullptr)
+{
+    sock.write(bfs::Buffer(s.begin(), s.end()),
+               [err_out](int err, size_t) {
+                   if (err_out)
+                       *err_out = err;
+               });
+}
+
+} // namespace
+
+TEST(NetBackendPorts, AllocBindPortHonorsRequestAndRefusesTaken)
+{
+    net::LoopbackBackend backend;
+    EXPECT_EQ(backend.allocBindPort(8080), 8080);
+    makeListener(backend, 8080);
+    EXPECT_EQ(backend.allocBindPort(8080), -EADDRINUSE);
+
+    int scanned = backend.allocBindPort(0);
+    EXPECT_GE(scanned, 32768);
+    EXPECT_NE(backend.allocBindPort(0), scanned)
+        << "scanned binds advance";
+    EXPECT_NE(backend.allocEphemeralPort(), backend.allocEphemeralPort());
+}
+
+TEST(NetBackendPorts, ListenerEntriesLazilyDropWithTheirSocket)
+{
+    net::LoopbackBackend backend;
+    auto sock = makeListener(backend, 9000);
+    EXPECT_TRUE(backend.portListening(9000));
+    EXPECT_EQ(backend.listener(9000), sock);
+
+    // Last close leaves the Listening state; the stale entry must be
+    // erased on lookup rather than handed to a connector.
+    sock->unref();
+    EXPECT_EQ(backend.listener(9000), nullptr);
+    EXPECT_FALSE(backend.portListening(9000));
+    EXPECT_EQ(backend.allocBindPort(9000), 9000) << "port reusable";
+}
+
+TEST(NetBackendPorts, OnPortListenFiresNowOrOnArrival)
+{
+    net::LoopbackBackend backend;
+    makeListener(backend, 7000);
+    int immediate = 0, later = 0;
+    backend.onPortListen(7000, [&]() { immediate++; });
+    EXPECT_EQ(immediate, 1) << "already-listening port fires inline";
+
+    backend.onPortListen(7001, [&]() { later++; });
+    EXPECT_EQ(later, 0);
+    makeListener(backend, 7001);
+    EXPECT_EQ(later, 1) << "watcher fires when the listener arrives";
+}
+
+TEST(NetBackendConnect, LoopbackRoundtrip)
+{
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080);
+
+    auto client = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*client, 8080), 0);
+    EXPECT_EQ(client->state(), kernel::SocketFile::State::Connected);
+    EXPECT_EQ(client->remotePort(), 8080);
+
+    kernel::SocketFilePtr server;
+    listener->accept([&](int err, kernel::SocketFilePtr s) {
+        EXPECT_EQ(err, 0);
+        server = std::move(s);
+    });
+    ASSERT_TRUE(server);
+    EXPECT_EQ(server->port(), 8080);
+    EXPECT_EQ(server->remotePort(), client->port());
+
+    writeAll(*client, "ping");
+    EXPECT_EQ(readSome(*server), "ping");
+    writeAll(*server, "pong");
+    EXPECT_EQ(readSome(*client), "pong");
+}
+
+TEST(NetBackendConnect, RefusedWithoutListener)
+{
+    net::LoopbackBackend backend;
+    auto client = std::make_shared<kernel::SocketFile>();
+    EXPECT_EQ(backend.connect(*client, 4444), ECONNREFUSED);
+    EXPECT_NE(client->state(), kernel::SocketFile::State::Connected);
+}
+
+TEST(NetBackendConnect, ParkedConnectPromotedByAccept)
+{
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080, /*backlog=*/1);
+
+    // Fill the backlog.
+    auto first = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*first, 8080), 0);
+
+    // The next connect parks on the full backlog (the deferred-CQE path).
+    auto second = std::make_shared<kernel::SocketFile>();
+    int second_err = -1;
+    bool parked = backend.connectOrPark(second, 8080,
+                                        [&](int err) { second_err = err; });
+    EXPECT_TRUE(parked);
+    EXPECT_EQ(second_err, -1) << "completion deferred";
+
+    // Accepting the first connection frees a slot and promotes the
+    // parked connect.
+    kernel::SocketFilePtr served;
+    listener->accept(
+        [&](int, kernel::SocketFilePtr s) { served = std::move(s); });
+    ASSERT_TRUE(served);
+    EXPECT_EQ(second_err, 0);
+    EXPECT_EQ(second->state(), kernel::SocketFile::State::Connected);
+}
+
+TEST(NetBackendConnect, ParkedConnectRefusedWhenListenerCloses)
+{
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080, /*backlog=*/1);
+    auto first = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*first, 8080), 0);
+
+    auto second = std::make_shared<kernel::SocketFile>();
+    int second_err = -1;
+    ASSERT_TRUE(backend.connectOrPark(second, 8080,
+                                      [&](int err) { second_err = err; }));
+    listener->unref(); // owner exits without ever accepting
+    EXPECT_EQ(second_err, ECONNREFUSED);
+}
+
+TEST(SocketShutdown, WrHalfCloseFinsPeerAfterDrain)
+{
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080);
+    auto client = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*client, 8080), 0);
+    kernel::SocketFilePtr server;
+    listener->accept(
+        [&](int, kernel::SocketFilePtr s) { server = std::move(s); });
+    ASSERT_TRUE(server);
+
+    writeAll(*client, "last words");
+    EXPECT_EQ(client->shutdown(sys::SHUT_WR_), 0);
+
+    // Buffered bytes drain before the peer observes EOF.
+    EXPECT_EQ(readSome(*server), "last words");
+    bool eof = false;
+    server->read(16, [&](int err, bfs::BufferPtr data) {
+        eof = (err == 0 && data && data->empty());
+    });
+    EXPECT_TRUE(eof);
+
+    // Our write side is gone (EPIPE locally)...
+    int werr = 0;
+    writeAll(*client, "too late", &werr);
+    EXPECT_EQ(werr, EPIPE);
+
+    // ...but the receive stream still works: half-close, not close.
+    writeAll(*server, "reply");
+    EXPECT_EQ(readSome(*client), "reply");
+}
+
+TEST(SocketShutdown, RdCollapsesReceiveStream)
+{
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080);
+    auto client = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*client, 8080), 0);
+    kernel::SocketFilePtr server;
+    listener->accept(
+        [&](int, kernel::SocketFilePtr s) { server = std::move(s); });
+    ASSERT_TRUE(server);
+
+    EXPECT_EQ(client->shutdown(sys::SHUT_RD_), 0);
+    EXPECT_TRUE(client->readable()) << "reads now complete immediately";
+    bool eof = false;
+    client->read(16, [&](int err, bfs::BufferPtr data) {
+        eof = (err == 0 && data && data->empty());
+    });
+    EXPECT_TRUE(eof);
+}
+
+TEST(SocketShutdown, ErrorCases)
+{
+    kernel::SocketFile unconnected;
+    EXPECT_EQ(unconnected.shutdown(sys::SHUT_WR_), ENOTCONN);
+
+    net::LoopbackBackend backend;
+    auto listener = makeListener(backend, 8080);
+    auto client = std::make_shared<kernel::SocketFile>();
+    ASSERT_EQ(backend.connect(*client, 8080), 0);
+    EXPECT_EQ(client->shutdown(42), EINVAL);
+}
+
+TEST(SimBackendTest, DeliveryPaysPropagationDelay)
+{
+    jsvm::TestClock clock;
+    jsvm::EventLoop loop;
+    net::SimBackend backend(&loop, net::LinkParams{10000, 0});
+    net::ConnectionStreams cs = backend.makeConnection();
+
+    std::string msg = "across the wire";
+    cs.client.tx->write(bfs::Buffer(msg.begin(), msg.end()),
+                        [](int, size_t) {});
+    EXPECT_FALSE(cs.server.rx->readable())
+        << "bytes are in flight, not delivered synchronously";
+
+    int64_t t0 = clock.nowUs();
+    clock.pumpUntilIdle(loop);
+    EXPECT_TRUE(cs.server.rx->readable());
+    EXPECT_GE(clock.nowUs() - t0, 5000) << "one-way is rtt/2";
+
+    std::string got;
+    cs.server.rx->read(4096, [&](int err, bfs::BufferPtr data) {
+        if (err == 0 && data)
+            got.assign(data->begin(), data->end());
+    });
+    EXPECT_EQ(got, msg);
+    EXPECT_EQ(backend.stats().connections, 1u);
+    EXPECT_GE(backend.stats().linkChunks, 1u);
+    EXPECT_EQ(backend.stats().bytesShaped, msg.size());
+}
+
+TEST(SimBackendTest, BandwidthSerializesBytes)
+{
+    jsvm::TestClock clock;
+    jsvm::EventLoop loop;
+    // 1 B/us = 1 MB/s, zero propagation: 50 KB takes >= 50 ms.
+    net::SimBackend backend(&loop, net::LinkParams{0, 1.0});
+    net::ConnectionStreams cs = backend.makeConnection();
+
+    bfs::Buffer payload(50000, 'x');
+    cs.client.tx->write(std::move(payload), [](int, size_t) {});
+    int64_t t0 = clock.nowUs();
+    clock.pumpUntilIdle(loop);
+
+    size_t delivered = 0;
+    while (cs.server.rx->readable() && cs.server.rx->buffered() > 0) {
+        cs.server.rx->read(16384, [&](int err, bfs::BufferPtr data) {
+            if (err == 0 && data)
+                delivered += data->size();
+        });
+        clock.pumpUntilIdle(loop);
+    }
+    EXPECT_EQ(delivered, 50000u);
+    EXPECT_GE(clock.nowUs() - t0, 50000);
+    EXPECT_GT(backend.stats().linkChunks, 1u)
+        << "large payloads ship as multiple shaped chunks";
+}
+
+TEST(SimBackendTest, EofArrivesAfterShapedBytes)
+{
+    jsvm::TestClock clock;
+    jsvm::EventLoop loop;
+    net::SimBackend backend(&loop, net::LinkParams{10000, 0});
+    net::ConnectionStreams cs = backend.makeConnection();
+
+    std::string msg = "fin follows";
+    cs.client.tx->write(bfs::Buffer(msg.begin(), msg.end()),
+                        [](int, size_t) {});
+    cs.client.tx->closeWriter(); // FIN right behind the data
+    clock.pumpUntilIdle(loop);
+
+    std::string got;
+    cs.server.rx->read(4096, [&](int err, bfs::BufferPtr data) {
+        if (err == 0 && data)
+            got.assign(data->begin(), data->end());
+    });
+    EXPECT_EQ(got, msg) << "data lands before the propagated FIN";
+    bool eof = false;
+    cs.server.rx->read(16, [&](int err, bfs::BufferPtr data) {
+        eof = (err == 0 && data && data->empty());
+    });
+    EXPECT_TRUE(eof);
+}
+
+TEST(NetIntegration, MemeServerOverSimNet)
+{
+    // The §5.2 client/server experiment over the shaped backend: the
+    // whole request/response (and the server's graceful FIN via the
+    // shutdown trap) crosses simulated links in both directions.
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    cfg.simNet = true;
+    cfg.simNetLink = net::LinkParams{2000, 0};
+    Browsix bx(cfg);
+    bx.kernel().spawnRoot({"/usr/bin/meme-server"},
+                          {{"MEME_PORT", "8080"}}, "/", [](int) {},
+                          nullptr, nullptr, [](int) {});
+    ASSERT_TRUE(bx.waitForPort(8080, 15000));
+
+    net::HttpRequest req;
+    req.target = "/api/images";
+    auto x = bx.xhr(8080, req, 30000);
+    ASSERT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 200);
+    std::string body(x.response.body.begin(), x.response.body.end());
+    EXPECT_NE(body.find("wonka"), std::string::npos);
+}
+
+TEST(NetIntegration, MemeHttpdRingServerEndToEnd)
+{
+    // meme-httpd is the ring-native serving path: EmRing runtime,
+    // HttpServer::run's epoll loop, batched reads, kernel-side sendfile
+    // for /memes/ statics, chunked when asked.
+    BootConfig cfg;
+    cfg.memeAssets = true;
+    Browsix bx(cfg);
+    bx.kernel().spawnRoot({"/usr/bin/meme-httpd", "8081"}, {}, "/",
+                          [](int) {}, nullptr, nullptr, [](int) {});
+    ASSERT_TRUE(bx.waitForPort(8081, 15000));
+
+    net::HttpRequest api;
+    api.target = "/api/images";
+    auto x = bx.xhr(8081, api, 30000);
+    ASSERT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 200);
+    EXPECT_EQ(x.response.header("content-type"), "application/json");
+    std::string body(x.response.body.begin(), x.response.body.end());
+    EXPECT_NE(body.find("doge"), std::string::npos);
+
+    // Static file: streamed kernel-side via sendfile SQEs.
+    net::HttpRequest file;
+    file.target = "/memes/wonka.bimg";
+    x = bx.xhr(8081, file, 30000);
+    ASSERT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 200);
+    EXPECT_GT(x.response.body.size(), 1000u);
+
+    // Chunked transfer encoding on request.
+    net::HttpRequest chunked;
+    chunked.target = "/api/images?chunked=1";
+    x = bx.xhr(8081, chunked, 30000);
+    ASSERT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 200);
+    std::string cbody(x.response.body.begin(), x.response.body.end());
+    EXPECT_NE(cbody.find("wonka"), std::string::npos);
+
+    // Traversal attempts must not escape /memes.
+    net::HttpRequest evil;
+    evil.target = "/memes/../etc/passwd";
+    x = bx.xhr(8081, evil, 30000);
+    ASSERT_EQ(x.err, 0);
+    EXPECT_EQ(x.response.status, 404);
+}

@@ -30,6 +30,7 @@ BENCHES = (
     "pipe_micro",
     "proc_micro",
     "http_serve",
+    "awfy",
 )
 
 # Throughput/latency metrics where a higher value is a regression. Ratio
@@ -55,6 +56,32 @@ RATIO_CEILINGS = {
     # 4.7 notifies per request; a per-connection or per-call notify
     # pattern would push this past the tens.
     "http_notifies_per_request": 8.0,
+    # emvm execution-tier acceptance lines (bench_awfy). These are wall
+    # time ratios of tiered runs against the base interpreter measured in
+    # the same process, so machine speed cancels out; smoke runs are
+    # warmed best-of-5 (see bench/awfy.cc), which holds run-to-run spread
+    # to a few percent. The geomean trace ceiling of 0.5 IS the tentpole
+    # acceptance criterion — the fused+trace tiers must keep a >=2x
+    # geomean speedup over base. Smoke-tier measurements sit at
+    # 0.41-0.45 geomean (full tier: ~0.42), so the ceiling carries
+    # 12%+ headroom for shared-runner jitter while still failing any
+    # change that costs the tiers a real fraction of their win.
+    "awfy_geomean_trace_vs_base": 0.5,
+    "awfy_geomean_fused_vs_base": 0.62,
+    # Per-kernel lines (smoke max over 12 runs → ceiling): loop-dominated
+    # kernels trace well (sieve/nbody/json 0.28-0.36); the call-heavy
+    # pair deopts at every CALL and effectively runs the fused tier
+    # (richards <=0.56, permute <=0.73).
+    "awfy_sieve_trace_vs_base": 0.5,
+    "awfy_nbody_trace_vs_base": 0.5,
+    "awfy_richards_trace_vs_base": 0.72,
+    "awfy_permute_trace_vs_base": 0.9,
+    "awfy_json_trace_vs_base": 0.5,
+    # Fused dispatches per original instruction retired: deterministic
+    # for a given translator (0.587 across the suite). A ceiling of 0.65
+    # fails any change that stops superinstructions from swallowing the
+    # hot dispatch pairs.
+    "emvm_fused_dispatch_ratio": 0.65,
 }
 
 # Absolute ceilings for the worker-pool scheduler's headline numbers,

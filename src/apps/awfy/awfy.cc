@@ -1,0 +1,955 @@
+#include "apps/awfy/awfy.h"
+
+#include <algorithm>
+
+#include "jsvm/util.h"
+#include "runtime/emvm/assembler.h"
+
+namespace browsix {
+namespace apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wrap-mod-2^64 helpers. The VM does all arithmetic on uint64 and
+// reinterprets as int64; the native references must match bit-for-bit,
+// including on overflow (plain signed overflow would be UB here).
+// ---------------------------------------------------------------------------
+int64_t wadd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+int64_t wmul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+int64_t wshr(int64_t a, int64_t b)
+{
+    // VM SHR is a logical shift on the uint64 bit pattern.
+    return static_cast<int64_t>(static_cast<uint64_t>(a) >> (b & 63));
+}
+
+// ---------------------------------------------------------------------------
+// Shared assembly scaffolding: print_u32 (digits written backward into
+// the scratch buffer at [456, 477), newline at 476) and a main() that
+// runs the kernel at guest size and prints the checksum. Kernel data
+// lives at >= 504 so the print buffer never aliases it; sieve is the
+// exception (flags at offset 0) but it only prints after the scan.
+// ---------------------------------------------------------------------------
+const char *kPrintU32 = R"(
+.func print_u32 1 2
+    push 476
+    storel 1
+pdigits:
+    loadl 1
+    push 1
+    sub
+    storel 1
+    loadl 1
+    loadl 0
+    push 10
+    mods
+    push 48
+    add
+    store8
+    loadl 0
+    push 10
+    divs
+    storel 0
+    loadl 0
+    jnz pdigits
+    push 476
+    push 10
+    store8
+    push 4
+    push 1
+    loadl 1
+    push 477
+    loadl 1
+    sub
+    syscall 3
+    pop
+    push 0
+    ret
+.end
+)";
+
+std::string mainSource(int64_t guestN)
+{
+    std::string s;
+    s += ".func main 0 0\n";
+    s += "    push " + std::to_string(guestN) + "\n";
+    s += "    call run\n";
+    s += "    call print_u32\n";
+    s += "    halt\n";
+    s += ".end\n";
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Sieve of Eratosthenes. Byte flags at mem[0, n); returns the prime
+// count. Inner loops are fusion bait: LOADL+LOAD8 flag reads,
+// LOADL+PUSH+STORE8 flag writes, LOADL+LOADL+GE+JNZ loop guards, and
+// the LOADL+PUSH+ADD+STOREL increment.
+// ---------------------------------------------------------------------------
+int64_t sieveNative(int64_t n)
+{
+    std::vector<uint8_t> flags(std::max<int64_t>(n, 0), 1);
+    int64_t count = 0;
+    for (int64_t i = 2; i < n; i++) {
+        if (!flags[i])
+            continue;
+        count++;
+        for (int64_t k = i + i; k < n; k += i)
+            flags[k] = 0;
+    }
+    return count;
+}
+
+const char *kSieveRun = R"(
+.memory 65536
+.func run 1 4
+    ; locals: 0=n 1=i 2=k 3=count
+    push 0
+    storel 1
+init:
+    loadl 1
+    loadl 0
+    ge
+    jnz initdone
+    loadl 1
+    push 1
+    store8
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp init
+initdone:
+    push 0
+    storel 3
+    push 2
+    storel 1
+outer:
+    loadl 1
+    loadl 0
+    ge
+    jnz outerdone
+    loadl 1
+    load8
+    jz next
+    loadl 3
+    push 1
+    add
+    storel 3
+    loadl 1
+    loadl 1
+    add
+    storel 2
+inner:
+    loadl 2
+    loadl 0
+    ge
+    jnz next
+    loadl 2
+    push 0
+    store8
+    loadl 2
+    loadl 1
+    add
+    storel 2
+    jmp inner
+next:
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp outer
+outerdone:
+    loadl 3
+    ret
+.end
+)";
+
+// ---------------------------------------------------------------------------
+// NBody, fixed-point. Three bodies, 16.16 coordinates, a fake
+// inverse-square force computed with DIVS. State is load64/store64
+// traffic at mem[512, 608); the checksum xor-folds the final state.
+// ---------------------------------------------------------------------------
+int64_t nbodyNative(int64_t n)
+{
+    int64_t x[3] = {0, 1 << 16, -(1 << 15)};
+    int64_t y[3] = {1 << 16, -(1 << 15), 1 << 14};
+    int64_t vx[3] = {0, 0, 0};
+    int64_t vy[3] = {0, 0, 0};
+    for (int64_t s = 0; s < n; s++) {
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 3; j++) {
+                if (i == j)
+                    continue;
+                int64_t dx = wadd(x[j], -x[i]);
+                int64_t dy = wadd(y[j], -y[i]);
+                int64_t d2 = wadd(wmul(dx, dx), wmul(dy, dy));
+                int64_t inv = 1000000 / (wshr(d2, 16) + 1000);
+                vx[i] = wadd(vx[i], wmul(dx, inv) / 1000);
+                vy[i] = wadd(vy[i], wmul(dy, inv) / 1000);
+            }
+        }
+        for (int i = 0; i < 3; i++) {
+            x[i] = wadd(x[i], vx[i] / 16);
+            y[i] = wadd(y[i], vy[i] / 16);
+        }
+    }
+    int64_t acc = 0;
+    for (int i = 0; i < 3; i++) {
+        acc = wadd(acc, x[i] ^ y[i]);
+        acc = wadd(acc, vx[i] ^ vy[i]);
+    }
+    return acc & 0x7fffffff;
+}
+
+const char *kNbodyRun = R"(
+.memory 4096
+.func run 1 9
+    ; locals: 0=n 1=step 2=i 3=j 4=dx 5=dy 6=inv 7=baseI 8=baseJ
+    ; body i at 512 + i*32: x +0, y +8, vx +16, vy +24
+    push 512
+    push 0
+    store64
+    push 520
+    push 65536
+    store64
+    push 528
+    push 0
+    store64
+    push 536
+    push 0
+    store64
+    push 544
+    push 65536
+    store64
+    push 552
+    push -32768
+    store64
+    push 560
+    push 0
+    store64
+    push 568
+    push 0
+    store64
+    push 576
+    push -32768
+    store64
+    push 584
+    push 16384
+    store64
+    push 592
+    push 0
+    store64
+    push 600
+    push 0
+    store64
+    push 0
+    storel 1
+steps:
+    loadl 1
+    loadl 0
+    ge
+    jnz stepsdone
+    push 0
+    storel 2
+iloop:
+    loadl 2
+    push 3
+    ge
+    jnz idone
+    loadl 2
+    push 32
+    mul
+    push 512
+    add
+    storel 7
+    push 0
+    storel 3
+jloop:
+    loadl 3
+    push 3
+    ge
+    jnz jdone
+    loadl 2
+    loadl 3
+    eq
+    jnz jnext
+    loadl 3
+    push 32
+    mul
+    push 512
+    add
+    storel 8
+    loadl 8
+    load64
+    loadl 7
+    load64
+    sub
+    storel 4
+    loadl 8
+    push 8
+    add
+    load64
+    loadl 7
+    push 8
+    add
+    load64
+    sub
+    storel 5
+    push 1000000
+    loadl 4
+    loadl 4
+    mul
+    loadl 5
+    loadl 5
+    mul
+    add
+    push 16
+    shr
+    push 1000
+    add
+    divs
+    storel 6
+    loadl 7
+    push 16
+    add
+    dup
+    load64
+    loadl 4
+    loadl 6
+    mul
+    push 1000
+    divs
+    add
+    store64
+    loadl 7
+    push 24
+    add
+    dup
+    load64
+    loadl 5
+    loadl 6
+    mul
+    push 1000
+    divs
+    add
+    store64
+jnext:
+    loadl 3
+    push 1
+    add
+    storel 3
+    jmp jloop
+jdone:
+    loadl 2
+    push 1
+    add
+    storel 2
+    jmp iloop
+idone:
+    push 0
+    storel 2
+ploop:
+    loadl 2
+    push 3
+    ge
+    jnz pdone
+    loadl 2
+    push 32
+    mul
+    push 512
+    add
+    storel 7
+    loadl 7
+    dup
+    load64
+    loadl 7
+    push 16
+    add
+    load64
+    push 16
+    divs
+    add
+    store64
+    loadl 7
+    push 8
+    add
+    dup
+    load64
+    loadl 7
+    push 24
+    add
+    load64
+    push 16
+    divs
+    add
+    store64
+    loadl 2
+    push 1
+    add
+    storel 2
+    jmp ploop
+pdone:
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp steps
+stepsdone:
+    push 0
+    storel 6
+    push 0
+    storel 2
+csum:
+    loadl 2
+    push 3
+    ge
+    jnz csumdone
+    loadl 2
+    push 32
+    mul
+    push 512
+    add
+    storel 7
+    loadl 6
+    loadl 7
+    load64
+    loadl 7
+    push 8
+    add
+    load64
+    xor
+    add
+    storel 6
+    loadl 6
+    loadl 7
+    push 16
+    add
+    load64
+    loadl 7
+    push 24
+    add
+    load64
+    xor
+    add
+    storel 6
+    loadl 2
+    push 1
+    add
+    storel 2
+    jmp csum
+csumdone:
+    loadl 6
+    push 2147483647
+    and
+    ret
+.end
+)";
+
+// ---------------------------------------------------------------------------
+// Richards-lite. Six task slots stepped round-robin; each step is a
+// CALL into an LCG mix over the task's counter. Deliberately CALL-heavy
+// so every loop iteration crosses a trace exit — this kernel bounds the
+// deopt overhead rather than showing off the trace tier.
+// ---------------------------------------------------------------------------
+int64_t richardsNative(int64_t n)
+{
+    int64_t c[6] = {0, 0, 0, 0, 0, 0};
+    int64_t total = 0;
+    int64_t t = 0;
+    for (int64_t it = 0; it < n; it++) {
+        c[t] = wadd(wmul(c[t], 1103515245), 12345);
+        total = wadd(total, wshr(c[t], 33));
+        t++;
+        if (t >= 6)
+            t = 0;
+    }
+    return total & 0x7fffffff;
+}
+
+const char *kRichardsRun = R"(
+.memory 4096
+.func step 1 3
+    ; locals: 0=task 1=addr 2=c
+    loadl 0
+    push 8
+    mul
+    push 512
+    add
+    storel 1
+    loadl 1
+    load64
+    push 1103515245
+    mul
+    push 12345
+    add
+    storel 2
+    loadl 1
+    loadl 2
+    store64
+    loadl 2
+    push 33
+    shr
+    ret
+.end
+.func run 1 4
+    ; locals: 0=n 1=iter 2=task 3=total
+    push 0
+    storel 1
+    push 0
+    storel 2
+    push 0
+    storel 3
+loop:
+    loadl 1
+    loadl 0
+    ge
+    jnz done
+    loadl 2
+    call step
+    loadl 3
+    add
+    storel 3
+    loadl 2
+    push 1
+    add
+    storel 2
+    loadl 2
+    push 6
+    lt
+    jnz noreset
+    push 0
+    storel 2
+noreset:
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp loop
+done:
+    loadl 3
+    push 2147483647
+    and
+    ret
+.end
+)";
+
+// ---------------------------------------------------------------------------
+// Permute (the AWFY kernel): count the recursive permutation walk of an
+// n-element vector. Exercises deep CALL/RET traffic and load64/store64
+// swaps; recursion depth is n+1, well under the 1024-frame limit.
+// ---------------------------------------------------------------------------
+void permuteRec(std::vector<int64_t> &v, int64_t k, int64_t &count)
+{
+    count++;
+    if (k == 0)
+        return;
+    int64_t k1 = k - 1;
+    permuteRec(v, k1, count);
+    for (int64_t i = k1; i >= 0; i--) {
+        std::swap(v[k1], v[i]);
+        permuteRec(v, k1, count);
+        std::swap(v[k1], v[i]);
+    }
+}
+
+int64_t permuteNative(int64_t n)
+{
+    std::vector<int64_t> v(std::max<int64_t>(n, 0));
+    for (int64_t i = 0; i < n; i++)
+        v[i] = i;
+    int64_t count = 0;
+    permuteRec(v, n, count);
+    return count;
+}
+
+const char *kPermuteRun = R"(
+.memory 4096
+.func permute 1 6
+    ; locals: 0=k 1=k1 2=i 3=addrA 4=addrB 5=tmp
+    ; call count at mem64[504], v[i] at 512 + i*8
+    push 504
+    push 504
+    load64
+    push 1
+    add
+    store64
+    loadl 0
+    jz done
+    loadl 0
+    push 1
+    sub
+    storel 1
+    loadl 1
+    call permute
+    pop
+    loadl 1
+    push 8
+    mul
+    push 512
+    add
+    storel 3
+    loadl 1
+    storel 2
+floop:
+    loadl 2
+    push 0
+    lt
+    jnz done
+    loadl 2
+    push 8
+    mul
+    push 512
+    add
+    storel 4
+    loadl 3
+    load64
+    storel 5
+    loadl 3
+    loadl 4
+    load64
+    store64
+    loadl 4
+    loadl 5
+    store64
+    loadl 1
+    call permute
+    pop
+    loadl 3
+    load64
+    storel 5
+    loadl 3
+    loadl 4
+    load64
+    store64
+    loadl 4
+    loadl 5
+    store64
+    loadl 2
+    push 1
+    sub
+    storel 2
+    jmp floop
+done:
+    push 0
+    ret
+.end
+.func run 1 2
+    ; locals: 0=n 1=i
+    push 504
+    push 0
+    store64
+    push 0
+    storel 1
+init:
+    loadl 1
+    loadl 0
+    ge
+    jnz initdone
+    loadl 1
+    push 8
+    mul
+    push 512
+    add
+    loadl 1
+    store64
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp init
+initdone:
+    loadl 0
+    call permute
+    pop
+    push 504
+    load64
+    ret
+.end
+)";
+
+// ---------------------------------------------------------------------------
+// Json-scan: a byte-at-a-time tokenizer state machine over a JSON
+// document baked into .data at 1024 (scan ends at the NUL byte the
+// zero-filled memory guarantees). Branchy byte-load code that the trace
+// tier keeps entirely in registers.
+// ---------------------------------------------------------------------------
+const char *kJsonDoc =
+    "{\"name\": \"awfy json\", \"items\": [1, 2, 3,"
+    " {\"k\": \"v\\\"quoted\\\"\", \"n\": null, \"p\": \"a\\\\b\"}],"
+    " \"flags\": [true, false], \"depth\": {\"a\": {\"b\": [0]}}}";
+
+int64_t jsonNative(int64_t n)
+{
+    const char *doc = kJsonDoc;
+    int64_t len = static_cast<int64_t>(std::char_traits<char>::length(doc));
+    int64_t acc = 0;
+    for (int64_t p = 0; p < n; p++) {
+        bool instr = false;
+        for (int64_t i = 0; i < len; i++) {
+            uint8_t c = static_cast<uint8_t>(doc[i]);
+            if (instr) {
+                if (c == '\\') {
+                    acc = wadd(acc, 7);
+                    i++;
+                } else if (c == '"') {
+                    acc = wadd(acc, 5);
+                    instr = false;
+                }
+            } else {
+                if (c == '"') {
+                    instr = true;
+                    acc = wadd(acc, 3);
+                } else if (c == '{' || c == '}' || c == '[' || c == ']' ||
+                           c == ':' || c == ',') {
+                    acc = wadd(acc, 1);
+                }
+            }
+        }
+    }
+    return acc & 0x7fffffff;
+}
+
+// Re-escape the shared document for the assembler's .data string syntax
+// so the guest scans byte-identical input to the native reference.
+std::string asmEscape(const char *s)
+{
+    std::string out;
+    for (const char *p = s; *p; p++) {
+        if (*p == '\\' || *p == '"')
+            out += '\\';
+        out += *p;
+    }
+    return out;
+}
+
+std::string jsonRunSource()
+{
+    std::string s = ".memory 4096\n.data 1024 \"" + asmEscape(kJsonDoc) +
+                    "\"\n";
+    s += R"(
+.func run 1 6
+    ; locals: 0=n 1=pass 2=i 3=c 4=instr 5=acc
+    push 0
+    storel 1
+    push 0
+    storel 5
+pass:
+    loadl 1
+    loadl 0
+    ge
+    jnz passdone
+    push 1024
+    storel 2
+    push 0
+    storel 4
+scan:
+    loadl 2
+    load8
+    storel 3
+    loadl 3
+    jz scandone
+    loadl 4
+    jz notin
+    loadl 3
+    push 92
+    eq
+    jz chkclose
+    loadl 5
+    push 7
+    add
+    storel 5
+    loadl 2
+    push 1
+    add
+    storel 2
+    jmp adv
+chkclose:
+    loadl 3
+    push 34
+    eq
+    jz adv
+    loadl 5
+    push 5
+    add
+    storel 5
+    push 0
+    storel 4
+    jmp adv
+notin:
+    loadl 3
+    push 34
+    eq
+    jz chkstruct
+    push 1
+    storel 4
+    loadl 5
+    push 3
+    add
+    storel 5
+    jmp adv
+chkstruct:
+    loadl 3
+    push 123
+    eq
+    jnz struct
+    loadl 3
+    push 125
+    eq
+    jnz struct
+    loadl 3
+    push 91
+    eq
+    jnz struct
+    loadl 3
+    push 93
+    eq
+    jnz struct
+    loadl 3
+    push 58
+    eq
+    jnz struct
+    loadl 3
+    push 44
+    eq
+    jnz struct
+    jmp adv
+struct:
+    loadl 5
+    push 1
+    add
+    storel 5
+adv:
+    loadl 2
+    push 1
+    add
+    storel 2
+    jmp scan
+scandone:
+    loadl 1
+    push 1
+    add
+    storel 1
+    jmp pass
+passdone:
+    loadl 5
+    push 2147483647
+    and
+    ret
+.end
+)";
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Suite table and image cache.
+// ---------------------------------------------------------------------------
+struct AwfyDef
+{
+    AwfyBench bench;
+    std::string runSource; // kernel assembly, without main/print_u32
+};
+
+const std::vector<AwfyDef> &defs()
+{
+    static const std::vector<AwfyDef> d = [] {
+        std::vector<AwfyDef> v;
+        // smokeN is sized so the trace tier's warmup (64 backedges per
+        // loop before promotion) amortizes: the smoke ratios then sit
+        // close to the full-tier ones and the hard ceilings in
+        // check_trajectory.py gate real speedup, not warmup noise. The
+        // whole smoke suite still finishes in well under a second.
+        v.push_back({{"sieve", 30000, 8000, 5000, sieveNative}, kSieveRun});
+        v.push_back({{"nbody", 4000, 1000, 500, nbodyNative}, kNbodyRun});
+        v.push_back(
+            {{"richards", 120000, 24000, 20000, richardsNative}, kRichardsRun});
+        v.push_back({{"permute", 7, 6, 6, permuteNative}, kPermuteRun});
+        v.push_back({{"json", 800, 240, 100, jsonNative}, jsonRunSource()});
+        return v;
+    }();
+    return d;
+}
+
+const AwfyDef *defFor(const std::string &name)
+{
+    for (const auto &d : defs()) {
+        if (d.bench.name == name)
+            return &d;
+    }
+    return nullptr;
+}
+
+emvm::Image assembleOrDie(const std::string &src, const std::string &name)
+{
+    emvm::Image img;
+    std::string err;
+    if (!emvm::assemble(src, img, err))
+        jsvm::panic("awfy '" + name + "' failed to assemble: " + err);
+    return img;
+}
+
+} // namespace
+
+const std::vector<AwfyBench> &awfyBenches()
+{
+    static const std::vector<AwfyBench> benches = [] {
+        std::vector<AwfyBench> v;
+        for (const auto &d : defs())
+            v.push_back(d.bench);
+        return v;
+    }();
+    return benches;
+}
+
+const AwfyBench *awfyBench(const std::string &name)
+{
+    const AwfyDef *d = defFor(name);
+    return d ? &d->bench : nullptr;
+}
+
+emvm::Image awfyImage(const std::string &name)
+{
+    const AwfyDef *d = defFor(name);
+    if (!d)
+        jsvm::panic("unknown awfy bench: " + name);
+    std::string src = d->runSource;
+    src += kPrintU32;
+    src += mainSource(d->bench.guestN);
+    return assembleOrDie(src, name);
+}
+
+bfs::Buffer awfyImageBytes(const std::string &name)
+{
+    const AwfyDef *d = defFor(name);
+    if (!d)
+        jsvm::panic("unknown awfy bench: " + name);
+    // Cache the serialized bytes per kernel; staging re-requests them
+    // for every kernel boot.
+    static std::vector<std::pair<std::string, bfs::Buffer>> cache = [] {
+        std::vector<std::pair<std::string, bfs::Buffer>> c;
+        for (const auto &def : defs()) {
+            emvm::Image img = awfyImage(def.bench.name);
+            c.emplace_back(def.bench.name, img.serialize());
+        }
+        return c;
+    }();
+    for (const auto &entry : cache) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    jsvm::panic("unknown awfy bench: " + name);
+    return {};
+}
+
+} // namespace apps
+} // namespace browsix

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AWFY-style macro kernels as emvm guests (ROADMAP item 4): Sieve,
+ * NBody (fixed-point), Richards-lite, Permute, and Json-scan, in the
+ * spirit of the "Are We Fast Yet" cross-VM suite. Each kernel exists
+ * twice — as emvm assembly (the guest under test) and as a native C++
+ * reference with identical wrap-mod-2^64 arithmetic — so the bench and
+ * the differential tests can assert that every execution tier computes
+ * the exact same result the hardware does.
+ *
+ * Each image exposes:
+ *  - `run(n)`: the kernel; returns its checksum as the exit value.
+ *    Pure compute, no syscalls — callable on a bare `emvm::Vm`.
+ *  - `main()`: runs the kernel at a small guest-sized n and prints the
+ *    checksum, so the staged `/usr/bin/awfy-<name>` binaries behave
+ *    like the other emvm coreutils.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bfs/types.h"
+#include "runtime/emvm/vm.h"
+
+namespace browsix {
+namespace apps {
+
+struct AwfyBench
+{
+    std::string name;  ///< short name: sieve, nbody, richards, permute, json
+    int64_t benchN;    ///< problem size for the full bench tier
+    int64_t smokeN;    ///< problem size for BROWSIX_BENCH_SMOKE
+    int64_t guestN;    ///< problem size the staged main() uses
+    int64_t (*native)(int64_t n); ///< reference result for run(n)
+};
+
+/** The five kernels, in suite order. */
+const std::vector<AwfyBench> &awfyBenches();
+
+/** Lookup by name; nullptr if unknown. */
+const AwfyBench *awfyBench(const std::string &name);
+
+/** Assembled image for one kernel (panics on unknown name). */
+emvm::Image awfyImage(const std::string &name);
+
+/** Serialized "BSXBC1" bytes, for staging at /usr/bin/awfy-<name>. */
+bfs::Buffer awfyImageBytes(const std::string &name);
+
+} // namespace apps
+} // namespace browsix

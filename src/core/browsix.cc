@@ -1,6 +1,7 @@
 #include "core/browsix.h"
 
 #include "apps/coreutils/coreutils.h"
+#include "apps/awfy/awfy.h"
 #include "apps/emvm_programs.h"
 #include "apps/meme/server.h"
 #include "apps/registry.h"
@@ -160,6 +161,11 @@ Browsix::stageSystem(const BootConfig &cfg)
     root.writeFile("/usr/bin/forktest", apps::forktestImageBytes());
     root.writeFile("/usr/bin/primes", apps::primesImageBytes());
     root.writeFile("/usr/bin/hello-em", apps::helloImageBytes());
+
+    // AWFY macro kernels (bench/awfy.cc runs the same images in-VM).
+    for (const auto &bench : apps::awfyBenches())
+        root.writeFile("/usr/bin/awfy-" + bench.name,
+                       apps::awfyImageBytes(bench.name));
 }
 
 bool

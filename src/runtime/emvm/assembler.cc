@@ -149,6 +149,15 @@ assemble(const std::string &source, Image &out, std::string &err)
                       ": unknown label '" + ref.name + "'";
                 return false;
             }
+            // A label after the last instruction is legal as a marker but
+            // not as a jump target: the VM treats pc == code.size() as a
+            // fall-off-the-end fault and Image::validate rejects such
+            // targets, so catch it here with a line number.
+            if (it->second >= cur->code.size()) {
+                err = "line " + std::to_string(ref.line) + ": label '" +
+                      ref.name + "' points past the last instruction";
+                return false;
+            }
             cur->code[ref.instr].imm = it->second;
         }
         refs.clear();
@@ -255,6 +264,10 @@ assemble(const std::string &source, Image &out, std::string &err)
                 int64_t v;
                 if (!parseInt(toks[1], v))
                     return fail("bad operand '" + toks[1] + "'");
+                // Match Image::validate so a bad arity is a source-level
+                // error with a line number, not a serialize-time panic.
+                if (op == Op::SYSCALL && (v < 0 || v > 6))
+                    return fail("syscall arity must be 0..6");
                 ins.imm = v;
             }
         } else if (toks.size() != 1) {

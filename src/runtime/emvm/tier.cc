@@ -1,0 +1,1093 @@
+/**
+ * @file
+ * Translators for the emvm fast tiers: the peephole superinstruction
+ * fuser (fused tier) and the register-trace builder (trace tier). Both
+ * are pure functions of `Function::code` — profile state (backedge
+ * counters, built traces) lives in the per-Vm `TransFn`, never in the
+ * shared Image, so forked children profile independently.
+ */
+#include "runtime/emvm/tier.h"
+
+#include <algorithm>
+
+namespace browsix {
+namespace emvm {
+
+namespace {
+
+bool
+isCmp(Op op)
+{
+    return op == Op::EQ || op == Op::NE || op == Op::LT || op == Op::LE ||
+           op == Op::GT || op == Op::GE;
+}
+
+bool
+isCondBr(Op op)
+{
+    return op == Op::JZ || op == Op::JNZ;
+}
+
+bool
+isBranch(Op op)
+{
+    return op == Op::JMP || op == Op::JZ || op == Op::JNZ;
+}
+
+/**
+ * Binops legal inside a *_BIN_SL fusion: total functions of their two
+ * operands (DIVS/MODS stay unfused so their fault path keeps the base
+ * tier's pc/stack reconstruction for free).
+ */
+bool
+isPureBin(Op op)
+{
+    switch (op) {
+      case Op::ADD: case Op::SUB: case Op::MUL:
+      case Op::AND: case Op::OR: case Op::XOR:
+      case Op::SHL: case Op::SHR:
+        return true;
+      default:
+        return isCmp(op);
+    }
+}
+
+/** Is `imm` a statically valid local slot for this function? */
+bool
+validLocal(const Function &fn, int64_t imm)
+{
+    uint32_t nl = std::max(fn.nlocals, fn.nargs);
+    return imm >= 0 && static_cast<uint64_t>(imm) < nl;
+}
+
+/**
+ * Compute leader pcs: resume points the fused stream must keep
+ * addressable. Fusion never spans one, so snapshot/restore and branch
+ * targets always land on a fused-instruction boundary.
+ */
+std::vector<bool>
+computeLeaders(const Function &fn)
+{
+    size_t n = fn.code.size();
+    std::vector<bool> leader(n + 1, false);
+    leader[0] = true;
+    for (size_t i = 0; i < n; i++) {
+        const Instr &ins = fn.code[i];
+        if (isBranch(ins.op)) {
+            // The base tier truncates targets to uint32 before comparing
+            // against code.size(); mirror that exactly.
+            uint32_t t = static_cast<uint32_t>(ins.imm);
+            if (t <= n)
+                leader[t] = true;
+        }
+        if (ins.op == Op::CALL || ins.op == Op::SYSCALL) {
+            // The pc after a CALL is a return address; after a SYSCALL it
+            // is where resume() continues — both appear in snapshots.
+            if (i + 1 <= n)
+                leader[i + 1] = true;
+        }
+    }
+    return leader;
+}
+
+/** True if pcs (i, i+len) exclusive..exclusive-end are all non-leaders. */
+bool
+spanFree(const std::vector<bool> &leader, size_t i, size_t len)
+{
+    for (size_t k = i + 1; k < i + len; k++) {
+        if (leader[k])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::unique_ptr<TransFn>
+translateFunction(const Function &fn)
+{
+    auto tf = std::make_unique<TransFn>();
+    const size_t n = fn.code.size();
+    const std::vector<bool> leader = computeLeaders(fn);
+    tf->fusedOfOrig.assign(n + 1, -1);
+
+    // Pass 1: greedy longest-match fusion. Patterns are tried from the
+    // most profitable (longest) down; a span is only legal when no
+    // interior pc is a leader.
+    size_t i = 0;
+    while (i < n) {
+        tf->fusedOfOrig[i] = static_cast<int32_t>(tf->code.size());
+        const Instr &c0 = fn.code[i];
+        FInstr f;
+        f.origPc = static_cast<uint32_t>(i);
+
+        auto at = [&](size_t k) -> const Instr & { return fn.code[k]; };
+        auto have = [&](size_t len) {
+            return i + len <= n && spanFree(leader, i, len);
+        };
+
+        // INC_LOCAL: LOADL a; PUSH imm; ADD; STOREL a (same, valid slot)
+        if (have(4) && c0.op == Op::LOADL && at(i + 1).op == Op::PUSH &&
+            at(i + 2).op == Op::ADD && at(i + 3).op == Op::STOREL &&
+            at(i + 3).imm == c0.imm && validLocal(fn, c0.imm)) {
+            f.op = FOp::INC_LOCAL;
+            f.nOrig = 4;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.imm = at(i + 1).imm;
+            tf->code.push_back(f);
+            i += 4;
+            continue;
+        }
+        // LL_CMP_BR: LOADL a; LOADL b; <cmp>; JZ/JNZ
+        if (have(4) && c0.op == Op::LOADL && at(i + 1).op == Op::LOADL &&
+            isCmp(at(i + 2).op) && isCondBr(at(i + 3).op) &&
+            validLocal(fn, c0.imm) && validLocal(fn, at(i + 1).imm)) {
+            f.op = FOp::LL_CMP_BR;
+            f.nOrig = 4;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.b = static_cast<int32_t>(at(i + 1).imm);
+            f.cmp = at(i + 2).op;
+            f.brIfTrue = at(i + 3).op == Op::JNZ;
+            f.imm = at(i + 3).imm; // patched to fused index in pass 2
+            tf->code.push_back(f);
+            i += 4;
+            continue;
+        }
+        // LP_CMP_BR: LOADL a; PUSH imm; <cmp>; JZ/JNZ
+        if (have(4) && c0.op == Op::LOADL && at(i + 1).op == Op::PUSH &&
+            isCmp(at(i + 2).op) && isCondBr(at(i + 3).op) &&
+            validLocal(fn, c0.imm)) {
+            f.op = FOp::LP_CMP_BR;
+            f.nOrig = 4;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.imm2 = at(i + 1).imm;
+            f.cmp = at(i + 2).op;
+            f.brIfTrue = at(i + 3).op == Op::JNZ;
+            f.imm = at(i + 3).imm; // patched to fused index in pass 2
+            tf->code.push_back(f);
+            i += 4;
+            continue;
+        }
+        // LL_BIN_SL: LOADL a; LOADL b; <bin>; STOREL c
+        if (have(4) && c0.op == Op::LOADL && at(i + 1).op == Op::LOADL &&
+            isPureBin(at(i + 2).op) && at(i + 3).op == Op::STOREL &&
+            validLocal(fn, c0.imm) && validLocal(fn, at(i + 1).imm) &&
+            validLocal(fn, at(i + 3).imm)) {
+            f.op = FOp::LL_BIN_SL;
+            f.nOrig = 4;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.b = static_cast<int32_t>(at(i + 1).imm);
+            f.c = static_cast<int32_t>(at(i + 3).imm);
+            f.cmp = at(i + 2).op;
+            tf->code.push_back(f);
+            i += 4;
+            continue;
+        }
+        // LP_BIN_SL: LOADL a; PUSH imm; <bin>; STOREL c (the INC_LOCAL
+        // test above already captured the a==c ADD form)
+        if (have(4) && c0.op == Op::LOADL && at(i + 1).op == Op::PUSH &&
+            isPureBin(at(i + 2).op) && at(i + 3).op == Op::STOREL &&
+            validLocal(fn, c0.imm) && validLocal(fn, at(i + 3).imm)) {
+            f.op = FOp::LP_BIN_SL;
+            f.nOrig = 4;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.imm2 = at(i + 1).imm;
+            f.c = static_cast<int32_t>(at(i + 3).imm);
+            f.cmp = at(i + 2).op;
+            tf->code.push_back(f);
+            i += 4;
+            continue;
+        }
+        // LL_STORE8/32: LOADL addr; LOADL val; STORE8/32
+        if (have(3) && c0.op == Op::LOADL && at(i + 1).op == Op::LOADL &&
+            (at(i + 2).op == Op::STORE8 || at(i + 2).op == Op::STORE32) &&
+            validLocal(fn, c0.imm) && validLocal(fn, at(i + 1).imm)) {
+            f.op = at(i + 2).op == Op::STORE8 ? FOp::LL_STORE8
+                                              : FOp::LL_STORE32;
+            f.nOrig = 3;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.b = static_cast<int32_t>(at(i + 1).imm);
+            tf->code.push_back(f);
+            i += 3;
+            continue;
+        }
+        // LP_STORE8/32: LOADL addr; PUSH imm; STORE8/32
+        if (have(3) && c0.op == Op::LOADL && at(i + 1).op == Op::PUSH &&
+            (at(i + 2).op == Op::STORE8 || at(i + 2).op == Op::STORE32) &&
+            validLocal(fn, c0.imm)) {
+            f.op = at(i + 2).op == Op::STORE8 ? FOp::LP_STORE8
+                                              : FOp::LP_STORE32;
+            f.nOrig = 3;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.imm = at(i + 1).imm;
+            tf->code.push_back(f);
+            i += 3;
+            continue;
+        }
+        // LL_CMP: LOADL a; LOADL b; <cmp>
+        if (have(3) && c0.op == Op::LOADL && at(i + 1).op == Op::LOADL &&
+            isCmp(at(i + 2).op) && validLocal(fn, c0.imm) &&
+            validLocal(fn, at(i + 1).imm)) {
+            f.op = FOp::LL_CMP;
+            f.nOrig = 3;
+            f.a = static_cast<int32_t>(c0.imm);
+            f.b = static_cast<int32_t>(at(i + 1).imm);
+            f.cmp = at(i + 2).op;
+            tf->code.push_back(f);
+            i += 3;
+            continue;
+        }
+        // CMP_BR: <cmp>; JZ/JNZ
+        if (have(2) && isCmp(c0.op) && isCondBr(at(i + 1).op)) {
+            f.op = FOp::CMP_BR;
+            f.nOrig = 2;
+            f.cmp = c0.op;
+            f.brIfTrue = at(i + 1).op == Op::JNZ;
+            f.imm = at(i + 1).imm;
+            tf->code.push_back(f);
+            i += 2;
+            continue;
+        }
+        // PUSH_ADD: PUSH imm; ADD
+        if (have(2) && c0.op == Op::PUSH && at(i + 1).op == Op::ADD) {
+            f.op = FOp::PUSH_ADD;
+            f.nOrig = 2;
+            f.imm = c0.imm;
+            tf->code.push_back(f);
+            i += 2;
+            continue;
+        }
+        // LOADL_LOAD8/32: LOADL a; LOAD8/32
+        if (have(2) && c0.op == Op::LOADL &&
+            (at(i + 1).op == Op::LOAD8 || at(i + 1).op == Op::LOAD32) &&
+            validLocal(fn, c0.imm)) {
+            f.op = at(i + 1).op == Op::LOAD8 ? FOp::LOADL_LOAD8
+                                             : FOp::LOADL_LOAD32;
+            f.nOrig = 2;
+            f.a = static_cast<int32_t>(c0.imm);
+            tf->code.push_back(f);
+            i += 2;
+            continue;
+        }
+
+        // 1:1 translation (FOp mirrors Op ordering).
+        uint8_t raw = static_cast<uint8_t>(c0.op);
+        f.op = raw <= static_cast<uint8_t>(Op::HALT)
+                   ? static_cast<FOp>(raw)
+                   : FOp::BADOP;
+        f.nOrig = 1;
+        f.imm = c0.imm;
+        tf->code.push_back(f);
+        i += 1;
+    }
+    tf->fusedOfOrig[n] = static_cast<int32_t>(tf->code.size());
+
+    // Pass 2: patch branches to fused coordinates and attach backedge
+    // counters. The original target is kept (uint32-truncated, matching
+    // the base tier's cast) in brOrig so faults report base-identical
+    // pcs; an out-of-range target maps to the fused end, which faults at
+    // dispatch exactly like the base tier.
+    auto fusedTarget = [&](uint32_t orig) -> int64_t {
+        if (orig > n)
+            return static_cast<int64_t>(tf->code.size());
+        int32_t t = tf->fusedOfOrig[orig];
+        // A branch into a superinstruction interior can only happen for
+        // targets the fuser proved non-leader — impossible by
+        // construction, but be defensive: route to fused end (faults).
+        return t >= 0 ? t : static_cast<int64_t>(tf->code.size());
+    };
+    auto hotIndex = [&](uint32_t headerPc) -> int32_t {
+        for (size_t k = 0; k < tf->backedges.size(); k++) {
+            if (tf->backedges[k].headerPc == headerPc)
+                return static_cast<int32_t>(k);
+        }
+        tf->backedges.push_back(Backedge{headerPc, 0});
+        return static_cast<int32_t>(tf->backedges.size() - 1);
+    };
+    for (auto &fi : tf->code) {
+        switch (fi.op) {
+          case FOp::JMP:
+          case FOp::JZ:
+          case FOp::JNZ:
+          case FOp::CMP_BR:
+          case FOp::LL_CMP_BR:
+          case FOp::LP_CMP_BR:
+            break;
+          default:
+            continue;
+        }
+        uint32_t target = static_cast<uint32_t>(fi.imm);
+        // A backedge targets the start of its own span or earlier.
+        if (target <= n && target <= fi.origPc)
+            fi.hot = hotIndex(target);
+        fi.brOrig = target;
+        fi.imm = fusedTarget(target);
+    }
+    return tf;
+}
+
+// ---------------------------------------------------------------------------
+// Trace builder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Builder state for one loop region translation. */
+struct TraceBuilder
+{
+    const Function &fn;
+    uint32_t headerPc;
+    uint32_t backedgePc;
+    Trace trace;
+    std::vector<int32_t> vstack; ///< SSA register ids, bottom→top
+    uint32_t nextReg = 0;
+    uint8_t pending = 0; ///< retire count awaiting the next emitted op
+    bool ok = true;
+
+    explicit TraceBuilder(const Function &f, uint32_t h, uint32_t b)
+        : fn(f), headerPc(h), backedgePc(b)
+    {
+    }
+
+    int32_t newReg() { return static_cast<int32_t>(nextReg++); }
+
+    int32_t addMap()
+    {
+        trace.maps.push_back(vstack);
+        return static_cast<int32_t>(trace.maps.size() - 1);
+    }
+
+    TOp &emit(TOpc op)
+    {
+        trace.ops.push_back(TOp{});
+        TOp &t = trace.ops.back();
+        t.op = op;
+        t.nOrig = pending;
+        pending = 0;
+        return t;
+    }
+
+    bool pop(int32_t &r)
+    {
+        // Popping below the loop-entry stack would need values the trace
+        // doesn't model; bail and leave the loop untraceable.
+        if (vstack.empty()) {
+            ok = false;
+            return false;
+        }
+        r = vstack.back();
+        vstack.pop_back();
+        return true;
+    }
+};
+
+bool
+isTCmp(TOpc c)
+{
+    return c >= TOpc::EQ && c <= TOpc::GE;
+}
+
+/** Total binops legal inside a peephole fusion (no fault path). */
+bool
+isTPureBin(TOpc c)
+{
+    return (c >= TOpc::ADD && c <= TOpc::SHR) || isTCmp(c);
+}
+
+bool
+isTBranch(TOpc c)
+{
+    switch (c) {
+      case TOpc::JMP: case TOpc::BRZ: case TOpc::BRNZ:
+      case TOpc::CMPBRLL: case TOpc::CMPBRLI: case TOpc::CMPBRRI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** !cmp(x, y) as a cmp: for normalizing BRZ to branch-if-true. */
+TOpc
+negTCmp(TOpc c)
+{
+    switch (c) {
+      case TOpc::EQ: return TOpc::NE;
+      case TOpc::NE: return TOpc::EQ;
+      case TOpc::LT: return TOpc::GE;
+      case TOpc::GE: return TOpc::LT;
+      case TOpc::LE: return TOpc::GT;
+      case TOpc::GT: return TOpc::LE;
+      default: return c;
+    }
+}
+
+/** cmp with swapped operands: cmp(x, y) == mirror(cmp)(y, x). */
+TOpc
+mirrorTCmp(TOpc c)
+{
+    switch (c) {
+      case TOpc::LT: return TOpc::GT;
+      case TOpc::GT: return TOpc::LT;
+      case TOpc::LE: return TOpc::GE;
+      case TOpc::GE: return TOpc::LE;
+      default: return c; // EQ/NE are symmetric
+    }
+}
+
+TOpc
+binTOpc(Op op)
+{
+    switch (op) {
+      case Op::ADD: return TOpc::ADD;
+      case Op::SUB: return TOpc::SUB;
+      case Op::MUL: return TOpc::MUL;
+      case Op::DIVS: return TOpc::DIVS;
+      case Op::MODS: return TOpc::MODS;
+      case Op::AND: return TOpc::AND;
+      case Op::OR: return TOpc::OR;
+      case Op::XOR: return TOpc::XOR;
+      case Op::SHL: return TOpc::SHL;
+      case Op::SHR: return TOpc::SHR;
+      case Op::EQ: return TOpc::EQ;
+      case Op::NE: return TOpc::NE;
+      case Op::LT: return TOpc::LT;
+      case Op::LE: return TOpc::LE;
+      case Op::GT: return TOpc::GT;
+      case Op::GE: return TOpc::GE;
+      default: return TOpc::COUNT;
+    }
+}
+
+/**
+ * Post-build peephole over a finished trace: fold single-use LDL/MOVI
+ * feeders into their consumer so the hot loop executes one fused op where
+ * the builder emitted 2–4. SSA makes this safe to verify locally — a
+ * consumed register may not be referenced by any op outside the pattern
+ * or by any deopt map, and no branch may target a pattern interior.
+ */
+void
+peepholeTrace(Trace &tr)
+{
+    auto &ops = tr.ops;
+
+    // Is `reg` read or written by any op outside [lo, hi), or kept alive
+    // by any deopt stack map?
+    auto regReferenced = [&](int32_t reg, size_t lo, size_t hi) -> bool {
+        for (size_t k = 0; k < ops.size(); k++) {
+            if (k >= lo && k < hi)
+                continue;
+            const TOp &o = ops[k];
+            switch (o.op) {
+              case TOpc::MOVI: case TOpc::LDL: case TOpc::BINRLL:
+              case TOpc::BINRLI: case TOpc::LD8L: case TOpc::LD32L:
+              case TOpc::LD64L:
+                if (o.a == reg)
+                    return true;
+                break;
+              case TOpc::STL: case TOpc::BRZ: case TOpc::BRNZ:
+                if (o.a == reg)
+                    return true;
+                break;
+              case TOpc::INCL: case TOpc::CMPBRLL: case TOpc::CMPBRLI:
+              case TOpc::BINL: case TOpc::BINLI: case TOpc::ST8LL:
+              case TOpc::ST32LL: case TOpc::ST64LL: case TOpc::ST8LI:
+              case TOpc::ST32LI: case TOpc::ST64LI: case TOpc::JMP:
+              case TOpc::EXIT: case TOpc::NOPC:
+                break;
+              case TOpc::CMPBRRI: case TOpc::ADDI:
+              case TOpc::LD8: case TOpc::LD32: case TOpc::LD64:
+                if (o.a == reg || o.b == reg)
+                    return true;
+                break;
+              default: // binops, DIVS/MODS, ST8/32/64: a/b/c are registers
+                if (o.a == reg || o.b == reg || o.c == reg)
+                    return true;
+                break;
+            }
+        }
+        for (const auto &m : tr.maps) {
+            for (int32_t r : m) {
+                if (r == reg)
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    auto branchIntoInterior = [&](size_t j, size_t len) -> bool {
+        for (const auto &o : ops) {
+            if (isTBranch(o.op) && o.dest > static_cast<int32_t>(j) &&
+                o.dest < static_cast<int32_t>(j + len))
+                return true;
+        }
+        return false;
+    };
+
+    // Replace ops [j, j+len) with `f` (keeping the summed retire count)
+    // and re-point branch targets past the erased span.
+    auto apply = [&](size_t j, size_t len, TOp f) -> bool {
+        unsigned sum = 0;
+        for (size_t k = j; k < j + len; k++)
+            sum += ops[k].nOrig;
+        if (sum > 255)
+            return false;
+        f.nOrig = static_cast<uint8_t>(sum);
+        ops[j] = f;
+        ops.erase(ops.begin() + j + 1, ops.begin() + j + len);
+        for (auto &o : ops) {
+            if (isTBranch(o.op) &&
+                o.dest >= static_cast<int32_t>(j + len))
+                o.dest -= static_cast<int32_t>(len - 1);
+        }
+        return true;
+    };
+
+    auto tryAt = [&](size_t j) -> bool {
+        const size_t n = ops.size();
+        const TOp &o0 = ops[j];
+        const TOp *o1 = j + 1 < n ? &ops[j + 1] : nullptr;
+        const TOp *o2 = j + 2 < n ? &ops[j + 2] : nullptr;
+        const TOp *o3 = j + 3 < n ? &ops[j + 3] : nullptr;
+
+        // Resolve a binop's (b, c) operand registers against the two
+        // feeder defs, giving the operand sources in evaluation order.
+        // Returns false when the operands aren't exactly the feeders.
+        auto operandOrder = [](const TOp &bin, int32_t r1, int32_t r2,
+                               bool &swapped) -> bool {
+            if (bin.b == r1 && bin.c == r2) {
+                swapped = false;
+                return true;
+            }
+            if (bin.b == r2 && bin.c == r1) {
+                swapped = true;
+                return true;
+            }
+            return false;
+        };
+
+        // --- length-4 patterns ---------------------------------------
+        if (o3 && o0.op == TOpc::LDL && o1->op == TOpc::LDL &&
+            !branchIntoInterior(j, 4)) {
+            bool swapped;
+            // LDL l1; LDL l2; cmp; BRZ/BRNZ → CMPBRLL
+            if (isTCmp(o2->op) &&
+                (o3->op == TOpc::BRZ || o3->op == TOpc::BRNZ) &&
+                o3->a == o2->a &&
+                operandOrder(*o2, o0.a, o1->a, swapped) &&
+                !regReferenced(o0.a, j, j + 4) &&
+                !regReferenced(o1->a, j, j + 4) &&
+                !regReferenced(o2->a, j, j + 4)) {
+                // Operand slots are stored in evaluation order, so the
+                // cmp kind itself never needs mirroring here.
+                TOpc kind = o2->op;
+                if (o3->op == TOpc::BRZ)
+                    kind = negTCmp(kind);
+                TOp f;
+                f.op = TOpc::CMPBRLL;
+                f.a = static_cast<int32_t>(kind);
+                f.b = swapped ? o1->b : o0.b;
+                f.c = swapped ? o0.b : o1->b;
+                f.dest = o3->dest;
+                f.exitPc = o3->exitPc;
+                f.map = o3->map;
+                return apply(j, 4, f);
+            }
+            // LDL l1; LDL l2; bin; STL l3 → BINL
+            if (isTPureBin(o2->op) && o3->op == TOpc::STL &&
+                o3->a == o2->a &&
+                operandOrder(*o2, o0.a, o1->a, swapped) &&
+                !regReferenced(o0.a, j, j + 4) &&
+                !regReferenced(o1->a, j, j + 4) &&
+                !regReferenced(o2->a, j, j + 4)) {
+                TOp f;
+                f.op = TOpc::BINL;
+                f.a = o3->b;
+                f.b = swapped ? o1->b : o0.b;
+                f.c = swapped ? o0.b : o1->b;
+                f.imm = static_cast<int64_t>(o2->op);
+                return apply(j, 4, f);
+            }
+        }
+        if (o3 && o0.op == TOpc::LDL && o1->op == TOpc::MOVI &&
+            !branchIntoInterior(j, 4)) {
+            // LDL l; MOVI k; cmp; BRZ/BRNZ → CMPBRLI
+            if (isTCmp(o2->op) &&
+                (o3->op == TOpc::BRZ || o3->op == TOpc::BRNZ) &&
+                o3->a == o2->a) {
+                bool swapped;
+                if (operandOrder(*o2, o0.a, o1->a, swapped) &&
+                    !regReferenced(o0.a, j, j + 4) &&
+                    !regReferenced(o1->a, j, j + 4) &&
+                    !regReferenced(o2->a, j, j + 4)) {
+                    TOpc kind = swapped ? mirrorTCmp(o2->op) : o2->op;
+                    if (o3->op == TOpc::BRZ)
+                        kind = negTCmp(kind);
+                    TOp f;
+                    f.op = TOpc::CMPBRLI;
+                    f.a = static_cast<int32_t>(kind);
+                    f.b = o0.b;
+                    f.imm = o1->imm;
+                    f.dest = o3->dest;
+                    f.exitPc = o3->exitPc;
+                    f.map = o3->map;
+                    return apply(j, 4, f);
+                }
+            }
+            // LDL l; MOVI k; bin; STL l3 → BINLI (natural operand order
+            // only: `bin(local, imm)` is what the stack idiom produces)
+            if (isTPureBin(o2->op) && o3->op == TOpc::STL &&
+                o3->a == o2->a && o2->b == o0.a && o2->c == o1->a &&
+                !regReferenced(o0.a, j, j + 4) &&
+                !regReferenced(o1->a, j, j + 4) &&
+                !regReferenced(o2->a, j, j + 4)) {
+                TOp f;
+                f.op = TOpc::BINLI;
+                f.a = o3->b;
+                f.b = o0.b;
+                f.c = static_cast<int32_t>(o2->op);
+                f.imm = o1->imm;
+                return apply(j, 4, f);
+            }
+        }
+
+        // --- length-3 patterns ---------------------------------------
+        if (o2 && !branchIntoInterior(j, 3)) {
+            // LDL l; ADDI k; STL l3 → BINLI(ADD)
+            if (o0.op == TOpc::LDL && o1->op == TOpc::ADDI &&
+                o1->b == o0.a && o2->op == TOpc::STL && o2->a == o1->a &&
+                !regReferenced(o0.a, j, j + 3) &&
+                !regReferenced(o1->a, j, j + 3)) {
+                TOp f;
+                f.op = TOpc::BINLI;
+                f.a = o2->b;
+                f.b = o0.b;
+                f.c = static_cast<int32_t>(TOpc::ADD);
+                f.imm = o1->imm;
+                return apply(j, 3, f);
+            }
+            // MOVI k; cmp; BRZ/BRNZ → CMPBRRI (the non-const operand
+            // register stays live)
+            if (o0.op == TOpc::MOVI && isTCmp(o1->op) &&
+                (o2->op == TOpc::BRZ || o2->op == TOpc::BRNZ) &&
+                o2->a == o1->a) {
+                int32_t reg = -1;
+                TOpc kind = o1->op;
+                if (o1->c == o0.a && o1->b != o0.a) {
+                    reg = o1->b;
+                } else if (o1->b == o0.a && o1->c != o0.a) {
+                    reg = o1->c;
+                    kind = mirrorTCmp(kind);
+                }
+                if (reg >= 0 && !regReferenced(o0.a, j, j + 3) &&
+                    !regReferenced(o1->a, j, j + 3)) {
+                    if (o2->op == TOpc::BRZ)
+                        kind = negTCmp(kind);
+                    TOp f;
+                    f.op = TOpc::CMPBRRI;
+                    f.a = static_cast<int32_t>(kind);
+                    f.b = reg;
+                    f.imm = o0.imm;
+                    f.dest = o2->dest;
+                    f.exitPc = o2->exitPc;
+                    f.map = o2->map;
+                    return apply(j, 3, f);
+                }
+            }
+            if (o0.op == TOpc::LDL && o1->op == TOpc::LDL) {
+                bool swapped;
+                // LDL l1; LDL l2; bin → BINRLL (result stays in a reg)
+                if (isTPureBin(o2->op) &&
+                    operandOrder(*o2, o0.a, o1->a, swapped) &&
+                    !regReferenced(o0.a, j, j + 3) &&
+                    !regReferenced(o1->a, j, j + 3)) {
+                    TOp f;
+                    f.op = TOpc::BINRLL;
+                    f.a = o2->a;
+                    f.b = swapped ? o1->b : o0.b;
+                    f.c = swapped ? o0.b : o1->b;
+                    f.imm = static_cast<int64_t>(o2->op);
+                    return apply(j, 3, f);
+                }
+                // LDL l1; LDL l2; ST8/32/64 → STmLL
+                if ((o2->op == TOpc::ST8 || o2->op == TOpc::ST32 ||
+                     o2->op == TOpc::ST64) &&
+                    ((o2->a == o0.a && o2->b == o1->a) ||
+                     (o2->a == o1->a && o2->b == o0.a)) &&
+                    !regReferenced(o0.a, j, j + 3) &&
+                    !regReferenced(o1->a, j, j + 3)) {
+                    bool sw = o2->a == o1->a;
+                    TOp f;
+                    f.op = o2->op == TOpc::ST8
+                               ? TOpc::ST8LL
+                               : o2->op == TOpc::ST32 ? TOpc::ST32LL
+                                                      : TOpc::ST64LL;
+                    f.a = sw ? o1->b : o0.b;
+                    f.b = sw ? o0.b : o1->b;
+                    f.exitPc = o2->exitPc;
+                    f.map = o2->map;
+                    return apply(j, 3, f);
+                }
+            }
+            // LDL l; MOVI k; ST8/32/64 → STmLI (addr from the local)
+            if (o0.op == TOpc::LDL && o1->op == TOpc::MOVI &&
+                (o2->op == TOpc::ST8 || o2->op == TOpc::ST32 ||
+                 o2->op == TOpc::ST64) &&
+                o2->a == o0.a && o2->b == o1->a &&
+                !regReferenced(o0.a, j, j + 3) &&
+                !regReferenced(o1->a, j, j + 3)) {
+                TOp f;
+                f.op = o2->op == TOpc::ST8
+                           ? TOpc::ST8LI
+                           : o2->op == TOpc::ST32 ? TOpc::ST32LI
+                                                  : TOpc::ST64LI;
+                f.a = o0.b;
+                f.imm = o1->imm;
+                f.exitPc = o2->exitPc;
+                f.map = o2->map;
+                return apply(j, 3, f);
+            }
+            // LDL l; MOVI k; bin (no STL) → BINRLI, natural order
+            if (o0.op == TOpc::LDL && o1->op == TOpc::MOVI &&
+                isTPureBin(o2->op) && o2->b == o0.a && o2->c == o1->a &&
+                !regReferenced(o0.a, j, j + 3) &&
+                !regReferenced(o1->a, j, j + 3)) {
+                TOp f;
+                f.op = TOpc::BINRLI;
+                f.a = o2->a;
+                f.b = o0.b;
+                f.c = static_cast<int32_t>(o2->op);
+                f.imm = o1->imm;
+                return apply(j, 3, f);
+            }
+        }
+
+        // --- length-2 patterns ---------------------------------------
+        if (o1 && !branchIntoInterior(j, 2)) {
+            // LDL l; ADDI k → BINRLI(ADD)
+            if (o0.op == TOpc::LDL && o1->op == TOpc::ADDI &&
+                o1->b == o0.a && !regReferenced(o0.a, j, j + 2)) {
+                TOp f;
+                f.op = TOpc::BINRLI;
+                f.a = o1->a;
+                f.b = o0.b;
+                f.c = static_cast<int32_t>(TOpc::ADD);
+                f.imm = o1->imm;
+                return apply(j, 2, f);
+            }
+            // LDL l; LD8/32/64 → LDmL
+            if (o0.op == TOpc::LDL &&
+                (o1->op == TOpc::LD8 || o1->op == TOpc::LD32 ||
+                 o1->op == TOpc::LD64) &&
+                o1->b == o0.a && !regReferenced(o0.a, j, j + 2)) {
+                TOp f;
+                f.op = o1->op == TOpc::LD8
+                           ? TOpc::LD8L
+                           : o1->op == TOpc::LD32 ? TOpc::LD32L
+                                                  : TOpc::LD64L;
+                f.a = o1->a;
+                f.b = o0.b;
+                f.exitPc = o1->exitPc;
+                f.map = o1->map;
+                return apply(j, 2, f);
+            }
+        }
+        return false;
+    };
+
+    for (size_t j = 0; j < ops.size(); j++) {
+        // A successful fusion can expose another pattern at the same
+        // index (e.g. BINRLI feeding a store); retry until it settles.
+        while (tryAt(j)) {
+        }
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Trace>
+buildTrace(const Function &fn, uint32_t headerPc, uint32_t backedgePc)
+{
+    const size_t n = fn.code.size();
+    if (headerPc > backedgePc || backedgePc >= n)
+        return nullptr;
+
+    // Join pcs: intra-region branch targets (other than the header, which
+    // is the trace top). The operand stack must be empty at every join so
+    // control-flow merges need no phi registers.
+    std::vector<bool> isJoin(n + 1, false);
+    for (uint32_t pc = headerPc; pc <= backedgePc; pc++) {
+        const Instr &ins = fn.code[pc];
+        if (!isBranch(ins.op))
+            continue;
+        uint32_t t = static_cast<uint32_t>(ins.imm);
+        if (t > headerPc && t <= backedgePc)
+            isJoin[t] = true;
+    }
+
+    TraceBuilder tb(fn, headerPc, backedgePc);
+    // Original pc → trace-op index, for intra-trace branch patching.
+    std::vector<int32_t> opOfPc(n + 1, -1);
+    struct Patch
+    {
+        size_t opIndex;
+        int64_t targetPc;
+    };
+    std::vector<Patch> patches;
+    bool reachable = true;
+
+    auto flushPendingAt = [&](uint32_t pc) {
+        // A join target must not inherit retire counts from skipped
+        // straight-line code; park pending on a NOPC carrier first.
+        if (tb.pending) {
+            TOp &t = tb.emit(TOpc::NOPC);
+            t.exitPc = pc;
+        }
+    };
+
+    for (uint32_t pc = headerPc; pc <= backedgePc && tb.ok; pc++) {
+        if (isJoin[pc]) {
+            if (reachable) {
+                flushPendingAt(pc);
+                if (!tb.vstack.empty())
+                    return nullptr; // non-empty stack at a merge point
+            } else {
+                tb.pending = 0;
+                tb.vstack.clear();
+                reachable = true;
+            }
+        }
+        opOfPc[pc] = static_cast<int32_t>(tb.trace.ops.size());
+        if (!reachable)
+            continue; // dead code: retires nothing, same as base
+
+        const Instr &ins = fn.code[pc];
+        tb.pending++;
+        switch (ins.op) {
+          case Op::NOP:
+            break;
+          case Op::PUSH: {
+            TOp &t = tb.emit(TOpc::MOVI);
+            t.a = tb.newReg();
+            t.imm = ins.imm;
+            tb.vstack.push_back(t.a);
+            break;
+          }
+          case Op::DUP: {
+            if (tb.vstack.empty())
+                return nullptr; // would fault; let fused handle it
+            tb.vstack.push_back(tb.vstack.back()); // SSA: regs immutable
+            break;
+          }
+          case Op::POP: {
+            int32_t r;
+            if (!tb.pop(r))
+                return nullptr;
+            break;
+          }
+          case Op::SWAP: {
+            if (tb.vstack.size() < 2)
+                return nullptr;
+            std::swap(tb.vstack[tb.vstack.size() - 1],
+                      tb.vstack[tb.vstack.size() - 2]);
+            break;
+          }
+          case Op::LOADL: {
+            if (!validLocal(fn, ins.imm))
+                return nullptr; // statically faults
+            TOp &t = tb.emit(TOpc::LDL);
+            t.a = tb.newReg();
+            t.b = static_cast<int32_t>(ins.imm);
+            tb.vstack.push_back(t.a);
+            break;
+          }
+          case Op::STOREL: {
+            if (!validLocal(fn, ins.imm))
+                return nullptr;
+            int32_t r;
+            if (!tb.pop(r))
+                return nullptr;
+            TOp &t = tb.emit(TOpc::STL);
+            t.a = r;
+            t.b = static_cast<int32_t>(ins.imm);
+            break;
+          }
+          case Op::LOAD8:
+          case Op::LOAD32:
+          case Op::LOAD64: {
+            int32_t addr;
+            if (!tb.pop(addr))
+                return nullptr;
+            TOp &t = tb.emit(ins.op == Op::LOAD8
+                                 ? TOpc::LD8
+                                 : ins.op == Op::LOAD32 ? TOpc::LD32
+                                                        : TOpc::LD64);
+            t.a = tb.newReg();
+            t.b = addr;
+            t.exitPc = pc;
+            t.map = tb.addMap(); // stack after the pop = base post-fault
+            tb.vstack.push_back(t.a);
+            break;
+          }
+          case Op::STORE8:
+          case Op::STORE32:
+          case Op::STORE64: {
+            int32_t val, addr;
+            if (!tb.pop(val) || !tb.pop(addr))
+                return nullptr;
+            TOp &t = tb.emit(ins.op == Op::STORE8
+                                 ? TOpc::ST8
+                                 : ins.op == Op::STORE32 ? TOpc::ST32
+                                                         : TOpc::ST64);
+            t.a = addr;
+            t.b = val;
+            t.exitPc = pc;
+            t.map = tb.addMap();
+            break;
+          }
+          case Op::ADD: case Op::SUB: case Op::MUL:
+          case Op::AND: case Op::OR: case Op::XOR:
+          case Op::SHL: case Op::SHR:
+          case Op::EQ: case Op::NE: case Op::LT:
+          case Op::LE: case Op::GT: case Op::GE:
+          case Op::DIVS: case Op::MODS: {
+            int32_t rb, ra;
+            if (!tb.pop(rb) || !tb.pop(ra))
+                return nullptr;
+            // Peephole: fold MOVI k; ADD into ADDI when the immediate is
+            // the top operand and was produced by the previous op.
+            if (ins.op == Op::ADD && !tb.trace.ops.empty() &&
+                tb.trace.ops.back().op == TOpc::MOVI &&
+                tb.trace.ops.back().a == rb) {
+                TOp movi = tb.trace.ops.back();
+                uint8_t carried = tb.trace.ops.back().nOrig;
+                tb.trace.ops.pop_back();
+                TOp &t = tb.emit(TOpc::ADDI);
+                t.nOrig = static_cast<uint8_t>(t.nOrig + carried);
+                t.a = tb.newReg();
+                t.b = ra;
+                t.imm = movi.imm;
+                tb.vstack.push_back(t.a);
+                break;
+            }
+            TOp &t = tb.emit(binTOpc(ins.op));
+            t.a = tb.newReg();
+            t.b = ra;
+            t.c = rb;
+            if (ins.op == Op::DIVS || ins.op == Op::MODS) {
+                t.exitPc = pc;
+                t.map = tb.addMap();
+            }
+            tb.vstack.push_back(t.a);
+            break;
+          }
+          case Op::JMP: {
+            // emit() carries `pending` (which includes this branch), so
+            // the straight-line retire count travels with the branch op.
+            // Targets truncate to uint32 like the base tier's pc.
+            uint32_t target = static_cast<uint32_t>(ins.imm);
+            if (target == headerPc) {
+                if (!tb.vstack.empty())
+                    return nullptr;
+                TOp &t = tb.emit(TOpc::JMP);
+                t.dest = kTraceDestTop;
+            } else if (target > headerPc && target <= backedgePc) {
+                if (!tb.vstack.empty())
+                    return nullptr;
+                tb.emit(TOpc::JMP);
+                patches.push_back(
+                    {tb.trace.ops.size() - 1, static_cast<int64_t>(target)});
+            } else {
+                // Leaves the region: side exit at the target.
+                TOp &t = tb.emit(TOpc::EXIT);
+                t.exitPc = target;
+                t.map = tb.addMap();
+            }
+            reachable = false;
+            break;
+          }
+          case Op::JZ:
+          case Op::JNZ: {
+            int32_t cond;
+            if (!tb.pop(cond))
+                return nullptr;
+            uint32_t target = static_cast<uint32_t>(ins.imm);
+            TOpc brOp = ins.op == Op::JZ ? TOpc::BRZ : TOpc::BRNZ;
+            if (target == headerPc && pc == backedgePc) {
+                // The loop backedge itself.
+                if (!tb.vstack.empty())
+                    return nullptr;
+                TOp &t = tb.emit(brOp);
+                t.a = cond;
+                t.dest = kTraceDestTop;
+                // Fall-through leaves the loop: exit after the backedge
+                // (retires nothing extra — the branch already retired).
+                TOp &e = tb.emit(TOpc::EXIT);
+                e.exitPc = backedgePc + 1;
+                e.map = tb.addMap();
+            } else if (target >= headerPc && target <= backedgePc) {
+                // Intra-region branch (incl. a non-final branch to the
+                // header): taken path must meet the empty-stack join rule.
+                if (!tb.vstack.empty())
+                    return nullptr;
+                TOp &t = tb.emit(brOp);
+                t.a = cond;
+                if (target == headerPc)
+                    t.dest = kTraceDestTop;
+                else
+                    patches.push_back({tb.trace.ops.size() - 1,
+                                       static_cast<int64_t>(target)});
+            } else {
+                // Taken path exits the region; fall-through continues.
+                TOp &t = tb.emit(brOp);
+                t.a = cond;
+                t.dest = kTraceDestExit;
+                t.exitPc = target;
+                t.map = tb.addMap();
+            }
+            break;
+          }
+          case Op::CALL:
+          case Op::SYSCALL:
+          case Op::RET:
+          case Op::HALT: {
+            // These need frame/host machinery: always deopt *before* the
+            // instruction so it executes (and retires) in the fused tier.
+            // The suspend/fork contract is untouched by tracing.
+            tb.pending--; // the instruction itself is not retired here
+            TOp &t = tb.emit(TOpc::EXIT);
+            t.exitPc = pc;
+            t.map = tb.addMap();
+            reachable = false;
+            break;
+          }
+          default:
+            return nullptr; // illegal opcode: leave it to the fused tier
+        }
+    }
+    if (!tb.ok)
+        return nullptr;
+
+    if (reachable) {
+        // Fell off the end of the region (the last instruction wasn't an
+        // unconditional transfer). Exit after the region, carrying any
+        // un-emitted straight-line retire count.
+        TOp &t = tb.emit(TOpc::EXIT);
+        t.exitPc = backedgePc + 1;
+        t.map = tb.addMap();
+    }
+
+    for (const auto &p : patches) {
+        int32_t dest = opOfPc[p.targetPc];
+        if (dest < 0)
+            return nullptr;
+        tb.trace.ops[p.opIndex].dest = dest;
+    }
+
+    tb.trace.nregs = tb.nextReg;
+    tb.trace.headerPc = headerPc;
+    peepholeTrace(tb.trace);
+    return std::make_unique<Trace>(std::move(tb.trace));
+}
+
+} // namespace emvm
+} // namespace browsix

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Execution-tier data structures for the Emterpreter VM: the fused
+ * instruction stream (superinstructions + threaded dispatch) and the
+ * register-allocated hot-loop traces.
+ *
+ * Everything here speaks TWO coordinate systems and the invariant that
+ * connects them is the whole design:
+ *
+ *   - ORIGINAL coordinates: `Function::code` indices. Frames, snapshots,
+ *     fork payloads, CALL return addresses, and Trapped diagnostics use
+ *     these, always (vm.h §4.3 — a snapshot must restore byte-exact on
+ *     any tier, including the base interpreter).
+ *   - FUSED coordinates: indices into `TransFn::code`, the translated
+ *     stream the fast tiers execute.
+ *
+ * `TransFn::fusedOfOrig` maps original→fused (-1 for pcs swallowed into
+ * the interior of a superinstruction) and every `FInstr` carries its
+ * first original pc, so the mapping is total in both directions. A pc
+ * can only be a *resume point* (snapshot/fork/CALL-return) if it is a
+ * leader — pc 0, a jump target, or the instruction after a CALL or
+ * SYSCALL — and the translator never fuses across a leader, which is
+ * why mid-superinstruction resume points cannot arise from well-formed
+ * snapshots. Hostile snapshots pointing into an interior pc are still
+ * honored: the VM falls back to base-stepping until the next leader.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/emvm/vm.h"
+
+namespace browsix {
+namespace emvm {
+
+/**
+ * Fused opcodes: every base Op 1:1 (same order, so translation of an
+ * unfusable instruction is a cast), then the peephole superinstructions
+ * the AWFY/typeset profiles discovered as the hot dispatch pairs/triples.
+ */
+enum class FOp : uint8_t {
+    // 1:1 with Op (keep in the same order as emvm::Op!)
+    NOP = 0, PUSH, DUP, POP, SWAP, LOADL, STOREL,
+    LOAD8, LOAD32, LOAD64, STORE8, STORE32, STORE64,
+    ADD, SUB, MUL, DIVS, MODS, AND, OR, XOR, SHL, SHR,
+    EQ, NE, LT, LE, GT, GE,
+    JMP, JZ, JNZ, CALL, RET, SYSCALL, HALT,
+    // superinstructions
+    PUSH_ADD,     ///< PUSH imm; ADD            → tos += imm
+    INC_LOCAL,    ///< LOADL a; PUSH imm; ADD; STOREL a → locals[a] += imm
+    LL_CMP,       ///< LOADL a; LOADL b; <cmp>  → push cmp(la, lb)
+    CMP_BR,       ///< <cmp>; JZ/JNZ            → fused compare-branch
+    LL_CMP_BR,    ///< LOADL a; LOADL b; <cmp>; JZ/JNZ
+    LOADL_LOAD8,  ///< LOADL a; LOAD8           → push mem8[la]
+    LOADL_LOAD32, ///< LOADL a; LOAD32          → push mem32[la]
+    LL_STORE8,    ///< LOADL a; LOADL b; STORE8 → mem8[la] = lb
+    LL_STORE32,   ///< LOADL a; LOADL b; STORE32
+    LP_STORE8,    ///< LOADL a; PUSH imm; STORE8 → mem8[la] = imm
+    LP_STORE32,   ///< LOADL a; PUSH imm; STORE32
+    LP_CMP_BR,    ///< LOADL a; PUSH imm2; <cmp>; JZ/JNZ
+    LL_BIN_SL,    ///< LOADL a; LOADL b; <bin>; STOREL c → lc = la op lb
+    LP_BIN_SL,    ///< LOADL a; PUSH imm2; <bin>; STOREL c → lc = la op imm2
+    BADOP,        ///< original opcode outside the ISA; faults like base
+    COUNT,
+};
+
+/** One fused instruction; a span of 1..4 contiguous original ops. */
+struct FInstr
+{
+    FOp op = FOp::NOP;
+    uint8_t nOrig = 1;      ///< original instructions this span retires
+    Op cmp = Op::NOP;       ///< comparison/binop for the *_CMP_*/*_BIN_* forms
+    bool brIfTrue = false;  ///< fused branch sense: true = JNZ, false = JZ
+    int32_t a = 0;          ///< local slot (validated at translate time)
+    int32_t b = 0;          ///< second local slot
+    int32_t c = 0;          ///< destination local slot (*_BIN_SL forms)
+    int64_t imm = 0;        ///< immediate, or fused branch target index
+    int64_t imm2 = 0;       ///< PUSH constant in the LP_* 4-op fusions
+    uint32_t origPc = 0;    ///< first original pc of the span
+    uint32_t brOrig = 0;    ///< branches: original target (uint32-truncated
+                            ///< like the base tier), for fr.pc at faults
+    int32_t hot = -1;       ///< backedge counter index, -1 if not a backedge
+};
+
+// ---------------------------------------------------------------------------
+// Hot-loop traces: a loop region re-translated with the operand stack
+// resolved to virtual registers, executed without per-op pushes/pops.
+// ---------------------------------------------------------------------------
+
+enum class TOpc : uint8_t {
+    MOVI,    ///< r[a] = imm
+    LDL,     ///< r[a] = locals[b]
+    STL,     ///< locals[b] = r[a]
+    INCL,    ///< locals[a] += imm
+    ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, ///< r[a] = r[b] op r[c]
+    DIVS, MODS,                            ///< fault on r[c] == 0
+    EQ, NE, LT, LE, GT, GE,                ///< r[a] = cmp(r[b], r[c])
+    ADDI,    ///< r[a] = r[b] + imm
+    LD8, LD32, LD64,   ///< r[a] = mem[r[b]]   (bounds-checked fault)
+    ST8, ST32, ST64,   ///< mem[r[a]] = r[b]   (bounds-checked fault)
+    JMP,     ///< unconditional intra-trace branch to `dest`
+    BRZ,     ///< if r[a] == 0 branch to `dest`
+    BRNZ,    ///< if r[a] != 0 branch to `dest`
+    EXIT,    ///< deopt: materialize stack map, fr.pc = exitPc, leave trace
+    NOPC,    ///< retire-count carrier (folded no-ops at a join boundary)
+    // Peephole-fused forms (peepholeTrace): single-use LDL/MOVI feeders
+    // folded into their consumer. `a` or `c`/`imm` carries the base TOpc
+    // kind; cmp-branches are normalized to branch-if-true.
+    CMPBRLL, ///< if cmp[a](locals[b], locals[c]) branch to dest
+    CMPBRLI, ///< if cmp[a](locals[b], imm) branch to dest
+    CMPBRRI, ///< if cmp[a](r[b], imm) branch to dest
+    BINL,    ///< locals[a] = bin[imm](locals[b], locals[c])
+    BINLI,   ///< locals[a] = bin[c](locals[b], imm)
+    BINRLL,  ///< r[a] = bin[imm](locals[b], locals[c])
+    BINRLI,  ///< r[a] = bin[c](locals[b], imm)
+    LD8L, LD32L, LD64L,    ///< r[a] = mem[locals[b]]  (bounds-checked)
+    ST8LL, ST32LL, ST64LL, ///< mem[locals[a]] = locals[b]
+    ST8LI, ST32LI, ST64LI, ///< mem[locals[a]] = imm
+    COUNT,
+};
+
+/** Branch destinations: a trace-op index, or one of these sentinels. */
+constexpr int32_t kTraceDestTop = -2;  ///< loop backedge: continue at op 0
+constexpr int32_t kTraceDestExit = -1; ///< side exit: deopt to exitPc
+
+struct TOp
+{
+    TOpc op = TOpc::NOPC;
+    uint8_t nOrig = 0;   ///< original instructions retired by this op
+    int32_t a = 0, b = 0, c = 0;
+    int64_t imm = 0;
+    uint32_t exitPc = 0; ///< original pc for EXIT / fault reconstruction
+    int32_t dest = 0;    ///< branch target (op index or kTraceDest*)
+    int32_t map = -1;    ///< index into Trace::maps, -1 if none
+};
+
+struct Trace
+{
+    std::vector<TOp> ops;
+    uint32_t nregs = 0;
+    uint32_t headerPc = 0; ///< original pc of the loop header
+    /**
+     * Deopt stack maps: the virtual registers that make up the operand
+     * stack (bottom→top) at a side exit, or the registers *remaining*
+     * after a faulting op's pops — exactly the operand stack the base
+     * interpreter would leave, so a deopt or trap is indistinguishable
+     * from never having entered the trace.
+     */
+    std::vector<std::vector<int32_t>> maps;
+};
+
+/** Per-backedge profile counter (shared by all branches to one header). */
+struct Backedge
+{
+    uint32_t headerPc = 0;
+    uint32_t count = 0;
+};
+
+/** A trace slot: `built` distinguishes "not yet tried" from untraceable. */
+struct TraceSlot
+{
+    uint32_t headerPc = 0;
+    bool built = false;
+    std::unique_ptr<Trace> trace; ///< null after build = untraceable loop
+};
+
+/** Translation of one function, owned by the Vm (profile state is per-Vm). */
+struct TransFn
+{
+    std::vector<FInstr> code;
+    /**
+     * Original pc → fused index; size code.size()+1. -1 marks interior
+     * pcs (swallowed by a superinstruction); entry [n] maps to the fused
+     * end so a jump past the end faults exactly like the base tier.
+     */
+    std::vector<int32_t> fusedOfOrig;
+    std::vector<Backedge> backedges;
+    std::vector<TraceSlot> traces;
+
+    TraceSlot *findSlot(uint32_t headerPc)
+    {
+        for (auto &s : traces) {
+            if (s.headerPc == headerPc)
+                return &s;
+        }
+        return nullptr;
+    }
+};
+
+/**
+ * Translate one function into its fused stream. Pure peephole pass: no
+ * profile input; superinstructions never span a leader pc (jump target,
+ * post-CALL, post-SYSCALL) so every resume point stays addressable.
+ */
+std::unique_ptr<TransFn> translateFunction(const Function &fn);
+
+/**
+ * Build a register trace for the loop [headerPc, backedgePc]. Returns
+ * null when the region is untraceable (contains CALL/SYSCALL/RET/HALT on
+ * translation's path requirements, statically-faulting locals, operand
+ * stack not empty at a join, or pops that would reach below the entry
+ * stack). SYSCALL and CALL inside the region become unconditional
+ * side exits *before* the instruction, so the suspend/fork contract
+ * (full machine state at every syscall) is untouched by tracing.
+ */
+std::unique_ptr<Trace> buildTrace(const Function &fn, uint32_t headerPc,
+                                  uint32_t backedgePc);
+
+} // namespace emvm
+} // namespace browsix

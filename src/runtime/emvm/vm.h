@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,9 @@
 
 namespace browsix {
 namespace emvm {
+
+struct TransFn; // tier.h: per-function fused stream + trace cache
+struct Trace;
 
 enum class Op : uint8_t {
     NOP = 0,
@@ -78,6 +82,34 @@ struct Image
     std::vector<uint8_t> serialize() const;
     static bool deserialize(const std::vector<uint8_t> &bytes, Image &out);
     static bool isImage(const uint8_t *data, size_t len);
+
+    /**
+     * Static well-formedness check: every JMP/JZ/JNZ lands inside its own
+     * function, every CALL names an existing function, every SYSCALL arity
+     * is sane, and every opcode is in the ISA. Hostile images fail here at
+     * load time instead of faulting mid-run (mirrors the ring's
+     * hostile-SQE validation). `err` (optional) receives a diagnostic.
+     */
+    bool validate(std::string *err = nullptr) const;
+};
+
+/** Execution tier selection for a Vm (see docs/ARCHITECTURE.md). */
+enum class Tier : uint8_t {
+    Base,  ///< the original switch interpreter, one Instr per dispatch
+    Fused, ///< superinstruction stream, threaded dispatch
+    Trace, ///< Fused + hot loops promoted to register traces
+};
+
+const char *tierName(Tier t);
+
+/** Execution-tier counters (bench/awfy.cc exposes these in JSON). */
+struct VmStats
+{
+    uint64_t fusedDispatches = 0;     ///< fused-stream dispatches
+    uint64_t superinstructionsHit = 0;///< dispatches that fused >1 orig op
+    uint64_t tracesTranslated = 0;    ///< hot loops promoted to trace form
+    uint64_t tracesEntered = 0;       ///< trace executions begun
+    uint64_t traceDeopts = 0;         ///< side exits back to the fused tier
 };
 
 /** Why Vm::run returned. */
@@ -90,7 +122,12 @@ enum class RunState {
 class Vm
 {
   public:
-    explicit Vm(Image image);
+    explicit Vm(Image image, Tier tier = Tier::Trace);
+    ~Vm();
+    Vm(const Vm &) = delete;
+    Vm &operator=(const Vm &) = delete;
+    Vm(Vm &&) = default;
+    Vm &operator=(Vm &&) = default;
 
     /** Prepare to run function `name` with the given arguments. */
     bool start(const std::string &name, const std::vector<int64_t> &args);
@@ -109,7 +146,23 @@ class Vm
     const std::vector<int64_t> &pendingArgs() const { return pendingArgs_; }
     const std::string &trapMessage() const { return trapMsg_; }
 
+    /**
+     * Count of ORIGINAL bytecode instructions retired, regardless of
+     * tier: a fused superinstruction retires its whole span, a trace op
+     * retires the original instructions it subsumes. Identical work
+     * yields identical counts on every tier (PR 5's truthful-counters
+     * rule), so cost models and tests can rely on it.
+     */
     uint64_t instructionsRetired() const { return retired_; }
+
+    Tier tier() const { return tier_; }
+    const VmStats &stats() const { return stats_; }
+
+    /**
+     * Backedge executions before a loop is promoted to a trace
+     * (Tier::Trace only). Tests lower it to force early promotion.
+     */
+    void setTraceThreshold(uint32_t t) { traceThreshold_ = t; }
 
     std::vector<uint8_t> &memory() { return mem_; }
     const Image &image() const { return image_; }
@@ -140,6 +193,29 @@ class Vm
 
     RunState fault(const std::string &msg);
 
+    /** Lazily translate function `fnIdx` into its fused stream. */
+    TransFn &transFor(uint32_t fnIdx);
+
+    /**
+     * The original switch interpreter. With `stopAtLeader` it steps until
+     * the current frame's pc is a fused-stream leader (used to honor
+     * snapshots whose pc points into a superinstruction interior), setting
+     * `*reachedLeader`; otherwise it runs to Done/Syscall/Trapped.
+     */
+    RunState runBase(jsvm::InterruptToken *token, bool stopAtLeader,
+                     bool *reachedLeader, int &check);
+
+    /** The fused-stream executor (threaded dispatch, Fused/Trace tiers). */
+    RunState runFused(jsvm::InterruptToken *token);
+
+    /**
+     * Execute a register trace until a side exit. Returns false when the
+     * trace faulted (trapMsg_/fault() already applied); true on a normal
+     * deopt with fr.pc updated to original coordinates.
+     */
+    bool execTrace(const Trace &tr, jsvm::InterruptToken *token,
+                   int &check);
+
     Image image_;
     std::vector<uint8_t> mem_;
     std::vector<int64_t> stack_;
@@ -151,6 +227,19 @@ class Vm
     std::vector<int64_t> pendingArgs_;
     std::string trapMsg_;
     uint64_t retired_ = 0;
+
+    Tier tier_ = Tier::Trace;
+    uint32_t traceThreshold_ = 64;
+    VmStats stats_;
+    /** Per-function fused translations + trace caches, built lazily. */
+    std::vector<std::unique_ptr<TransFn>> tfns_;
+    std::vector<int64_t> traceRegs_; ///< scratch register file
+    /**
+     * Retired locals vectors recycled by the fused tier's CALL/RET, so
+     * call-heavy guests (richards, permute) don't pay a heap round-trip
+     * per call. Capacity-only cache: contents are dead, CALL re-assigns.
+     */
+    std::vector<std::vector<int64_t>> localsPool_;
 };
 
 } // namespace emvm

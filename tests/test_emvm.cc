@@ -1,0 +1,758 @@
+/**
+ * @file
+ * Differential correctness for the emvm execution tiers (base, fused,
+ * trace). Every test runs the same image through all three tiers and
+ * requires bit-identical observable state: run state, exit code, trap
+ * message, guest memory, and the retired-instruction counter (which by
+ * contract counts *original* instructions regardless of tier).
+ *
+ * Also covers the machinery the tiers lean on: snapshot/restore across
+ * tiers (including doctored snapshots whose pc points into the interior
+ * of a superinstruction), interrupt-token delivery out of fused code
+ * and traces (SIGKILL of a spinning guest), hostile image rejection,
+ * and the assembler's serialize-time hardening.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+
+#include "apps/awfy/awfy.h"
+#include "core/browsix.h"
+#include "jsvm/sab.h"
+#include "jsvm/util.h"
+#include "runtime/emvm/assembler.h"
+#include "runtime/emvm/vm.h"
+
+using namespace browsix;
+using namespace browsix::emvm;
+
+namespace {
+
+constexpr Tier kTiers[] = {Tier::Base, Tier::Fused, Tier::Trace};
+
+Image
+mustAssemble(const std::string &src)
+{
+    Image img;
+    std::string err;
+    EXPECT_TRUE(assemble(src, img, err)) << err;
+    return img;
+}
+
+/** Everything a guest can observe about its own execution. */
+struct TierResult
+{
+    RunState st = RunState::Trapped;
+    int64_t exitCode = 0;
+    std::string trap;
+    uint64_t retired = 0;
+    std::vector<uint8_t> mem;
+
+    bool operator==(const TierResult &o) const
+    {
+        return st == o.st && exitCode == o.exitCode && trap == o.trap &&
+               retired == o.retired && mem == o.mem;
+    }
+};
+
+std::string
+describe(const TierResult &r)
+{
+    switch (r.st) {
+      case RunState::Done:
+        return "Done exit=" + std::to_string(r.exitCode) +
+               " retired=" + std::to_string(r.retired);
+      case RunState::Trapped:
+        return "Trapped '" + r.trap + "' retired=" + std::to_string(r.retired);
+      default:
+        return "state=" + std::to_string(static_cast<int>(r.st));
+    }
+}
+
+TierResult
+runTier(const Image &img, Tier tier, const std::string &fn = "main",
+        const std::vector<int64_t> &args = {})
+{
+    Vm vm(img, tier);
+    vm.setTraceThreshold(4); // make the trace tier kick in at test sizes
+    TierResult r;
+    if (!vm.start(fn, args)) {
+        ADD_FAILURE() << "no function " << fn;
+        return r;
+    }
+    r.st = vm.run();
+    EXPECT_NE(r.st, RunState::Syscall) << "tests here must be syscall-free";
+    r.exitCode = vm.exitCode();
+    r.trap = vm.trapMessage();
+    r.retired = vm.instructionsRetired();
+    r.mem = vm.memory();
+    return r;
+}
+
+/** Run on all tiers and require identical observable behavior. */
+void
+expectTierAgreement(const Image &img, const std::string &fn = "main",
+                    const std::vector<int64_t> &args = {},
+                    const char *what = "program")
+{
+    TierResult base = runTier(img, Tier::Base, fn, args);
+    for (Tier t : {Tier::Fused, Tier::Trace}) {
+        TierResult r = runTier(img, t, fn, args);
+        EXPECT_TRUE(r == base)
+            << what << ": " << tierName(t) << " diverged from base\n"
+            << "  base:  " << describe(base) << "\n"
+            << "  " << tierName(t) << ": " << describe(r);
+    }
+}
+
+} // namespace
+
+// ---------- AWFY kernels: the macro-benchmark suite itself ----------
+
+TEST(EmvmTiers, AwfyKernelsMatchNativeOnEveryTier)
+{
+    for (const auto &bench : apps::awfyBenches()) {
+        Image img = apps::awfyImage(bench.name);
+        int64_t want = bench.native(bench.smokeN);
+        TierResult base;
+        for (Tier tier : kTiers) {
+            Vm vm(img, tier);
+            vm.setTraceThreshold(4);
+            ASSERT_TRUE(vm.start("run", {bench.smokeN})) << bench.name;
+            ASSERT_EQ(vm.run(), RunState::Done)
+                << bench.name << " on " << tierName(tier) << ": "
+                << vm.trapMessage();
+            EXPECT_EQ(vm.exitCode(), want)
+                << bench.name << " checksum diverged on " << tierName(tier);
+            if (tier == Tier::Base) {
+                base.retired = vm.instructionsRetired();
+                base.mem = vm.memory();
+                EXPECT_EQ(vm.stats().fusedDispatches, 0u);
+                EXPECT_EQ(vm.stats().tracesEntered, 0u);
+            } else {
+                // Truthful counters: retired counts original instructions
+                // no matter how they were dispatched.
+                EXPECT_EQ(vm.instructionsRetired(), base.retired)
+                    << bench.name << " retired diverged on "
+                    << tierName(tier);
+                EXPECT_EQ(vm.memory(), base.mem)
+                    << bench.name << " memory diverged on "
+                    << tierName(tier);
+                EXPECT_GT(vm.stats().fusedDispatches, 0u) << bench.name;
+                EXPECT_GT(vm.stats().superinstructionsHit, 0u) << bench.name;
+            }
+            if (tier == Tier::Trace) {
+                // Every kernel has a hot backedge at these sizes.
+                EXPECT_GT(vm.stats().tracesTranslated, 0u) << bench.name;
+                EXPECT_GT(vm.stats().tracesEntered, 0u) << bench.name;
+            }
+        }
+    }
+}
+
+TEST(EmvmTiers, AwfyGuestBinariesPrintTheNativeChecksum)
+{
+    // The staged /usr/bin/awfy-* images print run(guestN) and exit 0;
+    // spot-check two through the whole kernel/runtime stack.
+    Browsix bx;
+    for (const char *name : {"sieve", "json"}) {
+        const apps::AwfyBench *b = apps::awfyBench(name);
+        ASSERT_NE(b, nullptr);
+        auto r = bx.runArgv({"/usr/bin/awfy-" + b->name});
+        ASSERT_TRUE(r.ok) << name;
+        EXPECT_EQ(r.exitCode(), 0) << name;
+        EXPECT_EQ(r.out, std::to_string(b->native(b->guestN)) + "\n") << name;
+    }
+}
+
+// ---------- randomized differential testing ----------
+
+namespace {
+
+Instr
+ins(Op op, int64_t imm = 0)
+{
+    Instr i;
+    i.op = op;
+    i.imm = imm;
+    return i;
+}
+
+int64_t
+randomPushValue(std::mt19937 &rng)
+{
+    static const int64_t menu[] = {0,   1,     2,     3,        -1,  8,
+                                   17,  63,    64,    100,      250, 255,
+                                   256, 65535, 65536, 1u << 31, -12345,
+                                   static_cast<int64_t>(0x8000000000000000ull)};
+    return menu[rng() % (sizeof(menu) / sizeof(menu[0]))];
+}
+
+/**
+ * A random program body: arithmetic, stack traffic, memory ops, local
+ * slots (including out-of-range ones, to exercise fault parity), and
+ * forward-only branches so termination is structural. Targets stay
+ * within [lo, hi] of the surrounding program.
+ */
+std::vector<Instr>
+randomBody(std::mt19937 &rng, size_t len, size_t bodyStart, size_t exitPc)
+{
+    static const Op pool[] = {
+        Op::PUSH,   Op::PUSH,  Op::PUSH,    Op::PUSH,    Op::DUP,
+        Op::POP,    Op::SWAP,  Op::LOADL,   Op::STOREL,  Op::LOAD8,
+        Op::LOAD32, Op::LOAD64, Op::STORE8, Op::STORE32, Op::STORE64,
+        Op::ADD,    Op::SUB,   Op::MUL,     Op::DIVS,    Op::MODS,
+        Op::AND,    Op::OR,    Op::XOR,     Op::SHL,     Op::SHR,
+        Op::EQ,     Op::NE,    Op::LT,      Op::LE,      Op::GT,
+        Op::GE,     Op::JMP,   Op::JZ,      Op::JNZ,     Op::NOP,
+    };
+    std::vector<Instr> body;
+    for (size_t i = 0; i < len; i++) {
+        Op op = pool[rng() % (sizeof(pool) / sizeof(pool[0]))];
+        size_t pc = bodyStart + i;
+        size_t lastBody = bodyStart + len - 1;
+        if (op == Op::JMP || op == Op::JZ || op == Op::JNZ) {
+            if (pc + 1 > lastBody) {
+                body.push_back(ins(Op::NOP));
+                continue;
+            }
+            // Mostly stay inside the body (always reaching the loop
+            // epilogue keeps counted loops terminating); occasionally
+            // bail straight to the exit pc.
+            size_t target = (rng() % 8 == 0)
+                                ? exitPc
+                                : pc + 1 + rng() % (lastBody - pc + 1);
+            body.push_back(ins(op, static_cast<int64_t>(target)));
+        } else if (op == Op::PUSH) {
+            body.push_back(ins(op, randomPushValue(rng)));
+        } else if (op == Op::LOADL || op == Op::STOREL) {
+            // nlocals is 4; slot 5 exercises the bad-local fault.
+            static const int64_t slots[] = {0, 1, 2, 0, 1, 2, 5};
+            body.push_back(ins(op, slots[rng() % 7]));
+        } else {
+            body.push_back(ins(op));
+        }
+    }
+    return body;
+}
+
+Image
+straightLineImage(std::mt19937 &rng)
+{
+    Image img;
+    img.memSize = 256;
+    Function f;
+    f.name = "main";
+    f.nargs = 0;
+    f.nlocals = 4;
+    size_t len = 8 + rng() % 40;
+    f.code = randomBody(rng, len, 0, len);
+    f.code.push_back(ins(Op::HALT));
+    img.functions.push_back(std::move(f));
+    return img;
+}
+
+Image
+countedLoopImage(std::mt19937 &rng)
+{
+    // push K; storel 3; body...; loadl 3; push 1; sub; storel 3;
+    // loadl 3; jnz body — a hot backedge around a random body. Local 3
+    // is the counter; the body never touches slot 3, so the loop always
+    // terminates (any branch inside the body still reaches the
+    // decrement, and the only other escape is a jump to HALT).
+    Image img;
+    img.memSize = 256;
+    Function f;
+    f.name = "main";
+    f.nargs = 0;
+    f.nlocals = 4;
+    size_t bodyLen = 4 + rng() % 20;
+    size_t bodyStart = 2;
+    size_t haltPc = bodyStart + bodyLen + 6;
+    f.code.push_back(ins(Op::PUSH, 12 + rng() % 30));
+    f.code.push_back(ins(Op::STOREL, 3));
+    auto body = randomBody(rng, bodyLen, bodyStart, haltPc);
+    f.code.insert(f.code.end(), body.begin(), body.end());
+    f.code.push_back(ins(Op::LOADL, 3));
+    f.code.push_back(ins(Op::PUSH, 1));
+    f.code.push_back(ins(Op::SUB));
+    f.code.push_back(ins(Op::STOREL, 3));
+    f.code.push_back(ins(Op::LOADL, 3));
+    f.code.push_back(ins(Op::JNZ, static_cast<int64_t>(bodyStart)));
+    f.code.push_back(ins(Op::HALT));
+    img.functions.push_back(std::move(f));
+    return img;
+}
+
+} // namespace
+
+TEST(EmvmTiers, RandomStraightLineProgramsAgree)
+{
+    std::mt19937 rng(0xb51dead);
+    for (int i = 0; i < 400; i++) {
+        Image img = straightLineImage(rng);
+        std::string err;
+        ASSERT_TRUE(img.validate(&err)) << err;
+        expectTierAgreement(img, "main", {},
+                            ("straight-line #" + std::to_string(i)).c_str());
+    }
+}
+
+TEST(EmvmTiers, RandomCountedLoopProgramsAgree)
+{
+    // Hot backedges at threshold 4: most of these promote to traces and
+    // many fault from inside trace code (division, wild loads, bad
+    // locals), exercising deopt-with-state-reconstruction.
+    std::mt19937 rng(0xf05ed);
+    for (int i = 0; i < 400; i++) {
+        Image img = countedLoopImage(rng);
+        std::string err;
+        ASSERT_TRUE(img.validate(&err)) << err;
+        expectTierAgreement(img, "main", {},
+                            ("counted-loop #" + std::to_string(i)).c_str());
+    }
+}
+
+TEST(EmvmTiers, ArithmeticEdgeCasesAgree)
+{
+    // INT64_MIN / -1, modulo by -1, shift counts >= 64, division by
+    // zero mid-loop (faulting out of a hot trace), wrapping multiply.
+    const char *src = R"(
+.memory 64
+.func main 0 2
+    push -9223372036854775808
+    push -1
+    divs
+    pop
+    push -9223372036854775808
+    push -1
+    mods
+    pop
+    push 1
+    push 200
+    shl
+    pop
+    push -1
+    push 70
+    shr
+    pop
+    push 20
+    storel 0
+loop:
+    push 1000
+    loadl 0
+    push 10
+    sub
+    divs
+    storel 1
+    loadl 0
+    push 1
+    sub
+    storel 0
+    loadl 0
+    jnz loop
+    loadl 1
+    halt
+.end
+)";
+    // The loop divides by (counter - 10): iterations with counter 20..11
+    // succeed, counter 10 divides by zero — after the backedge got hot.
+    expectTierAgreement(mustAssemble(src), "main", {}, "arith-edges");
+    TierResult r = runTier(mustAssemble(src), Tier::Trace);
+    EXPECT_EQ(r.st, RunState::Trapped);
+    EXPECT_EQ(r.trap, "division by zero");
+}
+
+TEST(EmvmTiers, RecursionOverflowAgreesAcrossTiers)
+{
+    const char *src = R"(
+.func main 0 0
+    push 0
+    call main
+    halt
+.end
+)";
+    expectTierAgreement(mustAssemble(src), "main", {}, "stack-overflow");
+    TierResult r = runTier(mustAssemble(src), Tier::Fused);
+    EXPECT_EQ(r.st, RunState::Trapped);
+    EXPECT_EQ(r.trap, "call stack overflow");
+}
+
+// ---------- snapshot/restore across tiers ----------
+
+TEST(EmvmTiers, SnapshotAtSyscallResumesIdenticallyOnEveryTier)
+{
+    // A hot loop that makes a syscall every iteration: snapshot at the
+    // 10th syscall (mid-loop, traces already hot), restore into a VM of
+    // every tier, and finish. §4.3's contract: a restored VM is
+    // indistinguishable, whatever executes it afterwards.
+    const char *src = R"(
+.memory 64
+.func main 0 2
+    push 30
+    storel 0
+loop:
+    push 39
+    loadl 0
+    syscall 1
+    loadl 1
+    add
+    storel 1
+    loadl 0
+    push 1
+    sub
+    storel 0
+    loadl 0
+    jnz loop
+    loadl 1
+    halt
+.end
+)";
+    Image img = mustAssemble(src);
+    auto serve = [](Vm &vm) { // echo the argument back as the result
+        return vm.pendingArgs().at(0);
+    };
+
+    // Reference: pure base, serviced to completion.
+    Vm ref(img, Tier::Base);
+    ASSERT_TRUE(ref.start("main", {}));
+    RunState st;
+    while ((st = ref.run()) == RunState::Syscall)
+        ref.resume(serve(ref));
+    ASSERT_EQ(st, RunState::Done);
+    const int64_t want = ref.exitCode();
+
+    // Hot VM: run to the 10th syscall, snapshot there.
+    Vm hot(img, Tier::Trace);
+    hot.setTraceThreshold(4);
+    ASSERT_TRUE(hot.start("main", {}));
+    for (int i = 0; i < 10; i++) {
+        ASSERT_EQ(hot.run(), RunState::Syscall);
+        if (i < 9)
+            hot.resume(serve(hot));
+    }
+    EXPECT_GT(hot.stats().tracesEntered, 0u) << "loop should be hot by now";
+    // pendingArgs are not part of the snapshot (the kernel owns the
+    // in-flight syscall); remember the echo value before parking.
+    const int64_t parked = serve(hot);
+    std::vector<uint8_t> snap = hot.snapshot();
+
+    for (Tier tier : kTiers) {
+        Vm vm(img, tier);
+        vm.setTraceThreshold(4);
+        ASSERT_TRUE(Vm::restore(img, snap, vm)) << tierName(tier);
+        // Byte-exactness: re-snapshotting the restored VM is an
+        // identity, independent of tier.
+        EXPECT_EQ(vm.snapshot(), snap) << tierName(tier);
+        vm.resume(parked); // answer the syscall the snapshot is parked on
+        RunState s;
+        while ((s = vm.run()) == RunState::Syscall)
+            vm.resume(serve(vm));
+        ASSERT_EQ(s, RunState::Done) << tierName(tier) << ": "
+                                     << vm.trapMessage();
+        EXPECT_EQ(vm.exitCode(), want) << tierName(tier);
+    }
+}
+
+namespace {
+
+/**
+ * Build a snapshot by hand (format: BSXSNAP1, mem, stack, frames,
+ * awaiting/running flags) so tests can park the pc anywhere — including
+ * pcs interior to a fused superinstruction, which no organic snapshot
+ * produces but a doctored or version-skewed one can.
+ */
+std::vector<uint8_t>
+handSnapshot(uint32_t memSize, const std::vector<int64_t> &stack, uint32_t fn,
+             uint32_t pc, const std::vector<int64_t> &locals)
+{
+    std::vector<uint8_t> s = {'B', 'S', 'X', 'S', 'N', 'A', 'P', '1'};
+    auto p32 = [&](uint32_t v) {
+        size_t n = s.size();
+        s.resize(n + 4);
+        std::memcpy(s.data() + n, &v, 4);
+    };
+    auto p64 = [&](uint64_t v) {
+        size_t n = s.size();
+        s.resize(n + 8);
+        std::memcpy(s.data() + n, &v, 8);
+    };
+    p32(memSize);
+    s.resize(s.size() + memSize, 0);
+    p32(static_cast<uint32_t>(stack.size()));
+    for (int64_t v : stack)
+        p64(static_cast<uint64_t>(v));
+    p32(1); // one frame
+    p32(fn);
+    p32(pc);
+    p32(static_cast<uint32_t>(locals.size()));
+    for (int64_t v : locals)
+        p64(static_cast<uint64_t>(v));
+    s.push_back(0); // not awaiting a syscall
+    s.push_back(1); // running
+    return s;
+}
+
+} // namespace
+
+TEST(EmvmTiers, DoctoredInteriorPcSnapshotMatchesBaseSemantics)
+{
+    // main: loadl 0 / push 1 / add / storel 0 / loadl 0 / halt — the
+    // first four fuse into INC_LOCAL. Park the pc at 3 (interior) with
+    // the stack the base interpreter would have there; the fused tier
+    // must step base semantics to the next fusion boundary, not snap to
+    // one.
+    const char *src = R"(
+.memory 64
+.func main 0 1
+    loadl 0
+    push 1
+    add
+    storel 0
+    loadl 0
+    halt
+.end
+)";
+    Image img = mustAssemble(src);
+    for (uint32_t pc : {3u, 2u, 1u}) {
+        // Base-accurate stack at each interior pc, starting from
+        // local0 = 41: pc1 has [41], pc2 has [41, 1], pc3 has [42].
+        std::vector<int64_t> stack;
+        if (pc == 1)
+            stack = {41};
+        else if (pc == 2)
+            stack = {41, 1};
+        else
+            stack = {42};
+        auto snap = handSnapshot(64, stack, 0, pc, {41});
+        TierResult base, other;
+        for (Tier tier : kTiers) {
+            Vm vm(img, tier);
+            ASSERT_TRUE(Vm::restore(img, snap, vm)) << tierName(tier);
+            TierResult r;
+            r.st = vm.run();
+            r.exitCode = vm.exitCode();
+            r.trap = vm.trapMessage();
+            r.retired = vm.instructionsRetired();
+            r.mem = vm.memory();
+            if (tier == Tier::Base)
+                base = r;
+            else
+                EXPECT_TRUE(r == base)
+                    << "interior pc " << pc << " on " << tierName(tier)
+                    << ": " << describe(r) << " vs base " << describe(base);
+        }
+        Vm check(img, Tier::Base);
+        ASSERT_TRUE(Vm::restore(img, snap, check));
+        ASSERT_EQ(check.run(), RunState::Done);
+        EXPECT_EQ(check.exitCode(), 42) << "interior pc " << pc;
+    }
+}
+
+// ---------- interrupt delivery out of fused code and traces ----------
+
+TEST(EmvmTiers, InterruptTokenUnwindsSpinningLoopOnEveryTier)
+{
+    // `loop: jmp loop` is the worst case: in the trace tier it becomes
+    // a single trace op that branches to itself. The periodic interrupt
+    // check must still fire.
+    Image img = mustAssemble(".func main 0 0\nloop:\n  jmp loop\n.end\n");
+    for (Tier tier : kTiers) {
+        Vm vm(img, tier);
+        vm.setTraceThreshold(4);
+        ASSERT_TRUE(vm.start("main", {}));
+        jsvm::InterruptToken token;
+        std::atomic<bool> unwound{false};
+        std::thread runner([&] {
+            try {
+                vm.run(&token);
+            } catch (const jsvm::WorkerTerminated &) {
+                unwound = true;
+            }
+        });
+        token.interrupt();
+        runner.join();
+        EXPECT_TRUE(unwound.load())
+            << tierName(tier) << " never checked the interrupt token";
+    }
+}
+
+TEST(EmvmTiers, SigkillUnwindsSpinningEmvmGuest)
+{
+    // Same property end-to-end: a spinning bytecode guest under the
+    // kernel (which runs the trace tier) must die promptly on SIGKILL,
+    // like the parked-ring-waiter legs in test_ring.cc.
+    Image spin = mustAssemble(R"(
+.memory 64
+.data 0 "spin\n"
+.func main 0 0
+    push 4
+    push 1
+    push 0
+    push 5
+    syscall 3
+    pop
+loop:
+    jmp loop
+.end
+)");
+    Browsix bx;
+    auto bytes = spin.serialize();
+    bx.rootFs().writeFile("/usr/bin/spin-em",
+                          bfs::Buffer(bytes.begin(), bytes.end()));
+    std::string out;
+    bool exited = false;
+    int status = 0;
+    int pid = 0;
+    bx.kernel().spawnRoot(
+        {"/usr/bin/spin-em"}, bx.kernel().defaultEnv, "/",
+        [&](int st) {
+            status = st;
+            exited = true;
+        },
+        [&](const bfs::Buffer &d) { out.append(d.begin(), d.end()); },
+        nullptr, [&](int p) { pid = p; });
+    ASSERT_TRUE(bx.runUntil(
+        [&]() { return out.find("spin") != std::string::npos; }, 10000));
+    EXPECT_EQ(bx.kernel().kill(pid, sys::SIGKILL), 0);
+    ASSERT_TRUE(bx.runUntil([&]() { return exited; }, 10000))
+        << "SIGKILL must unwind a spinning emvm guest";
+    EXPECT_EQ(sys::wtermsig(status), sys::SIGKILL);
+}
+
+// ---------- hostile images ----------
+
+namespace {
+
+/**
+ * Byte offset of instruction k's immediate inside a serialized
+ * single-function image whose function name is `name`: magic(7) +
+ * nfn(4) + namelen(4) + name + nargs(4) + nlocals(4) + codelen(4), then
+ * 9 bytes per instruction (1 opcode + 8 imm).
+ */
+size_t
+immOffset(const std::string &name, size_t k)
+{
+    return 7 + 4 + 4 + name.size() + 4 + 4 + 4 + k * 9 + 1;
+}
+
+} // namespace
+
+TEST(EmvmImage, TruncatedImagesAreRejected)
+{
+    Image img = mustAssemble(R"(
+.memory 64
+.data 8 "payload"
+.func main 0 1
+    push 3
+    jz skip
+    nop
+skip:
+    halt
+.end
+)");
+    std::vector<uint8_t> bytes = img.serialize();
+    Image out;
+    ASSERT_TRUE(Image::deserialize(bytes, out));
+    for (size_t len = 0; len < bytes.size(); len++) {
+        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+        EXPECT_FALSE(Image::deserialize(cut, out))
+            << "truncated to " << len << " of " << bytes.size();
+    }
+    // Same sweep, coarse, over a real program image.
+    std::vector<uint8_t> sieve = apps::awfyImage("sieve").serialize();
+    ASSERT_TRUE(Image::deserialize(sieve, out));
+    for (size_t len = 0; len < sieve.size(); len += 97) {
+        std::vector<uint8_t> cut(sieve.begin(), sieve.begin() + len);
+        EXPECT_FALSE(Image::deserialize(cut, out)) << "truncated to " << len;
+    }
+}
+
+TEST(EmvmImage, CorruptOperandsAreRejectedAtDeserialize)
+{
+    // main: [0]=push 0, [1]=jz 0, [2]=syscall 0, [3]=call 0, [4]=halt
+    Image img = mustAssemble(R"(
+.func main 0 0
+    push 0
+    jz start
+start:
+    syscall 0
+    call main
+    halt
+.end
+)");
+    std::vector<uint8_t> good = img.serialize();
+    Image out;
+    ASSERT_TRUE(Image::deserialize(good, out));
+
+    struct Patch
+    {
+        size_t instr;
+        int64_t imm;
+        const char *what;
+    };
+    const Patch patches[] = {
+        {1, 999, "jump target out of range"},
+        {1, -1, "negative jump target"},
+        {2, 7, "syscall arity out of range"},
+        {2, -2, "negative syscall arity"},
+        {3, 12, "call target out of range"},
+    };
+    for (const auto &p : patches) {
+        std::vector<uint8_t> bad = good;
+        size_t off = immOffset("main", p.instr);
+        ASSERT_LE(off + 8, bad.size());
+        std::memcpy(bad.data() + off, &p.imm, 8);
+        EXPECT_FALSE(Image::deserialize(bad, out)) << p.what;
+    }
+    // An opcode past HALT is rejected too.
+    std::vector<uint8_t> bad = good;
+    bad[immOffset("main", 4) - 1] = 0xee;
+    EXPECT_FALSE(Image::deserialize(bad, out)) << "illegal opcode";
+
+    // validate() backs serialize(): a hand-built image with a wild jump
+    // refuses to serialize at all.
+    Image wild;
+    Function f;
+    f.name = "main";
+    f.code.push_back(ins(Op::JMP, 5));
+    wild.functions.push_back(f);
+    std::string why;
+    EXPECT_FALSE(wild.validate(&why));
+    EXPECT_NE(why.find("jump target"), std::string::npos) << why;
+}
+
+// ---------- assembler hardening ----------
+
+TEST(Assembler, RejectsJumpsToTrailingLabels)
+{
+    Image img;
+    std::string err;
+    // `end:` sits after the last instruction; jumping there would fall
+    // off the function, so it must be a source-level error.
+    EXPECT_FALSE(assemble(".func main 0 0\n  jmp end\n  halt\nend:\n.end\n",
+                          img, err));
+    EXPECT_NE(err.find("past the last instruction"), std::string::npos)
+        << err;
+    // ...but an unused trailing label stays legal.
+    EXPECT_TRUE(assemble(".func main 0 0\n  halt\nend:\n.end\n", img, err))
+        << err;
+}
+
+TEST(Assembler, RejectsSyscallArityOutOfRange)
+{
+    Image img;
+    std::string err;
+    EXPECT_FALSE(assemble(".func main 0 0\n  syscall 7\n  halt\n.end\n", img,
+                          err));
+    EXPECT_NE(err.find("syscall arity"), std::string::npos) << err;
+    EXPECT_FALSE(assemble(".func main 0 0\n  syscall -1\n  halt\n.end\n", img,
+                          err));
+    EXPECT_TRUE(assemble(".func main 0 0\n  push 39\n  syscall 0\n  halt\n"
+                         ".end\n",
+                         img, err))
+        << err;
+}

@@ -494,12 +494,17 @@ peepholeTrace(Trace &tr)
               case TOpc::ST32LI: case TOpc::ST64LI: case TOpc::JMP:
               case TOpc::EXIT: case TOpc::NOPC:
                 break;
-              case TOpc::CMPBRRI: case TOpc::ADDI:
+              case TOpc::CMPBRRI: // a is a cmp kind, only b is a register
+                if (o.b == reg)
+                    return true;
+                break;
+              case TOpc::ADDI:
               case TOpc::LD8: case TOpc::LD32: case TOpc::LD64:
+              case TOpc::ST8: case TOpc::ST32: case TOpc::ST64: // c unused
                 if (o.a == reg || o.b == reg)
                     return true;
                 break;
-              default: // binops, DIVS/MODS, ST8/32/64: a/b/c are registers
+              default: // binops, DIVS/MODS: a/b/c are registers
                 if (o.a == reg || o.b == reg || o.c == reg)
                     return true;
                 break;
@@ -954,10 +959,15 @@ buildTrace(const Function &fn, uint32_t headerPc, uint32_t backedgePc)
             if (!tb.pop(rb) || !tb.pop(ra))
                 return nullptr;
             // Peephole: fold MOVI k; ADD into ADDI when the immediate is
-            // the top operand and was produced by the previous op.
+            // the top operand and was produced by the previous op. DUP can
+            // alias the MOVI's register into ra or leave it live deeper in
+            // the vstack (PUSH k; DUP; ADD) — either way the erased MOVI
+            // would still be read, so the fold requires rb to be dead.
             if (ins.op == Op::ADD && !tb.trace.ops.empty() &&
                 tb.trace.ops.back().op == TOpc::MOVI &&
-                tb.trace.ops.back().a == rb) {
+                tb.trace.ops.back().a == rb && ra != rb &&
+                std::find(tb.vstack.begin(), tb.vstack.end(), rb) ==
+                    tb.vstack.end()) {
                 TOp movi = tb.trace.ops.back();
                 uint8_t carried = tb.trace.ops.back().nOrig;
                 tb.trace.ops.pop_back();

@@ -1696,6 +1696,13 @@ Vm::restore(const Image &image, const std::vector<uint8_t> &snap, Vm &out)
             fr.locals[j] = static_cast<int64_t>(r.u64());
         if (fr.fn >= image.functions.size())
             return false;
+        // Frames are always built with max(nlocals, nargs) slots (start()
+        // and CALL); the fused/trace tiers rely on that invariant instead
+        // of bounds-checking every local access, so a hostile snapshot
+        // with a short locals array must be rejected here, not executed.
+        const Function &ffn = image.functions[fr.fn];
+        if (nl != std::max<uint32_t>(ffn.nlocals, ffn.nargs))
+            return false;
         out.frames_.push_back(std::move(fr));
     }
     if (r.off + 2 > r.len)

@@ -552,6 +552,81 @@ TEST(EmvmTiers, DoctoredInteriorPcSnapshotMatchesBaseSemantics)
     }
 }
 
+TEST(EmvmTiers, RestoreRejectsFrameWithWrongLocalsCount)
+{
+    // Frames are always constructed with max(nlocals, nargs) slots, and
+    // the fused/trace tiers validate local indices at translate time
+    // against that invariant instead of bounds-checking at run time. A
+    // doctored snapshot carrying a short (or oversized) locals array
+    // must therefore be rejected by restore, never executed.
+    const char *src = R"(
+.memory 64
+.func main 0 1
+    loadl 0
+    push 1
+    add
+    storel 0
+    loadl 0
+    halt
+.end
+)";
+    Image img = mustAssemble(src);
+    for (Tier tier : kTiers) {
+        Vm vm(img, tier);
+        EXPECT_FALSE(Vm::restore(img, handSnapshot(64, {}, 0, 0, {}), vm))
+            << tierName(tier) << " accepted a frame with 0 locals";
+        EXPECT_FALSE(
+            Vm::restore(img, handSnapshot(64, {}, 0, 0, {41, 0}), vm))
+            << tierName(tier) << " accepted a frame with extra locals";
+        ASSERT_TRUE(Vm::restore(img, handSnapshot(64, {}, 0, 0, {41}), vm))
+            << tierName(tier);
+        ASSERT_EQ(vm.run(), RunState::Done) << tierName(tier);
+        EXPECT_EQ(vm.exitCode(), 42) << tierName(tier);
+    }
+}
+
+TEST(EmvmTiers, DupOfPushedImmediateAddsCorrectlyInTraces)
+{
+    // `push 7 / dup / add` makes the MOVI's register both operands of
+    // the ADD; the trace builder's MOVI->ADDI fold must not erase the
+    // MOVI while its register is still read (or live deeper in the
+    // vstack via a second dup). Hot loop so the trace tier compiles it.
+    const char *src = R"(
+.func main 0 2
+    push 0
+    storel 1
+loop:
+    push 7
+    dup
+    add
+    push 7
+    dup
+    dup
+    add
+    add
+    add
+    loadl 1
+    add
+    storel 1
+    loadl 0
+    push 1
+    add
+    storel 0
+    loadl 0
+    push 50
+    lt
+    jnz loop
+    loadl 1
+    halt
+.end
+)";
+    Image img = mustAssemble(src);
+    expectTierAgreement(img, "main", {}, "dup+add immediate fold");
+    TierResult r = runTier(img, Tier::Trace);
+    ASSERT_EQ(r.st, RunState::Done);
+    EXPECT_EQ(r.exitCode, 50 * (7 + 7 + 7 + 7 + 7)); // 14 + 21 per round
+}
+
 // ---------- interrupt delivery out of fused code and traces ----------
 
 TEST(EmvmTiers, InterruptTokenUnwindsSpinningLoopOnEveryTier)
